@@ -1,0 +1,18 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def report(title: str, rows: List[Tuple[str, str, str]]) -> None:
+    """Print a compact paper-vs-measured table for one experiment.
+
+    Run pytest with ``-s`` to see the tables; a recorded run is kept in
+    EXPERIMENTS.md.
+    """
+    width = max(len(row[0]) for row in rows)
+    print(f"\n=== {title} ===")
+    print(f"{'quantity'.ljust(width)} | paper        | measured")
+    for name, paper_value, measured in rows:
+        print(f"{name.ljust(width)} | {paper_value:<12} | {measured}")

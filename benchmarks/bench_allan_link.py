@@ -1,0 +1,106 @@
+"""Experiment ALLAN-LINK — relation between sigma^2_N and the Allan variance.
+
+Paper background (Sec. III-B): following Allan, the classical variance of the
+jitter does not converge in presence of flicker noise, so the paper builds its
+statistic s_N as a two-sample difference.  The exact relation is
+
+    Var(s_N) = 2 * (N/f0)^2 * sigma_y^2(N/f0)
+
+where sigma_y^2 is the Allan variance of the fractional frequency.  The
+benchmark verifies that relation on synthesized white-FM and flicker-FM
+clocks, and confirms the textbook Allan levels (h0/(2 tau) and 2 ln2 h_{-1}).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core.sigma_n import sigma2_n_estimate
+from repro.paper import PAPER_F0_HZ
+from repro.phase import PeriodJitterSynthesizer, PhaseNoisePSD
+from repro.stats.allan import (
+    allan_variance,
+    allan_variance_flicker_fm,
+    allan_variance_white_fm,
+    fractional_frequency_from_periods,
+)
+
+pytestmark = pytest.mark.benchmark(group="allan-link")
+
+N_PERIODS = 200_000
+AVERAGING_FACTORS = [16, 64, 256]
+
+
+def _check_link(periods: np.ndarray, f0: float, rows: list, label: str) -> None:
+    nominal = 1.0 / f0
+    jitter = periods - nominal
+    fractional = fractional_frequency_from_periods(periods, nominal)
+    for m in AVERAGING_FACTORS:
+        sigma2_n = sigma2_n_estimate(jitter, m)
+        allan = allan_variance(fractional, m)
+        predicted = 2.0 * (m / f0) ** 2 * allan
+        ratio = sigma2_n / predicted
+        assert ratio == pytest.approx(1.0, rel=0.15)
+        rows.append(
+            (
+                f"{label}, N={m}",
+                "Var(s_N) = 2 (N/f0)^2 AVAR",
+                f"ratio = {ratio:.3f}",
+            )
+        )
+
+
+def test_sigma2n_allan_link_white_fm(benchmark):
+    """White-FM clock: check the link and the h0/(2 tau) Allan level."""
+    psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+    synthesizer = PeriodJitterSynthesizer(
+        PAPER_F0_HZ, psd, rng=np.random.default_rng(1)
+    )
+    periods = synthesizer.periods(N_PERIODS)
+
+    fractional = fractional_frequency_from_periods(periods, 1.0 / PAPER_F0_HZ)
+    allan_values = benchmark(
+        lambda: [allan_variance(fractional, m) for m in AVERAGING_FACTORS]
+    )
+
+    h0 = 2.0 * psd.b_thermal_hz / PAPER_F0_HZ**2
+    rows = []
+    for m, measured in zip(AVERAGING_FACTORS, allan_values):
+        expected = allan_variance_white_fm(h0, m / PAPER_F0_HZ)
+        assert measured == pytest.approx(expected, rel=0.15)
+        rows.append(
+            (f"AVAR white FM, m={m}", "h0/(2 tau)", f"{measured / expected:.3f} x theory")
+        )
+    _check_link(periods, PAPER_F0_HZ, rows, "white FM")
+    report("ALLAN-LINK (white FM)", rows)
+
+
+def test_sigma2n_allan_link_flicker_fm(benchmark):
+    """Flicker-FM clock: AVAR is flat at 2 ln2 h_{-1} and the link holds."""
+    psd = PhaseNoisePSD(b_thermal_hz=0.0, b_flicker_hz2=1.915e6)
+    synthesizer = PeriodJitterSynthesizer(
+        PAPER_F0_HZ, psd, rng=np.random.default_rng(2)
+    )
+    periods = synthesizer.periods(N_PERIODS)
+    fractional = fractional_frequency_from_periods(periods, 1.0 / PAPER_F0_HZ)
+
+    allan_values = benchmark(
+        lambda: [allan_variance(fractional, m) for m in AVERAGING_FACTORS]
+    )
+
+    h_minus1 = psd.flicker_fractional_frequency_coefficient(PAPER_F0_HZ)
+    expected = allan_variance_flicker_fm(h_minus1)
+    rows = []
+    for m, measured in zip(AVERAGING_FACTORS, allan_values):
+        assert measured == pytest.approx(expected, rel=0.35)
+        rows.append(
+            (
+                f"AVAR flicker FM, m={m}",
+                "2 ln2 h-1 (flat in tau)",
+                f"{measured / expected:.3f} x theory",
+            )
+        )
+    _check_link(periods, PAPER_F0_HZ, rows, "flicker FM")
+    report("ALLAN-LINK (flicker FM)", rows)

@@ -1,0 +1,95 @@
+"""Experiment FIG2-VS-FIG3 — entropy predicted by classical vs multilevel models.
+
+Paper claim (conclusion): classical models (Fig. 2) that assume mutually
+independent jitter realizations fold the flicker noise into the per-period
+jitter and therefore over-estimate the entropy per bit; "the entropy per bit
+at the generator output and in consequence also the security was thus much
+lower than expected".
+
+The benchmark sweeps the accumulation length of an eRO-TRNG built from the
+paper-calibrated oscillators and prints, for each design point, the entropy
+claimed by the classical (naive) evaluation and by the refined model, plus
+the accumulation length each approach would certify for the AIS31-style
+0.997 bit/bit requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.trng.models import BaudetModel, RefinedEntropyModel
+
+pytestmark = pytest.mark.benchmark(group="entropy-models")
+
+ACCUMULATION_SWEEP = [1_000, 5_000, 20_000, 50_000, 100_000, 200_000, 500_000]
+CALIBRATION_LENGTH = 200_000  # periods over which a classical evaluation measures jitter
+TARGET_ENTROPY = 0.997
+
+
+def test_entropy_model_comparison(benchmark):
+    """Sweep accumulation lengths and compare the two model families."""
+    model = RefinedEntropyModel(PAPER_F0_HZ, paper_phase_noise_psd())
+
+    def sweep():
+        return [
+            model.compare(n, calibration_length=CALIBRATION_LENGTH)
+            for n in ACCUMULATION_SWEEP
+        ]
+
+    comparisons = benchmark(sweep)
+
+    # Shape checks: the naive model never claims less entropy, and the gap is
+    # substantial somewhere in the sweep (the paper's over-estimation effect).
+    gaps = [c.naive_entropy - c.refined_entropy for c in comparisons]
+    assert all(gap >= -1e-12 for gap in gaps)
+    assert max(gaps) > 0.02
+    # Both converge to full entropy for very long accumulation.
+    assert comparisons[-1].refined_entropy > 0.99
+
+    rows = [("accumulation N", "naive H (Fig. 2)", "refined H (Fig. 3)")]
+    print("\n=== FIG2-VS-FIG3: entropy per raw bit ===")
+    print("      N     naive H      refined H    overestimation")
+    for comparison in comparisons:
+        print(
+            f"{comparison.accumulation_length:>8d}   "
+            f"{comparison.naive_entropy:.4f}       "
+            f"{comparison.refined_entropy:.4f}       "
+            f"{comparison.overestimation:+.4f}"
+        )
+
+
+def test_required_accumulation_for_ais31_target(benchmark):
+    """How long must the TRNG accumulate to certify 0.997 bit/bit?"""
+    relative_psd = paper_phase_noise_psd()
+    refined = RefinedEntropyModel(PAPER_F0_HZ, relative_psd)
+
+    def required_lengths():
+        refined_n = refined.accumulation_for_entropy(TARGET_ENTROPY)
+        naive_model = BaudetModel(
+            PAPER_F0_HZ, refined.naive_per_period_variance_s2(CALIBRATION_LENGTH)
+        )
+        naive_n = naive_model.accumulation_for_entropy(TARGET_ENTROPY)
+        return refined_n, naive_n
+
+    refined_n, naive_n = benchmark(required_lengths)
+
+    # The naive evaluation certifies a (dangerously) shorter accumulation.
+    assert naive_n < refined_n
+    under_design_factor = refined_n / naive_n
+    assert under_design_factor > 5.0
+
+    report(
+        "FIG2-VS-FIG3: accumulation needed for H >= 0.997",
+        [
+            ("refined model N", "(not given)", f"{refined_n}"),
+            ("naive model N", "(not given)", f"{naive_n}"),
+            (
+                "under-design factor",
+                "'security much lower than expected'",
+                f"{under_design_factor:.1f}x",
+            ),
+        ],
+    )

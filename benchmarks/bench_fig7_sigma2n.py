@@ -1,0 +1,84 @@
+"""Experiment FIG7 — regenerate Fig. 7: f0^2 sigma^2_N versus N, with the Eq. 11 fit.
+
+Paper result (Sec. III-E / IV-A): the measured accumulated variance follows
+``f0^2 sigma^2_N = 5.36e-6 N + c2 N^2``; the linear regime dominates at small
+N and the quadratic (flicker) regime takes over around N ~ K = 5354, proving
+that jitter realizations are not mutually independent at large N.
+
+The benchmark times the sigma^2_N curve estimation (the analysis the embedded
+measurement has to run), checks the shape (superlinearity, crossover location)
+and prints the measured points next to the paper's fitted law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core import accumulated_variance_curve, fit_sigma2_n_curve
+from repro.paper import PAPER_REFERENCE
+
+pytestmark = pytest.mark.benchmark(group="fig7")
+
+
+def test_fig7_sigma2n_curve(benchmark, relative_jitter_record, platform):
+    """Regenerate the Fig. 7 data set and compare its shape with the paper."""
+    n_sweep = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000]
+
+    curve = benchmark(
+        accumulated_variance_curve,
+        relative_jitter_record,
+        platform.f0_hz,
+        n_sweep,
+    )
+
+    fit = fit_sigma2_n_curve(curve)
+    n = curve.n_values.astype(float)
+    normalized = curve.normalized_sigma2_values
+
+    # Shape check 1: the small-N slope matches the paper's thermal slope.
+    small_slope = float(np.median(normalized[n <= 20] / n[n <= 20]))
+    assert small_slope == pytest.approx(
+        PAPER_REFERENCE.normalized_thermal_slope, rel=0.15
+    )
+
+    # Shape check 2: the curve is clearly superlinear at large N (dependence).
+    large_slope = float(np.median(normalized[n >= 2000] / n[n >= 2000]))
+    assert large_slope > 1.3 * small_slope
+
+    # Shape check 3: the fitted crossover (K) is within a factor ~2 of 5354.
+    crossover = fit.b_thermal_hz * platform.f0_hz / (
+        4.0 * np.log(2.0) * max(fit.b_flicker_hz2, 1e-30)
+    )
+    assert PAPER_REFERENCE.ratio_constant / 2.5 < crossover < PAPER_REFERENCE.ratio_constant * 2.5
+
+    rows = [
+        (
+            "normalised slope (small N)",
+            f"{PAPER_REFERENCE.normalized_thermal_slope:.2e}",
+            f"{small_slope:.2e}",
+        ),
+        ("b_th [Hz]", f"{PAPER_REFERENCE.b_thermal_hz:.2f}", f"{fit.b_thermal_hz:.2f}"),
+        (
+            "b_fl [Hz^2]",
+            f"{PAPER_REFERENCE.b_flicker_hz2:.3g}",
+            f"{fit.b_flicker_hz2:.3g}",
+        ),
+        ("crossover K", f"{PAPER_REFERENCE.ratio_constant:.0f}", f"{crossover:.0f}"),
+        ("fit R^2", "(not given)", f"{fit.r_squared:.4f}"),
+    ]
+    report("FIG7: f0^2 sigma^2_N vs N", rows)
+    print("      N    f0^2*sigma^2_N (measured)   paper fit 5.36e-6*N + quad")
+    for index in range(n.size):
+        paper_value = (
+            PAPER_REFERENCE.normalized_thermal_slope * n[index]
+            + 8.0
+            * np.log(2.0)
+            * PAPER_REFERENCE.b_flicker_hz2
+            / PAPER_REFERENCE.f0_hz**2
+            * n[index] ** 2
+        )
+        print(
+            f"{int(n[index]):>8d}    {normalized[index]:.3e}               {paper_value:.3e}"
+        )

@@ -1,0 +1,135 @@
+"""Experiment CONCL-ONLINE-TEST — the embedded thermal-noise test as an attack detector.
+
+Paper claim (conclusion): the thermal-noise measurement "can be used for
+implementing fast and precise generator-specific statistical test.  Such test,
+required by AIS31, could detect very quickly attacks targeting the entropy
+source."
+
+The benchmark characterises a healthy oscillator pair, then applies a
+frequency-injection attack of increasing strength and records which detectors
+fire: the paper's thermal online test versus a classical bit-level monobit
+online test on the TRNG output.  The expected shape: the thermal test fires at
+much weaker attack strength (when the entropy is already degraded but the bits
+still look balanced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.ais31.online import monobit_online_test
+from repro.ais31.thermal_test import ThermalNoiseOnlineTest
+from repro.attacks.frequency_injection import (
+    FrequencyInjectionAttack,
+    InjectionParameters,
+)
+from repro.oscillator.period_model import JitteryClock
+from repro.phase import PhaseNoisePSD
+from repro.trng.digitizer import DFlipFlopSampler
+
+pytestmark = pytest.mark.benchmark(group="online-test")
+
+F0 = 1e8
+PER_OSCILLATOR_PSD = PhaseNoisePSD(b_thermal_hz=5e4, b_flicker_hz2=1e7)
+REFERENCE_B_THERMAL = 2.0 * PER_OSCILLATOR_PSD.b_thermal_hz
+ATTACK_STRENGTHS = [0.0, 0.5, 0.9, 0.99]
+
+
+def _pair(seed: int):
+    rng = np.random.default_rng(seed)
+    return (
+        JitteryClock(F0, PER_OSCILLATOR_PSD, rng=rng),
+        JitteryClock(F0, PER_OSCILLATOR_PSD, rng=rng),
+    )
+
+
+def _attacked_pair(strength: float, seed: int):
+    osc1, osc2 = _pair(seed)
+    if strength == 0.0:
+        return osc1, osc2
+    parameters = InjectionParameters(
+        injection_frequency_hz=F0, locking_strength=strength
+    )
+    return (
+        FrequencyInjectionAttack(osc1, parameters, rng=np.random.default_rng(seed + 1)),
+        FrequencyInjectionAttack(osc2, parameters, rng=np.random.default_rng(seed + 2)),
+    )
+
+
+def test_thermal_online_test_detection_curve(benchmark):
+    """Run the thermal online test across attack strengths."""
+    online = ThermalNoiseOnlineTest(
+        reference_b_thermal_hz=REFERENCE_B_THERMAL,
+        minimum_ratio=0.5,
+        accumulation_lengths=(2048, 8192),
+        n_windows=256,
+    )
+
+    def detection_sweep():
+        outcomes = []
+        for index, strength in enumerate(ATTACK_STRENGTHS):
+            osc1, osc2 = _attacked_pair(strength, seed=100 + index)
+            outcomes.append((strength, online.execute(osc1, osc2)))
+        return outcomes
+
+    outcomes = benchmark.pedantic(detection_sweep, iterations=1, rounds=1)
+
+    healthy = outcomes[0][1]
+    strongest = outcomes[-1][1]
+    assert healthy.passed
+    assert not strongest.passed
+    # The measured thermal level decreases monotonically with attack strength.
+    ratios = [result.ratio for _strength, result in outcomes]
+    assert ratios[-1] < ratios[0]
+
+    rows = [
+        (
+            f"locking strength {strength:.2f}",
+            "detect attacks 'very quickly'",
+            f"b_th ratio = {result.ratio:.2f}, {'ALARM' if not result.passed else 'pass'}",
+        )
+        for strength, result in outcomes
+    ]
+    report("CONCL-ONLINE-TEST: thermal online test vs attack strength", rows)
+
+
+def test_thermal_test_fires_before_monobit_test(benchmark):
+    """At a moderate attack strength the thermal test alarms while the
+    bit-level monobit test still sees acceptably balanced output."""
+    strength = 0.9
+
+    def run_both_detectors():
+        osc1, osc2 = _attacked_pair(strength, seed=300)
+        thermal = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=REFERENCE_B_THERMAL,
+            minimum_ratio=0.5,
+            accumulation_lengths=(2048, 8192),
+            n_windows=256,
+        ).execute(osc1, osc2)
+
+        sampler_osc1, sampler_osc2 = _attacked_pair(strength, seed=301)
+        sampler = DFlipFlopSampler(sampler_osc1, sampler_osc2, divider=256)
+        bits = sampler.sample(40_000).bits
+        monobit = monobit_online_test(block_size_bits=20_000).run(bits)
+        return thermal, monobit
+
+    thermal, monobit = benchmark.pedantic(run_both_detectors, iterations=1, rounds=1)
+
+    assert not thermal.passed
+    report(
+        "CONCL-ONLINE-TEST: detector comparison at locking strength 0.9",
+        [
+            (
+                "thermal online test",
+                "fires quickly",
+                "ALARM" if not thermal.passed else "pass",
+            ),
+            (
+                "monobit online test",
+                "slow / insensitive",
+                "ALARM" if monobit.alarm else f"pass ({monobit.n_failures} failed blocks)",
+            ),
+        ],
+    )

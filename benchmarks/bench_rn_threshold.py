@@ -1,0 +1,72 @@
+"""Experiment SEC3E-RN — the ratio r_N = K/(K+N) and the independence threshold.
+
+Paper result (Sec. III-E): with the fitted coefficients, ``r_N = 5354/(5354+N)``
+and requiring 95 % thermal dominance limits the accumulation to ``N < 281``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core.ratio import independence_threshold, ratio_constant, thermal_ratio
+from repro.paper import PAPER_REFERENCE
+
+pytestmark = pytest.mark.benchmark(group="rn-threshold")
+
+
+def test_rn_ratio_and_threshold(benchmark, thermal_report):
+    """Compute r_N and the threshold from the platform-fitted coefficients."""
+    psd = thermal_report.phase_noise_psd
+    f0 = thermal_report.f0_hz
+    n_values = np.unique(np.logspace(0, 5, 200).astype(int))
+
+    def analysis():
+        constant = ratio_constant(psd, f0)
+        curve = thermal_ratio(psd, f0, n_values)
+        threshold = independence_threshold(psd, f0, PAPER_REFERENCE.min_thermal_ratio)
+        return constant, curve, threshold
+
+    constant, curve, threshold = benchmark(analysis)
+
+    # Shape checks: monotone decreasing ratio, threshold in the paper's range.
+    assert np.all(np.diff(curve) <= 0.0)
+    assert 0.0 < curve[-1] < curve[0] <= 1.0
+    assert PAPER_REFERENCE.ratio_constant / 3 < constant < PAPER_REFERENCE.ratio_constant * 3
+    assert (
+        PAPER_REFERENCE.independence_threshold_n / 3
+        < threshold
+        < PAPER_REFERENCE.independence_threshold_n * 3
+    )
+
+    report(
+        "SEC3E-RN: thermal ratio and independence threshold",
+        [
+            ("K (r_N = K/(K+N))", f"{PAPER_REFERENCE.ratio_constant:.0f}", f"{constant:.0f}"),
+            (
+                "N threshold (r_N > 95%)",
+                f"{PAPER_REFERENCE.independence_threshold_n}",
+                f"{threshold:.0f}",
+            ),
+            ("r_N at N=281", ">= 0.95", f"{float(thermal_ratio(psd, f0, 281)):.3f}"),
+            ("r_N at N=5354", "0.50", f"{float(thermal_ratio(psd, f0, 5354)):.3f}"),
+        ],
+    )
+
+
+def test_rn_exact_coefficients(benchmark):
+    """Same computation with the paper's exact coefficients (theory-only check)."""
+    from repro.paper import paper_phase_noise_psd
+
+    psd = paper_phase_noise_psd()
+
+    def analysis():
+        return (
+            ratio_constant(psd, PAPER_REFERENCE.f0_hz),
+            independence_threshold(psd, PAPER_REFERENCE.f0_hz, 0.95),
+        )
+
+    constant, threshold = benchmark(analysis)
+    assert constant == pytest.approx(5354.0, rel=1e-3)
+    assert threshold == pytest.approx(281.8, abs=1.0)

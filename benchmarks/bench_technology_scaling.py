@@ -1,0 +1,72 @@
+"""Experiment CONCL-SCALING — flicker noise domination with technology shrinking.
+
+Paper claim (conclusion): "since the flicker noise ... is related to the
+technology (its PSD is the inverse of the square of the channel length), it
+can be expected that the autocorrelated noise will become more and more
+important in future, as transistor technologies will continue to shrink" —
+i.e. the ratio r_N drops and the independence threshold shrinks from node to
+node.
+
+The benchmark runs the full bottom-up multilevel pipeline (device -> noise
+PSDs -> ISF -> b_th/b_fl -> K, threshold) for every node of the library and
+checks the monotonic trend the paper predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core.multilevel import MultilevelModel
+from repro.noise.technology import list_nodes
+
+pytestmark = pytest.mark.benchmark(group="technology-scaling")
+
+N_STAGES = 5
+MIN_THERMAL_RATIO = 0.95
+
+
+def test_scaling_shrinks_independence_threshold(benchmark):
+    """Sweep the node library and check the paper's scaling prediction."""
+
+    def sweep():
+        results = []
+        for name in list_nodes():
+            model = MultilevelModel.from_technology(name, N_STAGES)
+            results.append(
+                (
+                    name,
+                    model.f0_hz,
+                    model.ratio_constant,
+                    model.independence_threshold(MIN_THERMAL_RATIO),
+                    model.thermal_ratio(1000),
+                )
+            )
+        return results
+
+    results = benchmark(sweep)
+
+    thresholds = [row[3] for row in results]
+    ratios_at_1000 = [row[4] for row in results]
+    # list_nodes() is ordered from the largest to the smallest node: the
+    # threshold and the thermal ratio must shrink monotonically along it.
+    assert all(b < a for a, b in zip(thresholds, thresholds[1:]))
+    assert all(b < a for a, b in zip(ratios_at_1000, ratios_at_1000[1:]))
+
+    print("\n=== CONCL-SCALING: flicker domination vs technology node ===")
+    print("node    f0 [GHz]   K = b_th f0/(4 ln2 b_fl)   N(r_N>95%)   r_N at N=1000")
+    for name, f0, constant, threshold, ratio in results:
+        print(
+            f"{name:<7} {f0 / 1e9:>7.2f}   {constant:>22.0f}   {threshold:>10.0f}   {ratio:>12.3f}"
+        )
+    report(
+        "CONCL-SCALING summary",
+        [
+            (
+                "threshold trend",
+                "decreases with shrinking",
+                f"{thresholds[0]:.0f} -> {thresholds[-1]:.0f} across {len(results)} nodes",
+            )
+        ],
+    )

@@ -1,0 +1,60 @@
+"""Experiment EQ11-VS-EQ9 — consistency of the closed form with the Wiener-Khintchine integral.
+
+Paper derivation: Eq. 9 expresses sigma^2_N as an integral of the phase PSD
+weighted by sin^4; Eq. 11 is its closed form for S_phi = b_fl/f^3 + b_th/f^2.
+The benchmark sweeps (b_th, b_fl, N) and confirms the two agree to numerical
+precision, while timing both evaluation paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core.theory import sigma2_n_closed_form, sigma2_n_integral
+from repro.paper import paper_phase_noise_psd, PAPER_F0_HZ
+from repro.phase import PhaseNoisePSD
+
+pytestmark = pytest.mark.benchmark(group="theory")
+
+SWEEP = [
+    (276.04, 1.915e6, 1),
+    (276.04, 1.915e6, 100),
+    (276.04, 1.915e6, 10_000),
+    (10.0, 1e8, 50),
+    (1e4, 10.0, 50),
+]
+
+
+def test_closed_form_evaluation_speed(benchmark):
+    """The closed form is what an embedded test evaluates — time it."""
+    psd = paper_phase_noise_psd()
+    n_values = np.arange(1, 100_001)
+
+    result = benchmark(sigma2_n_closed_form, psd, PAPER_F0_HZ, n_values)
+    assert np.all(np.diff(result) > 0.0)
+
+
+def test_integral_matches_closed_form(benchmark):
+    """Numerically integrate Eq. 9 over the sweep and compare with Eq. 11."""
+
+    def evaluate_sweep():
+        deviations = []
+        for b_th, b_fl, n in SWEEP:
+            psd = PhaseNoisePSD(b_th, b_fl)
+            closed = float(sigma2_n_closed_form(psd, PAPER_F0_HZ, n))
+            integral = sigma2_n_integral(psd, PAPER_F0_HZ, n)
+            deviations.append(abs(integral - closed) / closed)
+        return deviations
+
+    deviations = benchmark.pedantic(evaluate_sweep, iterations=1, rounds=3)
+    assert max(deviations) < 1e-3
+
+    report(
+        "EQ11-VS-EQ9: closed form vs Wiener-Khintchine integral",
+        [
+            ("max relative deviation", "0 (exact)", f"{max(deviations):.2e}"),
+            ("sweep size", "-", f"{len(SWEEP)} (b_th, b_fl, N) points"),
+        ],
+    )

@@ -1,0 +1,66 @@
+"""Experiment SEC4B-THERMAL — thermal-noise measurement via the multilevel approach.
+
+Paper result (Sec. IV-B): from the Fig. 7 fit, ``b_th = 276.04 Hz``, hence a
+thermal-only period jitter ``sigma_th = sqrt(b_th/f0^3) ~= 15.89 ps`` and a
+relative jitter ``sigma/T0 ~= 1.6 permille`` — in agreement with measurements
+obtained by "other more expensive methods" [19].  Here the cross-check is
+against the simulator's injected ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro.core import extract_thermal_noise_from_curve
+from repro.paper import PAPER_REFERENCE
+
+pytestmark = pytest.mark.benchmark(group="thermal-extraction")
+
+
+def test_thermal_extraction_pipeline(benchmark, fig7_curve, platform):
+    """Time the Section IV pipeline and compare its outputs with the paper."""
+    result = benchmark(extract_thermal_noise_from_curve, fig7_curve)
+
+    ground_truth_sigma = np.sqrt(
+        platform.relative_psd.thermal_period_jitter_variance(platform.f0_hz)
+    )
+
+    assert result.b_thermal_hz == pytest.approx(PAPER_REFERENCE.b_thermal_hz, rel=0.1)
+    assert result.thermal_jitter_std_ps == pytest.approx(15.89, rel=0.05)
+    assert result.jitter_ratio_permille == pytest.approx(1.6, rel=0.1)
+    assert result.thermal_jitter_std_s == pytest.approx(ground_truth_sigma, rel=0.05)
+
+    report(
+        "SEC4B-THERMAL: thermal noise measurement",
+        [
+            ("normalised slope", "5.36e-6", f"{result.fit.normalized_linear_coefficient:.3g}"),
+            ("b_th [Hz]", "276.04", f"{result.b_thermal_hz:.2f}"),
+            ("sigma_th [ps]", "15.89", f"{result.thermal_jitter_std_ps:.2f}"),
+            ("sigma/T0 [permille]", "1.6", f"{result.jitter_ratio_permille:.2f}"),
+            (
+                "cross-check (ref [19])",
+                "'close to' 1.6",
+                f"ground truth {ground_truth_sigma * 1e12:.2f} ps",
+            ),
+        ],
+    )
+
+
+def test_thermal_extraction_with_confidence_intervals(benchmark, fig7_curve):
+    """The extended pipeline with bootstrap confidence intervals."""
+    result = benchmark.pedantic(
+        extract_thermal_noise_from_curve,
+        kwargs=dict(
+            curve=fig7_curve,
+            with_confidence_intervals=True,
+            rng=np.random.default_rng(7),
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    low, high = result.b_thermal_ci_hz
+    assert low <= result.b_thermal_hz <= high
+    assert low > 0.5 * PAPER_REFERENCE.b_thermal_hz
+    assert high < 2.0 * PAPER_REFERENCE.b_thermal_hz

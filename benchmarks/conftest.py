@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables (see DESIGN.md,
+experiment index) on the virtual Cyclone III platform.  The expensive data
+generation is done once per session in fixtures; the ``benchmark`` fixture
+then times the analysis step that the experiment is actually about, and each
+benchmark prints a small "paper vs measured" report (run with ``-s`` to see
+them, or consult EXPERIMENTS.md for a recorded run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import accumulated_variance_curve, extract_thermal_noise_from_curve
+from repro.measurement import VirtualEvaristePlatform
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase import PeriodJitterSynthesizer
+
+
+@pytest.fixture(scope="session")
+def platform() -> VirtualEvaristePlatform:
+    """Paper-calibrated virtual Evariste/Cyclone III platform."""
+    return VirtualEvaristePlatform(rng=np.random.default_rng(20140324))
+
+
+@pytest.fixture(scope="session")
+def relative_jitter_record(platform) -> np.ndarray:
+    """A long relative-jitter record captured on the platform (Fig. 7 input)."""
+    return platform.relative_jitter(400_000)
+
+
+@pytest.fixture(scope="session")
+def fig7_curve(relative_jitter_record, platform):
+    """The sigma^2_N vs N curve behind Fig. 7."""
+    return accumulated_variance_curve(
+        relative_jitter_record, platform.f0_hz, min_realizations=16
+    )
+
+
+@pytest.fixture(scope="session")
+def thermal_report(fig7_curve):
+    """The Section IV thermal-noise extraction applied to the Fig. 7 curve."""
+    return extract_thermal_noise_from_curve(fig7_curve)
+
+
+@pytest.fixture(scope="session")
+def paper_synthesizer() -> PeriodJitterSynthesizer:
+    """Synthesizer of the relative jitter process with the paper's exact PSD."""
+    return PeriodJitterSynthesizer(
+        PAPER_F0_HZ, paper_phase_noise_psd(), rng=np.random.default_rng(5354)
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Classical vs multilevel entropy models for an eRO-TRNG (Figs. 2 and 3).
+
+The paper's security message in one script, in two parts:
+
+* Part 1 uses the paper-calibrated 103 MHz oscillators and compares, for a
+  sweep of sampling dividers, the entropy per bit predicted by the classical
+  (independence-assuming, Fig. 2) evaluation and by the refined multilevel
+  (Fig. 3) model.
+
+* Part 2 validates the comparison empirically on a scaled design whose
+  oscillators carry much stronger noise.  There the accumulation lengths are
+  small enough that the simulator can actually generate the bits, and the
+  empirically measured entropy rate sides with the refined model.
+
+Run:  python examples/entropy_model_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase import PhaseNoisePSD
+from repro.trng import EROTRNG, EROTRNGConfiguration, markov_entropy_rate
+from repro.trng.models import BaudetModel, RefinedEntropyModel
+
+CALIBRATION_LENGTH = 200_000
+TARGET_ENTROPY = 0.997
+
+
+def part1_paper_oscillators() -> None:
+    print("=" * 72)
+    print("Part 1 - paper-calibrated oscillators (103 MHz, b_th = 276 Hz)")
+    print("=" * 72)
+    model = RefinedEntropyModel(PAPER_F0_HZ, paper_phase_noise_psd())
+
+    print(f"classical calibration window: {CALIBRATION_LENGTH} periods\n")
+    print("divider D    naive H (Fig.2)    refined H (Fig.3)    overestimation")
+    for divider in (10_000, 20_000, 50_000, 100_000, 200_000, 500_000):
+        comparison = model.compare(divider, calibration_length=CALIBRATION_LENGTH)
+        print(
+            f"{divider:>9d}    {comparison.naive_entropy:15.4f}    "
+            f"{comparison.refined_entropy:17.4f}    {comparison.overestimation:+14.4f}"
+        )
+
+    refined_n = model.accumulation_for_entropy(TARGET_ENTROPY)
+    naive_n = BaudetModel(
+        PAPER_F0_HZ, model.naive_per_period_variance_s2(CALIBRATION_LENGTH)
+    ).accumulation_for_entropy(TARGET_ENTROPY)
+    print(
+        f"\naccumulation needed for H >= {TARGET_ENTROPY}: refined N = {refined_n}, "
+        f"naive N = {naive_n} (under-design factor {refined_n / naive_n:.1f}x)"
+    )
+
+
+def part2_empirical_check() -> None:
+    print("\n" + "=" * 72)
+    print("Part 2 - empirical check on a strong-noise design (simulated bits)")
+    print("=" * 72)
+    # Per-oscillator noise scaled up so a few hundred periods of accumulation
+    # already produce usable entropy -- this keeps the bit-level simulation
+    # affordable while exercising exactly the same model machinery.
+    oscillator_psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=5e7)
+    relative_psd = PhaseNoisePSD(5e4, 1e8)
+    f0 = 103e6
+    model = RefinedEntropyModel(f0, relative_psd)
+    calibration = 100_000
+
+    print("divider D    naive H    refined H    empirical entropy rate (simulated)")
+    for divider in (100, 300, 1000):
+        comparison = model.compare(divider, calibration_length=calibration)
+        configuration = EROTRNGConfiguration(
+            f0_hz=f0,
+            oscillator_psd=oscillator_psd,
+            divider=divider,
+            frequency_mismatch=1.3e-3,
+        )
+        trng = EROTRNG(configuration, rng=np.random.default_rng(divider))
+        bits = trng.generate(8_000)
+        empirical = markov_entropy_rate(bits)
+        print(
+            f"{divider:>9d}    {comparison.naive_entropy:7.4f}    "
+            f"{comparison.refined_entropy:9.4f}    {empirical:10.4f}"
+        )
+
+    print(
+        "\nThe empirical entropy rate tracks the refined prediction; the naive"
+        "\nmodel (calibrated on a long, flicker-contaminated measurement) promises"
+        "\nmore entropy than the generator actually delivers."
+    )
+
+
+def main() -> None:
+    part1_paper_oscillators()
+    part2_empirical_check()
+
+
+if __name__ == "__main__":
+    main()

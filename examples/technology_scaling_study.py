@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Technology-scaling study: how transistor shrinking erodes jitter independence.
+
+The paper's conclusion predicts that, because the flicker-noise PSD grows as
+the inverse square of the channel length, the autocorrelated part of the
+jitter will dominate more and more as technologies shrink, reducing the range
+of accumulation lengths over which the independence assumption is tenable.
+
+This example runs the complete bottom-up multilevel pipeline — device
+geometry and bias, thermal and flicker current PSDs, Hajimiri ISF conversion,
+phase-noise coefficients, ratio constant K and independence threshold — for
+every node of the built-in technology library, and also shows the effect on
+a TRNG design: the accumulation length needed to certify 0.997 bit of entropy
+per bit and the fraction of it that may still be treated as independent.
+
+Run:  python examples/technology_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core.multilevel import MultilevelModel
+from repro.noise.technology import get_node, list_nodes
+from repro.phase import PhaseNoisePSD
+from repro.trng.models import RefinedEntropyModel
+
+N_STAGES = 5
+TARGET_ENTROPY = 0.997
+
+
+def main() -> None:
+    print("bottom-up multilevel pipeline, ring oscillator with "
+          f"{N_STAGES} stages per node\n")
+    header = (
+        "node    f0[GHz]  sigma_th[ps]  PN corner[Hz]   K        "
+        "N(r_N>95%)  r_N at N=1000   N for H>=0.997"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name in list_nodes():
+        node = get_node(name)
+        model = MultilevelModel.from_technology(node, N_STAGES)
+        relative_psd = PhaseNoisePSD(
+            2.0 * model.psd.b_thermal_hz, 2.0 * model.psd.b_flicker_hz2
+        )
+        entropy_model = RefinedEntropyModel(model.f0_hz, relative_psd)
+        needed = entropy_model.accumulation_for_entropy(TARGET_ENTROPY)
+        threshold = model.independence_threshold(0.95)
+
+        print(
+            f"{name:<7} {model.f0_hz / 1e9:7.2f}  "
+            f"{model.thermal_jitter_std_s * 1e12:11.3f}  "
+            f"{model.psd.corner_frequency_hz():13.3g}  "
+            f"{model.ratio_constant:7.0f}  "
+            f"{threshold:10.0f}  "
+            f"{float(model.thermal_ratio(1000)):13.3f}  "
+            f"{needed:14d}"
+        )
+
+    print(
+        "\nThe ratio constant K, the 95% independence threshold and r_N at any"
+        "\nfixed accumulation length all shrink monotonically from node to node:"
+        "\nthe flicker-induced dependence between jitter realizations grows as"
+        "\ntransistors shrink, exactly as the paper's conclusion predicts.  Any"
+        "\nstochastic model that keeps assuming independence therefore overstates"
+        "\nthe harvested entropy by a growing margin in newer technologies."
+    )
+
+
+if __name__ == "__main__":
+    main()

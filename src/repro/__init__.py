@@ -1,0 +1,79 @@
+"""repro — reproduction of Haddad et al., "On the assumption of mutual
+independence of jitter realizations in P-TRNG stochastic models" (DATE 2014).
+
+The package is organised bottom-up, mirroring the paper's multilevel approach:
+
+* :mod:`repro.noise` — transistor-level thermal and flicker noise models;
+* :mod:`repro.phase` — Hajimiri ISF conversion, the ``b_fl/f^3 + b_th/f^2``
+  phase PSD and time-domain period synthesis;
+* :mod:`repro.oscillator` — ring oscillators, PLL clocks, clock abstractions;
+* :mod:`repro.stats` — Allan variance, PSD estimation, autocorrelation tests;
+* :mod:`repro.measurement` — the Fig. 6 differential counter and the virtual
+  Evariste/Cyclone III platform (the paper's hardware substitute);
+* :mod:`repro.core` — the paper's contribution: the ``sigma^2_N`` statistic,
+  the Eq. 9/11 theory, the ``b_th``/``b_fl`` fit, the ``r_N`` ratio, the
+  independence diagnostics and the thermal-jitter extraction pipeline;
+* :mod:`repro.trng` — eRO-TRNG construction, digitizer, post-processing,
+  entropy estimators and the classical/refined stochastic models;
+* :mod:`repro.ais31` — AIS31 Procedure A/B tests, online tests and the
+  paper's proposed embedded thermal-noise test;
+* :mod:`repro.attacks` — frequency-injection and EM-injection attack models;
+* :mod:`repro.paper` — the paper's reference values (103 MHz, b_th = 276 Hz,
+  sigma_th = 15.89 ps, K = 5354, N < 281).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.measurement import VirtualEvaristePlatform
+>>> from repro.core import extract_thermal_noise_from_curve
+>>> platform = VirtualEvaristePlatform(rng=np.random.default_rng(0))
+>>> curve = platform.sigma2_n_campaign(n_periods=200_000)
+>>> report = extract_thermal_noise_from_curve(curve)
+>>> 10.0 < report.thermal_jitter_std_ps < 25.0
+True
+"""
+
+from . import ais31, attacks, core, measurement, noise, oscillator, paper, phase, stats, trng
+from .core import (
+    MultilevelModel,
+    ThermalNoiseReport,
+    accumulated_variance_curve,
+    assess_independence,
+    extract_thermal_noise,
+    extract_thermal_noise_from_curve,
+    fit_sigma2_n_curve,
+    sigma2_n_closed_form,
+)
+from .measurement import PAPER_CYCLONE_III, VirtualEvaristePlatform
+from .oscillator import RingOscillator
+from .paper import PAPER_REFERENCE
+from .phase import PhaseNoisePSD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultilevelModel",
+    "PAPER_CYCLONE_III",
+    "PAPER_REFERENCE",
+    "PhaseNoisePSD",
+    "RingOscillator",
+    "ThermalNoiseReport",
+    "VirtualEvaristePlatform",
+    "__version__",
+    "accumulated_variance_curve",
+    "ais31",
+    "assess_independence",
+    "attacks",
+    "core",
+    "extract_thermal_noise",
+    "extract_thermal_noise_from_curve",
+    "fit_sigma2_n_curve",
+    "measurement",
+    "noise",
+    "oscillator",
+    "paper",
+    "phase",
+    "sigma2_n_closed_form",
+    "stats",
+    "trng",
+]

@@ -1,0 +1,71 @@
+"""AIS31 statistical tests, online tests and the paper's thermal-noise test."""
+
+from .nist import (
+    approximate_entropy_test,
+    cumulative_sums_test,
+    frequency_within_block_test,
+    nist_battery,
+    runs_test,
+    serial_test,
+)
+from .online import (
+    OnlineTestBench,
+    OnlineTestReport,
+    autocorrelation_online_test,
+    monobit_online_test,
+    total_failure_test,
+)
+from .procedure_a import (
+    TestResult,
+    all_passed,
+    procedure_a,
+    t0_disjointness_test,
+    t1_monobit_test,
+    t2_poker_test,
+    t3_runs_test,
+    t4_long_run_test,
+    t5_autocorrelation_test,
+)
+from .procedure_b import (
+    coron_entropy_estimate,
+    procedure_b,
+    t6_uniform_distribution_test,
+    t7_comparative_test,
+    t8_entropy_test,
+)
+from .thermal_test import (
+    ThermalNoiseOnlineTest,
+    ThermalTestResult,
+    characterize_reference,
+)
+
+__all__ = [
+    "OnlineTestBench",
+    "OnlineTestReport",
+    "TestResult",
+    "ThermalNoiseOnlineTest",
+    "ThermalTestResult",
+    "all_passed",
+    "approximate_entropy_test",
+    "autocorrelation_online_test",
+    "characterize_reference",
+    "coron_entropy_estimate",
+    "cumulative_sums_test",
+    "frequency_within_block_test",
+    "monobit_online_test",
+    "nist_battery",
+    "runs_test",
+    "serial_test",
+    "procedure_a",
+    "procedure_b",
+    "t0_disjointness_test",
+    "t1_monobit_test",
+    "t2_poker_test",
+    "t3_runs_test",
+    "t4_long_run_test",
+    "t5_autocorrelation_test",
+    "t6_uniform_distribution_test",
+    "t7_comparative_test",
+    "t8_entropy_test",
+    "total_failure_test",
+]

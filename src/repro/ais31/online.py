@@ -1,0 +1,142 @@
+"""Online test framework: total-failure test and continuous health monitoring.
+
+AIS31 requires the generator to embed tests that run *during operation*: a
+fast total-failure test that reacts within a few bits when the entropy source
+dies, and online tests that detect slower degradation (e.g. under attack).
+The paper's conclusion proposes a new, generator-specific online test based on
+the embedded thermal-noise measurement (``repro.ais31.thermal_test``); this
+module provides the surrounding machinery shared by all online tests: block
+scheduling, alarm counting and the classical bit-level tests used as
+comparison baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .procedure_a import TestResult, t1_monobit_test, t5_autocorrelation_test
+
+
+@dataclass(frozen=True)
+class OnlineTestReport:
+    """Aggregate outcome of an online-test run over consecutive blocks."""
+
+    block_results: List[TestResult]
+    alarm_threshold: int
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of evaluated blocks."""
+        return len(self.block_results)
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failed blocks."""
+        return sum(1 for result in self.block_results if not result.passed)
+
+    @property
+    def alarm(self) -> bool:
+        """True when the number of failed blocks reaches the alarm threshold."""
+        return self.n_failures >= self.alarm_threshold
+
+    @property
+    def first_failure_block(self) -> Optional[int]:
+        """Index of the first failing block, or None when all blocks passed."""
+        for index, result in enumerate(self.block_results):
+            if not result.passed:
+                return index
+        return None
+
+
+def total_failure_test(
+    bits: Sequence[int] | np.ndarray, max_run_length: int = 64
+) -> TestResult:
+    """Total-failure test: a run of identical bits longer than the limit is fatal.
+
+    A dead entropy source (stuck oscillator, completely locked by injection)
+    produces constant — or perfectly periodic — output almost immediately, so
+    a simple run-length watchdog catches it within ``max_run_length`` bits.
+    """
+    array = np.asarray(bits)
+    if array.size == 0:
+        raise ValueError("cannot run the total failure test on an empty sequence")
+    if max_run_length < 2:
+        raise ValueError("max_run_length must be >= 2")
+    longest = 1
+    current = 1
+    for index in range(1, array.size):
+        if array[index] == array[index - 1]:
+            current += 1
+            longest = max(longest, current)
+        else:
+            current = 1
+    passed = longest < max_run_length
+    return TestResult(
+        name="total failure",
+        passed=bool(passed),
+        statistic=float(longest),
+        details=f"longest identical-bit run = {longest}",
+    )
+
+
+BlockTest = Callable[[np.ndarray], TestResult]
+
+
+@dataclass
+class OnlineTestBench:
+    """Runs a block test over a stream of raw bits and counts alarms.
+
+    Parameters
+    ----------
+    block_test:
+        Function evaluating one block of bits (e.g. the T1 monobit test, or
+        the thermal-noise online test adapted to bits).
+    block_size_bits:
+        Number of bits per evaluated block.
+    alarm_threshold:
+        Number of failed blocks that triggers the alarm (AIS31 allows rare
+        statistical failures; an alarm needs repetition).
+    """
+
+    block_test: BlockTest
+    block_size_bits: int
+    alarm_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_size_bits < 1:
+            raise ValueError("block size must be >= 1")
+        if self.alarm_threshold < 1:
+            raise ValueError("alarm threshold must be >= 1")
+
+    def run(self, bits: Sequence[int] | np.ndarray) -> OnlineTestReport:
+        """Evaluate every complete block of the stream."""
+        array = np.asarray(bits)
+        n_blocks = array.size // self.block_size_bits
+        if n_blocks == 0:
+            raise ValueError("stream shorter than one block")
+        results = []
+        for index in range(n_blocks):
+            block = array[
+                index * self.block_size_bits : (index + 1) * self.block_size_bits
+            ]
+            results.append(self.block_test(block))
+        return OnlineTestReport(
+            block_results=results, alarm_threshold=self.alarm_threshold
+        )
+
+
+def monobit_online_test(block_size_bits: int = 20_000) -> OnlineTestBench:
+    """Classical online test: T1 monobit on consecutive blocks."""
+    return OnlineTestBench(
+        block_test=t1_monobit_test, block_size_bits=block_size_bits
+    )
+
+
+def autocorrelation_online_test(block_size_bits: int = 10_000) -> OnlineTestBench:
+    """Classical online test: T5 autocorrelation on consecutive blocks."""
+    return OnlineTestBench(
+        block_test=t5_autocorrelation_test, block_size_bits=block_size_bits
+    )

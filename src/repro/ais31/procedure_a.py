@@ -1,0 +1,210 @@
+"""AIS31 Procedure A statistical tests (T0 - T5).
+
+The paper frames P-TRNG security in the AIS31 methodology [10]: the generator
+must pass black-box statistical tests on its internal random numbers and, for
+the higher classes, generator-specific online tests backed by a stochastic
+model.  Procedure A is the black-box battery; its tests T1-T4 are the FIPS
+140-1 tests on 20 000-bit blocks, T0 is a disjointness test on 48-bit words
+and T5 an autocorrelation test.
+
+Each test returns a :class:`TestResult` with the statistic, the pass verdict
+and the bounds used, so the online-test framework can log and aggregate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test on a block of bits."""
+
+    name: str
+    passed: bool
+    statistic: float
+    details: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def _as_bits(bits: Sequence[int] | np.ndarray, minimum: int) -> np.ndarray:
+    array = np.asarray(bits)
+    if array.ndim != 1:
+        raise ValueError("bit sequences must be one-dimensional")
+    if array.size < minimum:
+        raise ValueError(f"test needs at least {minimum} bits, got {array.size}")
+    if not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit sequences may only contain 0 and 1")
+    return array.astype(np.int64)
+
+
+def t0_disjointness_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """T0: 2^16 consecutive 48-bit words must be pairwise distinct.
+
+    Requires ``65536 * 48 = 3 145 728`` bits.
+    """
+    n_words = 1 << 16
+    word_bits = 48
+    array = _as_bits(bits, n_words * word_bits)
+    words = array[: n_words * word_bits].reshape(n_words, word_bits)
+    weights = 1 << np.arange(word_bits - 1, -1, -1, dtype=np.uint64)
+    values = (words.astype(np.uint64) * weights).sum(axis=1)
+    n_distinct = np.unique(values).size
+    passed = n_distinct == n_words
+    return TestResult(
+        name="T0 disjointness",
+        passed=bool(passed),
+        statistic=float(n_words - n_distinct),
+        details=f"{n_words - n_distinct} repeated 48-bit words",
+    )
+
+
+def t1_monobit_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """T1: number of ones in 20 000 bits must lie in (9654, 10346)."""
+    array = _as_bits(bits, 20_000)[:20_000]
+    ones = int(np.sum(array))
+    passed = 9654 < ones < 10346
+    return TestResult(
+        name="T1 monobit",
+        passed=bool(passed),
+        statistic=float(ones),
+        details=f"{ones} ones in 20000 bits",
+    )
+
+
+def t2_poker_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """T2: chi-square statistic on 4-bit nibbles of 20 000 bits in (1.03, 57.4)."""
+    array = _as_bits(bits, 20_000)[:20_000]
+    nibbles = array.reshape(5000, 4)
+    weights = np.array([8, 4, 2, 1])
+    values = nibbles @ weights
+    counts = np.bincount(values, minlength=16)
+    statistic = float(16.0 / 5000.0 * np.sum(counts.astype(float) ** 2) - 5000.0)
+    passed = 1.03 < statistic < 57.4
+    return TestResult(
+        name="T2 poker",
+        passed=bool(passed),
+        statistic=statistic,
+        details=f"chi-square = {statistic:.2f}",
+    )
+
+
+#: Allowed run-count intervals of the T3 runs test, per run length (1..6+).
+_T3_BOUNDS: Dict[int, tuple] = {
+    1: (2267, 2733),
+    2: (1079, 1421),
+    3: (502, 748),
+    4: (223, 402),
+    5: (90, 223),
+    6: (90, 223),
+}
+
+
+def _run_lengths(array: np.ndarray) -> List[tuple]:
+    """List of (value, length) runs of a 0/1 array."""
+    if array.size == 0:
+        return []
+    change_points = np.flatnonzero(np.diff(array)) + 1
+    boundaries = np.concatenate(([0], change_points, [array.size]))
+    return [
+        (int(array[start]), int(end - start))
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+    ]
+
+
+def t3_runs_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """T3: counts of runs of each length (1..5, >=6) within AIS31 bounds."""
+    array = _as_bits(bits, 20_000)[:20_000]
+    runs = _run_lengths(array)
+    failures = []
+    worst_deviation = 0.0
+    for value in (0, 1):
+        for length in range(1, 7):
+            if length < 6:
+                count = sum(
+                    1 for run_value, run_length in runs
+                    if run_value == value and run_length == length
+                )
+            else:
+                count = sum(
+                    1 for run_value, run_length in runs
+                    if run_value == value and run_length >= 6
+                )
+            low, high = _T3_BOUNDS[length]
+            if not low <= count <= high:
+                failures.append(f"runs({value}, len {length}) = {count}")
+            center = (low + high) / 2.0
+            half_width = (high - low) / 2.0
+            worst_deviation = max(worst_deviation, abs(count - center) / half_width)
+    passed = not failures
+    return TestResult(
+        name="T3 runs",
+        passed=bool(passed),
+        statistic=worst_deviation,
+        details="; ".join(failures) if failures else "all run counts in bounds",
+    )
+
+
+def t4_long_run_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """T4: no run of length >= 34 in 20 000 bits."""
+    array = _as_bits(bits, 20_000)[:20_000]
+    longest = max(length for _value, length in _run_lengths(array))
+    passed = longest < 34
+    return TestResult(
+        name="T4 long run",
+        passed=bool(passed),
+        statistic=float(longest),
+        details=f"longest run = {longest}",
+    )
+
+
+def t5_autocorrelation_test(
+    bits: Sequence[int] | np.ndarray, shift: int = 1
+) -> TestResult:
+    """T5: autocorrelation statistic of a 10 000-bit block in (2326, 2674).
+
+    Uses the first 5000 bits XORed with the ``shift``-displaced bits, per the
+    AIS31 specification (shift between 1 and 5000).
+    """
+    if not 1 <= shift <= 5000:
+        raise ValueError("shift must be in [1, 5000]")
+    array = _as_bits(bits, 10_000)[:10_000]
+    statistic = int(np.sum(array[:5000] ^ array[shift : shift + 5000]))
+    passed = 2326 < statistic < 2674
+    return TestResult(
+        name="T5 autocorrelation",
+        passed=bool(passed),
+        statistic=float(statistic),
+        details=f"Z(shift={shift}) = {statistic}",
+    )
+
+
+def procedure_a(bits: Sequence[int] | np.ndarray, include_t0: bool = False) -> List[TestResult]:
+    """Run the Procedure A battery on a bit stream.
+
+    ``T0`` needs more than 3 million bits and is therefore opt-in; the block
+    tests T1-T5 are run on the first 20 000 bits.
+    """
+    results = []
+    if include_t0:
+        results.append(t0_disjointness_test(bits))
+    results.extend(
+        [
+            t1_monobit_test(bits),
+            t2_poker_test(bits),
+            t3_runs_test(bits),
+            t4_long_run_test(bits),
+            t5_autocorrelation_test(bits),
+        ]
+    )
+    return results
+
+
+def all_passed(results: Sequence[TestResult]) -> bool:
+    """True when every test in a result list passed."""
+    return all(result.passed for result in results)

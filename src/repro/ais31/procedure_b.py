@@ -1,0 +1,158 @@
+"""AIS31 Procedure B tests (T6 - T8) on the raw binary sequence.
+
+Procedure B evaluates the *raw* (pre-post-processing) sequence: T6 checks the
+uniformity of the one-step transition probabilities, T7 the homogeneity of
+multinomial transition distributions, and T8 estimates the entropy per bit
+with Coron's estimator.  Together with the stochastic model they support the
+PTG.2 / PTG.3 claims; the paper's contribution directly affects how the
+stochastic-model part should be built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from .procedure_a import TestResult, _as_bits
+
+
+def t6_uniform_distribution_test(
+    bits: Sequence[int] | np.ndarray, tolerance: float = 0.025
+) -> TestResult:
+    """T6: the conditional probabilities P(1 | previous bit) must be near 1/2.
+
+    AIS31's T6(a)/T6(b) check |P(x=1) - 0.5| and the disjointness of the
+    one-step transition frequencies; this implementation checks
+    ``|P(1|0) - P(1|1)| < 2 * tolerance`` and ``|P(1) - 0.5| < tolerance`` on
+    100 000 bits.
+    """
+    array = _as_bits(bits, 100_000)[:100_000]
+    marginal = float(np.mean(array))
+    previous = array[:-1]
+    following = array[1:]
+    probability_one_after_zero = float(np.mean(following[previous == 0]))
+    probability_one_after_one = float(np.mean(following[previous == 1]))
+    marginal_ok = abs(marginal - 0.5) < tolerance
+    conditional_gap = abs(probability_one_after_one - probability_one_after_zero)
+    conditional_ok = conditional_gap < 2.0 * tolerance
+    passed = marginal_ok and conditional_ok
+    return TestResult(
+        name="T6 uniform distribution",
+        passed=bool(passed),
+        statistic=max(abs(marginal - 0.5), conditional_gap / 2.0),
+        details=(
+            f"P(1) = {marginal:.4f}, P(1|0) = {probability_one_after_zero:.4f}, "
+            f"P(1|1) = {probability_one_after_one:.4f}"
+        ),
+    )
+
+
+def t7_comparative_test(
+    bits: Sequence[int] | np.ndarray, significance: float = 1e-4
+) -> TestResult:
+    """T7: homogeneity of the transition distributions for 2-bit histories.
+
+    The empirical distributions of the bit following each 2-bit history are
+    compared with a chi-square homogeneity test; under the null (i.i.d. bits)
+    the statistic is chi-square distributed with 3 degrees of freedom.
+    """
+    array = _as_bits(bits, 100_000)[:100_000]
+    histories = array[:-2] * 2 + array[1:-1]
+    following = array[2:]
+    counts = np.zeros((4, 2))
+    for history in range(4):
+        mask = histories == history
+        counts[history, 1] = np.sum(following[mask])
+        counts[history, 0] = np.count_nonzero(mask) - counts[history, 1]
+    row_totals = counts.sum(axis=1, keepdims=True)
+    column_totals = counts.sum(axis=0, keepdims=True)
+    grand_total = counts.sum()
+    expected = row_totals @ column_totals / grand_total
+    with np.errstate(divide="ignore", invalid="ignore"):
+        contributions = np.where(expected > 0, (counts - expected) ** 2 / expected, 0.0)
+    statistic = float(np.sum(contributions))
+    p_value = float(stats.chi2.sf(statistic, df=3))
+    passed = p_value > significance
+    return TestResult(
+        name="T7 comparative",
+        passed=bool(passed),
+        statistic=statistic,
+        details=f"chi-square = {statistic:.2f}, p = {p_value:.3g}",
+    )
+
+
+def coron_entropy_estimate(
+    bits: Sequence[int] | np.ndarray, block_size: int = 8, q: int = 2560
+) -> float:
+    """Coron's entropy estimator (the statistic behind AIS31's T8) [bits/block].
+
+    The sequence is split into ``block_size``-bit words; after an
+    initialisation segment of ``q`` words, each word contributes
+    ``log2(distance to its previous occurrence)`` (in the Coron-corrected
+    ``g`` function).  The result approaches the entropy per block for
+    stationary sources with memory shorter than the block.
+    """
+    array = _as_bits(bits, (q + 256) * block_size)
+    n_words = array.size // block_size
+    words = array[: n_words * block_size].reshape(n_words, block_size)
+    weights = 1 << np.arange(block_size - 1, -1, -1)
+    values = words @ weights
+    if n_words <= q:
+        raise ValueError("sequence too short for the requested q")
+    # Coron's corrected g function: g(i) = (1/ln 2) * sum_{k=1}^{i-1} 1/k,
+    # approximated through the digamma function for large distances.
+    last_seen = {}
+    for index in range(q):
+        last_seen[int(values[index])] = index
+    total = 0.0
+    count = 0
+    for index in range(q, n_words):
+        value = int(values[index])
+        if value in last_seen:
+            distance = index - last_seen[value]
+        else:
+            distance = index + 1
+        total += _coron_g(distance)
+        last_seen[value] = index
+        count += 1
+    return total / count
+
+
+def _coron_g(distance: int) -> float:
+    """Coron's ``g`` function: expectation-corrected log2 of the recurrence distance."""
+    if distance < 1:
+        raise ValueError("distance must be >= 1")
+    # (1/ln2) * (psi(distance) + Euler-Mascheroni) equals sum_{k=1}^{d-1} 1/k / ln2.
+    from scipy.special import digamma
+
+    euler_gamma = 0.5772156649015329
+    return float((digamma(distance) + euler_gamma) / np.log(2.0))
+
+
+def t8_entropy_test(
+    bits: Sequence[int] | np.ndarray,
+    block_size: int = 8,
+    minimum_entropy_per_bit: float = 0.997,
+) -> TestResult:
+    """T8: Coron entropy estimate per bit must exceed ``minimum_entropy_per_bit``."""
+    estimate_per_block = coron_entropy_estimate(bits, block_size=block_size)
+    estimate_per_bit = estimate_per_block / block_size
+    passed = estimate_per_bit > minimum_entropy_per_bit
+    return TestResult(
+        name="T8 entropy",
+        passed=bool(passed),
+        statistic=estimate_per_bit,
+        details=f"Coron estimate = {estimate_per_bit:.4f} bit/bit",
+    )
+
+
+def procedure_b(bits: Sequence[int] | np.ndarray) -> List[TestResult]:
+    """Run the Procedure B battery (T6, T7, T8) on a raw bit stream."""
+    return [
+        t6_uniform_distribution_test(bits),
+        t7_comparative_test(bits),
+        t8_entropy_test(bits),
+    ]

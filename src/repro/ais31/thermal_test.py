@@ -1,0 +1,156 @@
+"""The paper's proposed embedded thermal-noise online test.
+
+The conclusion of the paper: "the enhanced model enables to measure very
+simply and precisely the thermal noise.  Since this measurement can be easily
+embedded in a logic device, it can be used for implementing fast and precise
+generator-specific statistical test.  Such test, required by AIS31, could
+detect very quickly attacks targeting the entropy source."
+
+The test implemented here does exactly that:
+
+1. at characterisation time, the reference thermal coefficient ``b_th`` (or
+   the thermal jitter ``sigma_th``) of the healthy generator is recorded;
+2. during operation, short counter captures (Fig. 6) at one or two
+   accumulation lengths are used to re-estimate ``b_th`` on the fly;
+3. an alarm is raised when the estimate drops below a configurable fraction of
+   the reference — the signature of an attack (frequency injection or EM
+   locking reduces the exploitable random jitter) or of a source failure.
+
+Because the measurement targets the *thermal* component specifically, it is
+insensitive to the flicker noise that otherwise masks slow jitter changes —
+the very problem the multilevel model solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fitting import coefficients_to_phase_noise
+from ..core.sigma_n import AccumulatedVarianceCurve, AccumulatedVariancePoint
+from ..core.thermal_extraction import ThermalNoiseReport, extract_thermal_noise_from_curve
+from ..measurement.counter import DifferentialJitterCounter
+from ..oscillator.period_model import Clock
+
+
+@dataclass(frozen=True)
+class ThermalTestResult:
+    """Outcome of one execution of the embedded thermal-noise test."""
+
+    estimated_b_thermal_hz: float
+    reference_b_thermal_hz: float
+    minimum_ratio: float
+    passed: bool
+
+    @property
+    def ratio(self) -> float:
+        """Estimated / reference ``b_th`` (1.0 means perfectly healthy)."""
+        if self.reference_b_thermal_hz == 0.0:
+            return 0.0
+        return self.estimated_b_thermal_hz / self.reference_b_thermal_hz
+
+
+@dataclass
+class ThermalNoiseOnlineTest:
+    """Generator-specific online test monitoring the thermal jitter level.
+
+    Parameters
+    ----------
+    reference_b_thermal_hz:
+        ``b_th`` of the healthy generator, from the characterisation run.
+    minimum_ratio:
+        Fraction of the reference below which the test fails (e.g. 0.5: alarm
+        when the measured thermal noise halves).
+    accumulation_lengths:
+        The two window lengths ``N1 < N2`` used to separate the linear
+        (thermal) and quadratic (flicker) parts with only two measurements.
+    n_windows:
+        Counter windows captured per accumulation length at every execution.
+    correct_quantization:
+        Subtract the counter quantisation variance from the estimates.
+    """
+
+    reference_b_thermal_hz: float
+    minimum_ratio: float = 0.5
+    accumulation_lengths: Sequence[int] = (1024, 8192)
+    n_windows: int = 256
+    correct_quantization: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reference_b_thermal_hz <= 0.0:
+            raise ValueError("reference b_th must be > 0")
+        if not 0.0 < self.minimum_ratio < 1.0:
+            raise ValueError("minimum ratio must be in (0, 1)")
+        lengths = sorted(int(n) for n in self.accumulation_lengths)
+        if len(lengths) < 2 or lengths[0] < 1 or lengths[0] == lengths[-1]:
+            raise ValueError("need two distinct accumulation lengths >= 1")
+        self.accumulation_lengths = tuple(lengths)
+        if self.n_windows < 8:
+            raise ValueError("need at least 8 windows per estimate")
+
+    # -- estimation ----------------------------------------------------------
+
+    def estimate_b_thermal(
+        self, oscillator_1: Clock, oscillator_2: Clock
+    ) -> float:
+        """Estimate ``b_th`` from two short counter captures.
+
+        With measurements at two accumulation lengths the linear and quadratic
+        coefficients of Eq. 11 are identified exactly (two equations, two
+        unknowns); the linear one gives ``b_th``.
+        """
+        counter = DifferentialJitterCounter(oscillator_1, oscillator_2)
+        n_values = np.array(self.accumulation_lengths, dtype=float)
+        sigma2 = np.empty(n_values.size)
+        for index, n in enumerate(self.accumulation_lengths):
+            capture = counter.capture(int(n), self.n_windows)
+            sigma2[index] = capture.sigma2_n(
+                correct_quantization=self.correct_quantization
+            )
+        # Solve sigma2 = A n + B n^2 exactly from the two points.
+        n1, n2 = n_values
+        determinant = n1 * n2**2 - n2 * n1**2
+        linear = (sigma2[0] * n2**2 - sigma2[1] * n1**2) / determinant
+        quadratic = (sigma2[1] * n1 - sigma2[0] * n2) / determinant
+        b_thermal, _b_flicker = coefficients_to_phase_noise(
+            float(linear), float(quadratic), oscillator_1.f0_hz
+        )
+        return b_thermal
+
+    def execute(self, oscillator_1: Clock, oscillator_2: Clock) -> ThermalTestResult:
+        """Run the online test once on the live oscillator pair."""
+        estimate = self.estimate_b_thermal(oscillator_1, oscillator_2)
+        passed = estimate >= self.minimum_ratio * self.reference_b_thermal_hz
+        return ThermalTestResult(
+            estimated_b_thermal_hz=estimate,
+            reference_b_thermal_hz=self.reference_b_thermal_hz,
+            minimum_ratio=self.minimum_ratio,
+            passed=bool(passed),
+        )
+
+
+def characterize_reference(
+    oscillator_1: Clock,
+    oscillator_2: Clock,
+    n_sweep: Optional[Sequence[int]] = None,
+    n_windows: int = 512,
+) -> ThermalNoiseReport:
+    """Characterisation run: measure the healthy generator's ``b_th``/``b_fl``.
+
+    Uses the counter path with a denser sweep than the online test (this runs
+    once, offline, so it can afford the time).
+    """
+    from ..measurement.capture import counter_capture_campaign
+
+    if n_sweep is None:
+        n_sweep = [256, 512, 1024, 2048, 4096, 8192, 16384]
+    campaign = counter_capture_campaign(
+        oscillator_1,
+        oscillator_2,
+        n_sweep=n_sweep,
+        n_windows=n_windows,
+        correct_quantization=True,
+    )
+    return extract_thermal_noise_from_curve(campaign.curve)

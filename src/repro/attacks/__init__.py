@@ -1,0 +1,11 @@
+"""Non-invasive attacks on the entropy source, used to exercise the online tests."""
+
+from .em_injection import EMInjectionAttack, EMInjectionParameters
+from .frequency_injection import FrequencyInjectionAttack, InjectionParameters
+
+__all__ = [
+    "EMInjectionAttack",
+    "EMInjectionParameters",
+    "FrequencyInjectionAttack",
+    "InjectionParameters",
+]

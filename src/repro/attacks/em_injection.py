@@ -1,0 +1,128 @@
+"""Electromagnetic harmonic-injection attack (Bayon et al., COSADE 2012).
+
+The second attack cited in the paper's introduction: a near-field EM probe
+injects a harmonic signal into the rings of an RO-based TRNG.  Its main effect
+is to *lock the rings to each other* (they all couple to the same injected
+field), which collapses the relative jitter the TRNG exploits even when each
+individual oscillator still looks noisy.
+
+:class:`EMInjectionAttack` therefore acts on a *pair* of oscillators: it mixes
+a common-mode period modulation into both and correlates their jitter by the
+coupling factor, returning two wrapped clocks that can be plugged anywhere a
+normal oscillator pair is used (measurement platform, eRO-TRNG, online tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..oscillator.period_model import Clock
+
+
+@dataclass(frozen=True)
+class EMInjectionParameters:
+    """Parameters of the EM harmonic-injection attack.
+
+    Attributes
+    ----------
+    coupling:
+        0 (no coupling) .. 1 (both rings fully locked to the injected field).
+        The fraction of each ring's jitter that is replaced by a *common*
+        jitter component shared by the two rings.
+    modulation_fraction:
+        Amplitude of the common deterministic period modulation, as a fraction
+        of the nominal period.
+    modulation_frequency_hz:
+        Frequency of the injected harmonic [Hz] (drives the deterministic
+        modulation pattern).
+    """
+
+    coupling: float
+    modulation_fraction: float = 0.0
+    modulation_frequency_hz: float = 1e6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coupling <= 1.0:
+            raise ValueError("coupling must be in [0, 1]")
+        if self.modulation_fraction < 0.0:
+            raise ValueError("modulation fraction must be >= 0")
+        if self.modulation_frequency_hz <= 0.0:
+            raise ValueError("modulation frequency must be > 0")
+
+
+class _CoupledClock:
+    """One of the two outputs of :class:`EMInjectionAttack` (internal)."""
+
+    def __init__(self, attack: "EMInjectionAttack", index: int) -> None:
+        self._attack = attack
+        self._index = index
+
+    @property
+    def f0_hz(self) -> float:
+        victim = self._attack.victims[self._index]
+        return victim.f0_hz
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        return self._attack._coupled_periods(self._index, n_periods)
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        periods = self.periods(n_periods)
+        edges = np.empty(n_periods + 1)
+        edges[0] = start_time_s
+        np.cumsum(periods, out=edges[1:])
+        edges[1:] += start_time_s
+        return edges
+
+
+class EMInjectionAttack:
+    """Couples two oscillators through a common injected EM field."""
+
+    def __init__(
+        self,
+        victim_1: Clock,
+        victim_2: Clock,
+        parameters: EMInjectionParameters,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.victims: Tuple[Clock, Clock] = (victim_1, victim_2)
+        self.parameters = parameters
+        self.rng = np.random.default_rng() if rng is None else rng
+        self._phase_index = [0, 0]
+
+    def attacked_pair(self) -> Tuple[Clock, Clock]:
+        """The two attacked oscillators, exposing the standard clock interface."""
+        return _CoupledClock(self, 0), _CoupledClock(self, 1)
+
+    # -- internal --------------------------------------------------------------
+
+    def _coupled_periods(self, index: int, n_periods: int) -> np.ndarray:
+        if n_periods < 0:
+            raise ValueError("n_periods must be >= 0")
+        victim = self.victims[index]
+        nominal = 1.0 / victim.f0_hz
+        own_jitter = victim.periods(n_periods) - nominal
+        coupling = self.parameters.coupling
+        # Under coupling, a fraction of each ring's random jitter is replaced
+        # by a component common to both rings.  The common component cancels
+        # exactly in the *relative* jitter the TRNG and the measurement
+        # circuit observe, so its effect is equivalent to attenuating each
+        # ring's independent jitter by sqrt(1 - coupling); what remains of the
+        # injected field is the deterministic modulation added below.
+        periods = nominal + np.sqrt(max(1.0 - coupling, 0.0)) * own_jitter
+        modulation = self.parameters.modulation_fraction
+        if modulation > 0.0 and n_periods > 0:
+            start = self._phase_index[index]
+            indices = start + np.arange(n_periods)
+            phase = (
+                2.0
+                * np.pi
+                * self.parameters.modulation_frequency_hz
+                * indices
+                / victim.f0_hz
+            )
+            periods = periods + modulation * nominal * np.sin(phase)
+            self._phase_index[index] += n_periods
+        return periods

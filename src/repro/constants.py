@@ -1,0 +1,64 @@
+"""Physical constants and unit helpers used across the library.
+
+The paper's transistor-level noise expressions (Section III-A) are written in
+SI units; every module in this package sticks to SI (seconds, hertz, volts,
+amperes, farads) so that the phase-noise coefficients ``b_th`` [Hz] and
+``b_fl`` [Hz^2] and the jitter values [s] combine without conversion factors.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_K = 1.380649e-23
+
+#: Default junction temperature used by the device models [K] (27 degC).
+DEFAULT_TEMPERATURE_K = 300.15
+
+#: Elementary charge [C] (used by shot-noise extensions).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a temperature in degrees Celsius to kelvin."""
+    return temperature_c + 273.15
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a temperature in kelvin to degrees Celsius."""
+    return temperature_k - 273.15
+
+
+def db_to_ratio(value_db: float) -> float:
+    """Convert a power quantity expressed in dB to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be > 0, got {ratio!r}")
+    import math
+
+    return 10.0 * math.log10(ratio)
+
+
+def seconds_to_ps(value_s: float) -> float:
+    """Convert seconds to picoseconds."""
+    return value_s * 1e12
+
+
+def ps_to_seconds(value_ps: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value_ps * 1e-12
+
+
+def permille(fraction: float) -> float:
+    """Express a dimensionless fraction in per-mille (0/00), as in the paper's
+    ``sigma/T0 = 1.6 0/00`` result."""
+    return fraction * 1e3

@@ -1,0 +1,84 @@
+"""Core contribution of the paper: the sigma^2_N analysis and the multilevel model."""
+
+from .fitting import (
+    Sigma2NFitResult,
+    bootstrap_fit,
+    coefficients_to_phase_noise,
+    fit_linear_only,
+    fit_sigma2_n_curve,
+)
+from .independence import (
+    BienaymeTestResult,
+    IndependenceReport,
+    assess_independence,
+    bienayme_linearity_test,
+)
+from .multilevel import JitterParameters, MultilevelModel
+from .ratio import (
+    IndependenceBudget,
+    independence_budget,
+    independence_threshold,
+    ratio_constant,
+    thermal_ratio,
+)
+from .sigma_n import (
+    AccumulatedVarianceCurve,
+    AccumulatedVariancePoint,
+    accumulated_variance_curve,
+    accumulation_weights,
+    bienayme_prediction,
+    default_n_sweep,
+    s_n_realizations,
+    sigma2_n_estimate,
+)
+from .theory import (
+    Sigma2NDecomposition,
+    crossover_accumulation_length,
+    decompose_sigma2_n,
+    sigma2_n_closed_form,
+    sigma2_n_flicker,
+    sigma2_n_integral,
+    sigma2_n_thermal,
+)
+from .thermal_extraction import (
+    ThermalNoiseReport,
+    extract_thermal_noise,
+    extract_thermal_noise_from_curve,
+)
+
+__all__ = [
+    "AccumulatedVarianceCurve",
+    "AccumulatedVariancePoint",
+    "BienaymeTestResult",
+    "IndependenceBudget",
+    "IndependenceReport",
+    "JitterParameters",
+    "MultilevelModel",
+    "Sigma2NDecomposition",
+    "Sigma2NFitResult",
+    "ThermalNoiseReport",
+    "accumulated_variance_curve",
+    "accumulation_weights",
+    "assess_independence",
+    "bienayme_linearity_test",
+    "bienayme_prediction",
+    "bootstrap_fit",
+    "coefficients_to_phase_noise",
+    "crossover_accumulation_length",
+    "decompose_sigma2_n",
+    "default_n_sweep",
+    "extract_thermal_noise",
+    "extract_thermal_noise_from_curve",
+    "fit_linear_only",
+    "fit_sigma2_n_curve",
+    "independence_budget",
+    "independence_threshold",
+    "ratio_constant",
+    "s_n_realizations",
+    "sigma2_n_closed_form",
+    "sigma2_n_estimate",
+    "sigma2_n_flicker",
+    "sigma2_n_integral",
+    "sigma2_n_thermal",
+    "thermal_ratio",
+]

@@ -1,0 +1,256 @@
+"""Fitting the linear + quadratic model of Eq. 11 to measured ``sigma^2_N`` data.
+
+Section IV-A of the paper: knowing ``f0``, a fit of
+
+    f0^2 * sigma^2_N = (2 b_th / f0) * N + (8 ln2 b_fl / f0^2) * N^2
+
+to the measured accumulated variances yields ``b_th`` and ``b_fl``, from which
+the thermal-only period jitter ``sigma_th = sqrt(b_th / f0^3)`` follows.  This
+module implements that (weighted, non-negative) least-squares fit, the
+goodness-of-fit summary and bootstrap confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..phase.psd import PhaseNoisePSD
+from .sigma_n import AccumulatedVarianceCurve
+from .theory import sigma2_n_closed_form
+
+
+@dataclass(frozen=True)
+class Sigma2NFitResult:
+    """Result of fitting Eq. 11 to a measured ``sigma^2_N`` curve.
+
+    Attributes
+    ----------
+    f0_hz:
+        Oscillator nominal frequency used in the parameterisation [Hz].
+    b_thermal_hz:
+        Fitted thermal phase-noise coefficient ``b_th`` [Hz].
+    b_flicker_hz2:
+        Fitted flicker phase-noise coefficient ``b_fl`` [Hz^2].
+    linear_coefficient:
+        Fitted slope ``A`` of ``sigma^2_N = A N + B N^2`` [s^2].
+    quadratic_coefficient:
+        Fitted curvature ``B`` [s^2].
+    r_squared:
+        Coefficient of determination of the (weighted) fit.
+    n_points:
+        Number of ``(N, sigma^2_N)`` points used.
+    """
+
+    f0_hz: float
+    b_thermal_hz: float
+    b_flicker_hz2: float
+    linear_coefficient: float
+    quadratic_coefficient: float
+    r_squared: float
+    n_points: int
+
+    @property
+    def phase_noise_psd(self) -> PhaseNoisePSD:
+        """The fitted two-coefficient phase PSD."""
+        return PhaseNoisePSD(
+            b_thermal_hz=self.b_thermal_hz, b_flicker_hz2=self.b_flicker_hz2
+        )
+
+    @property
+    def thermal_jitter_std_s(self) -> float:
+        """Thermal-only per-period jitter ``sigma_th = sqrt(b_th/f0^3)`` [s]."""
+        return float(np.sqrt(self.b_thermal_hz / self.f0_hz**3))
+
+    @property
+    def thermal_jitter_ratio(self) -> float:
+        """Relative thermal jitter ``sigma_th / T0 = sigma_th * f0`` (dimensionless)."""
+        return self.thermal_jitter_std_s * self.f0_hz
+
+    @property
+    def normalized_linear_coefficient(self) -> float:
+        """Slope of the Fig. 7 ordinate ``f0^2 sigma^2_N`` vs ``N`` (paper: 5.36e-6)."""
+        return self.linear_coefficient * self.f0_hz**2
+
+    @property
+    def normalized_quadratic_coefficient(self) -> float:
+        """Curvature of ``f0^2 sigma^2_N`` vs ``N``."""
+        return self.quadratic_coefficient * self.f0_hz**2
+
+    def predict(self, n: np.ndarray) -> np.ndarray:
+        """Predicted ``sigma^2_N`` [s^2] at accumulation lengths ``n``."""
+        return np.asarray(
+            sigma2_n_closed_form(self.phase_noise_psd, self.f0_hz, n)
+        )
+
+
+def coefficients_to_phase_noise(
+    linear_coefficient: float, quadratic_coefficient: float, f0_hz: float
+) -> Tuple[float, float]:
+    """Convert the polynomial coefficients ``A``, ``B`` into ``b_th``, ``b_fl``.
+
+    From Eq. 11: ``A = 2 b_th / f0^3`` and ``B = 8 ln2 b_fl / f0^4``.
+    """
+    if f0_hz <= 0.0:
+        raise ValueError("f0 must be > 0")
+    b_thermal = max(linear_coefficient, 0.0) * f0_hz**3 / 2.0
+    b_flicker = max(quadratic_coefficient, 0.0) * f0_hz**4 / (8.0 * np.log(2.0))
+    return float(b_thermal), float(b_flicker)
+
+
+def fit_sigma2_n_curve(
+    curve: AccumulatedVarianceCurve,
+    weighted: bool = True,
+) -> Sigma2NFitResult:
+    """Fit ``sigma^2_N = A N + B N^2`` (A, B >= 0) to a measured curve.
+
+    Weighting
+    ---------
+    The sampling variance of a variance estimate from ``m`` (roughly
+    independent) realizations is ``~ 2 sigma^4 / m``, so points are weighted by
+    ``m / sigma^4`` when ``weighted`` is True — this keeps the small-``N``
+    (thermal-dominated) region from being swamped by the huge absolute values
+    at large ``N``, exactly the regime the paper needs for ``b_th``.
+    """
+    n_values = curve.n_values.astype(float)
+    sigma2 = curve.sigma2_values_s2
+    if np.any(sigma2 < 0.0):
+        raise ValueError("sigma^2_N values must be >= 0")
+    if n_values.size < 2:
+        raise ValueError("need at least two points to fit the two-parameter model")
+    if weighted:
+        realizations = np.maximum(curve.realization_counts.astype(float), 1.0)
+        # Effective number of independent realizations of an overlapping s_N
+        # estimate is about m / (2N).
+        effective = np.maximum(realizations / (2.0 * n_values), 1.0)
+        safe_sigma2 = np.where(sigma2 > 0.0, sigma2, np.min(sigma2[sigma2 > 0.0]))
+        weights = effective / safe_sigma2**2
+    else:
+        weights = np.ones_like(sigma2)
+
+    linear, quadratic = _weighted_nonnegative_polyfit(n_values, sigma2, weights)
+    b_thermal, b_flicker = coefficients_to_phase_noise(linear, quadratic, curve.f0_hz)
+    prediction = linear * n_values + quadratic * n_values**2
+    r_squared = _weighted_r_squared(sigma2, prediction, weights)
+    return Sigma2NFitResult(
+        f0_hz=curve.f0_hz,
+        b_thermal_hz=b_thermal,
+        b_flicker_hz2=b_flicker,
+        linear_coefficient=float(linear),
+        quadratic_coefficient=float(quadratic),
+        r_squared=r_squared,
+        n_points=int(n_values.size),
+    )
+
+
+def fit_linear_only(curve: AccumulatedVarianceCurve) -> Sigma2NFitResult:
+    """Fit the *independence-assuming* model ``sigma^2_N = A N`` (no N^2 term).
+
+    This is what a classical stochastic model (Fig. 2) would implicitly do; the
+    comparison of its residuals with the full fit is the basis of the
+    Bienayme linearity test in ``repro.core.independence``.
+    """
+    n_values = curve.n_values.astype(float)
+    sigma2 = curve.sigma2_values_s2
+    weights = np.ones_like(sigma2)
+    linear = float(np.sum(weights * n_values * sigma2) / np.sum(weights * n_values**2))
+    linear = max(linear, 0.0)
+    b_thermal, b_flicker = coefficients_to_phase_noise(linear, 0.0, curve.f0_hz)
+    prediction = linear * n_values
+    r_squared = _weighted_r_squared(sigma2, prediction, weights)
+    return Sigma2NFitResult(
+        f0_hz=curve.f0_hz,
+        b_thermal_hz=b_thermal,
+        b_flicker_hz2=b_flicker,
+        linear_coefficient=linear,
+        quadratic_coefficient=0.0,
+        r_squared=r_squared,
+        n_points=int(n_values.size),
+    )
+
+
+def bootstrap_fit(
+    curve: AccumulatedVarianceCurve,
+    n_resamples: int = 200,
+    confidence_level: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """Bootstrap confidence intervals for ``b_th`` and ``b_fl``.
+
+    Points of the curve are resampled with replacement; each resample is
+    refitted.  Returns ``((b_th_low, b_th_high), (b_fl_low, b_fl_high))``.
+    """
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    if not 0.0 < confidence_level < 1.0:
+        raise ValueError("confidence level must be in (0, 1)")
+    rng = np.random.default_rng() if rng is None else rng
+    points = curve.points
+    b_thermal_samples = np.empty(n_resamples)
+    b_flicker_samples = np.empty(n_resamples)
+    for index in range(n_resamples):
+        chosen = rng.integers(0, len(points), size=len(points))
+        resampled = AccumulatedVarianceCurve(
+            points=[points[i] for i in chosen], f0_hz=curve.f0_hz
+        )
+        try:
+            fit = fit_sigma2_n_curve(resampled)
+        except ValueError:
+            fit = fit_sigma2_n_curve(curve)
+        b_thermal_samples[index] = fit.b_thermal_hz
+        b_flicker_samples[index] = fit.b_flicker_hz2
+    alpha = (1.0 - confidence_level) / 2.0
+    quantiles = [alpha, 1.0 - alpha]
+    b_thermal_ci = tuple(float(q) for q in np.quantile(b_thermal_samples, quantiles))
+    b_flicker_ci = tuple(float(q) for q in np.quantile(b_flicker_samples, quantiles))
+    return b_thermal_ci, b_flicker_ci
+
+
+def _weighted_nonnegative_polyfit(
+    n_values: np.ndarray, sigma2: np.ndarray, weights: np.ndarray
+) -> Tuple[float, float]:
+    """Weighted least squares of ``sigma2 = A n + B n^2`` with ``A, B >= 0``.
+
+    Solves the 2x2 normal equations; if a coefficient comes out negative the
+    corresponding term is dropped and the remaining one refitted (the actively
+    constrained solution of this tiny NNLS problem).
+    """
+    design = np.column_stack([n_values, n_values**2])
+    weighted_design = design * weights[:, None]
+    gram = design.T @ weighted_design
+    moment = design.T @ (weights * sigma2)
+    try:
+        solution = np.linalg.solve(gram, moment)
+    except np.linalg.LinAlgError:
+        solution = np.array([-1.0, -1.0])
+    linear, quadratic = float(solution[0]), float(solution[1])
+    if linear >= 0.0 and quadratic >= 0.0:
+        return linear, quadratic
+    # Constrained refits with a single term.
+    linear_only = max(
+        float(np.sum(weights * n_values * sigma2) / np.sum(weights * n_values**2)), 0.0
+    )
+    quadratic_only = max(
+        float(np.sum(weights * n_values**2 * sigma2) / np.sum(weights * n_values**4)),
+        0.0,
+    )
+    residual_linear = np.sum(weights * (sigma2 - linear_only * n_values) ** 2)
+    residual_quadratic = np.sum(
+        weights * (sigma2 - quadratic_only * n_values**2) ** 2
+    )
+    if residual_linear <= residual_quadratic:
+        return linear_only, 0.0
+    return 0.0, quadratic_only
+
+
+def _weighted_r_squared(
+    observed: np.ndarray, predicted: np.ndarray, weights: np.ndarray
+) -> float:
+    mean = np.average(observed, weights=weights)
+    total = np.sum(weights * (observed - mean) ** 2)
+    residual = np.sum(weights * (observed - predicted) ** 2)
+    if total == 0.0:
+        return 1.0
+    return float(1.0 - residual / total)

@@ -1,0 +1,177 @@
+"""Statistical diagnostics of the mutual-independence assumption.
+
+The paper's argument is indirect but powerful: *if* the 2N jitter realizations
+entering ``s_N`` were mutually independent, Bienayme's formula would make
+``sigma^2_N`` exactly linear in ``N`` (Eq. 6); an ``N^2`` component therefore
+falsifies independence (contraposition, Section III-B-2).
+
+This module packages that argument as a testable procedure — the *Bienayme
+linearity test* — plus direct serial-correlation diagnostics (lag-1 test and
+Ljung-Box portmanteau test) on the jitter record itself.  The combination is
+what a TRNG evaluator would run on captured data to decide whether the
+classical independence-based entropy models may be applied, and up to which
+accumulation length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.autocorrelation import LjungBoxResult, ljung_box_test
+from .fitting import Sigma2NFitResult, fit_linear_only, fit_sigma2_n_curve
+from .ratio import independence_threshold
+from .sigma_n import AccumulatedVarianceCurve, accumulated_variance_curve
+
+
+@dataclass(frozen=True)
+class BienaymeTestResult:
+    """Outcome of the Bienayme linearity test on a ``sigma^2_N`` curve.
+
+    Attributes
+    ----------
+    full_fit:
+        The linear + quadratic fit (Eq. 11 model).
+    linear_fit:
+        The linear-only fit (independence model, Eq. 6).
+    quadratic_fraction_at_max_n:
+        Fraction of ``sigma^2_N`` explained by the ``N^2`` term at the largest
+        measured ``N`` — the effect size of the dependence.
+    improvement_ratio:
+        Weighted residual sum of squares of the linear-only fit divided by the
+        residual of the full fit; values well above 1 indicate the quadratic
+        term is doing real work.
+    independent:
+        The verdict: True when the curve is consistent with mutually
+        independent jitter realizations over the measured range of ``N``.
+    """
+
+    full_fit: Sigma2NFitResult
+    linear_fit: Sigma2NFitResult
+    quadratic_fraction_at_max_n: float
+    improvement_ratio: float
+    independent: bool
+    max_n: int
+
+
+def bienayme_linearity_test(
+    curve: AccumulatedVarianceCurve,
+    quadratic_fraction_threshold: float = 0.05,
+) -> BienaymeTestResult:
+    """Decide whether ``sigma^2_N`` is linear in ``N`` (independence) or not.
+
+    The decision rule follows the paper's own usage of ``r_N``: if, at the
+    largest measured accumulation length, more than
+    ``quadratic_fraction_threshold`` of the accumulated variance is carried by
+    the ``N^2`` term, the independence hypothesis is rejected.
+    """
+    if not 0.0 < quadratic_fraction_threshold < 1.0:
+        raise ValueError("quadratic_fraction_threshold must be in (0, 1)")
+    full_fit = fit_sigma2_n_curve(curve)
+    linear_fit = fit_linear_only(curve)
+
+    n_values = curve.n_values.astype(float)
+    sigma2 = curve.sigma2_values_s2
+    max_n = int(np.max(n_values))
+    linear_term = full_fit.linear_coefficient * max_n
+    quadratic_term = full_fit.quadratic_coefficient * max_n**2
+    total = linear_term + quadratic_term
+    quadratic_fraction = 0.0 if total == 0.0 else quadratic_term / total
+
+    residual_full = float(np.sum((sigma2 - full_fit.predict(n_values)) ** 2))
+    residual_linear = float(np.sum((sigma2 - linear_fit.predict(n_values)) ** 2))
+    if residual_full <= 0.0:
+        improvement = np.inf if residual_linear > 0.0 else 1.0
+    else:
+        improvement = residual_linear / residual_full
+
+    independent = quadratic_fraction <= quadratic_fraction_threshold
+    return BienaymeTestResult(
+        full_fit=full_fit,
+        linear_fit=linear_fit,
+        quadratic_fraction_at_max_n=float(quadratic_fraction),
+        improvement_ratio=float(improvement),
+        independent=bool(independent),
+        max_n=max_n,
+    )
+
+
+@dataclass(frozen=True)
+class IndependenceReport:
+    """Combined verdict of the indirect (Bienayme) and direct (ACF) diagnostics."""
+
+    bienayme: BienaymeTestResult
+    ljung_box: LjungBoxResult
+    max_independent_accumulation: float
+    f0_hz: float
+
+    @property
+    def jitter_realizations_independent(self) -> bool:
+        """Overall verdict over the measured range of ``N``.
+
+        Both the accumulated-variance curve must stay linear *and* the jitter
+        series must show no significant serial correlation.
+        """
+        return self.bienayme.independent and self.ljung_box.independent_at()
+
+    def summary(self) -> str:
+        """Human-readable summary of the verdict."""
+        verdict = (
+            "consistent with mutual independence"
+            if self.jitter_realizations_independent
+            else "NOT mutually independent"
+        )
+        return "\n".join(
+            [
+                f"verdict: jitter realizations are {verdict} over N <= {self.bienayme.max_n}",
+                (
+                    "Bienayme test: quadratic fraction at max N = "
+                    f"{self.bienayme.quadratic_fraction_at_max_n:.1%}"
+                ),
+                f"Ljung-Box p-value: {self.ljung_box.p_value:.3g}",
+                (
+                    "independence acceptable (r_N > 95%) up to N = "
+                    f"{self.max_independent_accumulation:.0f}"
+                ),
+            ]
+        )
+
+
+def assess_independence(
+    jitter_s: np.ndarray,
+    f0_hz: float,
+    n_sweep: Optional[Sequence[int]] = None,
+    ljung_box_lags: int = 50,
+    min_thermal_ratio: float = 0.95,
+) -> IndependenceReport:
+    """Run every independence diagnostic on a raw jitter record.
+
+    Parameters
+    ----------
+    jitter_s:
+        Period-jitter series [s].
+    f0_hz:
+        Oscillator nominal frequency [Hz].
+    n_sweep:
+        Accumulation lengths for the Bienayme test (default log sweep).
+    ljung_box_lags:
+        Number of lags of the portmanteau test on the raw jitter.
+    min_thermal_ratio:
+        ``r_N`` requirement used to report the usable accumulation range.
+    """
+    jitter = np.asarray(jitter_s, dtype=float)
+    curve = accumulated_variance_curve(jitter, f0_hz, n_sweep=n_sweep)
+    bienayme = bienayme_linearity_test(curve)
+    lags = min(ljung_box_lags, max(jitter.size // 4, 1))
+    ljung_box = ljung_box_test(jitter, lags=lags)
+    threshold = independence_threshold(
+        bienayme.full_fit.phase_noise_psd, f0_hz, min_thermal_ratio
+    )
+    return IndependenceReport(
+        bienayme=bienayme,
+        ljung_box=ljung_box,
+        max_independent_accumulation=threshold,
+        f0_hz=f0_hz,
+    )

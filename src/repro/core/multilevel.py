@@ -1,0 +1,169 @@
+"""The multilevel randomness-harvesting model (Fig. 3 of the paper).
+
+The classical approach (Fig. 2) starts from *assumptions* about the raw random
+analog signal (RRAS) — typically "the period jitter is Gaussian with variance
+sigma^2 and independent realizations" — and combines them with a model of the
+digitization to obtain the entropy per bit.
+
+The multilevel approach replaces the assumptions by a chain of models:
+
+    transistor-level noise (thermal + flicker, Section III-A)
+        -> ISF conversion to excess phase (Section III-C-1, Hajimiri)
+        -> phase-noise PSD  S_phi(f) = b_fl/f^3 + b_th/f^2  (Eq. 10)
+        -> accumulated jitter variance  sigma^2_N  (Eq. 11)
+        -> thermal/flicker decomposition, r_N, independence threshold
+        -> jitter parameters handed to the digitization / entropy model.
+
+:class:`MultilevelModel` wires that chain together, starting either from a
+technology node (fully bottom-up) or from measured/assumed phase-noise
+coefficients (the calibration path used to mirror the paper's experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..noise.technology import TechnologyNode, get_node
+from ..noise.transistor import InverterCell
+from ..phase.isf import (
+    ImpulseSensitivityFunction,
+    phase_psd_from_inverter,
+    ring_oscillation_frequency,
+)
+from ..phase.psd import PhaseNoisePSD
+from .ratio import independence_budget, ratio_constant, thermal_ratio
+from .theory import decompose_sigma2_n, sigma2_n_closed_form
+
+
+@dataclass(frozen=True)
+class JitterParameters:
+    """The jitter figures a digitization/entropy model needs for one sampling choice.
+
+    Attributes
+    ----------
+    accumulation_length:
+        Number of oscillator periods ``N`` accumulated between two samples.
+    total_variance_s2:
+        Total accumulated variance ``sigma^2_N`` [s^2] (thermal + flicker).
+    thermal_variance_s2:
+        The thermal-only part — the part whose realizations are mutually
+        independent and therefore the part that may legitimately be counted
+        as fresh entropy at every sample.
+    thermal_ratio:
+        ``r_N`` = thermal / total.
+    """
+
+    accumulation_length: int
+    total_variance_s2: float
+    thermal_variance_s2: float
+    thermal_ratio: float
+
+
+class MultilevelModel:
+    """End-to-end Fig. 3 pipeline for a ring-oscillator entropy source."""
+
+    def __init__(self, f0_hz: float, psd: PhaseNoisePSD) -> None:
+        if f0_hz <= 0.0:
+            raise ValueError("f0 must be > 0")
+        self.f0_hz = float(f0_hz)
+        self.psd = psd
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_technology(
+        cls,
+        node: Union[TechnologyNode, str],
+        n_stages: int,
+        isf: Optional[ImpulseSensitivityFunction] = None,
+    ) -> "MultilevelModel":
+        """Fully bottom-up construction from a CMOS technology node."""
+        if isinstance(node, str):
+            node = get_node(node)
+        return cls.from_inverter(node.inverter(), n_stages, isf=isf)
+
+    @classmethod
+    def from_inverter(
+        cls,
+        cell: InverterCell,
+        n_stages: int,
+        isf: Optional[ImpulseSensitivityFunction] = None,
+    ) -> "MultilevelModel":
+        """Bottom-up construction from an explicit inverter cell."""
+        f0 = ring_oscillation_frequency(cell, n_stages)
+        psd = phase_psd_from_inverter(cell, n_stages, isf=isf)
+        return cls(f0, psd)
+
+    @classmethod
+    def from_phase_noise(
+        cls, f0_hz: float, b_thermal_hz: float, b_flicker_hz2: float
+    ) -> "MultilevelModel":
+        """Calibrated construction from (measured or assumed) Eq. 10 coefficients."""
+        return cls(f0_hz, PhaseNoisePSD(b_thermal_hz, b_flicker_hz2))
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def thermal_jitter_std_s(self) -> float:
+        """Per-period thermal jitter ``sigma_th = sqrt(b_th/f0^3)`` [s]."""
+        return float(np.sqrt(self.psd.thermal_period_jitter_variance(self.f0_hz)))
+
+    @property
+    def ratio_constant(self) -> float:
+        """``K`` of ``r_N = K/(K+N)``."""
+        return ratio_constant(self.psd, self.f0_hz)
+
+    def sigma2_n(self, n: Union[int, Sequence[int], np.ndarray]) -> np.ndarray | float:
+        """Theoretical accumulated variance ``sigma^2_N`` (Eq. 11) [s^2]."""
+        return sigma2_n_closed_form(self.psd, self.f0_hz, n)
+
+    def thermal_ratio(self, n: Union[int, Sequence[int], np.ndarray]) -> np.ndarray | float:
+        """``r_N`` at the requested accumulation length(s)."""
+        return thermal_ratio(self.psd, self.f0_hz, n)
+
+    def independence_threshold(self, min_thermal_ratio: float = 0.95) -> float:
+        """Largest ``N`` at which ``r_N`` still exceeds ``min_thermal_ratio``."""
+        return independence_budget(
+            self.psd, self.f0_hz, min_thermal_ratio
+        ).max_accumulation_length
+
+    def jitter_parameters(self, accumulation_length: int) -> JitterParameters:
+        """Jitter figures for a digitizer that samples every ``N`` periods."""
+        if accumulation_length < 1:
+            raise ValueError("accumulation length must be >= 1")
+        decomposition = decompose_sigma2_n(
+            self.psd, self.f0_hz, accumulation_length
+        )
+        return JitterParameters(
+            accumulation_length=int(accumulation_length),
+            total_variance_s2=decomposition.total_s2,
+            thermal_variance_s2=decomposition.thermal_s2,
+            thermal_ratio=decomposition.thermal_fraction,
+        )
+
+    def accumulation_for_target_thermal_jitter(
+        self, target_std_s: float
+    ) -> int:
+        """Smallest ``N`` whose *thermal-only* accumulated std reaches the target.
+
+        This answers the designer's question "how long must I accumulate for
+        the (exploitable) thermal jitter to reach e.g. half a period?", using
+        only the independent part of the jitter as the paper recommends.
+        """
+        if target_std_s <= 0.0:
+            raise ValueError("target jitter must be > 0")
+        thermal_variance = self.psd.thermal_period_jitter_variance(self.f0_hz)
+        if thermal_variance == 0.0:
+            raise ValueError("oscillator has no thermal noise; target unreachable")
+        # sigma^2_N,th = 2 N sigma_th^2  =>  N = target^2 / (2 sigma_th^2)
+        return int(np.ceil(target_std_s**2 / (2.0 * thermal_variance)))
+
+    def __repr__(self) -> str:
+        return (
+            f"MultilevelModel(f0={self.f0_hz:.4g} Hz, "
+            f"b_th={self.psd.b_thermal_hz:.4g} Hz, "
+            f"b_fl={self.psd.b_flicker_hz2:.4g} Hz^2)"
+        )

@@ -1,0 +1,98 @@
+"""The thermal-to-total ratio ``r_N`` and the independence threshold on ``N``.
+
+Section III-E of the paper defines
+
+    r_N = sigma^2_N,th / sigma^2_N = K / (K + N),
+    K   = b_th f0 / (4 ln2 b_fl),
+
+the fraction of the accumulated variance that is due to thermal noise alone.
+In the paper's experiment ``K = 5354`` and the requirement ``r_N > 95 %``
+translates into ``N < 281``: below that accumulation length, treating the 2N
+consecutive jitter realizations as mutually independent is an acceptable
+approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..phase.psd import PhaseNoisePSD
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+def ratio_constant(psd: PhaseNoisePSD, f0_hz: float) -> float:
+    """The constant ``K = b_th f0 / (4 ln2 b_fl)`` of ``r_N = K/(K+N)``.
+
+    Returns ``inf`` when the flicker coefficient is zero (pure thermal noise:
+    jitter realizations are independent for every ``N``).
+    """
+    if f0_hz <= 0.0:
+        raise ValueError("f0 must be > 0")
+    if psd.b_flicker_hz2 == 0.0:
+        return float("inf")
+    return psd.b_thermal_hz * f0_hz / (4.0 * np.log(2.0) * psd.b_flicker_hz2)
+
+
+def thermal_ratio(psd: PhaseNoisePSD, f0_hz: float, n: ArrayLike) -> ArrayLike:
+    """``r_N`` — thermal fraction of ``sigma^2_N`` at accumulation length ``N``."""
+    n_array = np.asarray(n, dtype=float)
+    if np.any(n_array < 0):
+        raise ValueError("N must be >= 0")
+    constant = ratio_constant(psd, f0_hz)
+    if np.isinf(constant):
+        result = np.ones_like(n_array)
+    else:
+        result = constant / (constant + n_array)
+    if np.isscalar(n):
+        return float(result)
+    return result
+
+
+def independence_threshold(
+    psd: PhaseNoisePSD, f0_hz: float, min_thermal_ratio: float = 0.95
+) -> float:
+    """Largest ``N`` for which ``r_N`` stays above ``min_thermal_ratio``.
+
+    Solving ``K/(K+N) > r`` gives ``N < K (1-r)/r``.  The paper's example:
+    ``K = 5354``, ``r = 0.95`` gives ``N < 281.8``, quoted as ``N < 281``.
+    Returns ``inf`` when there is no flicker noise.
+    """
+    if not 0.0 < min_thermal_ratio < 1.0:
+        raise ValueError("min_thermal_ratio must be in (0, 1)")
+    constant = ratio_constant(psd, f0_hz)
+    if np.isinf(constant):
+        return float("inf")
+    return constant * (1.0 - min_thermal_ratio) / min_thermal_ratio
+
+
+@dataclass(frozen=True)
+class IndependenceBudget:
+    """Summary of how long jitter accumulation may run before dependence matters."""
+
+    ratio_constant: float
+    min_thermal_ratio: float
+    max_accumulation_length: float
+    f0_hz: float
+
+    @property
+    def max_accumulation_time_s(self) -> float:
+        """The threshold expressed as an accumulation time ``N / f0`` [s]."""
+        if np.isinf(self.max_accumulation_length):
+            return float("inf")
+        return self.max_accumulation_length / self.f0_hz
+
+
+def independence_budget(
+    psd: PhaseNoisePSD, f0_hz: float, min_thermal_ratio: float = 0.95
+) -> IndependenceBudget:
+    """Bundle ``K``, the requested ratio and the resulting threshold."""
+    return IndependenceBudget(
+        ratio_constant=ratio_constant(psd, f0_hz),
+        min_thermal_ratio=min_thermal_ratio,
+        max_accumulation_length=independence_threshold(psd, f0_hz, min_thermal_ratio),
+        f0_hz=f0_hz,
+    )

@@ -1,0 +1,217 @@
+"""The accumulated-difference statistic ``s_N`` and its variance ``sigma^2_N``.
+
+Equation 4 of the paper defines, for a jitter process ``J = (J(t_i))_i``,
+
+    s_N(t_i) = sum_{j=0}^{2N-1} a_j * J(t_{i+j}),   a_j = -1 for j < N else +1,
+
+i.e. the duration of the *second* block of ``N`` periods minus the duration of
+the *first* block.  Its variance ``sigma^2_N``:
+
+* equals ``2 N sigma^2`` when the ``2N`` jitter realizations are mutually
+  independent (Bienayme, Eq. 6) — *linear* in ``N``;
+* equals ``(2 b_th/f0^3) N + (8 ln2 b_fl/f0^4) N^2`` for the thermal+flicker
+  phase-noise model (Eq. 11) — the quadratic term signals dependence.
+
+This module computes ``s_N`` realizations and estimates ``sigma^2_N`` from
+jitter series, period series or counter captures, over sweeps of ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def accumulation_weights(n_accumulations: int) -> np.ndarray:
+    """The weight vector ``(a_j)_{j=0..2N-1}`` of Eq. 4 (first ``N`` are -1)."""
+    if n_accumulations < 1:
+        raise ValueError(f"N must be >= 1, got {n_accumulations!r}")
+    weights = np.ones(2 * n_accumulations)
+    weights[:n_accumulations] = -1.0
+    return weights
+
+
+def s_n_realizations(
+    jitter_s: np.ndarray, n_accumulations: int, overlapping: bool = True
+) -> np.ndarray:
+    """All realizations of ``s_N`` obtainable from a jitter record (Eq. 4) [s].
+
+    Parameters
+    ----------
+    jitter_s:
+        Period-jitter series ``J(t_i) = T(t_i) - 1/f0`` [s].  Passing raw
+        periods also works: the constant ``1/f0`` offset cancels in ``s_N``
+        because the weights sum to zero.
+    n_accumulations:
+        ``N``, the number of periods in each of the two blocks.
+    overlapping:
+        When True (default), every starting index ``i`` is used, which yields
+        ``len(jitter) - 2N + 1`` (correlated but unbiased) realizations; when
+        False only disjoint windows are used.
+    """
+    jitter = np.asarray(jitter_s, dtype=float)
+    n = int(n_accumulations)
+    if n < 1:
+        raise ValueError(f"N must be >= 1, got {n_accumulations!r}")
+    if jitter.ndim != 1:
+        raise ValueError("jitter series must be one-dimensional")
+    if jitter.size < 2 * n:
+        raise ValueError(
+            f"need at least 2N = {2 * n} jitter samples, got {jitter.size}"
+        )
+    cumulative = np.concatenate(([0.0], np.cumsum(jitter)))
+    # block sums: sum_{k=i}^{i+N-1} J = cumulative[i+N] - cumulative[i]
+    second_block = cumulative[2 * n :] - cumulative[n : -n]
+    first_block = cumulative[n : -n] - cumulative[: -2 * n]
+    values = second_block - first_block
+    if overlapping:
+        return values
+    return values[:: 2 * n]
+
+
+def sigma2_n_estimate(
+    jitter_s: np.ndarray, n_accumulations: int, overlapping: bool = True
+) -> float:
+    """Estimate ``sigma^2_N = Var(s_N)`` from a jitter record [s^2].
+
+    ``s_N`` is a double difference, so its true mean is exactly zero for any
+    stationary jitter process *and* for any constant frequency offset between
+    the record and the assumed ``f0`` (a linear trend cancels in a second
+    difference).  The estimator therefore uses the mean of squares rather than
+    the variance about the sample mean: for large ``N`` the overlapping
+    realizations are strongly correlated and subtracting their (noisy) sample
+    mean would bias the variance low.
+    """
+    values = s_n_realizations(jitter_s, n_accumulations, overlapping=overlapping)
+    if values.size < 2:
+        raise ValueError("need at least two s_N realizations to estimate a variance")
+    return float(np.mean(values**2))
+
+
+@dataclass(frozen=True)
+class AccumulatedVariancePoint:
+    """One point of the ``sigma^2_N`` vs ``N`` curve (one Fig. 7 abscissa)."""
+
+    n_accumulations: int
+    sigma2_n_s2: float
+    n_realizations: int
+
+    @property
+    def normalized(self) -> float:
+        """``sigma^2_N`` expressed in periods-squared requires ``f0``; see curve."""
+        return self.sigma2_n_s2
+
+
+@dataclass(frozen=True)
+class AccumulatedVarianceCurve:
+    """The full ``sigma^2_N`` vs ``N`` curve, i.e. the data behind Fig. 7."""
+
+    points: List[AccumulatedVariancePoint]
+    f0_hz: float
+
+    def __post_init__(self) -> None:
+        if self.f0_hz <= 0.0:
+            raise ValueError("f0 must be > 0")
+        if not self.points:
+            raise ValueError("a curve needs at least one point")
+
+    @property
+    def n_values(self) -> np.ndarray:
+        """Array of accumulation lengths ``N``."""
+        return np.array([point.n_accumulations for point in self.points])
+
+    @property
+    def sigma2_values_s2(self) -> np.ndarray:
+        """Array of ``sigma^2_N`` values [s^2]."""
+        return np.array([point.sigma2_n_s2 for point in self.points])
+
+    @property
+    def normalized_sigma2_values(self) -> np.ndarray:
+        """``f0^2 * sigma^2_N`` — the dimensionless ordinate plotted in Fig. 7."""
+        return self.sigma2_values_s2 * self.f0_hz**2
+
+    @property
+    def realization_counts(self) -> np.ndarray:
+        """Number of ``s_N`` realizations behind each point (for weighting)."""
+        return np.array([point.n_realizations for point in self.points])
+
+
+def default_n_sweep(max_n: int, points_per_decade: int = 8) -> List[int]:
+    """Log-spaced sweep of accumulation lengths ``N`` from 1 to ``max_n``."""
+    if max_n < 1:
+        raise ValueError("max_n must be >= 1")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    if max_n == 1:
+        return [1]
+    n_points = max(int(np.ceil(np.log10(max_n) * points_per_decade)), 2)
+    values = np.unique(
+        np.round(np.logspace(0.0, np.log10(max_n), n_points)).astype(int)
+    )
+    return [int(value) for value in values if value >= 1]
+
+
+def accumulated_variance_curve(
+    jitter_s: np.ndarray,
+    f0_hz: float,
+    n_sweep: Optional[Sequence[int]] = None,
+    overlapping: bool = True,
+    min_realizations: int = 8,
+) -> AccumulatedVarianceCurve:
+    """Estimate ``sigma^2_N`` over a sweep of ``N`` from one jitter record.
+
+    Parameters
+    ----------
+    jitter_s:
+        Period-jitter (or period) series [s].
+    f0_hz:
+        Nominal oscillator frequency, used for the Fig. 7 normalisation.
+    n_sweep:
+        Accumulation lengths to evaluate; defaults to a log-spaced sweep up to
+        a quarter of the record length.
+    overlapping:
+        Use overlapping ``s_N`` windows (more realizations per point).
+    min_realizations:
+        Points that would be estimated from fewer realizations are skipped.
+    """
+    jitter = np.asarray(jitter_s, dtype=float)
+    if f0_hz <= 0.0:
+        raise ValueError("f0 must be > 0")
+    if n_sweep is None:
+        # Cap the sweep so each point keeps a healthy number of *effectively
+        # independent* realizations (non-overlapping windows): record/(2N).
+        n_sweep = default_n_sweep(max(jitter.size // (2 * min_realizations), 1))
+    points = []
+    for n in n_sweep:
+        n = int(n)
+        if 2 * n > jitter.size:
+            continue
+        values = s_n_realizations(jitter, n, overlapping=overlapping)
+        effective_realizations = jitter.size // (2 * n) if overlapping else values.size
+        if values.size < 2 or effective_realizations < min_realizations:
+            continue
+        points.append(
+            AccumulatedVariancePoint(
+                n_accumulations=n,
+                sigma2_n_s2=float(np.mean(values**2)),
+                n_realizations=int(values.size),
+            )
+        )
+    if not points:
+        raise ValueError("record too short to estimate any sigma^2_N point")
+    return AccumulatedVarianceCurve(points=points, f0_hz=f0_hz)
+
+
+def bienayme_prediction(per_period_variance_s2: float, n_accumulations: int) -> float:
+    """``sigma^2_N`` predicted by Bienayme's formula under independence (Eq. 6).
+
+    ``sigma^2_N = 2 N sigma^2`` where ``sigma^2`` is the common variance of the
+    (assumed independent, stationary) jitter realizations.
+    """
+    if per_period_variance_s2 < 0.0:
+        raise ValueError("variance must be >= 0")
+    if n_accumulations < 1:
+        raise ValueError("N must be >= 1")
+    return 2.0 * n_accumulations * per_period_variance_s2

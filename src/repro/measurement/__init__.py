@@ -1,0 +1,31 @@
+"""Differential jitter measurement: the Fig. 6 circuit and the virtual FPGA platform."""
+
+from .capture import (
+    CounterCampaignResult,
+    counter_capture_campaign,
+    relative_jitter_campaign,
+    relative_jitter_record,
+)
+from .counter import (
+    CounterCapture,
+    DifferentialJitterCounter,
+    count_edges_in_windows,
+)
+from .platform import (
+    PAPER_CYCLONE_III,
+    PlatformConfiguration,
+    VirtualEvaristePlatform,
+)
+
+__all__ = [
+    "CounterCampaignResult",
+    "CounterCapture",
+    "DifferentialJitterCounter",
+    "PAPER_CYCLONE_III",
+    "PlatformConfiguration",
+    "VirtualEvaristePlatform",
+    "count_edges_in_windows",
+    "counter_capture_campaign",
+    "relative_jitter_campaign",
+    "relative_jitter_record",
+]

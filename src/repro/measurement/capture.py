@@ -1,0 +1,122 @@
+"""Capture campaigns: sweeping ``N`` and assembling the Fig. 7 data set.
+
+A *capture campaign* runs the differential measurement of Fig. 6 (or its
+ideal, non-quantised variant) for a sweep of accumulation lengths ``N`` and
+packages the results as an :class:`repro.core.sigma_n.AccumulatedVarianceCurve`
+ready for fitting — exactly the workflow behind the paper's Fig. 7.
+
+Two measurement paths are provided:
+
+* :func:`counter_capture_campaign` — uses the integer counter exactly as the
+  FPGA circuit does, optionally applying the quantisation correction;
+* :func:`relative_jitter_campaign` — uses the ideal relative timing between
+  the two oscillators (what an ideal time-to-digital converter would return).
+  This path is free of quantisation and is the default for reproducing the
+  paper's fitted numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.sigma_n import (
+    AccumulatedVarianceCurve,
+    AccumulatedVariancePoint,
+    accumulated_variance_curve,
+)
+from ..oscillator.period_model import Clock
+from .counter import CounterCapture, DifferentialJitterCounter
+
+
+def relative_jitter_record(
+    oscillator_1: Clock, oscillator_2: Clock, n_periods: int
+) -> np.ndarray:
+    """Relative period sequence of Osc1 with respect to Osc2 [s].
+
+    For two nominally identical oscillators the RRAS of the eRO-TRNG is their
+    relative jitter (Section III of the paper); since both period processes
+    are independent, the relative period is ``T1_i - T2_i + 1/f0`` — i.e. a
+    period sequence whose jitter is the difference of the two jitters.
+    """
+    if n_periods < 1:
+        raise ValueError("n_periods must be >= 1")
+    periods_1 = oscillator_1.periods(n_periods)
+    periods_2 = oscillator_2.periods(n_periods)
+    nominal = 1.0 / oscillator_1.f0_hz
+    return periods_1 - periods_2 + nominal
+
+
+def relative_jitter_campaign(
+    oscillator_1: Clock,
+    oscillator_2: Clock,
+    n_periods: int,
+    n_sweep: Optional[Sequence[int]] = None,
+    min_realizations: int = 8,
+) -> AccumulatedVarianceCurve:
+    """Estimate the sigma^2_N curve from an ideal relative-timing capture."""
+    record = relative_jitter_record(oscillator_1, oscillator_2, n_periods)
+    return accumulated_variance_curve(
+        record,
+        oscillator_1.f0_hz,
+        n_sweep=n_sweep,
+        min_realizations=min_realizations,
+    )
+
+
+@dataclass(frozen=True)
+class CounterCampaignResult:
+    """Result of a counter-based campaign: raw captures plus the derived curve."""
+
+    captures: List[CounterCapture]
+    curve: AccumulatedVarianceCurve
+
+
+def counter_capture_campaign(
+    oscillator_1: Clock,
+    oscillator_2: Clock,
+    n_sweep: Sequence[int],
+    n_windows: int = 256,
+    correct_quantization: bool = True,
+) -> CounterCampaignResult:
+    """Run the Fig. 6 counter measurement for every ``N`` in ``n_sweep``.
+
+    Each point uses ``n_windows`` freshly simulated windows, so the resulting
+    variance estimates are mutually independent across ``N`` (unlike the
+    single-record estimator, which reuses the same jitter record).
+
+    Parameters
+    ----------
+    oscillator_1, oscillator_2:
+        The two nominally identical ring oscillators.
+    n_sweep:
+        Accumulation lengths ``N`` to measure.
+    n_windows:
+        Number of counter windows captured per ``N``.
+    correct_quantization:
+        Subtract the ``T0^2/6`` counter quantisation variance from each point.
+    """
+    if n_windows < 4:
+        raise ValueError("need at least 4 windows per point")
+    counter = DifferentialJitterCounter(oscillator_1, oscillator_2)
+    captures = []
+    points = []
+    for n in n_sweep:
+        n = int(n)
+        if n < 1:
+            raise ValueError("accumulation lengths must be >= 1")
+        capture = counter.capture(n, n_windows)
+        captures.append(capture)
+        points.append(
+            AccumulatedVariancePoint(
+                n_accumulations=n,
+                sigma2_n_s2=capture.sigma2_n(
+                    correct_quantization=correct_quantization
+                ),
+                n_realizations=capture.n_windows - 1,
+            )
+        )
+    curve = AccumulatedVarianceCurve(points=points, f0_hz=oscillator_1.f0_hz)
+    return CounterCampaignResult(captures=captures, curve=curve)

@@ -1,0 +1,42 @@
+"""Transistor-level noise models (the bottom layer of the multilevel approach).
+
+This package implements Section III-A of the paper: the thermal and flicker
+drain-current noise of MOS transistors, composite sources, a first-order MOS
+device model and a small technology-node library used by the scaling study.
+"""
+
+from .flicker import (
+    FlickerNoiseSource,
+    flicker_corner_frequency,
+    flicker_current_psd,
+    generate_pink_noise,
+)
+from .sources import CompositeNoiseSource, NoiseSource, psd_crossover_frequency
+from .technology import TECHNOLOGY_LIBRARY, TechnologyNode, get_node, list_nodes
+from .thermal import (
+    LONG_CHANNEL_GAMMA,
+    ThermalNoiseSource,
+    resistor_thermal_voltage_psd,
+    thermal_current_psd,
+)
+from .transistor import InverterCell, MOSTransistor
+
+__all__ = [
+    "CompositeNoiseSource",
+    "FlickerNoiseSource",
+    "InverterCell",
+    "LONG_CHANNEL_GAMMA",
+    "MOSTransistor",
+    "NoiseSource",
+    "TECHNOLOGY_LIBRARY",
+    "TechnologyNode",
+    "ThermalNoiseSource",
+    "flicker_corner_frequency",
+    "flicker_current_psd",
+    "generate_pink_noise",
+    "get_node",
+    "list_nodes",
+    "psd_crossover_frequency",
+    "resistor_thermal_voltage_psd",
+    "thermal_current_psd",
+]

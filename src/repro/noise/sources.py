@@ -1,0 +1,96 @@
+"""Composite noise sources (Eq. 1 of the paper).
+
+The paper combines the two dominant bulk-CMOS noise mechanisms by adding
+their PSDs:
+
+    S_ids(f) = S_ids,th(f) + S_ids,fl(f)
+
+which is valid because the underlying physical processes are independent.
+:class:`CompositeNoiseSource` implements that addition for an arbitrary set of
+sources and provides joint time-domain sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .flicker import FlickerNoiseSource
+from .thermal import ThermalNoiseSource
+
+
+class NoiseSource(Protocol):
+    """Protocol shared by all drain-current noise sources."""
+
+    def psd(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """One-sided PSD at ``frequency_hz`` [A^2/Hz]."""
+
+    def sample(
+        self,
+        n_samples: int,
+        sampling_rate_hz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Time-domain current samples [A]."""
+
+
+@dataclass
+class CompositeNoiseSource:
+    """Sum of mutually independent noise sources (paper Eq. 1)."""
+
+    sources: List[NoiseSource] = field(default_factory=list)
+
+    @classmethod
+    def thermal_plus_flicker(
+        cls, thermal: ThermalNoiseSource, flicker: FlickerNoiseSource
+    ) -> "CompositeNoiseSource":
+        """The paper's two-component model ``S_ids = S_th + S_fl``."""
+        return cls(sources=[thermal, flicker])
+
+    def add(self, source: NoiseSource) -> None:
+        """Add another independent source to the composite."""
+        self.sources.append(source)
+
+    def psd(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """Total one-sided PSD: the sum of the component PSDs [A^2/Hz]."""
+        if not self.sources:
+            return np.zeros_like(np.asarray(frequency_hz, dtype=float))
+        total = np.zeros_like(np.asarray(frequency_hz, dtype=float))
+        for source in self.sources:
+            total = total + np.asarray(source.psd(frequency_hz), dtype=float)
+        if np.isscalar(frequency_hz):
+            return float(total)
+        return total
+
+    def sample(
+        self,
+        n_samples: int,
+        sampling_rate_hz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Time-domain samples of the total current noise [A].
+
+        The components are sampled independently and summed, which is exact
+        because the sources are statistically independent by assumption.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        total = np.zeros(n_samples)
+        for source in self.sources:
+            total = total + source.sample(n_samples, sampling_rate_hz, rng=rng)
+        return total
+
+
+def psd_crossover_frequency(
+    thermal: ThermalNoiseSource, flicker: FlickerNoiseSource
+) -> float:
+    """Frequency where the flicker PSD drops below the thermal PSD [Hz].
+
+    This is the flicker corner of the composite source; above it the drain
+    current noise is essentially white, below it the autocorrelated 1/f
+    component dominates.
+    """
+    if thermal.psd_a2_per_hz <= 0.0:
+        raise ValueError("thermal PSD must be > 0 to define a crossover")
+    return flicker.coefficient_a2 / thermal.psd_a2_per_hz

@@ -1,0 +1,123 @@
+"""Thermal (white) noise of a MOS transistor channel.
+
+Section III-A of the paper gives the thermal-noise drain-current PSD of a
+transistor in saturation as
+
+    S_ids,th(f) = (8/3) * k * T * gm
+
+(one-sided, independent of frequency), where ``k`` is the Boltzmann constant,
+``T`` the absolute temperature and ``gm`` the transconductance.  This module
+implements that PSD, the equivalent resistor form, and a time-domain sample
+generator used by the transistor-level oscillator simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..constants import BOLTZMANN_K, DEFAULT_TEMPERATURE_K
+
+#: Long-channel excess-noise factor gamma = 2/3 used in the classical
+#: (8/3)kT gm expression (the 8/3 already contains the factor 4 of the
+#: one-sided Nyquist formula: 4 k T gamma gm).
+LONG_CHANNEL_GAMMA = 2.0 / 3.0
+
+
+def thermal_current_psd(
+    gm_siemens: float,
+    temperature_k: float = DEFAULT_TEMPERATURE_K,
+    gamma: float = LONG_CHANNEL_GAMMA,
+) -> float:
+    """One-sided PSD of the thermal drain-current noise [A^2/Hz].
+
+    Parameters
+    ----------
+    gm_siemens:
+        Transistor transconductance ``gm`` [S].
+    temperature_k:
+        Absolute temperature [K].
+    gamma:
+        Excess-noise factor.  ``2/3`` reproduces the paper's ``(8/3)kT gm``;
+        short-channel devices use larger values (typically 1 to 2).
+
+    Returns
+    -------
+    float
+        ``4 * gamma * k * T * gm`` in A^2/Hz.
+    """
+    if gm_siemens < 0.0:
+        raise ValueError(f"gm must be >= 0, got {gm_siemens!r}")
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be > 0 K, got {temperature_k!r}")
+    if gamma <= 0.0:
+        raise ValueError(f"gamma must be > 0, got {gamma!r}")
+    return 4.0 * gamma * BOLTZMANN_K * temperature_k * gm_siemens
+
+
+def resistor_thermal_voltage_psd(
+    resistance_ohm: float, temperature_k: float = DEFAULT_TEMPERATURE_K
+) -> float:
+    """One-sided Johnson-Nyquist voltage PSD ``4kTR`` of a resistor [V^2/Hz]."""
+    if resistance_ohm < 0.0:
+        raise ValueError(f"resistance must be >= 0, got {resistance_ohm!r}")
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be > 0 K, got {temperature_k!r}")
+    return 4.0 * BOLTZMANN_K * temperature_k * resistance_ohm
+
+
+@dataclass(frozen=True)
+class ThermalNoiseSource:
+    """White drain-current noise source of a single transistor.
+
+    The source is fully described by its (frequency-independent) one-sided PSD
+    ``psd_a2_per_hz``.  :meth:`sample` draws band-limited time-domain samples:
+    for a sampling rate ``fs`` the variance of each sample is
+    ``psd * fs / 2`` (the one-sided PSD integrated up to the Nyquist
+    frequency).
+    """
+
+    psd_a2_per_hz: float
+
+    def __post_init__(self) -> None:
+        if self.psd_a2_per_hz < 0.0:
+            raise ValueError(
+                f"PSD must be >= 0, got {self.psd_a2_per_hz!r}"
+            )
+
+    @classmethod
+    def from_transconductance(
+        cls,
+        gm_siemens: float,
+        temperature_k: float = DEFAULT_TEMPERATURE_K,
+        gamma: float = LONG_CHANNEL_GAMMA,
+    ) -> "ThermalNoiseSource":
+        """Build the source from device parameters (paper Eq. for S_ids,th)."""
+        return cls(thermal_current_psd(gm_siemens, temperature_k, gamma))
+
+    def psd(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the (flat) PSD at ``frequency_hz`` [A^2/Hz]."""
+        return np.full_like(np.asarray(frequency_hz, dtype=float), self.psd_a2_per_hz)
+
+    def sample_variance(self, sampling_rate_hz: float) -> float:
+        """Variance of band-limited samples taken at ``sampling_rate_hz``."""
+        if sampling_rate_hz <= 0.0:
+            raise ValueError(
+                f"sampling rate must be > 0, got {sampling_rate_hz!r}"
+            )
+        return self.psd_a2_per_hz * sampling_rate_hz / 2.0
+
+    def sample(
+        self,
+        n_samples: int,
+        sampling_rate_hz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Draw ``n_samples`` band-limited white-noise current samples [A]."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be >= 0, got {n_samples!r}")
+        rng = np.random.default_rng() if rng is None else rng
+        sigma = np.sqrt(self.sample_variance(sampling_rate_hz))
+        return rng.normal(0.0, sigma, size=n_samples)

@@ -1,0 +1,14 @@
+"""Oscillator and clock models: ring oscillators, PLL clocks, clock abstractions."""
+
+from .period_model import Clock, IdealClock, JitteryClock
+from .pll import PLLClock, PLLConfiguration
+from .ring import RingOscillator
+
+__all__ = [
+    "Clock",
+    "IdealClock",
+    "JitteryClock",
+    "PLLClock",
+    "PLLConfiguration",
+    "RingOscillator",
+]

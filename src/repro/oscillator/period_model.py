@@ -1,0 +1,103 @@
+"""Clock abstractions shared by the oscillator, measurement and TRNG layers.
+
+All downstream code (the differential counter of Fig. 6, the eRO-TRNG
+digitizer of Fig. 4, the AIS31 online tests) only needs two things from a
+clock: its nominal frequency and a stream of rising-edge times.  The
+:class:`Clock` protocol captures that, and the two concrete implementations
+cover the ideal (jitter-free) and the noisy case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..phase.psd import PhaseNoisePSD
+from ..phase.synthesis import PeriodJitterSynthesizer
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal interface of a clock signal used by samplers and counters."""
+
+    @property
+    def f0_hz(self) -> float:
+        """Nominal frequency [Hz]."""
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` period durations [s]."""
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """``n_periods + 1`` rising-edge times starting at ``start_time_s`` [s]."""
+
+
+@dataclass(frozen=True)
+class IdealClock:
+    """A perfectly periodic clock (zero jitter)."""
+
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ValueError(f"frequency must be > 0, got {self.frequency_hz!r}")
+
+    @property
+    def f0_hz(self) -> float:
+        """Nominal frequency [Hz]."""
+        return self.frequency_hz
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Constant period sequence ``1/f0`` [s]."""
+        if n_periods < 0:
+            raise ValueError("n_periods must be >= 0")
+        return np.full(n_periods, 1.0 / self.frequency_hz)
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Equally spaced edges [s]."""
+        if n_periods < 0:
+            raise ValueError("n_periods must be >= 0")
+        return start_time_s + np.arange(n_periods + 1) / self.frequency_hz
+
+
+class JitteryClock:
+    """A clock whose periods are synthesized from a phase-noise PSD.
+
+    This is a thin stateful wrapper around
+    :class:`repro.phase.synthesis.PeriodJitterSynthesizer`; successive calls
+    draw fresh, statistically independent stretches of the period process.
+    """
+
+    def __init__(
+        self,
+        f0_hz: float,
+        psd: PhaseNoisePSD,
+        rng: Optional[np.random.Generator] = None,
+        flicker_method: str = "spectral",
+    ) -> None:
+        self._synthesizer = PeriodJitterSynthesizer(
+            f0_hz, psd, rng=rng, flicker_method=flicker_method
+        )
+
+    @property
+    def f0_hz(self) -> float:
+        """Nominal frequency [Hz]."""
+        return self._synthesizer.f0_hz
+
+    @property
+    def psd(self) -> PhaseNoisePSD:
+        """Phase-noise PSD used by the synthesizer."""
+        return self._synthesizer.psd
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` jittery periods [s]."""
+        return self._synthesizer.periods(n_periods)
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Rising-edge times of the next ``n_periods`` periods [s]."""
+        return self._synthesizer.edge_times(n_periods, start_time_s=start_time_s)
+
+    def jitter(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` period-jitter values ``J = T - 1/f0`` [s]."""
+        return self._synthesizer.jitter(n_periods)

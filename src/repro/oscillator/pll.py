@@ -1,0 +1,116 @@
+"""PLL-synthesized clock: the substrate of the Bernard et al. baseline model.
+
+The paper's related-work section cites Bernard, Fischer and Valtchanov's
+stochastic model of a PLL-based P-TRNG that uses *coherent sampling*: a clock
+``clk_jit`` at frequency ``f1 = f0 * K_M / K_D`` (produced by a PLL from the
+reference ``f0``) is sampled by ``f0``.  Because the ratio is rational the
+relative phase of the two clocks sweeps ``K_M`` equidistant positions before
+repeating, and randomness only enters through the jitter of the samples that
+land close to an edge of ``clk_jit``.
+
+This module provides the clock-synthesis substrate (a frequency-multiplied,
+jitter-filtered clock); the corresponding entropy model lives in
+``repro.trng.models.bernard_pll``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional
+
+import numpy as np
+
+from ..phase.psd import PhaseNoisePSD
+from ..phase.synthesis import PeriodJitterSynthesizer
+
+
+@dataclass(frozen=True)
+class PLLConfiguration:
+    """Multiplication/division ratio of the PLL and its output jitter.
+
+    Attributes
+    ----------
+    multiplication_factor:
+        ``K_M`` — the PLL output completes ``K_M`` periods while the
+        reference completes ``K_D``.
+    division_factor:
+        ``K_D``.
+    output_jitter_std_s:
+        RMS (tracking) jitter of the synthesized clock edges, dominated by
+        white noise inside the loop bandwidth [s].
+    """
+
+    multiplication_factor: int
+    division_factor: int
+    output_jitter_std_s: float
+
+    def __post_init__(self) -> None:
+        if self.multiplication_factor < 1 or self.division_factor < 1:
+            raise ValueError("K_M and K_D must be >= 1")
+        if gcd(self.multiplication_factor, self.division_factor) != 1:
+            raise ValueError("K_M and K_D must be coprime for coherent sampling")
+        if self.output_jitter_std_s < 0.0:
+            raise ValueError("output jitter must be >= 0")
+
+
+class PLLClock:
+    """A clock at ``f_ref * K_M / K_D`` with white (thermal-like) edge jitter.
+
+    The PLL loop suppresses the slow (flicker) wander of the VCO, so to first
+    order the output jitter is white; this is why the classical PLL-TRNG model
+    could plausibly assume independent jitter realizations — an assumption the
+    paper shows does not carry over to free-running rings.
+    """
+
+    def __init__(
+        self,
+        reference_frequency_hz: float,
+        configuration: PLLConfiguration,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if reference_frequency_hz <= 0.0:
+            raise ValueError("reference frequency must be > 0")
+        self.reference_frequency_hz = float(reference_frequency_hz)
+        self.configuration = configuration
+        output_frequency = (
+            reference_frequency_hz
+            * configuration.multiplication_factor
+            / configuration.division_factor
+        )
+        psd = PhaseNoisePSD.from_jitter_parameters(
+            output_frequency, configuration.output_jitter_std_s, 0.0
+        )
+        self._synthesizer = PeriodJitterSynthesizer(output_frequency, psd, rng=rng)
+
+    @property
+    def f0_hz(self) -> float:
+        """Synthesized output frequency ``f_ref * K_M / K_D`` [Hz]."""
+        return self._synthesizer.f0_hz
+
+    @property
+    def pattern_length(self) -> int:
+        """Number of reference periods after which the sampling pattern repeats."""
+        return self.configuration.division_factor
+
+    @property
+    def samples_per_pattern(self) -> int:
+        """Number of distinct relative phase positions per pattern (``K_M``)."""
+        return self.configuration.multiplication_factor
+
+    @property
+    def phase_step_s(self) -> float:
+        """Relative phase increment between consecutive samples [s].
+
+        With coherent sampling the relative phase positions form a regular
+        grid of pitch ``T_out / K_D`` inside one output period.
+        """
+        return 1.0 / (self.f0_hz * self.configuration.division_factor)
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` jittery output periods [s]."""
+        return self._synthesizer.periods(n_periods)
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Rising-edge times of the next ``n_periods`` output periods [s]."""
+        return self._synthesizer.edge_times(n_periods, start_time_s=start_time_s)

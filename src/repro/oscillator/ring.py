@@ -1,0 +1,145 @@
+"""Ring-oscillator model (Fig. 4 of the paper).
+
+A :class:`RingOscillator` can be built two ways:
+
+* **bottom-up** (:meth:`RingOscillator.from_technology` /
+  :meth:`RingOscillator.from_inverter`): from a CMOS technology node or an
+  explicit inverter cell, using the Hajimiri ISF conversion to *predict*
+  ``b_th`` and ``b_fl`` — this is the multilevel approach of Fig. 3;
+* **top-down** (:meth:`RingOscillator.from_phase_noise`): directly from a
+  nominal frequency and the two phase-noise coefficients — this is how the
+  paper's own experimental oscillator (103 MHz on a Cyclone III FPGA) is
+  mirrored, since its fitted ``b_th``/``b_fl`` are reported in the paper.
+
+Either way the oscillator exposes the :class:`repro.oscillator.period_model.Clock`
+interface (periods and edge times) used by the measurement circuit and the
+TRNG digitizer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..noise.technology import TechnologyNode, get_node
+from ..noise.transistor import InverterCell
+from ..phase.isf import (
+    ImpulseSensitivityFunction,
+    phase_psd_from_inverter,
+    ring_oscillation_frequency,
+)
+from ..phase.psd import PhaseNoisePSD
+from ..phase.synthesis import JitterDecomposition, PeriodJitterSynthesizer
+
+
+class RingOscillator:
+    """A free-running CMOS ring oscillator with thermal and flicker phase noise."""
+
+    def __init__(
+        self,
+        f0_hz: float,
+        psd: PhaseNoisePSD,
+        n_stages: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        flicker_method: str = "spectral",
+        name: str = "RO",
+    ) -> None:
+        if n_stages < 3:
+            raise ValueError("a ring oscillator needs at least 3 stages")
+        self.n_stages = int(n_stages)
+        self.name = name
+        self._synthesizer = PeriodJitterSynthesizer(
+            f0_hz, psd, rng=rng, flicker_method=flicker_method
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_phase_noise(
+        cls,
+        f0_hz: float,
+        b_thermal_hz: float,
+        b_flicker_hz2: float,
+        n_stages: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "RO",
+    ) -> "RingOscillator":
+        """Top-down construction from the Eq. 10 coefficients."""
+        psd = PhaseNoisePSD(b_thermal_hz=b_thermal_hz, b_flicker_hz2=b_flicker_hz2)
+        return cls(f0_hz, psd, n_stages=n_stages, rng=rng, name=name)
+
+    @classmethod
+    def from_inverter(
+        cls,
+        cell: InverterCell,
+        n_stages: int,
+        isf: Optional[ImpulseSensitivityFunction] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "RO",
+    ) -> "RingOscillator":
+        """Bottom-up construction from an inverter cell (multilevel approach)."""
+        f0 = ring_oscillation_frequency(cell, n_stages)
+        psd = phase_psd_from_inverter(cell, n_stages, isf=isf)
+        return cls(f0, psd, n_stages=n_stages, rng=rng, name=name)
+
+    @classmethod
+    def from_technology(
+        cls,
+        node: "TechnologyNode | str",
+        n_stages: int,
+        isf: Optional[ImpulseSensitivityFunction] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "RO",
+    ) -> "RingOscillator":
+        """Bottom-up construction from a named technology node (e.g. ``"65nm"``)."""
+        if isinstance(node, str):
+            node = get_node(node)
+        return cls.from_inverter(
+            node.inverter(), n_stages, isf=isf, rng=rng, name=name
+        )
+
+    # -- clock interface -----------------------------------------------------
+
+    @property
+    def f0_hz(self) -> float:
+        """Nominal oscillation frequency [Hz]."""
+        return self._synthesizer.f0_hz
+
+    @property
+    def nominal_period_s(self) -> float:
+        """Nominal period ``T0 = 1/f0`` [s]."""
+        return self._synthesizer.nominal_period_s
+
+    @property
+    def psd(self) -> PhaseNoisePSD:
+        """Phase-noise PSD (``b_th``, ``b_fl``) of this oscillator."""
+        return self._synthesizer.psd
+
+    @property
+    def thermal_jitter_std_s(self) -> float:
+        """Ground-truth standard deviation of the thermal per-period jitter [s]."""
+        return self._synthesizer.thermal_jitter_std_s
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` period durations ``T(t_i)`` [s]."""
+        return self._synthesizer.periods(n_periods)
+
+    def jitter(self, n_periods: int) -> np.ndarray:
+        """Next ``n_periods`` jitter values ``J(t_i)`` (Eq. 3) [s]."""
+        return self._synthesizer.jitter(n_periods)
+
+    def decompose(self, n_periods: int) -> JitterDecomposition:
+        """Synthesize periods keeping the thermal/flicker split (ground truth)."""
+        return self._synthesizer.decompose(n_periods)
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Rising-edge times of the next ``n_periods`` periods [s]."""
+        return self._synthesizer.edge_times(n_periods, start_time_s=start_time_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"RingOscillator(name={self.name!r}, f0={self.f0_hz:.4g} Hz, "
+            f"b_th={self.psd.b_thermal_hz:.4g} Hz, "
+            f"b_fl={self.psd.b_flicker_hz2:.4g} Hz^2, stages={self.n_stages})"
+        )

@@ -1,0 +1,33 @@
+"""Phase-noise layer: ISF conversion, the Eq. 10 PSD model and period synthesis.
+
+This package is the middle layer of the multilevel approach (Fig. 3 of the
+paper): it turns transistor-level noise currents into the excess-phase PSD
+``S_phi(f) = b_fl/f^3 + b_th/f^2`` and synthesizes jittery period sequences
+with exactly that spectrum.
+"""
+
+from .isf import (
+    ImpulseSensitivityFunction,
+    phase_psd_from_current_noise,
+    phase_psd_from_inverter,
+    ring_oscillation_frequency,
+)
+from .psd import PhaseNoisePSD
+from .synthesis import (
+    JitterDecomposition,
+    PeriodJitterSynthesizer,
+    synthesize_periods,
+    synthesize_relative_periods,
+)
+
+__all__ = [
+    "ImpulseSensitivityFunction",
+    "JitterDecomposition",
+    "PeriodJitterSynthesizer",
+    "PhaseNoisePSD",
+    "phase_psd_from_current_noise",
+    "phase_psd_from_inverter",
+    "ring_oscillation_frequency",
+    "synthesize_periods",
+    "synthesize_relative_periods",
+]

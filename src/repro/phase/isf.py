@@ -1,0 +1,172 @@
+"""Hajimiri impulse-sensitivity-function (ISF) conversion of current noise to phase noise.
+
+Section III-C-1 of the paper relies on Hajimiri's linear time-variant model:
+the impact of the drain-current noise ``i_ds`` on the excess phase ``phi`` is
+captured by a periodic impulse sensitivity function ``Gamma``.  A sinusoidal
+noise current at frequency ``nu`` with amplitude ``I_i`` produces an excess
+phase sinusoid at ``f = nu mod f0`` with amplitude
+
+    I_i * d_m / (2 * C_L * V_DD * f),      m = floor(nu / f0),
+
+where ``d_m`` is the m-th Fourier coefficient of the ISF and
+``q_max = C_L * V_DD`` is the maximum charge swing of the oscillation node.
+
+Integrating that transfer over the noise PSDs of Section III-A yields the
+two-coefficient phase PSD of Eq. 10:
+
+* white (thermal) current noise folds from every harmonic, weighted by the sum
+  of all ``d_m^2``, and gives the ``b_th / f^2`` term;
+* flicker (1/f) current noise is up-converted only around DC, weighted by
+  ``d_0^2`` (the ISF average, non-zero for any real, asymmetric waveform), and
+  gives the ``b_fl / f^3`` term.
+
+This module performs exactly that bookkeeping so that ``b_th`` and ``b_fl``
+can be *predicted* from transistor-level quantities — the heart of the
+multilevel approach (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..noise.transistor import InverterCell
+from .psd import PhaseNoisePSD
+
+
+@dataclass(frozen=True)
+class ImpulseSensitivityFunction:
+    """Fourier description of a (2*pi-periodic) impulse sensitivity function.
+
+    Attributes
+    ----------
+    dc_coefficient:
+        ``d_0``, the average of the ISF over one period.  It controls the
+        up-conversion of flicker noise; a perfectly symmetric waveform would
+        have ``d_0 = 0`` and no ``1/f^3`` phase noise at all.
+    harmonic_coefficients:
+        ``(d_1, d_2, ...)``, the amplitudes of the higher ISF harmonics.
+        They control how white noise around each carrier harmonic folds down.
+    """
+
+    dc_coefficient: float
+    harmonic_coefficients: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.harmonic_coefficients) == 0:
+            raise ValueError("at least one harmonic coefficient is required")
+
+    @property
+    def sum_of_squares(self) -> float:
+        """``d_0^2 + sum_m d_m^2`` — the white-noise folding weight."""
+        harmonics = np.asarray(self.harmonic_coefficients, dtype=float)
+        return float(self.dc_coefficient**2 + np.sum(harmonics**2))
+
+    @property
+    def rms(self) -> float:
+        """RMS value of the ISF waveform, ``sqrt(sum of squares / 2)``-like."""
+        return float(np.sqrt(self.sum_of_squares / 2.0))
+
+    @classmethod
+    def ring_oscillator_default(
+        cls, n_harmonics: int = 8, asymmetry: float = 0.15
+    ) -> "ImpulseSensitivityFunction":
+        """Representative ISF of a CMOS ring-oscillator stage.
+
+        Hajimiri's measurements show the ring-stage ISF resembles a narrow
+        bipolar pulse around each transition; its harmonic content decays
+        roughly as ``1/m``.  ``asymmetry`` sets the relative size of the DC
+        coefficient (rise/fall mismatch) which governs flicker up-conversion.
+        """
+        if n_harmonics < 1:
+            raise ValueError("n_harmonics must be >= 1")
+        if asymmetry < 0.0:
+            raise ValueError("asymmetry must be >= 0")
+        harmonics = [0.9 / m for m in range(1, n_harmonics + 1)]
+        return cls(dc_coefficient=asymmetry, harmonic_coefficients=harmonics)
+
+
+def phase_psd_from_current_noise(
+    thermal_current_psd_a2_per_hz: float,
+    flicker_current_coefficient_a2: float,
+    q_max_coulomb: float,
+    isf: Optional[ImpulseSensitivityFunction] = None,
+    n_stages: int = 1,
+) -> PhaseNoisePSD:
+    """Convert drain-current noise PSDs into the phase PSD coefficients of Eq. 10.
+
+    Parameters
+    ----------
+    thermal_current_psd_a2_per_hz:
+        Per-stage white drain-current PSD ``S_ids,th`` [A^2/Hz].
+    flicker_current_coefficient_a2:
+        Per-stage flicker coefficient (``S_ids,fl(f) * f``) [A^2].
+    q_max_coulomb:
+        Maximum charge swing ``q_max = C_L * V_DD`` of one oscillation node [C].
+    isf:
+        Impulse sensitivity function of one stage; defaults to the
+        representative ring-oscillator ISF.
+    n_stages:
+        Number of (identical, independent) stages whose noise adds up.
+
+    Returns
+    -------
+    PhaseNoisePSD
+        ``b_th = n * (sum_m d_m^2) * S_th / (4 q_max^2)`` and
+        ``b_fl = n * d_0^2 * K_fl / (4 q_max^2)``, consistent with the paper's
+        amplitude relation ``I_i d_m / (2 q_max f)``.
+    """
+    if thermal_current_psd_a2_per_hz < 0.0:
+        raise ValueError("thermal current PSD must be >= 0")
+    if flicker_current_coefficient_a2 < 0.0:
+        raise ValueError("flicker coefficient must be >= 0")
+    if q_max_coulomb <= 0.0:
+        raise ValueError("q_max must be > 0")
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    isf = ImpulseSensitivityFunction.ring_oscillator_default() if isf is None else isf
+
+    denominator = 4.0 * q_max_coulomb**2
+    b_thermal = (
+        n_stages * isf.sum_of_squares * thermal_current_psd_a2_per_hz / denominator
+    )
+    b_flicker = (
+        n_stages
+        * isf.dc_coefficient**2
+        * flicker_current_coefficient_a2
+        / denominator
+    )
+    return PhaseNoisePSD(b_thermal_hz=b_thermal, b_flicker_hz2=b_flicker)
+
+
+def phase_psd_from_inverter(
+    cell: InverterCell,
+    n_stages: int,
+    isf: Optional[ImpulseSensitivityFunction] = None,
+) -> PhaseNoisePSD:
+    """Predict ``b_th`` and ``b_fl`` of an ``n_stages`` ring built from ``cell``.
+
+    This is the complete bottom-up path of the multilevel approach: device
+    geometry and bias -> current-noise PSDs -> ISF conversion -> phase PSD.
+    """
+    if n_stages < 3:
+        raise ValueError("a ring oscillator needs at least 3 stages")
+    q_max = cell.load_capacitance_f * cell.supply_voltage_v
+    return phase_psd_from_current_noise(
+        thermal_current_psd_a2_per_hz=cell.total_thermal_psd(),
+        flicker_current_coefficient_a2=cell.total_flicker_coefficient(),
+        q_max_coulomb=q_max,
+        isf=isf,
+        n_stages=n_stages,
+    )
+
+
+def ring_oscillation_frequency(cell: InverterCell, n_stages: int) -> float:
+    """Nominal oscillation frequency ``f0 = 1 / (2 n t_d)`` of the ring [Hz]."""
+    if n_stages < 3:
+        raise ValueError("a ring oscillator needs at least 3 stages")
+    if n_stages % 2 == 0:
+        raise ValueError("a simple inverter ring needs an odd number of stages")
+    return 1.0 / (2.0 * n_stages * cell.propagation_delay())

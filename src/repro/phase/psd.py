@@ -1,0 +1,148 @@
+"""Phase-noise power spectral density model ``S_phi(f) = b_fl/f^3 + b_th/f^2``.
+
+Equation 10 of the paper: following Hajimiri's LTV analysis, the white
+(thermal) drain-current noise of the ring-oscillator transistors produces a
+``1/f^2`` excess-phase PSD and the flicker (1/f) noise a ``1/f^3`` PSD.  The
+two positive constants ``b_th`` [Hz] and ``b_fl`` [Hz^2] fully parameterise
+the oscillator's phase noise in this model and are the quantities the whole
+paper revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PhaseNoisePSD:
+    """The two-coefficient phase-noise PSD of Eq. 10.
+
+    Attributes
+    ----------
+    b_thermal_hz:
+        Coefficient of the ``1/f^2`` (thermal / white-FM) term [Hz].
+    b_flicker_hz2:
+        Coefficient of the ``1/f^3`` (flicker-FM) term [Hz^2].
+    """
+
+    b_thermal_hz: float
+    b_flicker_hz2: float
+
+    def __post_init__(self) -> None:
+        if self.b_thermal_hz < 0.0:
+            raise ValueError(f"b_th must be >= 0, got {self.b_thermal_hz!r}")
+        if self.b_flicker_hz2 < 0.0:
+            raise ValueError(f"b_fl must be >= 0, got {self.b_flicker_hz2!r}")
+
+    def __call__(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``S_phi(f)`` [rad^2/Hz] at offset frequency ``f`` > 0."""
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0.0):
+            raise ValueError("S_phi(f) is only defined for f > 0")
+        result = (
+            self.b_flicker_hz2 / frequency**3 + self.b_thermal_hz / frequency**2
+        )
+        if np.isscalar(frequency_hz):
+            return float(result)
+        return result
+
+    def thermal_part(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """The ``b_th/f^2`` component alone [rad^2/Hz]."""
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0.0):
+            raise ValueError("S_phi(f) is only defined for f > 0")
+        result = self.b_thermal_hz / frequency**2
+        if np.isscalar(frequency_hz):
+            return float(result)
+        return result
+
+    def flicker_part(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """The ``b_fl/f^3`` component alone [rad^2/Hz]."""
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0.0):
+            raise ValueError("S_phi(f) is only defined for f > 0")
+        result = self.b_flicker_hz2 / frequency**3
+        if np.isscalar(frequency_hz):
+            return float(result)
+        return result
+
+    def corner_frequency_hz(self) -> float:
+        """Flicker corner of the phase noise: frequency where both terms are equal.
+
+        ``b_fl/f^3 = b_th/f^2`` at ``f = b_fl / b_th``.  Below the corner the
+        flicker term dominates.  Returns ``0.0`` when there is no flicker term
+        and ``inf`` when there is no thermal term.
+        """
+        if self.b_flicker_hz2 == 0.0:
+            return 0.0
+        if self.b_thermal_hz == 0.0:
+            return float("inf")
+        return self.b_flicker_hz2 / self.b_thermal_hz
+
+    def phase_noise_dbc_per_hz(
+        self, offset_hz: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Single-sideband phase noise L(f) = S_phi(f)/2 expressed in dBc/Hz."""
+        spectrum = np.asarray(self(offset_hz), dtype=float) / 2.0
+        result = 10.0 * np.log10(spectrum)
+        if np.isscalar(offset_hz):
+            return float(result)
+        return result
+
+    # -- Per-period jitter parameters used by the time-domain synthesiser ---
+
+    def thermal_period_jitter_variance(self, f0_hz: float) -> float:
+        """Variance of the *independent* per-period jitter implied by ``b_th`` [s^2].
+
+        Section IV-A of the paper: when only thermal noise acts, jitter
+        realizations are independent and ``sigma^2 = b_th / f0^3``.
+        """
+        _validate_f0(f0_hz)
+        return self.b_thermal_hz / f0_hz**3
+
+    def flicker_fractional_frequency_coefficient(self, f0_hz: float) -> float:
+        """One-sided fractional-frequency flicker coefficient ``h_{-1}`` [1].
+
+        The flicker-FM part of the phase PSD corresponds to a fractional
+        frequency PSD ``S_y(f) = h_{-1}/f``.  The value ``h_{-1} = 2 b_fl/f0^2``
+        is the one that makes the synthesized accumulated variance match the
+        paper's closed form ``sigma^2_N,fl = 8 ln2 b_fl N^2 / f0^4``
+        (using the Allan-variance identity ``sigma_y^2(tau) = 2 ln2 h_{-1}``
+        for flicker FM and ``Var(s_N) = 2 (N/f0)^2 sigma_y^2``).
+        """
+        _validate_f0(f0_hz)
+        return 2.0 * self.b_flicker_hz2 / f0_hz**2
+
+    # -- Construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_jitter_parameters(
+        cls,
+        f0_hz: float,
+        thermal_jitter_std_s: float,
+        flicker_h_minus1: float = 0.0,
+    ) -> "PhaseNoisePSD":
+        """Inverse of the two accessors above: build the PSD from jitter values."""
+        _validate_f0(f0_hz)
+        if thermal_jitter_std_s < 0.0:
+            raise ValueError("thermal jitter std must be >= 0")
+        if flicker_h_minus1 < 0.0:
+            raise ValueError("h_{-1} must be >= 0")
+        b_th = thermal_jitter_std_s**2 * f0_hz**3
+        b_fl = flicker_h_minus1 * f0_hz**2 / 2.0
+        return cls(b_thermal_hz=b_th, b_flicker_hz2=b_fl)
+
+    def split(self) -> Tuple["PhaseNoisePSD", "PhaseNoisePSD"]:
+        """Return (thermal-only, flicker-only) PSD objects."""
+        return (
+            PhaseNoisePSD(self.b_thermal_hz, 0.0),
+            PhaseNoisePSD(0.0, self.b_flicker_hz2),
+        )
+
+
+def _validate_f0(f0_hz: float) -> None:
+    if f0_hz <= 0.0:
+        raise ValueError(f"oscillator frequency f0 must be > 0, got {f0_hz!r}")

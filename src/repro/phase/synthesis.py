@@ -1,0 +1,213 @@
+"""Time-domain synthesis of jittery oscillator periods from a phase-noise PSD.
+
+This is the "virtual oscillator" used throughout the reproduction: given the
+two-coefficient phase PSD of Eq. 10 (``b_th``, ``b_fl``) and the nominal
+frequency ``f0``, it produces sample paths of the period process
+``T = (T(t_i))_i`` and therefore of the period jitter ``J = T - 1/f0``
+(Eq. 3).
+
+Synthesis model
+---------------
+* The thermal (``b_th/f^2``) component is white frequency modulation: each
+  period receives an independent Gaussian perturbation of variance
+  ``sigma_th^2 = b_th / f0^3`` (Section IV-A of the paper).
+* The flicker (``b_fl/f^3``) component is flicker frequency modulation: the
+  fractional frequency deviation ``y_i`` of period ``i`` is a 1/f noise
+  sequence with one-sided PSD ``S_y(f) = h_{-1}/f`` where
+  ``h_{-1} = 2 b_fl / f0^2``; the corresponding period perturbation is
+  ``-y_i / f0``.
+
+With those two choices the accumulated two-sample variance ``sigma^2_N`` of
+the synthesized periods matches the paper's closed form (Eq. 11)
+
+    sigma^2_N = (2 b_th / f0^3) N + (8 ln2 b_fl / f0^4) N^2,
+
+which the test-suite verifies statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..noise.flicker import generate_pink_noise
+from .psd import PhaseNoisePSD
+
+
+@dataclass(frozen=True)
+class JitterDecomposition:
+    """A synthesized period sequence together with its ground-truth components.
+
+    Attributes
+    ----------
+    periods_s:
+        The total period sequence ``T(t_i)`` [s].
+    thermal_jitter_s:
+        The white, mutually independent jitter contribution [s].
+    flicker_jitter_s:
+        The autocorrelated 1/f jitter contribution [s].
+    nominal_period_s:
+        ``1/f0`` [s].
+    """
+
+    periods_s: np.ndarray
+    thermal_jitter_s: np.ndarray
+    flicker_jitter_s: np.ndarray
+    nominal_period_s: float
+
+    @property
+    def jitter_s(self) -> np.ndarray:
+        """Total period jitter ``J = T - 1/f0`` (Eq. 3) [s]."""
+        return self.periods_s - self.nominal_period_s
+
+    @property
+    def n_periods(self) -> int:
+        """Number of synthesized periods."""
+        return int(self.periods_s.size)
+
+
+class PeriodJitterSynthesizer:
+    """Generates period sequences of an oscillator with a given phase-noise PSD.
+
+    Parameters
+    ----------
+    f0_hz:
+        Nominal oscillation frequency [Hz].
+    psd:
+        Phase-noise PSD (``b_th``, ``b_fl``) of the oscillator.
+    rng:
+        Optional random generator; a fresh default generator is used if omitted.
+    flicker_method:
+        1/f generator passed to :func:`repro.noise.flicker.generate_pink_noise`.
+    """
+
+    def __init__(
+        self,
+        f0_hz: float,
+        psd: PhaseNoisePSD,
+        rng: Optional[np.random.Generator] = None,
+        flicker_method: str = "spectral",
+    ) -> None:
+        if f0_hz <= 0.0:
+            raise ValueError(f"f0 must be > 0, got {f0_hz!r}")
+        self.f0_hz = float(f0_hz)
+        self.psd = psd
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.flicker_method = flicker_method
+
+    @property
+    def nominal_period_s(self) -> float:
+        """Nominal period ``T0 = 1/f0`` [s]."""
+        return 1.0 / self.f0_hz
+
+    @property
+    def thermal_jitter_std_s(self) -> float:
+        """Standard deviation of the independent per-period jitter [s]."""
+        return float(np.sqrt(self.psd.thermal_period_jitter_variance(self.f0_hz)))
+
+    def decompose(self, n_periods: int) -> JitterDecomposition:
+        """Synthesize ``n_periods`` periods, keeping the components separate."""
+        if n_periods < 0:
+            raise ValueError(f"n_periods must be >= 0, got {n_periods!r}")
+        thermal = self._thermal_component(n_periods)
+        flicker = self._flicker_component(n_periods)
+        periods = self.nominal_period_s + thermal + flicker
+        return JitterDecomposition(
+            periods_s=periods,
+            thermal_jitter_s=thermal,
+            flicker_jitter_s=flicker,
+            nominal_period_s=self.nominal_period_s,
+        )
+
+    def periods(self, n_periods: int) -> np.ndarray:
+        """Synthesize ``n_periods`` period values ``T(t_i)`` [s]."""
+        return self.decompose(n_periods).periods_s
+
+    def jitter(self, n_periods: int) -> np.ndarray:
+        """Synthesize ``n_periods`` jitter values ``J(t_i) = T(t_i) - 1/f0`` [s]."""
+        return self.decompose(n_periods).jitter_s
+
+    def edge_times(self, n_periods: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Absolute times of the rising edges ``t_1 .. t_{n}`` [s].
+
+        Returns ``n_periods + 1`` edge times starting at ``start_time_s`` so
+        that consecutive differences reproduce the period sequence.
+        """
+        periods = self.periods(n_periods)
+        edges = np.empty(n_periods + 1)
+        edges[0] = start_time_s
+        np.cumsum(periods, out=edges[1:])
+        edges[1:] += start_time_s
+        return edges
+
+    def excess_phase(self, n_periods: int) -> np.ndarray:
+        """Excess phase ``phi(t_i)`` at each rising edge [rad].
+
+        From Eq. 7 of the paper, ``T(t_i) = 1/f0 + (phi(t_i) - phi(t_{i+1}))
+        / (2 pi f0)``, so the excess phase is (minus) the accumulated jitter
+        scaled by ``2 pi f0``; the first edge is taken as phase reference 0.
+        """
+        jitter = self.jitter(n_periods)
+        phase = np.empty(n_periods + 1)
+        phase[0] = 0.0
+        np.cumsum(-jitter * 2.0 * np.pi * self.f0_hz, out=phase[1:])
+        return phase
+
+    # -- internal ------------------------------------------------------------
+
+    def _thermal_component(self, n_periods: int) -> np.ndarray:
+        sigma = self.thermal_jitter_std_s
+        if sigma == 0.0 or n_periods == 0:
+            return np.zeros(n_periods)
+        return self.rng.normal(0.0, sigma, size=n_periods)
+
+    def _flicker_component(self, n_periods: int) -> np.ndarray:
+        h_minus1 = self.psd.flicker_fractional_frequency_coefficient(self.f0_hz)
+        if h_minus1 == 0.0 or n_periods == 0:
+            return np.zeros(n_periods)
+        fractional_frequency = np.sqrt(h_minus1) * generate_pink_noise(
+            n_periods, rng=self.rng, method=self.flicker_method
+        )
+        # A fractional-frequency deviation y shortens/lengthens the period by
+        # approximately -y * T0 (first order in y, |y| << 1).
+        return -fractional_frequency * self.nominal_period_s
+
+
+def synthesize_periods(
+    f0_hz: float,
+    psd: PhaseNoisePSD,
+    n_periods: int,
+    rng: Optional[np.random.Generator] = None,
+    flicker_method: str = "spectral",
+) -> np.ndarray:
+    """Convenience wrapper: synthesize a period sequence in one call [s]."""
+    synthesizer = PeriodJitterSynthesizer(
+        f0_hz, psd, rng=rng, flicker_method=flicker_method
+    )
+    return synthesizer.periods(n_periods)
+
+
+def synthesize_relative_periods(
+    f0_hz: float,
+    psd_osc1: PhaseNoisePSD,
+    psd_osc2: PhaseNoisePSD,
+    n_periods: int,
+    rng: Optional[np.random.Generator] = None,
+    flicker_method: str = "spectral",
+) -> np.ndarray:
+    """Periods of oscillator 1 *relative to* oscillator 2 (both at ``f0``) [s].
+
+    The eRO-TRNG of Fig. 4 exploits the relative jitter of two nominally
+    identical rings.  Because the two oscillators are physically independent,
+    the relative jitter is the difference of two independent realizations and
+    its phase PSD is the sum of the two individual PSDs.
+    """
+    combined = PhaseNoisePSD(
+        b_thermal_hz=psd_osc1.b_thermal_hz + psd_osc2.b_thermal_hz,
+        b_flicker_hz2=psd_osc1.b_flicker_hz2 + psd_osc2.b_flicker_hz2,
+    )
+    return synthesize_periods(
+        f0_hz, combined, n_periods, rng=rng, flicker_method=flicker_method
+    )

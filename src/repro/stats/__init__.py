@@ -1,0 +1,62 @@
+"""Frequency-stability and general statistics used throughout the library."""
+
+from .allan import (
+    AllanVariancePoint,
+    allan_deviation,
+    allan_variance,
+    allan_variance_curve,
+    allan_variance_flicker_fm,
+    allan_variance_white_fm,
+    fractional_frequency_from_periods,
+    octave_spaced_factors,
+    sigma2_n_from_allan_variance,
+)
+from .autocorrelation import (
+    LjungBoxResult,
+    autocorrelation,
+    first_lag_correlation_test,
+    lag_scatter,
+    ljung_box_test,
+)
+from .noise_identification import (
+    ALLAN_SLOPES,
+    NoiseRegimeReport,
+    identify_noise_from_allan,
+    identify_noise_regions,
+    local_log_slope,
+)
+from .bootstrap import (
+    ConfidenceInterval,
+    block_bootstrap_indices,
+    bootstrap_confidence_interval,
+)
+from .psd_estimation import PSDEstimate, fit_power_law, periodogram_psd, welch_psd
+
+__all__ = [
+    "ALLAN_SLOPES",
+    "AllanVariancePoint",
+    "ConfidenceInterval",
+    "LjungBoxResult",
+    "NoiseRegimeReport",
+    "PSDEstimate",
+    "allan_deviation",
+    "allan_variance",
+    "allan_variance_curve",
+    "allan_variance_flicker_fm",
+    "allan_variance_white_fm",
+    "autocorrelation",
+    "block_bootstrap_indices",
+    "bootstrap_confidence_interval",
+    "first_lag_correlation_test",
+    "fit_power_law",
+    "fractional_frequency_from_periods",
+    "identify_noise_from_allan",
+    "identify_noise_regions",
+    "lag_scatter",
+    "local_log_slope",
+    "ljung_box_test",
+    "octave_spaced_factors",
+    "periodogram_psd",
+    "sigma2_n_from_allan_variance",
+    "welch_psd",
+]

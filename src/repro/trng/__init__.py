@@ -1,0 +1,40 @@
+"""TRNG construction layer: digitizer, eRO-TRNG, post-processing, entropy tools."""
+
+from .digitizer import DFlipFlopSampler, SamplingResult, square_wave_level
+from .entropy import (
+    binary_entropy,
+    block_probabilities,
+    conditional_entropy_per_bit,
+    entropy_from_bias,
+    markov_entropy_rate,
+    min_entropy_per_bit,
+    shannon_entropy_per_bit,
+)
+from .ero_trng import EROTRNG, EROTRNGConfiguration
+from .postprocessing import (
+    LFSRWhitener,
+    bias,
+    parity_filter,
+    von_neumann,
+    xor_decimation,
+)
+
+__all__ = [
+    "DFlipFlopSampler",
+    "EROTRNG",
+    "EROTRNGConfiguration",
+    "LFSRWhitener",
+    "SamplingResult",
+    "bias",
+    "binary_entropy",
+    "block_probabilities",
+    "conditional_entropy_per_bit",
+    "entropy_from_bias",
+    "markov_entropy_rate",
+    "min_entropy_per_bit",
+    "parity_filter",
+    "shannon_entropy_per_bit",
+    "square_wave_level",
+    "von_neumann",
+    "xor_decimation",
+]

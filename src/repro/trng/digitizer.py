@@ -1,0 +1,150 @@
+"""Digitizer models: turning the raw random analog signal into raw bits.
+
+According to AIS31 (Fig. 1 of the paper) the digitizer transforms the raw
+random analog signal into the raw binary sequence.  For ring-oscillator TRNGs
+the standard digitizer is a D flip-flop: the jittery oscillator output is
+sampled on the (divided) edges of a second clock, so each output bit is the
+instantaneous logic level of the sampled oscillator.
+
+:class:`DFlipFlopSampler` implements that at the event level (edge times in,
+bits out), which keeps it valid for any pair of clocks — free-running rings,
+PLL-synthesized clocks, attacked oscillators — as long as they expose the
+:class:`repro.oscillator.period_model.Clock` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..oscillator.period_model import Clock
+
+
+def square_wave_level(
+    sample_times_s: np.ndarray,
+    rising_edge_times_s: np.ndarray,
+    duty_cycle: float = 0.5,
+) -> np.ndarray:
+    """Logic level of a square wave (defined by its rising edges) at given times.
+
+    Parameters
+    ----------
+    sample_times_s:
+        Times at which the wave is sampled [s]; must fall inside the span of
+        the provided edges.
+    rising_edge_times_s:
+        Sorted rising-edge times of the wave [s].  The wave is high for
+        ``duty_cycle`` of each period following a rising edge.
+    duty_cycle:
+        High fraction of each period (0 < duty_cycle < 1).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of 0/1 integers, one per sample time.
+    """
+    samples = np.asarray(sample_times_s, dtype=float)
+    edges = np.asarray(rising_edge_times_s, dtype=float)
+    if not 0.0 < duty_cycle < 1.0:
+        raise ValueError("duty cycle must be in (0, 1)")
+    if edges.size < 2:
+        raise ValueError("need at least two rising edges")
+    if np.any(samples < edges[0]) or np.any(samples >= edges[-1]):
+        raise ValueError("sample times must fall within the span of the edges")
+    indices = np.searchsorted(edges, samples, side="right") - 1
+    period_start = edges[indices]
+    period_length = edges[indices + 1] - period_start
+    phase_fraction = (samples - period_start) / period_length
+    return (phase_fraction < duty_cycle).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class SamplingResult:
+    """Bits produced by a sampling run, plus the timing information behind them."""
+
+    bits: np.ndarray
+    sample_times_s: np.ndarray
+    sampled_frequency_hz: float
+    sampling_frequency_hz: float
+
+    @property
+    def n_bits(self) -> int:
+        """Number of sampled bits."""
+        return int(self.bits.size)
+
+    @property
+    def accumulation_ratio(self) -> float:
+        """Average number of sampled-oscillator periods between two samples."""
+        return self.sampled_frequency_hz / self.sampling_frequency_hz
+
+
+class DFlipFlopSampler:
+    """D flip-flop sampling of a jittery oscillator by a (divided) clock.
+
+    Parameters
+    ----------
+    sampled_oscillator:
+        The fast, jittery oscillator connected to the D input.
+    sampling_clock:
+        The clock connected to the flip-flop clock input.
+    divider:
+        Optional integer divider applied to the sampling clock (a divider of
+        ``D`` means one sample every ``D`` sampling-clock periods), as used by
+        eRO-TRNG designs to let the jitter accumulate.
+    duty_cycle:
+        Duty cycle of the sampled oscillator waveform.
+    """
+
+    def __init__(
+        self,
+        sampled_oscillator: Clock,
+        sampling_clock: Clock,
+        divider: int = 1,
+        duty_cycle: float = 0.5,
+    ) -> None:
+        if divider < 1:
+            raise ValueError("divider must be >= 1")
+        if not 0.0 < duty_cycle < 1.0:
+            raise ValueError("duty cycle must be in (0, 1)")
+        self.sampled_oscillator = sampled_oscillator
+        self.sampling_clock = sampling_clock
+        self.divider = int(divider)
+        self.duty_cycle = duty_cycle
+
+    @property
+    def effective_sampling_frequency_hz(self) -> float:
+        """Sampling frequency after division [Hz]."""
+        return self.sampling_clock.f0_hz / self.divider
+
+    def sample(self, n_bits: int) -> SamplingResult:
+        """Produce ``n_bits`` raw bits.
+
+        The sampled oscillator's edge record is generated with a 10 % margin
+        over the nominal duration of the sampling window so that accumulated
+        jitter and frequency mismatch cannot run past the end of the record.
+        """
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        n_sampling_periods = n_bits * self.divider
+        sampling_edges = self.sampling_clock.edge_times(n_sampling_periods)
+        sample_times = sampling_edges[self.divider :: self.divider]
+        duration = sample_times[-1]
+        n_osc_periods = (
+            int(np.ceil(duration * self.sampled_oscillator.f0_hz * 1.1)) + 16
+        )
+        oscillator_edges = self.sampled_oscillator.edge_times(n_osc_periods)
+        if oscillator_edges[-1] <= sample_times[-1]:
+            raise RuntimeError(
+                "sampled-oscillator record too short; frequency mismatch exceeds margin"
+            )
+        bits = square_wave_level(
+            sample_times, oscillator_edges, duty_cycle=self.duty_cycle
+        )
+        return SamplingResult(
+            bits=bits,
+            sample_times_s=sample_times,
+            sampled_frequency_hz=self.sampled_oscillator.f0_hz,
+            sampling_frequency_hz=self.effective_sampling_frequency_hz,
+        )

@@ -1,0 +1,130 @@
+"""Entropy estimators for raw and post-processed bit streams.
+
+The security requirement on a P-TRNG is expressed as entropy per bit of the
+raw binary sequence (AIS31).  This module provides the empirical estimators
+used to *check* a bit stream (Shannon entropy of blocks, min-entropy,
+Markov-chain entropy rate) and the analytic helpers shared by the stochastic
+models (binary entropy of a known bias).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def binary_entropy(probability_of_one: float) -> float:
+    """Shannon entropy (bits) of a Bernoulli variable with the given probability."""
+    p = float(probability_of_one)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1.0 - p) * np.log2(1.0 - p))
+
+
+def entropy_from_bias(bias: float) -> float:
+    """Shannon entropy per bit of a Bernoulli bit with bias ``P(1) - 1/2``."""
+    if not -0.5 <= bias <= 0.5:
+        raise ValueError("bias must be in [-1/2, 1/2]")
+    return binary_entropy(0.5 + bias)
+
+
+def _as_bits(bits: Sequence[int] | np.ndarray) -> np.ndarray:
+    array = np.asarray(bits)
+    if array.ndim != 1:
+        raise ValueError("bit sequences must be one-dimensional")
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit sequences may only contain 0 and 1")
+    return array.astype(np.int64)
+
+
+def block_probabilities(bits: Sequence[int] | np.ndarray, block_size: int) -> np.ndarray:
+    """Empirical probabilities of all ``2**block_size`` non-overlapping blocks."""
+    array = _as_bits(bits)
+    if block_size < 1:
+        raise ValueError("block size must be >= 1")
+    if block_size > 24:
+        raise ValueError("block size above 24 bits is not supported")
+    n_blocks = array.size // block_size
+    if n_blocks == 0:
+        raise ValueError("sequence shorter than one block")
+    blocks = array[: n_blocks * block_size].reshape(n_blocks, block_size)
+    weights = 1 << np.arange(block_size - 1, -1, -1)
+    values = blocks @ weights
+    counts = np.bincount(values, minlength=1 << block_size)
+    return counts / n_blocks
+
+
+def shannon_entropy_per_bit(
+    bits: Sequence[int] | np.ndarray, block_size: int = 1
+) -> float:
+    """Empirical Shannon entropy per bit, estimated on ``block_size``-bit blocks."""
+    probabilities = block_probabilities(bits, block_size)
+    nonzero = probabilities[probabilities > 0.0]
+    entropy_per_block = float(-np.sum(nonzero * np.log2(nonzero)))
+    return entropy_per_block / block_size
+
+
+def min_entropy_per_bit(bits: Sequence[int] | np.ndarray, block_size: int = 1) -> float:
+    """Empirical min-entropy per bit: ``-log2(max block probability) / block_size``."""
+    probabilities = block_probabilities(bits, block_size)
+    max_probability = float(np.max(probabilities))
+    if max_probability <= 0.0:
+        raise ValueError("degenerate block distribution")
+    return float(-np.log2(max_probability) / block_size)
+
+
+def markov_entropy_rate(bits: Sequence[int] | np.ndarray) -> float:
+    """Entropy rate of the first-order Markov chain fitted to the bit stream.
+
+    This estimator, unlike the block Shannon entropy, is sensitive to serial
+    dependence between consecutive bits — the kind of defect produced by
+    correlated jitter — and is the basis of AIS31's T8-style evaluation of
+    the internal random numbers.
+    """
+    array = _as_bits(bits)
+    if array.size < 2:
+        raise ValueError("need at least two bits")
+    current = array[:-1]
+    following = array[1:]
+    entropy = 0.0
+    for state in (0, 1):
+        mask = current == state
+        state_probability = float(np.mean(mask))
+        if state_probability == 0.0:
+            continue
+        transition_probability = float(np.mean(following[mask]))
+        entropy += state_probability * binary_entropy(transition_probability)
+    return entropy
+
+
+def conditional_entropy_per_bit(
+    bits: Sequence[int] | np.ndarray, history_bits: int = 1
+) -> float:
+    """Entropy of a bit conditioned on the previous ``history_bits`` bits.
+
+    Generalises :func:`markov_entropy_rate` to longer histories; converges to
+    the true entropy rate of a stationary source as the history grows (at the
+    price of needing exponentially more data).
+    """
+    array = _as_bits(bits)
+    if history_bits < 1:
+        raise ValueError("history_bits must be >= 1")
+    if history_bits > 16:
+        raise ValueError("history_bits above 16 is not supported")
+    if array.size < history_bits + 1:
+        raise ValueError("sequence too short for the requested history")
+    weights = 1 << np.arange(history_bits - 1, -1, -1)
+    windows = np.lib.stride_tricks.sliding_window_view(array, history_bits)[:-1]
+    contexts = windows @ weights
+    next_bits = array[history_bits:]
+    entropy = 0.0
+    total = contexts.size
+    for context in np.unique(contexts):
+        mask = contexts == context
+        context_probability = float(np.count_nonzero(mask)) / total
+        transition_probability = float(np.mean(next_bits[mask]))
+        entropy += context_probability * binary_entropy(transition_probability)
+    return entropy

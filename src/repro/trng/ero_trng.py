@@ -1,0 +1,137 @@
+"""Elementary ring-oscillator TRNG (eRO-TRNG, Fig. 4 of the paper).
+
+Two free-running ring oscillators: the first drives the D input of a flip-flop
+and the second, divided by ``D`` (the accumulation length), drives its clock
+input.  The raw random analog signal is the relative jitter of the two rings;
+each output bit is decided by where the accumulated relative phase happens to
+land with respect to the sampled oscillator's edges.
+
+The class wires together the oscillator, digitizer and (optional)
+post-processing layers of this library and exposes both bit generation and
+the ground-truth parameters needed by the stochastic models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..oscillator.period_model import Clock
+from ..oscillator.ring import RingOscillator
+from ..paper import PAPER_F0_HZ
+from ..phase.psd import PhaseNoisePSD
+from .digitizer import DFlipFlopSampler, SamplingResult
+
+
+@dataclass(frozen=True)
+class EROTRNGConfiguration:
+    """Design parameters of an elementary RO-TRNG.
+
+    Attributes
+    ----------
+    f0_hz:
+        Nominal frequency of both ring oscillators [Hz].
+    oscillator_psd:
+        Per-oscillator phase-noise PSD.
+    divider:
+        Accumulation length ``D``: one output bit every ``D`` periods of the
+        sampling oscillator.
+    frequency_mismatch:
+        Relative frequency difference between the two rings; a small mismatch
+        is what sweeps the sampling point across the sampled period.
+    """
+
+    f0_hz: float
+    oscillator_psd: PhaseNoisePSD
+    divider: int
+    frequency_mismatch: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.f0_hz <= 0.0:
+            raise ValueError("f0 must be > 0")
+        if self.divider < 1:
+            raise ValueError("divider must be >= 1")
+        if abs(self.frequency_mismatch) >= 0.05:
+            raise ValueError("frequency mismatch must stay below 5%")
+
+
+class EROTRNG:
+    """Elementary RO-TRNG: two rings, one sampling flip-flop, optional post-processing."""
+
+    def __init__(
+        self,
+        configuration: EROTRNGConfiguration,
+        rng: Optional[np.random.Generator] = None,
+        postprocessor: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        self.configuration = configuration
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.postprocessor = postprocessor
+        mismatch = configuration.frequency_mismatch
+        self.sampled_oscillator = RingOscillator(
+            f0_hz=configuration.f0_hz * (1.0 + mismatch / 2.0),
+            psd=configuration.oscillator_psd,
+            rng=self.rng,
+            name="sampled",
+        )
+        self.sampling_oscillator = RingOscillator(
+            f0_hz=configuration.f0_hz * (1.0 - mismatch / 2.0),
+            psd=configuration.oscillator_psd,
+            rng=self.rng,
+            name="sampling",
+        )
+        self._sampler = DFlipFlopSampler(
+            self.sampled_oscillator,
+            self.sampling_oscillator,
+            divider=configuration.divider,
+        )
+
+    @classmethod
+    def paper_reference_design(
+        cls,
+        divider: int = 5000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "EROTRNG":
+        """An eRO-TRNG built from the paper-calibrated 103 MHz oscillators."""
+        from ..measurement.platform import PAPER_CYCLONE_III
+
+        configuration = EROTRNGConfiguration(
+            f0_hz=PAPER_F0_HZ,
+            oscillator_psd=PAPER_CYCLONE_III.oscillator_psd,
+            divider=divider,
+            frequency_mismatch=PAPER_CYCLONE_III.frequency_mismatch,
+        )
+        return cls(configuration, rng=rng)
+
+    @property
+    def divider(self) -> int:
+        """Accumulation length ``D`` (sampling-oscillator periods per bit)."""
+        return self.configuration.divider
+
+    @property
+    def relative_psd(self) -> PhaseNoisePSD:
+        """Ground-truth PSD of the relative jitter exploited by the TRNG."""
+        psd = self.configuration.oscillator_psd
+        return PhaseNoisePSD(2.0 * psd.b_thermal_hz, 2.0 * psd.b_flicker_hz2)
+
+    @property
+    def output_bit_rate_hz(self) -> float:
+        """Raw bit rate before post-processing [bit/s]."""
+        return self.sampling_oscillator.f0_hz / self.divider
+
+    def generate_raw(self, n_bits: int) -> SamplingResult:
+        """Generate ``n_bits`` raw bits together with their sampling times."""
+        return self._sampler.sample(n_bits)
+
+    def generate(self, n_bits: int) -> np.ndarray:
+        """Generate ``n_bits`` raw bits and apply the post-processor, if any.
+
+        Note that a decimating post-processor returns fewer than ``n_bits``
+        bits; callers that need an exact output length should loop.
+        """
+        raw = self.generate_raw(n_bits).bits
+        if self.postprocessor is None:
+            return raw
+        return self.postprocessor(raw)

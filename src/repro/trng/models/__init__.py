@@ -1,0 +1,29 @@
+"""Stochastic models of P-TRNGs: the classical baselines and the refined model."""
+
+from .amaki import AmakiMarkovModel
+from .baudet import (
+    BaudetModel,
+    bit_bias_upper_bound,
+    entropy_from_worst_case_bias,
+    entropy_lower_bound,
+    quality_factor,
+    required_quality_factor,
+)
+from .bernard_pll import CoherentSamplingModel, sweep_jitter
+from .refined import EntropyComparison, RefinedEntropyModel
+from .sunar import SunarModel
+
+__all__ = [
+    "AmakiMarkovModel",
+    "BaudetModel",
+    "CoherentSamplingModel",
+    "EntropyComparison",
+    "RefinedEntropyModel",
+    "SunarModel",
+    "bit_bias_upper_bound",
+    "entropy_from_worst_case_bias",
+    "entropy_lower_bound",
+    "quality_factor",
+    "required_quality_factor",
+    "sweep_jitter",
+]

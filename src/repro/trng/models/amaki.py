@@ -1,0 +1,177 @@
+"""Amaki-style Markov-chain model of an oscillator-based TRNG.
+
+Amaki, Hashimoto, Mitsuyama and Onoye ("A design procedure for
+oscillator-based hardware random number generator with stochastic behavior
+modeling", WISA 2011) describe the sampled oscillator phase as a Markov chain
+on a discretised phase circle: between two samples the phase advances by a
+deterministic amount (set by the frequency ratio) plus a Gaussian perturbation
+(the accumulated jitter), and each output bit is a deterministic function of
+the phase bin (high/low half of the period).
+
+This implementation keeps the three ingredients — phase discretisation,
+wrapped-Gaussian transition kernel and bit emission — and exposes the
+stationary distribution, per-bit probabilities and entropy rate.  Like the
+Baudet model it inherits the independence assumption: the jitter added at
+every step is independent of the past, so it serves as a second "classical"
+baseline for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..entropy import binary_entropy
+
+
+@dataclass
+class AmakiMarkovModel:
+    """Discretised phase-diffusion Markov model of a sampled oscillator.
+
+    Parameters
+    ----------
+    phase_step_fraction:
+        Deterministic phase advance per sample, as a fraction of one period
+        (set by the frequency ratio of the two oscillators, modulo 1).
+    jitter_std_fraction:
+        Standard deviation of the per-sample phase perturbation, as a
+        fraction of one period (accumulated jitter / T0).
+    n_bins:
+        Number of discretisation bins of the phase circle.
+    duty_cycle:
+        Fraction of the period during which the sampled waveform is high.
+    """
+
+    phase_step_fraction: float
+    jitter_std_fraction: float
+    n_bins: int = 256
+    duty_cycle: float = 0.5
+    _transition_matrix: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 8:
+            raise ValueError("need at least 8 phase bins")
+        if self.jitter_std_fraction < 0.0:
+            raise ValueError("jitter std must be >= 0")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty cycle must be in (0, 1)")
+        self.phase_step_fraction = float(self.phase_step_fraction) % 1.0
+
+    # -- transition kernel ------------------------------------------------------
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-stochastic transition matrix of the phase chain."""
+        if self._transition_matrix is not None:
+            return self._transition_matrix
+        n = self.n_bins
+        centers = (np.arange(n) + 0.5) / n
+        matrix = np.empty((n, n))
+        for source in range(n):
+            target_mean = centers[source] + self.phase_step_fraction
+            distances = _wrapped_difference(centers, target_mean)
+            matrix[source] = _wrapped_gaussian_density(
+                distances, self.jitter_std_fraction, bin_width=1.0 / n
+            )
+            row_sum = matrix[source].sum()
+            if row_sum <= 0.0:
+                # Degenerate (zero jitter): put all mass on the nearest bin.
+                matrix[source] = 0.0
+                matrix[source, int(np.argmin(np.abs(distances)))] = 1.0
+            else:
+                matrix[source] /= row_sum
+        self._transition_matrix = matrix
+        return matrix
+
+    def stationary_distribution(self, tolerance: float = 1e-12) -> np.ndarray:
+        """Stationary distribution of the phase chain (power iteration)."""
+        matrix = self.transition_matrix()
+        distribution = np.full(self.n_bins, 1.0 / self.n_bins)
+        for _iteration in range(10_000):
+            updated = distribution @ matrix
+            if np.max(np.abs(updated - distribution)) < tolerance:
+                return updated
+            distribution = updated
+        return distribution
+
+    # -- emission and entropy ---------------------------------------------------
+
+    def bit_for_bin(self, bin_index: np.ndarray | int) -> np.ndarray | int:
+        """Output bit associated with a phase bin (1 in the first ``duty_cycle``)."""
+        centers = (np.asarray(bin_index) + 0.5) / self.n_bins
+        bits = (centers % 1.0) < self.duty_cycle
+        if np.isscalar(bin_index):
+            return int(bits)
+        return bits.astype(np.int8)
+
+    def probability_of_one(self) -> float:
+        """Stationary probability that an output bit equals 1."""
+        distribution = self.stationary_distribution()
+        bits = self.bit_for_bin(np.arange(self.n_bins))
+        return float(np.sum(distribution[bits == 1]))
+
+    def entropy_per_bit(self) -> float:
+        """Stationary (marginal) Shannon entropy of one output bit."""
+        return binary_entropy(self.probability_of_one())
+
+    def conditional_entropy_per_bit(self) -> float:
+        """Entropy of the next bit given the current *bit* (not the full phase).
+
+        This is the quantity an external evaluator sees; it accounts for the
+        bit-to-bit memory introduced when the per-sample phase diffusion is
+        small compared to one period.
+        """
+        matrix = self.transition_matrix()
+        distribution = self.stationary_distribution()
+        bits = self.bit_for_bin(np.arange(self.n_bins))
+        entropy = 0.0
+        for bit_value in (0, 1):
+            mask = bits == bit_value
+            weight = float(np.sum(distribution[mask]))
+            if weight == 0.0:
+                continue
+            conditional_state = distribution[mask] / weight
+            next_distribution = conditional_state @ matrix[mask]
+            probability_one = float(np.sum(next_distribution[bits == 1]))
+            entropy += weight * binary_entropy(probability_one)
+        return entropy
+
+    def simulate_bits(
+        self, n_bits: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw a bit sequence by simulating the Markov chain."""
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        rng = np.random.default_rng() if rng is None else rng
+        matrix = self.transition_matrix()
+        cumulative = np.cumsum(matrix, axis=1)
+        state = int(rng.integers(0, self.n_bins))
+        bits = np.empty(n_bits, dtype=np.int8)
+        all_bits = self.bit_for_bin(np.arange(self.n_bins))
+        for index in range(n_bits):
+            state = int(np.searchsorted(cumulative[state], rng.random()))
+            state = min(state, self.n_bins - 1)
+            bits[index] = all_bits[state]
+        return bits
+
+
+def _wrapped_difference(values: np.ndarray, reference: float) -> np.ndarray:
+    """Signed circular difference on the unit circle, in (-0.5, 0.5]."""
+    difference = (values - reference) % 1.0
+    difference[difference > 0.5] -= 1.0
+    return difference
+
+
+def _wrapped_gaussian_density(
+    distances: np.ndarray, std: float, bin_width: float, n_wraps: int = 8
+) -> np.ndarray:
+    """Un-normalised wrapped Gaussian mass per bin."""
+    if std == 0.0:
+        return (np.abs(distances) <= bin_width / 2.0).astype(float)
+    density = np.zeros_like(distances)
+    for wrap in range(-n_wraps, n_wraps + 1):
+        density += np.exp(-0.5 * ((distances + wrap) / std) ** 2)
+    return density * bin_width

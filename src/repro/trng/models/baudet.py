@@ -1,0 +1,139 @@
+"""Baudet-style stochastic model of the eRO-TRNG (independence assumption).
+
+Baudet, Lubicz, Micolod and Tassiaux ("On the security of oscillator-based
+random number generators", J. Cryptology 2011) model the sampled phase of an
+elementary RO-TRNG as a Wiener process: between two samples the relative
+phase diffuses by a Gaussian amount whose variance grows *linearly* with the
+accumulation time — which is exactly the mutual-independence assumption the
+paper scrutinises.
+
+The key quantity is the quality factor
+
+    Q = sigma_acc^2 / T0^2
+
+the accumulated (relative) jitter variance between two samples expressed in
+squared periods of the sampled oscillator.  The model then gives:
+
+* the bias of the output bit:  |bias| <= (2/pi) exp(-2 pi^2 Q),
+* a lower bound on the Shannon entropy per bit:
+  H >= 1 - (4 / (pi^2 ln 2)) exp(-4 pi^2 Q).
+
+Both expressions come from expanding the wrapped-Gaussian sampling probability
+in Fourier series and keeping the dominant term; they are accurate as soon as
+Q is not tiny (Q >~ 0.05).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...trng.entropy import binary_entropy
+
+
+def quality_factor(accumulated_variance_s2: float, nominal_period_s: float) -> float:
+    """Quality factor ``Q = sigma_acc^2 / T0^2`` of one sampling interval."""
+    if accumulated_variance_s2 < 0.0:
+        raise ValueError("accumulated variance must be >= 0")
+    if nominal_period_s <= 0.0:
+        raise ValueError("nominal period must be > 0")
+    return accumulated_variance_s2 / nominal_period_s**2
+
+
+def bit_bias_upper_bound(quality: float) -> float:
+    """Worst-case output bias ``(2/pi) exp(-2 pi^2 Q)`` (capped at 1/2)."""
+    if quality < 0.0:
+        raise ValueError("quality factor must be >= 0")
+    return float(min(0.5, (2.0 / np.pi) * np.exp(-2.0 * np.pi**2 * quality)))
+
+
+def entropy_lower_bound(quality: float) -> float:
+    """Baudet et al. lower bound on the Shannon entropy per raw bit.
+
+    ``H >= 1 - (4/(pi^2 ln2)) exp(-4 pi^2 Q)``, clipped to [0, 1].
+    """
+    if quality < 0.0:
+        raise ValueError("quality factor must be >= 0")
+    bound = 1.0 - (4.0 / (np.pi**2 * np.log(2.0))) * np.exp(
+        -4.0 * np.pi**2 * quality
+    )
+    return float(min(max(bound, 0.0), 1.0))
+
+
+def entropy_from_worst_case_bias(quality: float) -> float:
+    """Shannon entropy of a bit carrying the worst-case bias for this ``Q``."""
+    return binary_entropy(0.5 + bit_bias_upper_bound(quality))
+
+
+def required_quality_factor(min_entropy_per_bit: float) -> float:
+    """Quality factor needed for the entropy lower bound to reach a target.
+
+    Inverts :func:`entropy_lower_bound`; AIS31's PTG.2 class effectively asks
+    for 0.997 bit of Shannon entropy per raw bit.
+    """
+    if not 0.0 < min_entropy_per_bit < 1.0:
+        raise ValueError("target entropy must be in (0, 1)")
+    deficit = 1.0 - min_entropy_per_bit
+    return float(
+        -np.log(deficit * np.pi**2 * np.log(2.0) / 4.0) / (4.0 * np.pi**2)
+    )
+
+
+@dataclass(frozen=True)
+class BaudetModel:
+    """Classical (Fig. 2) stochastic model of an eRO-TRNG.
+
+    Parameters
+    ----------
+    f0_hz:
+        Nominal frequency of the sampled oscillator [Hz].
+    per_period_jitter_variance_s2:
+        Variance attributed to *one* period of relative jitter, assumed to
+        accumulate linearly (independent realizations).  The classical
+        evaluation practice is to measure the total jitter over some window
+        and divide by the window length — which, as the paper shows, silently
+        folds the flicker noise into this figure.
+    """
+
+    f0_hz: float
+    per_period_jitter_variance_s2: float
+
+    def __post_init__(self) -> None:
+        if self.f0_hz <= 0.0:
+            raise ValueError("f0 must be > 0")
+        if self.per_period_jitter_variance_s2 < 0.0:
+            raise ValueError("variance must be >= 0")
+
+    @property
+    def nominal_period_s(self) -> float:
+        """Nominal period of the sampled oscillator [s]."""
+        return 1.0 / self.f0_hz
+
+    def accumulated_variance(self, accumulation_length: int) -> float:
+        """Variance after ``N`` periods under the independence assumption [s^2]."""
+        if accumulation_length < 1:
+            raise ValueError("accumulation length must be >= 1")
+        return self.per_period_jitter_variance_s2 * accumulation_length
+
+    def quality_factor(self, accumulation_length: int) -> float:
+        """``Q`` after ``N`` periods of accumulation."""
+        return quality_factor(
+            self.accumulated_variance(accumulation_length), self.nominal_period_s
+        )
+
+    def entropy_per_bit(self, accumulation_length: int) -> float:
+        """Entropy lower bound after ``N`` periods of accumulation."""
+        return entropy_lower_bound(self.quality_factor(accumulation_length))
+
+    def bias_upper_bound(self, accumulation_length: int) -> float:
+        """Worst-case bias after ``N`` periods of accumulation."""
+        return bit_bias_upper_bound(self.quality_factor(accumulation_length))
+
+    def accumulation_for_entropy(self, min_entropy_per_bit: float) -> int:
+        """Smallest ``N`` achieving the target entropy under this model."""
+        target_q = required_quality_factor(min_entropy_per_bit)
+        if self.per_period_jitter_variance_s2 == 0.0:
+            raise ValueError("zero jitter: the target entropy is unreachable")
+        needed = target_q * self.nominal_period_s**2 / self.per_period_jitter_variance_s2
+        return int(np.ceil(needed))

@@ -1,0 +1,98 @@
+"""Tests for the NIST SP 800-22-style complementary tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.nist import (
+    approximate_entropy_test,
+    cumulative_sums_test,
+    frequency_within_block_test,
+    nist_battery,
+    runs_test,
+    serial_test,
+)
+
+
+class TestOnIdealBits:
+    def test_frequency_within_block_passes(self, unbiased_bits):
+        assert frequency_within_block_test(unbiased_bits[:100_000]).passed
+
+    def test_runs_passes(self, unbiased_bits):
+        assert runs_test(unbiased_bits[:100_000]).passed
+
+    def test_cusum_passes(self, unbiased_bits):
+        assert cumulative_sums_test(unbiased_bits[:100_000]).passed
+
+    def test_serial_passes(self, unbiased_bits):
+        assert serial_test(unbiased_bits[:100_000]).passed
+
+    def test_approximate_entropy_passes(self, unbiased_bits):
+        assert approximate_entropy_test(unbiased_bits[:100_000]).passed
+
+    def test_battery_passes(self, unbiased_bits):
+        results = nist_battery(unbiased_bits[:100_000])
+        assert len(results) == 5
+        assert all(result.passed for result in results)
+
+    def test_p_values_look_uniformish(self, rng):
+        """P-values of independent ideal blocks should not cluster near 0."""
+        p_values = []
+        for _round in range(10):
+            block = rng.integers(0, 2, size=20_000)
+            p_values.append(frequency_within_block_test(block).statistic)
+        assert np.mean(p_values) > 0.2
+
+
+class TestOnDefectiveBits:
+    def test_frequency_within_block_fails_on_bias(self, biased_bits):
+        assert not frequency_within_block_test(biased_bits[:100_000]).passed
+
+    def test_runs_fails_on_sticky_bits(self, rng):
+        bits = np.empty(100_000, dtype=int)
+        bits[0] = 0
+        draws = rng.random(bits.size)
+        for index in range(1, bits.size):
+            bits[index] = bits[index - 1] if draws[index] < 0.7 else 1 - bits[index - 1]
+        assert not runs_test(bits).passed
+
+    def test_cusum_fails_on_drifting_bias(self, rng):
+        probabilities = np.linspace(0.45, 0.55, 100_000)
+        bits = (rng.random(100_000) < probabilities).astype(int)
+        result = cumulative_sums_test(bits)
+        # A slow drift inflates the cumulative excursion.
+        assert result.statistic < 0.2
+
+    def test_serial_fails_on_periodic_pattern(self):
+        bits = np.tile([0, 1, 1, 0], 25_000)
+        assert not serial_test(bits).passed
+
+    def test_approximate_entropy_fails_on_periodic_pattern(self):
+        bits = np.tile([0, 0, 1, 1, 0, 1], 20_000)
+        assert not approximate_entropy_test(bits).passed
+
+    def test_runs_pretest_catches_gross_bias(self, biased_bits):
+        result = runs_test(biased_bits[:100_000])
+        assert not result.passed
+        assert "pre-test" in result.details
+
+
+class TestValidation:
+    def test_short_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_within_block_test(np.ones(10, dtype=int))
+
+    def test_invalid_block_size(self, unbiased_bits):
+        with pytest.raises(ValueError):
+            frequency_within_block_test(unbiased_bits[:1000], block_size=4)
+
+    def test_invalid_pattern_lengths(self, unbiased_bits):
+        with pytest.raises(ValueError):
+            serial_test(unbiased_bits[:1000], pattern_length=1)
+        with pytest.raises(ValueError):
+            approximate_entropy_test(unbiased_bits[:1000], pattern_length=0)
+
+    def test_constant_sequence_fails_cusum(self):
+        result = cumulative_sums_test(np.ones(1000, dtype=int))
+        assert not result.passed

@@ -1,0 +1,81 @@
+"""Tests for the online-test framework and the total-failure test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.online import (
+    OnlineTestBench,
+    autocorrelation_online_test,
+    monobit_online_test,
+    total_failure_test,
+)
+from repro.ais31.procedure_a import t1_monobit_test
+
+
+class TestTotalFailureTest:
+    def test_passes_on_ideal_bits(self, unbiased_bits):
+        assert total_failure_test(unbiased_bits[:10_000]).passed
+
+    def test_fails_on_stuck_source(self):
+        bits = np.concatenate([np.random.default_rng(0).integers(0, 2, 100), np.ones(200, dtype=int)])
+        result = total_failure_test(bits, max_run_length=64)
+        assert not result.passed
+        assert result.statistic >= 200
+
+    def test_threshold_is_respected(self):
+        bits = np.concatenate([np.zeros(50, dtype=int), np.ones(1, dtype=int)])
+        assert total_failure_test(bits, max_run_length=64).passed
+        assert not total_failure_test(bits, max_run_length=40).passed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_failure_test(np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            total_failure_test(np.ones(10, dtype=int), max_run_length=1)
+
+
+class TestOnlineTestBench:
+    def test_healthy_stream_raises_no_alarm(self, unbiased_bits):
+        bench = monobit_online_test()
+        report = bench.run(unbiased_bits)
+        assert report.n_blocks == unbiased_bits.size // 20_000
+        assert report.n_failures <= 1
+        assert not report.alarm
+
+    def test_biased_stream_raises_alarm(self, biased_bits):
+        bench = monobit_online_test()
+        report = bench.run(biased_bits)
+        assert report.alarm
+        assert report.first_failure_block == 0
+
+    def test_alarm_threshold(self, biased_bits, unbiased_bits):
+        mixed = np.concatenate([unbiased_bits[:40_000], biased_bits[:20_000]])
+        bench = OnlineTestBench(
+            block_test=t1_monobit_test, block_size_bits=20_000, alarm_threshold=2
+        )
+        report = bench.run(mixed)
+        assert report.n_failures == 1
+        assert not report.alarm
+
+    def test_autocorrelation_bench(self, unbiased_bits):
+        bench = autocorrelation_online_test()
+        report = bench.run(unbiased_bits[:100_000])
+        assert report.n_blocks == 10
+        assert not report.alarm
+
+    def test_first_failure_none_when_all_pass(self, unbiased_bits):
+        report = monobit_online_test().run(unbiased_bits[:40_000])
+        assert report.first_failure_block is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineTestBench(block_test=t1_monobit_test, block_size_bits=0)
+        with pytest.raises(ValueError):
+            OnlineTestBench(
+                block_test=t1_monobit_test, block_size_bits=100, alarm_threshold=0
+            )
+        bench = monobit_online_test()
+        with pytest.raises(ValueError):
+            bench.run(np.ones(100, dtype=int))

@@ -1,0 +1,104 @@
+"""Tests for the AIS31 Procedure A battery (T0 - T5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.procedure_a import (
+    all_passed,
+    procedure_a,
+    t0_disjointness_test,
+    t1_monobit_test,
+    t2_poker_test,
+    t3_runs_test,
+    t4_long_run_test,
+    t5_autocorrelation_test,
+)
+
+
+class TestOnIdealBits:
+    def test_t1_passes(self, unbiased_bits):
+        assert t1_monobit_test(unbiased_bits).passed
+
+    def test_t2_passes(self, unbiased_bits):
+        assert t2_poker_test(unbiased_bits).passed
+
+    def test_t3_passes(self, unbiased_bits):
+        assert t3_runs_test(unbiased_bits).passed
+
+    def test_t4_passes(self, unbiased_bits):
+        assert t4_long_run_test(unbiased_bits).passed
+
+    def test_t5_passes(self, unbiased_bits):
+        assert t5_autocorrelation_test(unbiased_bits).passed
+
+    def test_t0_passes_on_long_ideal_stream(self, rng):
+        bits = rng.integers(0, 2, size=(1 << 16) * 48 + 64)
+        assert t0_disjointness_test(bits).passed
+
+    def test_full_battery_passes(self, unbiased_bits):
+        results = procedure_a(unbiased_bits)
+        assert all_passed(results)
+        assert len(results) == 5
+
+
+class TestOnDefectiveBits:
+    def test_t1_fails_on_biased_bits(self, biased_bits):
+        result = t1_monobit_test(biased_bits)
+        assert not result.passed
+        assert result.statistic > 10346
+
+    def test_t2_fails_on_patterned_bits(self):
+        bits = np.tile([1, 0, 1, 0], 5000)
+        assert not t2_poker_test(bits).passed
+
+    def test_t3_fails_on_sticky_bits(self, rng):
+        """A strongly correlated (sticky) source has far too few short runs."""
+        bits = np.empty(20_000, dtype=int)
+        bits[0] = 0
+        draws = rng.random(20_000)
+        for index in range(1, 20_000):
+            bits[index] = bits[index - 1] if draws[index] < 0.9 else 1 - bits[index - 1]
+        assert not t3_runs_test(bits).passed
+
+    def test_t4_fails_on_long_run(self, unbiased_bits):
+        bits = unbiased_bits[:20_000].copy()
+        bits[1000:1040] = 1
+        assert not t4_long_run_test(bits).passed
+
+    def test_t5_fails_on_alternating_bits(self):
+        bits = np.tile([0, 1], 5000)
+        assert not t5_autocorrelation_test(bits).passed
+
+    def test_t0_fails_on_repeating_words(self):
+        word = np.concatenate([np.ones(24, dtype=int), np.zeros(24, dtype=int)])
+        bits = np.tile(word, 1 << 16)
+        result = t0_disjointness_test(bits)
+        assert not result.passed
+        assert result.statistic > 0
+
+    def test_battery_reports_failures(self, biased_bits):
+        results = procedure_a(biased_bits)
+        assert not all_passed(results)
+
+
+class TestInputValidation:
+    def test_too_short_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            t1_monobit_test(np.ones(100, dtype=int))
+        with pytest.raises(ValueError):
+            t5_autocorrelation_test(np.ones(100, dtype=int))
+        with pytest.raises(ValueError):
+            t0_disjointness_test(np.ones(100, dtype=int))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            t1_monobit_test(np.full(20_000, 2))
+
+    def test_invalid_shift_rejected(self, unbiased_bits):
+        with pytest.raises(ValueError):
+            t5_autocorrelation_test(unbiased_bits, shift=0)
+
+    def test_result_truthiness(self, unbiased_bits):
+        assert bool(t1_monobit_test(unbiased_bits)) is True

@@ -1,0 +1,87 @@
+"""Tests for the AIS31 Procedure B battery (T6 - T8, Coron entropy estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.procedure_b import (
+    coron_entropy_estimate,
+    procedure_b,
+    t6_uniform_distribution_test,
+    t7_comparative_test,
+    t8_entropy_test,
+)
+
+
+class TestT6:
+    def test_passes_on_ideal_bits(self, unbiased_bits):
+        assert t6_uniform_distribution_test(unbiased_bits).passed
+
+    def test_fails_on_biased_bits(self, biased_bits):
+        assert not t6_uniform_distribution_test(biased_bits).passed
+
+    def test_fails_on_markov_bits(self, rng):
+        bits = np.empty(120_000, dtype=int)
+        bits[0] = 0
+        draws = rng.random(bits.size)
+        for index in range(1, bits.size):
+            bits[index] = bits[index - 1] if draws[index] < 0.6 else 1 - bits[index - 1]
+        assert not t6_uniform_distribution_test(bits).passed
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            t6_uniform_distribution_test(np.ones(1000, dtype=int))
+
+
+class TestT7:
+    def test_passes_on_ideal_bits(self, unbiased_bits):
+        assert t7_comparative_test(unbiased_bits).passed
+
+    def test_fails_on_history_dependent_bits(self, rng):
+        """Bits whose distribution depends on the previous 2-bit history."""
+        bits = np.empty(150_000, dtype=int)
+        bits[:2] = [0, 1]
+        draws = rng.random(bits.size)
+        for index in range(2, bits.size):
+            history = bits[index - 2] * 2 + bits[index - 1]
+            probability_one = [0.3, 0.5, 0.5, 0.7][history]
+            bits[index] = 1 if draws[index] < probability_one else 0
+        assert not t7_comparative_test(bits).passed
+
+
+class TestCoronEstimatorAndT8:
+    def test_ideal_bits_reach_full_entropy(self, unbiased_bits):
+        estimate = coron_entropy_estimate(unbiased_bits, block_size=8)
+        assert estimate / 8.0 == pytest.approx(1.0, abs=0.01)
+
+    def test_t8_passes_on_ideal_bits(self, unbiased_bits):
+        result = t8_entropy_test(unbiased_bits)
+        assert result.passed
+        assert result.statistic > 0.997
+
+    def test_t8_fails_on_biased_bits(self, biased_bits):
+        result = t8_entropy_test(biased_bits)
+        assert not result.passed
+        assert result.statistic < 0.95
+
+    def test_estimator_tracks_true_entropy_of_biased_source(self, biased_bits):
+        from repro.trng.entropy import binary_entropy
+
+        estimate = coron_entropy_estimate(biased_bits, block_size=8) / 8.0
+        assert estimate == pytest.approx(binary_entropy(0.7), abs=0.03)
+
+    def test_too_short_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            coron_entropy_estimate(np.ones(100, dtype=int))
+
+
+class TestBattery:
+    def test_procedure_b_on_ideal_bits(self, unbiased_bits):
+        results = procedure_b(unbiased_bits)
+        assert len(results) == 3
+        assert all(result.passed for result in results)
+
+    def test_procedure_b_flags_bias(self, biased_bits):
+        results = procedure_b(biased_bits)
+        assert not all(result.passed for result in results)

@@ -1,0 +1,110 @@
+"""Tests for the paper's proposed embedded thermal-noise online test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.thermal_test import (
+    ThermalNoiseOnlineTest,
+    characterize_reference,
+)
+from repro.attacks.frequency_injection import (
+    FrequencyInjectionAttack,
+    InjectionParameters,
+)
+from repro.oscillator.period_model import JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+#: A fast (strongly jittery) oscillator pair so the counter quantisation does
+#: not mask the thermal term at moderate accumulation lengths.
+B_THERMAL = 5e4
+F0 = 1e8
+
+
+@pytest.fixture
+def oscillator_pair():
+    psd = PhaseNoisePSD(b_thermal_hz=B_THERMAL, b_flicker_hz2=5e7)
+    rng = np.random.default_rng(21)
+    return (
+        JitteryClock(F0, psd, rng=rng),
+        JitteryClock(F0, psd, rng=rng),
+    )
+
+
+class TestConfigurationValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ThermalNoiseOnlineTest(reference_b_thermal_hz=0.0)
+        with pytest.raises(ValueError):
+            ThermalNoiseOnlineTest(reference_b_thermal_hz=100.0, minimum_ratio=1.5)
+        with pytest.raises(ValueError):
+            ThermalNoiseOnlineTest(
+                reference_b_thermal_hz=100.0, accumulation_lengths=(100, 100)
+            )
+        with pytest.raises(ValueError):
+            ThermalNoiseOnlineTest(reference_b_thermal_hz=100.0, n_windows=2)
+
+    def test_lengths_are_sorted(self):
+        test = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=100.0, accumulation_lengths=(4096, 512)
+        )
+        assert test.accumulation_lengths == (512, 4096)
+
+
+class TestEstimation:
+    def test_estimate_close_to_reference_on_healthy_pair(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        online = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=2.0 * B_THERMAL,
+            accumulation_lengths=(2048, 8192),
+            n_windows=192,
+        )
+        estimate = online.estimate_b_thermal(osc1, osc2)
+        assert estimate == pytest.approx(2.0 * B_THERMAL, rel=0.5)
+
+    def test_healthy_pair_passes(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        online = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=2.0 * B_THERMAL,
+            minimum_ratio=0.4,
+            accumulation_lengths=(2048, 8192),
+            n_windows=192,
+        )
+        result = online.execute(osc1, osc2)
+        assert result.passed
+        assert result.ratio > 0.4
+
+    def test_locked_oscillators_fail(self, oscillator_pair):
+        """A strong frequency-injection lock (which couples into both rings,
+        e.g. through the shared supply) suppresses the exploitable thermal
+        jitter and must trip the test — the scenario the paper's conclusion
+        targets."""
+        osc1, osc2 = oscillator_pair
+        parameters = InjectionParameters(
+            injection_frequency_hz=F0, locking_strength=0.97
+        )
+        attacked_1 = FrequencyInjectionAttack(
+            osc1, parameters, rng=np.random.default_rng(5)
+        )
+        attacked_2 = FrequencyInjectionAttack(
+            osc2, parameters, rng=np.random.default_rng(6)
+        )
+        online = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=2.0 * B_THERMAL,
+            minimum_ratio=0.4,
+            accumulation_lengths=(2048, 8192),
+            n_windows=192,
+        )
+        result = online.execute(attacked_1, attacked_2)
+        assert not result.passed
+        assert result.ratio < 0.4
+
+
+class TestCharacterisation:
+    def test_characterize_reference_recovers_relative_b_thermal(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        report = characterize_reference(
+            osc1, osc2, n_sweep=[1024, 2048, 4096, 8192], n_windows=128
+        )
+        assert report.b_thermal_hz == pytest.approx(2.0 * B_THERMAL, rel=0.5)

@@ -1,0 +1,99 @@
+"""Tests for the EM harmonic-injection attack model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.em_injection import EMInjectionAttack, EMInjectionParameters
+from repro.measurement.capture import relative_jitter_record
+from repro.oscillator.period_model import JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+
+def oscillator_pair(seed: int = 0):
+    psd = PhaseNoisePSD(b_thermal_hz=1e4, b_flicker_hz2=0.0)
+    rng = np.random.default_rng(seed)
+    return (
+        JitteryClock(103e6, psd, rng=rng),
+        JitteryClock(103e6, psd, rng=rng),
+    )
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EMInjectionParameters(coupling=1.5)
+        with pytest.raises(ValueError):
+            EMInjectionParameters(coupling=0.5, modulation_fraction=-1.0)
+        with pytest.raises(ValueError):
+            EMInjectionParameters(coupling=0.5, modulation_frequency_hz=0.0)
+
+
+class TestCoupling:
+    def test_attacked_pair_exposes_clock_interface(self):
+        osc1, osc2 = oscillator_pair()
+        attack = EMInjectionAttack(osc1, osc2, EMInjectionParameters(coupling=0.5))
+        a1, a2 = attack.attacked_pair()
+        assert a1.f0_hz == pytest.approx(osc1.f0_hz)
+        assert a2.periods(100).shape == (100,)
+        assert np.all(np.diff(a1.edge_times(100)) > 0.0)
+
+    def test_zero_coupling_preserves_relative_jitter(self):
+        osc1, osc2 = oscillator_pair(seed=1)
+        ref1, ref2 = oscillator_pair(seed=1)
+        attack = EMInjectionAttack(osc1, osc2, EMInjectionParameters(coupling=0.0))
+        a1, a2 = attack.attacked_pair()
+        attacked_record = relative_jitter_record(a1, a2, 40_000)
+        free_record = relative_jitter_record(ref1, ref2, 40_000)
+        assert np.var(attacked_record) == pytest.approx(np.var(free_record), rel=0.1)
+
+    def test_strong_coupling_collapses_relative_jitter(self):
+        osc1, osc2 = oscillator_pair(seed=2)
+        ref1, ref2 = oscillator_pair(seed=2)
+        attack = EMInjectionAttack(osc1, osc2, EMInjectionParameters(coupling=0.95))
+        a1, a2 = attack.attacked_pair()
+        attacked = relative_jitter_record(a1, a2, 40_000)
+        free = relative_jitter_record(ref1, ref2, 40_000)
+        attacked_jitter = attacked - np.mean(attacked)
+        free_jitter = free - np.mean(free)
+        assert np.var(attacked_jitter) < 0.15 * np.var(free_jitter)
+
+    def test_coupling_scales_variance_linearly(self):
+        osc1, osc2 = oscillator_pair(seed=3)
+        ref1, ref2 = oscillator_pair(seed=3)
+        coupling = 0.5
+        attack = EMInjectionAttack(
+            osc1, osc2, EMInjectionParameters(coupling=coupling)
+        )
+        a1, a2 = attack.attacked_pair()
+        attacked = relative_jitter_record(a1, a2, 80_000)
+        free = relative_jitter_record(ref1, ref2, 80_000)
+        ratio = np.var(attacked - np.mean(attacked)) / np.var(free - np.mean(free))
+        assert ratio == pytest.approx(1.0 - coupling, rel=0.08)
+
+
+class TestModulation:
+    def test_injected_tone_is_deterministic_and_periodic(self):
+        """The injected harmonic shows up as a single spectral tone on each
+        attacked clock — deterministic structure, not fresh randomness."""
+        osc1, osc2 = oscillator_pair(seed=4)
+        attack = EMInjectionAttack(
+            osc1,
+            osc2,
+            EMInjectionParameters(
+                coupling=1.0, modulation_fraction=1e-2, modulation_frequency_hz=1e6
+            ),
+        )
+        a1, _a2 = attack.attacked_pair()
+        periods = a1.periods(20_000)
+        centred = periods - np.mean(periods)
+        spectrum = np.abs(np.fft.rfft(centred))
+        assert spectrum.max() > 50.0 * np.median(spectrum[1:])
+
+    def test_negative_period_count_rejected(self):
+        osc1, osc2 = oscillator_pair(seed=5)
+        attack = EMInjectionAttack(osc1, osc2, EMInjectionParameters(coupling=0.5))
+        a1, _a2 = attack.attacked_pair()
+        with pytest.raises(ValueError):
+            a1.periods(-1)

@@ -1,0 +1,114 @@
+"""Tests for the frequency-injection attack model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.frequency_injection import (
+    FrequencyInjectionAttack,
+    InjectionParameters,
+)
+from repro.oscillator.period_model import JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+
+@pytest.fixture
+def victim(rng):
+    return JitteryClock(103e6, PhaseNoisePSD(b_thermal_hz=1e4, b_flicker_hz2=0.0), rng=rng)
+
+
+class TestInjectionParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectionParameters(0.0, 0.5)
+        with pytest.raises(ValueError):
+            InjectionParameters(1e8, 1.5)
+        with pytest.raises(ValueError):
+            InjectionParameters(1e8, 0.5, deterministic_modulation_fraction=-0.1)
+
+
+class TestFrequencyPulling:
+    def test_no_locking_keeps_victim_frequency(self, victim):
+        attack = FrequencyInjectionAttack(victim, InjectionParameters(105e6, 0.0))
+        assert attack.f0_hz == pytest.approx(victim.f0_hz)
+
+    def test_full_locking_adopts_injection_frequency(self, victim):
+        attack = FrequencyInjectionAttack(victim, InjectionParameters(105e6, 1.0))
+        assert attack.f0_hz == pytest.approx(105e6)
+
+    def test_partial_locking_interpolates(self, victim):
+        attack = FrequencyInjectionAttack(victim, InjectionParameters(105e6, 0.5))
+        assert victim.f0_hz < attack.f0_hz < 105e6
+
+
+class TestJitterSuppression:
+    def test_locking_reduces_jitter_variance(self, victim):
+        free = victim.periods(50_000)
+        attack = FrequencyInjectionAttack(
+            victim, InjectionParameters(victim.f0_hz, 0.9)
+        )
+        locked = attack.periods(50_000)
+        assert np.var(locked - np.mean(locked)) < 0.2 * np.var(free - np.mean(free))
+
+    def test_full_lock_removes_random_jitter(self, victim):
+        attack = FrequencyInjectionAttack(
+            victim, InjectionParameters(victim.f0_hz, 1.0)
+        )
+        periods = attack.periods(1000)
+        assert np.ptp(periods) == pytest.approx(0.0, abs=1e-18)
+
+    def test_suppression_factor_is_sqrt_one_minus_strength(self, rng):
+        psd = PhaseNoisePSD(1e4, 0.0)
+        victim_a = JitteryClock(103e6, psd, rng=np.random.default_rng(3))
+        victim_b = JitteryClock(103e6, psd, rng=np.random.default_rng(3))
+        strength = 0.75
+        attack = FrequencyInjectionAttack(
+            victim_b, InjectionParameters(103e6, strength)
+        )
+        free = victim_a.periods(80_000)
+        locked = attack.periods(80_000)
+        ratio = np.var(locked - np.mean(locked)) / np.var(free - np.mean(free))
+        assert ratio == pytest.approx(1.0 - strength, rel=0.05)
+
+
+class TestDeterministicModulation:
+    def test_modulation_adds_beat_pattern(self, victim):
+        attack = FrequencyInjectionAttack(
+            victim,
+            InjectionParameters(
+                victim.f0_hz * 1.001,
+                locking_strength=1.0,
+                deterministic_modulation_fraction=1e-3,
+            ),
+        )
+        periods = attack.periods(10_000)
+        assert np.ptp(periods) > 0.0
+        # The modulation is periodic, not random: the spectrum is a single tone.
+        centred = periods - np.mean(periods)
+        spectrum = np.abs(np.fft.rfft(centred))
+        assert spectrum.max() > 20.0 * np.median(spectrum[1:])
+
+    def test_modulation_phase_continues_across_calls(self, victim):
+        attack = FrequencyInjectionAttack(
+            victim,
+            InjectionParameters(
+                victim.f0_hz * 1.001,
+                locking_strength=1.0,
+                deterministic_modulation_fraction=1e-3,
+            ),
+        )
+        first = attack.periods(100)
+        second = attack.periods(100)
+        assert not np.array_equal(first, second)
+
+    def test_edge_times_monotonic(self, victim):
+        attack = FrequencyInjectionAttack(
+            victim, InjectionParameters(victim.f0_hz, 0.5)
+        )
+        assert np.all(np.diff(attack.edge_times(1000)) > 0.0)
+
+    def test_negative_period_count_rejected(self, victim):
+        attack = FrequencyInjectionAttack(victim, InjectionParameters(1e8, 0.5))
+        with pytest.raises(ValueError):
+            attack.periods(-1)

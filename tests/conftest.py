@@ -1,0 +1,77 @@
+"""Shared fixtures for the test-suite.
+
+Heavy synthetic records (long jitter records, bit streams) are session-scoped
+so the statistical tests can share them instead of regenerating them; every
+fixture uses a fixed seed so the whole suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import accumulated_variance_curve
+from repro.measurement import VirtualEvaristePlatform
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase import PeriodJitterSynthesizer, PhaseNoisePSD
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded random generator for each test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def paper_psd() -> PhaseNoisePSD:
+    """The relative phase-noise PSD calibrated to the paper's fit."""
+    return paper_phase_noise_psd()
+
+
+@pytest.fixture(scope="session")
+def paper_f0() -> float:
+    """The paper's oscillator frequency (103 MHz)."""
+    return PAPER_F0_HZ
+
+
+@pytest.fixture(scope="session")
+def paper_jitter_record(paper_psd: PhaseNoisePSD, paper_f0: float) -> np.ndarray:
+    """A long jitter record synthesized with the paper-calibrated PSD."""
+    synthesizer = PeriodJitterSynthesizer(
+        paper_f0, paper_psd, rng=np.random.default_rng(2014)
+    )
+    return synthesizer.jitter(200_000)
+
+
+@pytest.fixture(scope="session")
+def thermal_only_jitter_record(paper_f0: float) -> np.ndarray:
+    """A jitter record with thermal noise only (independent realizations)."""
+    psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+    synthesizer = PeriodJitterSynthesizer(
+        paper_f0, psd, rng=np.random.default_rng(1966)
+    )
+    return synthesizer.jitter(120_000)
+
+
+@pytest.fixture(scope="session")
+def paper_curve(paper_jitter_record: np.ndarray, paper_f0: float):
+    """Accumulated-variance curve estimated from the shared jitter record."""
+    return accumulated_variance_curve(paper_jitter_record, paper_f0)
+
+
+@pytest.fixture(scope="session")
+def platform() -> VirtualEvaristePlatform:
+    """A paper-calibrated virtual platform with a fixed seed."""
+    return VirtualEvaristePlatform(rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def unbiased_bits() -> np.ndarray:
+    """A large stream of ideal unbiased, independent bits."""
+    return np.random.default_rng(99).integers(0, 2, size=400_000).astype(np.int8)
+
+
+@pytest.fixture(scope="session")
+def biased_bits() -> np.ndarray:
+    """A large stream of independent but strongly biased bits (P(1) = 0.7)."""
+    return (np.random.default_rng(98).random(200_000) < 0.7).astype(np.int8)

@@ -1,0 +1,154 @@
+"""Unit tests for the Eq. 11 fit (recovery of b_th and b_fl from sigma^2_N data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    Sigma2NFitResult,
+    bootstrap_fit,
+    coefficients_to_phase_noise,
+    fit_linear_only,
+    fit_sigma2_n_curve,
+)
+from repro.core.sigma_n import AccumulatedVarianceCurve, AccumulatedVariancePoint
+from repro.core.theory import sigma2_n_closed_form
+from repro.phase.psd import PhaseNoisePSD
+
+
+def synthetic_curve(
+    b_thermal: float,
+    b_flicker: float,
+    f0: float = 103e6,
+    n_values=(1, 3, 10, 30, 100, 300, 1000, 3000, 10000),
+    noise_fraction: float = 0.0,
+    seed: int = 0,
+) -> AccumulatedVarianceCurve:
+    """Build a curve directly from the closed form, optionally with noise."""
+    psd = PhaseNoisePSD(b_thermal, b_flicker)
+    rng = np.random.default_rng(seed)
+    points = []
+    for n in n_values:
+        value = float(sigma2_n_closed_form(psd, f0, n))
+        if noise_fraction > 0.0:
+            value *= 1.0 + noise_fraction * rng.standard_normal()
+        points.append(
+            AccumulatedVariancePoint(
+                n_accumulations=int(n),
+                # Constant *effective* realization count across N (as a counter
+                # campaign with a fixed number of windows per point would give),
+                # which matches the constant relative noise injected above.
+                sigma2_n_s2=max(value, 0.0),
+                n_realizations=800 * int(n),
+            )
+        )
+    return AccumulatedVarianceCurve(points=points, f0_hz=f0)
+
+
+class TestCoefficientConversion:
+    def test_round_trip(self):
+        b_th, b_fl = coefficients_to_phase_noise(
+            2.0 * 276.0 / (103e6) ** 3, 8.0 * np.log(2.0) * 1.9e6 / (103e6) ** 4, 103e6
+        )
+        assert b_th == pytest.approx(276.0)
+        assert b_fl == pytest.approx(1.9e6)
+
+    def test_negative_inputs_clipped(self):
+        b_th, b_fl = coefficients_to_phase_noise(-1.0, -1.0, 1e8)
+        assert b_th == 0.0 and b_fl == 0.0
+
+    def test_invalid_f0(self):
+        with pytest.raises(ValueError):
+            coefficients_to_phase_noise(1.0, 1.0, 0.0)
+
+
+class TestExactRecovery:
+    def test_noiseless_fit_recovers_both_coefficients(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(276.04, rel=1e-6)
+        assert fit.b_flicker_hz2 == pytest.approx(1.9e6, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_thermal_only_curve_gives_zero_flicker(self):
+        curve = synthetic_curve(300.0, 0.0)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(300.0, rel=1e-6)
+        assert fit.b_flicker_hz2 == pytest.approx(0.0, abs=1e-3)
+
+    def test_flicker_only_curve_gives_zero_thermal(self):
+        curve = synthetic_curve(0.0, 2e6)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.b_flicker_hz2 == pytest.approx(2e6, rel=1e-6)
+        assert fit.b_thermal_hz == pytest.approx(0.0, abs=1e-6)
+
+    def test_noisy_fit_recovers_within_tolerance(self):
+        curve = synthetic_curve(276.04, 1.9e6, noise_fraction=0.05, seed=3)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(276.04, rel=0.15)
+        assert fit.b_flicker_hz2 == pytest.approx(1.9e6, rel=0.35)
+
+    def test_derived_quantities(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.thermal_jitter_std_s == pytest.approx(15.89e-12, rel=1e-3)
+        assert fit.thermal_jitter_ratio == pytest.approx(1.637e-3, rel=1e-2)
+        assert fit.normalized_linear_coefficient == pytest.approx(5.36e-6, rel=1e-2)
+        assert fit.phase_noise_psd.b_thermal_hz == fit.b_thermal_hz
+
+    def test_predict_reproduces_input(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        fit = fit_sigma2_n_curve(curve)
+        np.testing.assert_allclose(
+            fit.predict(curve.n_values), curve.sigma2_values_s2, rtol=1e-6
+        )
+
+    def test_unweighted_fit_also_recovers(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        fit = fit_sigma2_n_curve(curve, weighted=False)
+        assert fit.b_thermal_hz == pytest.approx(276.04, rel=1e-6)
+
+    def test_single_point_rejected(self):
+        curve = synthetic_curve(276.04, 1.9e6, n_values=(10,))
+        with pytest.raises(ValueError):
+            fit_sigma2_n_curve(curve)
+
+
+class TestLinearOnlyFit:
+    def test_linear_fit_has_no_quadratic_term(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        fit = fit_linear_only(curve)
+        assert fit.quadratic_coefficient == 0.0
+        assert fit.b_flicker_hz2 == 0.0
+
+    def test_linear_fit_overestimates_thermal_when_flicker_present(self):
+        """Forcing the independence model onto flicker-laden data inflates b_th."""
+        curve = synthetic_curve(276.04, 1.9e6)
+        linear = fit_linear_only(curve)
+        full = fit_sigma2_n_curve(curve)
+        assert linear.b_thermal_hz > full.b_thermal_hz
+
+    def test_linear_fit_is_exact_for_thermal_only_data(self):
+        curve = synthetic_curve(300.0, 0.0)
+        fit = fit_linear_only(curve)
+        assert fit.b_thermal_hz == pytest.approx(300.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+class TestBootstrap:
+    def test_intervals_cover_true_values(self):
+        curve = synthetic_curve(276.04, 1.9e6, noise_fraction=0.05, seed=11)
+        (b_th_low, b_th_high), (b_fl_low, b_fl_high) = bootstrap_fit(
+            curve, n_resamples=100, rng=np.random.default_rng(1)
+        )
+        assert b_th_low < 276.04 < b_th_high
+        assert b_fl_low < 1.9e6 * 1.6
+        assert b_fl_high > 1.9e6 * 0.4
+
+    def test_bootstrap_validation(self):
+        curve = synthetic_curve(276.04, 1.9e6)
+        with pytest.raises(ValueError):
+            bootstrap_fit(curve, n_resamples=2)
+        with pytest.raises(ValueError):
+            bootstrap_fit(curve, confidence_level=2.0)

@@ -1,0 +1,89 @@
+"""Tests for the independence diagnostics (Bienayme linearity test, ACF tests).
+
+These tests encode the paper's central experimental claim: thermal-only jitter
+looks mutually independent (sigma^2_N linear in N), while the full thermal +
+flicker process does not once N is large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.independence import (
+    assess_independence,
+    bienayme_linearity_test,
+)
+from repro.core.sigma_n import accumulated_variance_curve
+
+
+class TestBienaymeLinearityTest:
+    def test_thermal_only_jitter_is_declared_independent(
+        self, thermal_only_jitter_record, paper_f0
+    ):
+        curve = accumulated_variance_curve(thermal_only_jitter_record, paper_f0)
+        result = bienayme_linearity_test(curve)
+        assert result.independent
+        assert result.quadratic_fraction_at_max_n < 0.1
+
+    def test_paper_process_is_declared_dependent(self, paper_curve):
+        """With flicker noise the sigma^2_N curve bends upward: dependence."""
+        result = bienayme_linearity_test(paper_curve)
+        assert not result.independent
+        assert result.quadratic_fraction_at_max_n > 0.3
+        assert result.improvement_ratio > 1.0
+
+    def test_full_fit_beats_linear_fit_on_paper_data(self, paper_curve):
+        result = bienayme_linearity_test(paper_curve)
+        assert result.full_fit.r_squared >= result.linear_fit.r_squared
+
+    def test_threshold_validation(self, paper_curve):
+        with pytest.raises(ValueError):
+            bienayme_linearity_test(paper_curve, quadratic_fraction_threshold=0.0)
+
+    def test_max_n_recorded(self, paper_curve):
+        result = bienayme_linearity_test(paper_curve)
+        assert result.max_n == int(np.max(paper_curve.n_values))
+
+
+class TestAssessIndependence:
+    def test_thermal_only_report(self, thermal_only_jitter_record, paper_f0):
+        report = assess_independence(
+            thermal_only_jitter_record[:60_000], paper_f0
+        )
+        assert report.jitter_realizations_independent
+        assert np.isinf(report.max_independent_accumulation) or (
+            report.max_independent_accumulation > 1e4
+        )
+
+    def test_paper_process_report(self, paper_jitter_record, paper_f0):
+        report = assess_independence(paper_jitter_record[:100_000], paper_f0)
+        assert not report.jitter_realizations_independent
+        # The usable accumulation range must be finite and of the order of the
+        # paper's threshold (281), allowing for estimation error.
+        assert 50 < report.max_independent_accumulation < 3000
+
+    def test_ljung_box_detects_strong_flicker_correlation(self, paper_f0):
+        """The direct ACF test only triggers when flicker is strong at lag 1.
+
+        With the paper's parameters (K = 5354) the per-period correlation is
+        tiny — which is exactly why the accumulated-variance analysis is
+        needed — so this test uses a flicker-dominated oscillator instead.
+        """
+        from repro.phase import PeriodJitterSynthesizer, PhaseNoisePSD
+
+        psd = PhaseNoisePSD(b_thermal_hz=276.0, b_flicker_hz2=2e8)
+        jitter = PeriodJitterSynthesizer(
+            paper_f0, psd, rng=np.random.default_rng(3)
+        ).jitter(50_000)
+        report = assess_independence(jitter, paper_f0)
+        assert report.ljung_box.p_value < 0.01
+        assert not report.jitter_realizations_independent
+
+    def test_summary_states_verdict(self, paper_jitter_record, paper_f0):
+        report = assess_independence(paper_jitter_record[:50_000], paper_f0)
+        assert "NOT mutually independent" in report.summary()
+
+    def test_summary_for_independent_data(self, thermal_only_jitter_record, paper_f0):
+        report = assess_independence(thermal_only_jitter_record[:50_000], paper_f0)
+        assert "consistent with mutual independence" in report.summary()

@@ -1,0 +1,94 @@
+"""Tests for the end-to-end multilevel model (Fig. 3 pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multilevel import MultilevelModel
+from repro.core.theory import sigma2_n_closed_form
+from repro.noise.technology import get_node
+from repro.paper import PAPER_B_FLICKER_HZ2, PAPER_B_THERMAL_HZ, PAPER_F0_HZ
+
+
+@pytest.fixture(scope="module")
+def paper_model() -> MultilevelModel:
+    return MultilevelModel.from_phase_noise(
+        PAPER_F0_HZ, PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2
+    )
+
+
+class TestCalibratedModel:
+    def test_thermal_jitter(self, paper_model):
+        assert paper_model.thermal_jitter_std_s == pytest.approx(15.89e-12, rel=1e-3)
+
+    def test_ratio_constant(self, paper_model):
+        assert paper_model.ratio_constant == pytest.approx(5354.0, rel=1e-3)
+
+    def test_sigma2_n_matches_theory(self, paper_model):
+        n = np.array([1, 10, 100])
+        np.testing.assert_allclose(
+            paper_model.sigma2_n(n),
+            sigma2_n_closed_form(paper_model.psd, PAPER_F0_HZ, n),
+        )
+
+    def test_independence_threshold(self, paper_model):
+        assert paper_model.independence_threshold(0.95) == pytest.approx(281.8, abs=1.0)
+
+    def test_thermal_ratio_decreases(self, paper_model):
+        assert paper_model.thermal_ratio(10) > paper_model.thermal_ratio(10_000)
+
+    def test_jitter_parameters_consistency(self, paper_model):
+        parameters = paper_model.jitter_parameters(500)
+        assert parameters.total_variance_s2 == pytest.approx(
+            parameters.thermal_variance_s2 / parameters.thermal_ratio
+        )
+        assert parameters.accumulation_length == 500
+
+    def test_jitter_parameters_validation(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.jitter_parameters(0)
+
+    def test_accumulation_for_target_thermal_jitter(self, paper_model):
+        target = 0.5 / PAPER_F0_HZ  # half a period of accumulated thermal jitter
+        n = paper_model.accumulation_for_target_thermal_jitter(target)
+        accumulated_std = np.sqrt(
+            2.0 * n * paper_model.psd.thermal_period_jitter_variance(PAPER_F0_HZ)
+        )
+        assert accumulated_std >= target
+        assert n > 1000
+
+    def test_target_jitter_validation(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.accumulation_for_target_thermal_jitter(0.0)
+        no_thermal = MultilevelModel.from_phase_noise(1e8, 0.0, 1e6)
+        with pytest.raises(ValueError):
+            no_thermal.accumulation_for_target_thermal_jitter(1e-12)
+
+    def test_repr(self, paper_model):
+        assert "MultilevelModel" in repr(paper_model)
+
+
+class TestBottomUpModel:
+    def test_from_technology(self):
+        model = MultilevelModel.from_technology("65nm", 5)
+        assert model.f0_hz > 1e8
+        assert model.psd.b_thermal_hz > 0.0
+        assert model.psd.b_flicker_hz2 > 0.0
+
+    def test_from_technology_object(self):
+        node = get_node("90nm")
+        model = MultilevelModel.from_technology(node, 3)
+        assert model.ratio_constant > 0.0
+
+    def test_scaling_shrinks_independence_threshold(self):
+        """The paper's conclusion: smaller nodes -> flicker dominates sooner."""
+        old = MultilevelModel.from_technology("130nm", 5)
+        new = MultilevelModel.from_technology("28nm", 5)
+        assert new.independence_threshold(0.95) < old.independence_threshold(0.95)
+
+    def test_invalid_f0(self):
+        from repro.phase.psd import PhaseNoisePSD
+
+        with pytest.raises(ValueError):
+            MultilevelModel(0.0, PhaseNoisePSD(1.0, 1.0))

@@ -1,0 +1,113 @@
+"""Unit tests for the r_N ratio and the independence threshold (paper Sec. III-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ratio import (
+    independence_budget,
+    independence_threshold,
+    ratio_constant,
+    thermal_ratio,
+)
+from repro.paper import (
+    PAPER_B_FLICKER_HZ2,
+    PAPER_B_THERMAL_HZ,
+    PAPER_F0_HZ,
+    PAPER_INDEPENDENCE_THRESHOLD_N,
+    PAPER_RATIO_CONSTANT_K,
+)
+from repro.phase.psd import PhaseNoisePSD
+
+
+@pytest.fixture(scope="module")
+def paper_relative_psd() -> PhaseNoisePSD:
+    return PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+
+
+class TestRatioConstant:
+    def test_paper_value(self, paper_relative_psd):
+        """K = b_th f0 / (4 ln2 b_fl) = 5354 for the paper's coefficients."""
+        constant = ratio_constant(paper_relative_psd, PAPER_F0_HZ)
+        assert constant == pytest.approx(PAPER_RATIO_CONSTANT_K, rel=1e-9)
+
+    def test_no_flicker_gives_infinity(self):
+        assert np.isinf(ratio_constant(PhaseNoisePSD(100.0, 0.0), 1e8))
+
+    def test_invalid_f0(self, paper_relative_psd):
+        with pytest.raises(ValueError):
+            ratio_constant(paper_relative_psd, 0.0)
+
+
+class TestThermalRatio:
+    def test_paper_functional_form(self, paper_relative_psd):
+        """r_N = 5354 / (5354 + N)."""
+        for n in (1, 100, 281, 5354, 50_000):
+            expected = PAPER_RATIO_CONSTANT_K / (PAPER_RATIO_CONSTANT_K + n)
+            assert thermal_ratio(paper_relative_psd, PAPER_F0_HZ, n) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_ratio_is_monotonically_decreasing(self, paper_relative_psd):
+        values = thermal_ratio(
+            paper_relative_psd, PAPER_F0_HZ, np.array([1, 10, 100, 1000, 10000])
+        )
+        assert np.all(np.diff(values) < 0.0)
+
+    def test_ratio_at_zero_is_one(self, paper_relative_psd):
+        assert thermal_ratio(paper_relative_psd, PAPER_F0_HZ, 0) == pytest.approx(1.0)
+
+    def test_ratio_is_half_at_k(self, paper_relative_psd):
+        constant = ratio_constant(paper_relative_psd, PAPER_F0_HZ)
+        assert thermal_ratio(
+            paper_relative_psd, PAPER_F0_HZ, constant
+        ) == pytest.approx(0.5)
+
+    def test_pure_thermal_ratio_is_always_one(self):
+        psd = PhaseNoisePSD(100.0, 0.0)
+        values = thermal_ratio(psd, 1e8, np.array([1, 1000, 1_000_000]))
+        np.testing.assert_allclose(values, 1.0)
+
+    def test_negative_n_rejected(self, paper_relative_psd):
+        with pytest.raises(ValueError):
+            thermal_ratio(paper_relative_psd, PAPER_F0_HZ, -1)
+
+
+class TestIndependenceThreshold:
+    def test_paper_value(self, paper_relative_psd):
+        """r_N > 95% holds for N < 281 (paper Sec. III-E)."""
+        threshold = independence_threshold(paper_relative_psd, PAPER_F0_HZ, 0.95)
+        assert threshold == pytest.approx(PAPER_INDEPENDENCE_THRESHOLD_N, abs=1.0)
+
+    def test_threshold_is_consistent_with_ratio(self, paper_relative_psd):
+        threshold = independence_threshold(paper_relative_psd, PAPER_F0_HZ, 0.95)
+        just_below = thermal_ratio(paper_relative_psd, PAPER_F0_HZ, threshold * 0.999)
+        just_above = thermal_ratio(paper_relative_psd, PAPER_F0_HZ, threshold * 1.001)
+        assert just_below > 0.95 > just_above
+
+    def test_stricter_requirement_gives_smaller_threshold(self, paper_relative_psd):
+        loose = independence_threshold(paper_relative_psd, PAPER_F0_HZ, 0.90)
+        strict = independence_threshold(paper_relative_psd, PAPER_F0_HZ, 0.99)
+        assert strict < loose
+
+    def test_no_flicker_gives_infinite_threshold(self):
+        assert np.isinf(independence_threshold(PhaseNoisePSD(100.0, 0.0), 1e8))
+
+    def test_invalid_ratio_requirement(self, paper_relative_psd):
+        with pytest.raises(ValueError):
+            independence_threshold(paper_relative_psd, PAPER_F0_HZ, 1.0)
+
+
+class TestBudget:
+    def test_budget_bundles_everything(self, paper_relative_psd):
+        budget = independence_budget(paper_relative_psd, PAPER_F0_HZ, 0.95)
+        assert budget.ratio_constant == pytest.approx(PAPER_RATIO_CONSTANT_K)
+        assert budget.max_accumulation_length == pytest.approx(281.8, abs=1.0)
+        assert budget.max_accumulation_time_s == pytest.approx(
+            budget.max_accumulation_length / PAPER_F0_HZ
+        )
+
+    def test_budget_infinite_for_pure_thermal(self):
+        budget = independence_budget(PhaseNoisePSD(100.0, 0.0), 1e8)
+        assert np.isinf(budget.max_accumulation_time_s)

@@ -1,0 +1,159 @@
+"""Unit tests for the s_N statistic and the accumulated-variance curve (Eq. 4/6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sigma_n import (
+    AccumulatedVarianceCurve,
+    AccumulatedVariancePoint,
+    accumulated_variance_curve,
+    accumulation_weights,
+    bienayme_prediction,
+    default_n_sweep,
+    s_n_realizations,
+    sigma2_n_estimate,
+)
+
+
+class TestAccumulationWeights:
+    def test_structure(self):
+        weights = accumulation_weights(3)
+        np.testing.assert_array_equal(weights, [-1, -1, -1, 1, 1, 1])
+
+    def test_weights_sum_to_zero(self):
+        assert accumulation_weights(7).sum() == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            accumulation_weights(0)
+
+
+class TestSNRealizations:
+    def test_matches_direct_weighted_sum(self, rng):
+        """The cumulative-sum implementation must equal the literal Eq. 4."""
+        jitter = rng.normal(size=64)
+        n = 5
+        values = s_n_realizations(jitter, n)
+        weights = accumulation_weights(n)
+        for start in (0, 3, 20):
+            direct = float(np.dot(weights, jitter[start : start + 2 * n]))
+            assert values[start] == pytest.approx(direct, rel=1e-12, abs=1e-15)
+
+    def test_number_of_overlapping_realizations(self, rng):
+        jitter = rng.normal(size=100)
+        assert s_n_realizations(jitter, 10).size == 100 - 20 + 1
+
+    def test_non_overlapping_realizations(self, rng):
+        jitter = rng.normal(size=100)
+        values = s_n_realizations(jitter, 10, overlapping=False)
+        assert values.size == 5  # floor((100 - 20 + 1) / 20) + 1 windows starting at multiples of 20
+
+    def test_constant_offset_cancels(self, rng):
+        """Adding a constant to every jitter value must not change s_N."""
+        jitter = rng.normal(size=200)
+        shifted = jitter + 123.456
+        np.testing.assert_allclose(
+            s_n_realizations(jitter, 7), s_n_realizations(shifted, 7), atol=1e-9
+        )
+
+    def test_linear_period_drift_gives_exact_offset(self):
+        """A linear drift of the *period* (frequency ramp) yields s_N = slope * N^2.
+
+        Only a constant period offset cancels exactly; a deterministic drift
+        leaves a constant, predictable offset that the variance estimators
+        remove by centring (see CounterCapture.sigma2_n).
+        """
+        slope = 1e-15
+        trend = slope * np.arange(400, dtype=float)
+        values = s_n_realizations(trend, 20)
+        np.testing.assert_allclose(values, slope * 20**2, rtol=1e-9)
+
+    def test_too_short_record_rejected(self, rng):
+        with pytest.raises(ValueError):
+            s_n_realizations(rng.normal(size=10), 6)
+
+    def test_invalid_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            s_n_realizations(rng.normal(size=10), 0)
+
+    def test_two_dimensional_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            s_n_realizations(rng.normal(size=(10, 2)), 2)
+
+
+class TestSigma2NEstimate:
+    def test_iid_jitter_matches_bienayme(self, rng):
+        """For independent jitter the estimate must match 2 N sigma^2 (Eq. 6)."""
+        sigma = 2.5e-12
+        jitter = rng.normal(0.0, sigma, size=100_000)
+        for n in (1, 10, 50):
+            estimate = sigma2_n_estimate(jitter, n)
+            assert estimate == pytest.approx(
+                bienayme_prediction(sigma**2, n), rel=0.08
+            )
+
+    def test_bienayme_prediction_validation(self):
+        assert bienayme_prediction(2.0, 3) == pytest.approx(12.0)
+        with pytest.raises(ValueError):
+            bienayme_prediction(-1.0, 3)
+        with pytest.raises(ValueError):
+            bienayme_prediction(1.0, 0)
+
+    def test_estimate_requires_enough_data(self, rng):
+        with pytest.raises(ValueError):
+            sigma2_n_estimate(rng.normal(size=4), 2)
+
+
+class TestSweepAndCurve:
+    def test_default_sweep_properties(self):
+        sweep = default_n_sweep(1000)
+        assert sweep[0] == 1
+        assert sweep[-1] == 1000
+        assert all(b > a for a, b in zip(sweep, sweep[1:]))
+
+    def test_default_sweep_single_point(self):
+        assert default_n_sweep(1) == [1]
+
+    def test_default_sweep_validation(self):
+        with pytest.raises(ValueError):
+            default_n_sweep(0)
+
+    def test_curve_from_record(self, rng):
+        jitter = rng.normal(0.0, 1e-12, size=20_000)
+        curve = accumulated_variance_curve(jitter, 100e6)
+        assert curve.f0_hz == 100e6
+        assert curve.n_values[0] == 1
+        assert np.all(np.diff(curve.n_values) > 0)
+        assert np.all(curve.sigma2_values_s2 > 0.0)
+
+    def test_curve_normalisation_is_fig7_ordinate(self, rng):
+        jitter = rng.normal(0.0, 1e-12, size=5_000)
+        curve = accumulated_variance_curve(jitter, 100e6, n_sweep=[1, 2, 4])
+        np.testing.assert_allclose(
+            curve.normalized_sigma2_values, curve.sigma2_values_s2 * (100e6) ** 2
+        )
+
+    def test_explicit_sweep_respected(self, rng):
+        jitter = rng.normal(0.0, 1e-12, size=10_000)
+        curve = accumulated_variance_curve(jitter, 100e6, n_sweep=[3, 17, 101])
+        np.testing.assert_array_equal(curve.n_values, [3, 17, 101])
+
+    def test_points_with_too_few_realizations_skipped(self, rng):
+        jitter = rng.normal(0.0, 1e-12, size=1_000)
+        curve = accumulated_variance_curve(
+            jitter, 100e6, n_sweep=[1, 10, 400], min_realizations=8
+        )
+        assert 400 not in curve.n_values
+
+    def test_record_too_short_raises(self, rng):
+        with pytest.raises(ValueError):
+            accumulated_variance_curve(rng.normal(size=4), 100e6, n_sweep=[100])
+
+    def test_curve_validation(self):
+        point = AccumulatedVariancePoint(1, 1e-24, 100)
+        with pytest.raises(ValueError):
+            AccumulatedVarianceCurve(points=[point], f0_hz=0.0)
+        with pytest.raises(ValueError):
+            AccumulatedVarianceCurve(points=[], f0_hz=1e8)

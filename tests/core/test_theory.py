@@ -1,0 +1,138 @@
+"""Unit tests for the theoretical sigma^2_N (Eq. 9 integral vs Eq. 11 closed form)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    crossover_accumulation_length,
+    decompose_sigma2_n,
+    sigma2_n_closed_form,
+    sigma2_n_flicker,
+    sigma2_n_integral,
+    sigma2_n_thermal,
+)
+from repro.paper import (
+    PAPER_B_FLICKER_HZ2,
+    PAPER_B_THERMAL_HZ,
+    PAPER_F0_HZ,
+    PAPER_RATIO_CONSTANT_K,
+)
+from repro.phase.psd import PhaseNoisePSD
+
+
+class TestClosedForm:
+    def test_thermal_term_is_linear_in_n(self):
+        single = sigma2_n_thermal(276.0, 103e6, 1)
+        assert sigma2_n_thermal(276.0, 103e6, 10) == pytest.approx(10 * single)
+
+    def test_flicker_term_is_quadratic_in_n(self):
+        single = sigma2_n_flicker(1.9e6, 103e6, 1)
+        assert sigma2_n_flicker(1.9e6, 103e6, 10) == pytest.approx(100 * single)
+
+    def test_thermal_term_formula(self):
+        """sigma^2_N,th = 2 b_th N / f0^3."""
+        assert sigma2_n_thermal(276.04, 103e6, 7) == pytest.approx(
+            2.0 * 276.04 * 7 / (103e6) ** 3
+        )
+
+    def test_flicker_term_formula(self):
+        """sigma^2_N,fl = 8 ln2 b_fl N^2 / f0^4."""
+        assert sigma2_n_flicker(1.9e6, 103e6, 7) == pytest.approx(
+            8.0 * np.log(2.0) * 1.9e6 * 49 / (103e6) ** 4
+        )
+
+    def test_total_is_sum(self):
+        psd = PhaseNoisePSD(276.0, 1.9e6)
+        total = sigma2_n_closed_form(psd, 103e6, 25)
+        assert total == pytest.approx(
+            sigma2_n_thermal(276.0, 103e6, 25) + sigma2_n_flicker(1.9e6, 103e6, 25)
+        )
+
+    def test_array_input(self):
+        psd = PhaseNoisePSD(276.0, 1.9e6)
+        values = sigma2_n_closed_form(psd, 103e6, np.array([1, 10, 100]))
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0.0)
+
+    def test_paper_normalised_slope(self):
+        """f0^2 sigma^2_N,th / N = 5.36e-6 for the paper's fit (Sec. IV-A/B)."""
+        slope = sigma2_n_thermal(PAPER_B_THERMAL_HZ, PAPER_F0_HZ, 1) * PAPER_F0_HZ**2
+        assert slope == pytest.approx(5.36e-6, rel=2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sigma2_n_thermal(-1.0, 1e8, 1)
+        with pytest.raises(ValueError):
+            sigma2_n_thermal(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            sigma2_n_thermal(1.0, 1e8, 0)
+
+
+class TestIntegralConsistency:
+    @pytest.mark.parametrize("n", [1, 3, 10, 100, 1000])
+    def test_integral_matches_closed_form_paper_psd(self, n):
+        """The Eq. 9 Wiener-Khintchine integral equals the Eq. 11 closed form."""
+        psd = PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+        closed = float(sigma2_n_closed_form(psd, PAPER_F0_HZ, n))
+        integral = sigma2_n_integral(psd, PAPER_F0_HZ, n)
+        assert integral == pytest.approx(closed, rel=1e-3)
+
+    def test_integral_matches_thermal_only(self):
+        psd = PhaseNoisePSD(100.0, 0.0)
+        assert sigma2_n_integral(psd, 50e6, 20) == pytest.approx(
+            float(sigma2_n_closed_form(psd, 50e6, 20)), rel=1e-3
+        )
+
+    def test_integral_matches_flicker_only(self):
+        psd = PhaseNoisePSD(0.0, 1e6)
+        assert sigma2_n_integral(psd, 50e6, 20) == pytest.approx(
+            float(sigma2_n_closed_form(psd, 50e6, 20)), rel=1e-3
+        )
+
+    def test_integral_accepts_callable_psd(self):
+        """A user-supplied S_phi(f) callable is integrated numerically."""
+        psd = PhaseNoisePSD(100.0, 1e5)
+        integral = sigma2_n_integral(lambda f: psd(f), 50e6, 10)
+        assert integral == pytest.approx(
+            float(sigma2_n_closed_form(psd, 50e6, 10)), rel=5e-3
+        )
+
+    def test_integral_validation(self):
+        with pytest.raises(ValueError):
+            sigma2_n_integral(PhaseNoisePSD(1.0, 1.0), 0.0, 1)
+        with pytest.raises(ValueError):
+            sigma2_n_integral(PhaseNoisePSD(1.0, 1.0), 1e8, 0)
+
+
+class TestDecompositionAndCrossover:
+    def test_decomposition_fractions(self):
+        psd = PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+        decomposition = decompose_sigma2_n(psd, PAPER_F0_HZ, 100)
+        assert decomposition.total_s2 == pytest.approx(
+            decomposition.thermal_s2 + decomposition.flicker_s2
+        )
+        assert 0.9 < decomposition.thermal_fraction < 1.0
+
+    def test_thermal_fraction_is_one_without_noise(self):
+        decomposition = decompose_sigma2_n(PhaseNoisePSD(0.0, 0.0), 1e8, 10)
+        assert decomposition.thermal_fraction == 1.0
+
+    def test_crossover_equals_ratio_constant(self):
+        """The N where flicker overtakes thermal is exactly K (paper: 5354)."""
+        psd = PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+        crossover = crossover_accumulation_length(psd, PAPER_F0_HZ)
+        assert crossover == pytest.approx(PAPER_RATIO_CONSTANT_K, rel=1e-9)
+
+    def test_crossover_infinite_without_flicker(self):
+        assert np.isinf(
+            crossover_accumulation_length(PhaseNoisePSD(100.0, 0.0), 1e8)
+        )
+
+    def test_terms_equal_at_crossover(self):
+        psd = PhaseNoisePSD(300.0, 2e6)
+        crossover = crossover_accumulation_length(psd, 1e8)
+        thermal = sigma2_n_thermal(300.0, 1e8, crossover)
+        flicker = sigma2_n_flicker(2e6, 1e8, crossover)
+        assert thermal == pytest.approx(flicker, rel=1e-9)

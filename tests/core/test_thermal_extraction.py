@@ -1,0 +1,84 @@
+"""Tests for the Section IV thermal-noise extraction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thermal_extraction import (
+    extract_thermal_noise,
+    extract_thermal_noise_from_curve,
+)
+from repro.paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ, PAPER_RATIO_CONSTANT_K
+
+
+class TestExtractionOnSyntheticData:
+    def test_recovers_paper_thermal_jitter(self, paper_jitter_record, paper_f0):
+        """The pipeline applied to the paper-calibrated virtual oscillator must
+        recover sigma_th ~= 15.89 ps and b_th ~= 276 Hz (Sec. IV-B)."""
+        report = extract_thermal_noise(paper_jitter_record, paper_f0)
+        assert report.b_thermal_hz == pytest.approx(PAPER_B_THERMAL_HZ, rel=0.05)
+        assert report.thermal_jitter_std_ps == pytest.approx(15.89, rel=0.03)
+        assert report.jitter_ratio_permille == pytest.approx(1.6, rel=0.06)
+
+    def test_ratio_constant_order_of_magnitude(self, paper_jitter_record, paper_f0):
+        """K is harder to pin down from a finite record, but must be in the
+        right ballpark (paper: 5354)."""
+        report = extract_thermal_noise(paper_jitter_record, paper_f0)
+        assert PAPER_RATIO_CONSTANT_K / 3 < report.ratio_constant < PAPER_RATIO_CONSTANT_K * 3
+
+    def test_independence_threshold_consistent_with_k(self, paper_jitter_record, paper_f0):
+        report = extract_thermal_noise(paper_jitter_record, paper_f0)
+        expected = report.ratio_constant * (1 - 0.95) / 0.95
+        assert report.independence_threshold_n == pytest.approx(expected, rel=1e-9)
+
+    def test_thermal_only_record_reports_infinite_threshold(
+        self, thermal_only_jitter_record, paper_f0
+    ):
+        report = extract_thermal_noise(thermal_only_jitter_record, paper_f0)
+        assert report.b_thermal_hz == pytest.approx(276.04, rel=0.05)
+        # Essentially no flicker should be detected.
+        assert report.ratio_constant > 10 * PAPER_RATIO_CONSTANT_K
+
+    def test_report_from_curve_equals_report_from_record(
+        self, paper_jitter_record, paper_curve, paper_f0
+    ):
+        from_record = extract_thermal_noise(paper_jitter_record, paper_f0)
+        from_curve = extract_thermal_noise_from_curve(paper_curve)
+        assert from_record.b_thermal_hz == pytest.approx(from_curve.b_thermal_hz)
+        assert from_record.b_flicker_hz2 == pytest.approx(from_curve.b_flicker_hz2)
+
+    def test_confidence_intervals_cover_estimate(self, paper_curve):
+        report = extract_thermal_noise_from_curve(
+            paper_curve,
+            with_confidence_intervals=True,
+            rng=np.random.default_rng(5),
+        )
+        low, high = report.b_thermal_ci_hz
+        assert low <= report.b_thermal_hz <= high
+
+    def test_thermal_ratio_accessor(self, paper_curve):
+        report = extract_thermal_noise_from_curve(paper_curve)
+        assert report.thermal_ratio_at(1) > report.thermal_ratio_at(10_000)
+
+    def test_summary_mentions_key_figures(self, paper_curve):
+        report = extract_thermal_noise_from_curve(paper_curve)
+        text = report.summary()
+        assert "b_th" in text
+        assert "sigma_th" in text
+        assert "permille" in text
+        assert "R^2" in text
+
+    def test_summary_includes_ci_when_present(self, paper_curve):
+        report = extract_thermal_noise_from_curve(
+            paper_curve,
+            with_confidence_intervals=True,
+            rng=np.random.default_rng(6),
+        )
+        assert "CI" in report.summary()
+
+    def test_custom_sweep(self, paper_jitter_record, paper_f0):
+        report = extract_thermal_noise(
+            paper_jitter_record, paper_f0, n_sweep=[1, 10, 100, 1000]
+        )
+        assert report.fit.n_points == 4

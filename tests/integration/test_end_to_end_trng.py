@@ -1,0 +1,103 @@
+"""Integration tests of the complete TRNG chain: source -> digitizer -> tests.
+
+These exercise the combination of subsystems the way a TRNG designer would:
+build an eRO-TRNG, size the accumulation with the refined model, generate
+bits, run the AIS31 batteries, then attack the generator and watch the
+paper's thermal online test (and the classical tests) react.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31 import (
+    ThermalNoiseOnlineTest,
+    monobit_online_test,
+    procedure_a,
+    total_failure_test,
+)
+from repro.attacks import FrequencyInjectionAttack, InjectionParameters
+from repro.phase import PhaseNoisePSD
+from repro.trng import EROTRNG, EROTRNGConfiguration, shannon_entropy_per_bit
+from repro.trng.models import RefinedEntropyModel
+
+#: A strongly jittery design (so the integration tests stay fast: fewer
+#: accumulation periods are needed per bit than with the paper's oscillators).
+OSCILLATOR_PSD = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=1e7)
+F0 = 103e6
+
+
+def build_trng(divider: int, seed: int = 0) -> EROTRNG:
+    configuration = EROTRNGConfiguration(
+        f0_hz=F0,
+        oscillator_psd=OSCILLATOR_PSD,
+        divider=divider,
+        frequency_mismatch=1.3e-3,
+    )
+    return EROTRNG(configuration, rng=np.random.default_rng(seed))
+
+
+class TestDesignFlow:
+    def test_refined_model_sizes_the_divider(self):
+        """The accumulation length suggested by the refined model produces bits
+        whose empirical entropy meets the target."""
+        model = RefinedEntropyModel(F0, PhaseNoisePSD(5e4, 2e7))
+        divider = model.accumulation_for_entropy(0.997)
+        trng = build_trng(divider, seed=1)
+        bits = trng.generate(5_000)
+        assert shannon_entropy_per_bit(bits) > 0.99
+
+    def test_undersized_divider_yields_less_entropy(self):
+        model = RefinedEntropyModel(F0, PhaseNoisePSD(5e4, 2e7))
+        divider = model.accumulation_for_entropy(0.997)
+        good = build_trng(divider, seed=2).generate(4_000)
+        starved = build_trng(max(divider // 200, 2), seed=2).generate(4_000)
+        from repro.trng.entropy import markov_entropy_rate
+
+        assert markov_entropy_rate(starved) < markov_entropy_rate(good)
+
+
+class TestStatisticalBatteries:
+    def test_healthy_generator_passes_procedure_a(self):
+        trng = build_trng(divider=250, seed=3)
+        bits = trng.generate(21_000)
+        results = procedure_a(bits)
+        # Allow at most one marginal failure (statistical tests on one block).
+        assert sum(0 if result.passed else 1 for result in results) <= 1
+
+    def test_healthy_generator_passes_online_monitoring(self):
+        trng = build_trng(divider=250, seed=4)
+        bits = trng.generate(40_000)
+        assert total_failure_test(bits).passed
+        report = monobit_online_test(block_size_bits=20_000).run(bits)
+        assert not report.alarm
+
+
+class TestAttackDetection:
+    def test_thermal_online_test_detects_injection_attack(self):
+        """End-to-end version of the paper's conclusion: the embedded thermal
+        measurement notices the attack long before the bit stream itself is
+        obviously broken."""
+        rng = np.random.default_rng(11)
+        from repro.oscillator.period_model import JitteryClock
+
+        osc1 = JitteryClock(F0, OSCILLATOR_PSD, rng=rng)
+        osc2 = JitteryClock(F0, OSCILLATOR_PSD, rng=rng)
+        online = ThermalNoiseOnlineTest(
+            reference_b_thermal_hz=2.0 * OSCILLATOR_PSD.b_thermal_hz,
+            minimum_ratio=0.35,
+            accumulation_lengths=(2048, 8192),
+            n_windows=384,
+        )
+        healthy = online.execute(osc1, osc2)
+        assert healthy.passed
+
+        parameters = InjectionParameters(
+            injection_frequency_hz=F0, locking_strength=0.97
+        )
+        attacked_1 = FrequencyInjectionAttack(osc1, parameters, rng=rng)
+        attacked_2 = FrequencyInjectionAttack(osc2, parameters, rng=rng)
+        compromised = online.execute(attacked_1, attacked_2)
+        assert not compromised.passed
+        assert compromised.ratio < healthy.ratio

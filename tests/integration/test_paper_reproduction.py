@@ -1,0 +1,112 @@
+"""Integration tests that replay the paper's experiment end to end.
+
+These tests are the executable form of EXPERIMENTS.md: starting from the
+virtual Cyclone III platform (the hardware substitute) they re-derive every
+headline number of Sections III-E and IV-B and check it against the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assess_independence,
+    bienayme_linearity_test,
+    extract_thermal_noise_from_curve,
+    fit_sigma2_n_curve,
+    sigma2_n_closed_form,
+)
+from repro.core.ratio import independence_threshold, ratio_constant, thermal_ratio
+from repro.measurement import VirtualEvaristePlatform
+from repro.paper import PAPER_REFERENCE, paper_phase_noise_psd
+
+
+@pytest.fixture(scope="module")
+def campaign_curve():
+    platform = VirtualEvaristePlatform(rng=np.random.default_rng(2014))
+    return platform.sigma2_n_campaign(n_periods=250_000)
+
+
+@pytest.fixture(scope="module")
+def report(campaign_curve):
+    return extract_thermal_noise_from_curve(campaign_curve)
+
+
+class TestFig7Shape:
+    def test_normalised_curve_is_superlinear(self, campaign_curve):
+        """Fig. 7: f0^2 sigma^2_N grows faster than linearly at large N."""
+        n = campaign_curve.n_values.astype(float)
+        normalized = campaign_curve.normalized_sigma2_values
+        small = normalized[n <= 10] / n[n <= 10]
+        large = normalized[n >= 1000] / n[n >= 1000]
+        assert np.median(large) > 1.15 * np.median(small)
+
+    def test_fit_matches_measured_points(self, campaign_curve):
+        fit = fit_sigma2_n_curve(campaign_curve)
+        prediction = fit.predict(campaign_curve.n_values)
+        relative_error = np.abs(prediction - campaign_curve.sigma2_values_s2) / prediction
+        assert np.median(relative_error) < 0.1
+
+    def test_small_n_region_matches_paper_slope(self, campaign_curve):
+        """In the thermal-dominated region the normalised slope is ~5.36e-6."""
+        n = campaign_curve.n_values
+        normalized = campaign_curve.normalized_sigma2_values
+        mask = n <= 30
+        slopes = normalized[mask] / n[mask]
+        assert np.median(slopes) == pytest.approx(
+            PAPER_REFERENCE.normalized_thermal_slope, rel=0.1
+        )
+
+
+class TestSection4Numbers:
+    def test_b_thermal(self, report):
+        assert report.b_thermal_hz == pytest.approx(
+            PAPER_REFERENCE.b_thermal_hz, rel=0.08
+        )
+
+    def test_thermal_jitter_ps(self, report):
+        assert report.thermal_jitter_std_ps == pytest.approx(15.89, rel=0.04)
+
+    def test_jitter_ratio_permille(self, report):
+        assert report.jitter_ratio_permille == pytest.approx(1.6, rel=0.08)
+
+    def test_ratio_constant_k(self, report):
+        assert report.ratio_constant == pytest.approx(
+            PAPER_REFERENCE.ratio_constant, rel=0.6
+        )
+
+    def test_independence_threshold(self, report):
+        assert report.independence_threshold_n == pytest.approx(
+            PAPER_REFERENCE.independence_threshold_n, rel=0.6
+        )
+
+
+class TestSection3EIndependenceClaims:
+    def test_theoretical_ratio_and_threshold(self):
+        """With the paper's exact coefficients, r_N and the threshold follow."""
+        psd = paper_phase_noise_psd()
+        f0 = PAPER_REFERENCE.f0_hz
+        assert ratio_constant(psd, f0) == pytest.approx(5354.0, rel=1e-3)
+        assert thermal_ratio(psd, f0, 281) > 0.95
+        assert thermal_ratio(psd, f0, 300) < 0.95
+        assert independence_threshold(psd, f0, 0.95) == pytest.approx(281.8, abs=1.0)
+
+    def test_dependence_detected_on_platform_data(self, campaign_curve):
+        result = bienayme_linearity_test(campaign_curve)
+        assert not result.independent
+
+    def test_independence_verdict_from_raw_record(self):
+        platform = VirtualEvaristePlatform(rng=np.random.default_rng(99))
+        record = platform.relative_jitter(120_000)
+        verdict = assess_independence(record, platform.f0_hz)
+        assert not verdict.jitter_realizations_independent
+
+    def test_theory_consistency_eq9_eq11(self):
+        from repro.core import sigma2_n_integral
+
+        psd = paper_phase_noise_psd()
+        for n in (10, 300, 3000):
+            closed = float(sigma2_n_closed_form(psd, PAPER_REFERENCE.f0_hz, n))
+            integral = sigma2_n_integral(psd, PAPER_REFERENCE.f0_hz, n)
+            assert integral == pytest.approx(closed, rel=1e-3)

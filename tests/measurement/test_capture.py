@@ -1,0 +1,96 @@
+"""Tests for capture campaigns (relative-jitter and counter paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_sigma2_n_curve
+from repro.core.theory import sigma2_n_closed_form
+from repro.measurement.capture import (
+    counter_capture_campaign,
+    relative_jitter_campaign,
+    relative_jitter_record,
+)
+from repro.oscillator.period_model import IdealClock, JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+
+@pytest.fixture
+def oscillator_pair(rng):
+    psd = PhaseNoisePSD(b_thermal_hz=138.0, b_flicker_hz2=0.95e6)
+    osc1 = JitteryClock(103e6, psd, rng=rng)
+    osc2 = JitteryClock(103e6, psd, rng=rng)
+    return osc1, osc2
+
+
+class TestRelativeJitterRecord:
+    def test_record_length(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        record = relative_jitter_record(osc1, osc2, 1000)
+        assert record.shape == (1000,)
+
+    def test_relative_variance_is_sum_of_both(self, rng):
+        psd = PhaseNoisePSD(138.0, 0.0)
+        osc1 = JitteryClock(103e6, psd, rng=rng)
+        osc2 = JitteryClock(103e6, psd, rng=rng)
+        record = relative_jitter_record(osc1, osc2, 60_000)
+        expected_variance = 2.0 * 138.0 / (103e6) ** 3
+        assert np.var(record) == pytest.approx(expected_variance, rel=0.05)
+
+    def test_identical_ideal_clocks_give_nominal_periods(self):
+        record = relative_jitter_record(IdealClock(1e8), IdealClock(1e8), 100)
+        np.testing.assert_allclose(record, 1e-8)
+
+    def test_validation(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        with pytest.raises(ValueError):
+            relative_jitter_record(osc1, osc2, 0)
+
+
+class TestRelativeJitterCampaign:
+    def test_campaign_produces_fittable_curve(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        curve = relative_jitter_campaign(osc1, osc2, n_periods=120_000)
+        fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(276.0, rel=0.1)
+        assert curve.f0_hz == pytest.approx(103e6)
+
+    def test_explicit_sweep(self, oscillator_pair):
+        osc1, osc2 = oscillator_pair
+        curve = relative_jitter_campaign(
+            osc1, osc2, n_periods=20_000, n_sweep=[1, 10, 100]
+        )
+        np.testing.assert_array_equal(curve.n_values, [1, 10, 100])
+
+
+class TestCounterCampaign:
+    def test_counter_campaign_structure(self, rng):
+        psd = PhaseNoisePSD(2000.0, 0.0)
+        osc1 = JitteryClock(1e8, psd, rng=rng)
+        osc2 = JitteryClock(1e8, psd, rng=rng)
+        result = counter_capture_campaign(
+            osc1, osc2, n_sweep=[5_000, 20_000], n_windows=64
+        )
+        assert len(result.captures) == 2
+        np.testing.assert_array_equal(result.curve.n_values, [5_000, 20_000])
+        assert np.all(result.curve.sigma2_values_s2 >= 0.0)
+
+    def test_counter_campaign_tracks_theory(self, rng):
+        psd = PhaseNoisePSD(3000.0, 0.0)
+        osc1 = JitteryClock(1e8, psd, rng=rng)
+        osc2 = JitteryClock(1e8, psd, rng=rng)
+        result = counter_capture_campaign(
+            osc1, osc2, n_sweep=[30_000], n_windows=200
+        )
+        expected = float(sigma2_n_closed_form(PhaseNoisePSD(6000.0, 0.0), 1e8, 30_000))
+        assert result.curve.sigma2_values_s2[0] == pytest.approx(expected, rel=0.4)
+
+    def test_counter_campaign_validation(self, rng):
+        psd = PhaseNoisePSD(2000.0, 0.0)
+        osc1 = JitteryClock(1e8, psd, rng=rng)
+        osc2 = JitteryClock(1e8, psd, rng=rng)
+        with pytest.raises(ValueError):
+            counter_capture_campaign(osc1, osc2, n_sweep=[10], n_windows=2)
+        with pytest.raises(ValueError):
+            counter_capture_campaign(osc1, osc2, n_sweep=[0], n_windows=16)

@@ -1,0 +1,108 @@
+"""Tests for the Fig. 6 differential counter simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import sigma2_n_closed_form
+from repro.measurement.counter import (
+    CounterCapture,
+    DifferentialJitterCounter,
+    count_edges_in_windows,
+)
+from repro.oscillator.period_model import IdealClock, JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+
+class TestCountEdges:
+    def test_exact_counting(self):
+        edges = np.arange(0.0, 10.0, 1.0)
+        boundaries = np.array([0.0, 3.5, 7.2, 9.9])
+        counts = count_edges_in_windows(edges, boundaries)
+        np.testing.assert_array_equal(counts, [4, 4, 2])
+
+    def test_boundary_edge_belongs_to_next_window(self):
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        boundaries = np.array([0.0, 2.0, 3.5])
+        counts = count_edges_in_windows(edges, boundaries)
+        np.testing.assert_array_equal(counts, [2, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_edges_in_windows(np.arange(5.0), np.array([1.0]))
+        with pytest.raises(ValueError):
+            count_edges_in_windows(np.arange(5.0), np.array([2.0, 1.0]))
+
+
+class TestCounterCapture:
+    def test_s_n_values_from_counts(self):
+        capture = CounterCapture(
+            counts=np.array([100, 102, 99, 101]), n_accumulations=10, f0_hz=1e8
+        )
+        np.testing.assert_allclose(
+            capture.s_n_values(), np.array([2, -3, 2]) / 1e8
+        )
+
+    def test_quantization_variance(self):
+        capture = CounterCapture(
+            counts=np.array([1, 2, 3]), n_accumulations=1, f0_hz=1e8
+        )
+        assert capture.quantization_variance_s2 == pytest.approx((1e-8) ** 2 / 2.0)
+
+    def test_sigma2_n_subtracts_quantization_and_clips(self):
+        capture = CounterCapture(
+            counts=np.array([100, 100, 100, 100]), n_accumulations=5, f0_hz=1e8
+        )
+        assert capture.sigma2_n(correct_quantization=False) == 0.0
+        assert capture.sigma2_n(correct_quantization=True) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterCapture(np.array([1, 2]), 0, 1e8)
+        with pytest.raises(ValueError):
+            CounterCapture(np.array([1, 2]), 1, 0.0)
+        short = CounterCapture(np.array([1]), 1, 1e8)
+        with pytest.raises(ValueError):
+            short.s_n_values()
+
+
+class TestDifferentialCounterOnIdealClocks:
+    def test_identical_ideal_clocks_give_constant_counts(self):
+        """Two perfect clocks at the same frequency: every window holds exactly
+        N edges (up to a possible +-1 alignment at the very first window)."""
+        counter = DifferentialJitterCounter(IdealClock(1e8), IdealClock(1e8))
+        capture = counter.capture(n_accumulations=100, n_windows=20)
+        assert capture.counts.size == 20
+        assert np.all(np.abs(capture.counts - 100) <= 1)
+        assert np.ptp(capture.counts) <= 1
+
+    def test_frequency_offset_shows_in_counts(self):
+        """A 1% faster Osc1 yields ~1% more counts per window."""
+        counter = DifferentialJitterCounter(IdealClock(1.01e8), IdealClock(1e8))
+        capture = counter.capture(n_accumulations=1000, n_windows=10)
+        assert np.all(np.abs(capture.counts - 1010) <= 1)
+
+    def test_capture_validation(self):
+        counter = DifferentialJitterCounter(IdealClock(1e8), IdealClock(1e8))
+        with pytest.raises(ValueError):
+            counter.capture(0, 10)
+        with pytest.raises(ValueError):
+            counter.capture(10, 0)
+
+
+class TestDifferentialCounterOnJitteryClocks:
+    def test_counter_sigma2_matches_theory_at_large_n(self):
+        """For N large enough that the jitter beats the count quantisation,
+        the counter-based sigma^2_N must approach the closed form."""
+        psd = PhaseNoisePSD(b_thermal_hz=2000.0, b_flicker_hz2=0.0)
+        rng = np.random.default_rng(42)
+        osc1 = JitteryClock(1e8, psd, rng=rng)
+        osc2 = JitteryClock(1e8, psd, rng=rng)
+        counter = DifferentialJitterCounter(osc1, osc2)
+        n = 20_000
+        capture = counter.capture(n_accumulations=n, n_windows=300)
+        measured = capture.sigma2_n(correct_quantization=True)
+        relative_psd = PhaseNoisePSD(4000.0, 0.0)
+        expected = float(sigma2_n_closed_form(relative_psd, 1e8, n))
+        assert measured == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,70 @@
+"""Tests for the virtual Evariste platform (the paper's hardware substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thermal_extraction import extract_thermal_noise_from_curve
+from repro.measurement.platform import (
+    PAPER_CYCLONE_III,
+    PlatformConfiguration,
+    VirtualEvaristePlatform,
+)
+from repro.paper import PAPER_B_FLICKER_HZ2, PAPER_B_THERMAL_HZ, PAPER_F0_HZ
+from repro.phase.psd import PhaseNoisePSD
+
+
+class TestConfiguration:
+    def test_paper_configuration_values(self):
+        assert PAPER_CYCLONE_III.f0_hz == pytest.approx(PAPER_F0_HZ)
+        assert PAPER_CYCLONE_III.oscillator_psd.b_thermal_hz == pytest.approx(
+            PAPER_B_THERMAL_HZ / 2.0
+        )
+        assert PAPER_CYCLONE_III.oscillator_psd.b_flicker_hz2 == pytest.approx(
+            PAPER_B_FLICKER_HZ2 / 2.0
+        )
+
+    def test_configuration_validation(self):
+        with pytest.raises(ValueError):
+            PlatformConfiguration("x", 0.0, PhaseNoisePSD(1.0, 1.0))
+        with pytest.raises(ValueError):
+            PlatformConfiguration(
+                "x", 1e8, PhaseNoisePSD(1.0, 1.0), frequency_mismatch=0.1
+            )
+
+
+class TestPlatform:
+    def test_relative_psd_is_twice_per_oscillator(self, platform):
+        assert platform.relative_psd.b_thermal_hz == pytest.approx(
+            PAPER_B_THERMAL_HZ
+        )
+        assert platform.relative_psd.b_flicker_hz2 == pytest.approx(
+            PAPER_B_FLICKER_HZ2
+        )
+
+    def test_oscillators_have_mismatched_frequencies(self, platform):
+        assert platform.oscillator_1.f0_hz > platform.oscillator_2.f0_hz
+
+    def test_relative_jitter_std(self, platform):
+        record = platform.relative_jitter(60_000)
+        jitter = record - np.mean(record)
+        assert np.std(jitter) == pytest.approx(15.89e-12, rel=0.06)
+
+    def test_campaign_reproduces_paper_thermal_extraction(self, platform):
+        curve = platform.sigma2_n_campaign(n_periods=150_000)
+        report = extract_thermal_noise_from_curve(curve)
+        assert report.thermal_jitter_std_ps == pytest.approx(15.89, rel=0.05)
+        assert report.b_thermal_hz == pytest.approx(PAPER_B_THERMAL_HZ, rel=0.08)
+
+    def test_counter_capture_runs(self, platform):
+        capture = platform.counter_capture(n_accumulations=5000, n_windows=32)
+        assert capture.counts.size == 32
+        assert capture.n_accumulations == 5000
+
+    def test_counter_campaign_runs(self, platform):
+        result = platform.counter_campaign(n_sweep=[2000, 8000], n_windows=32)
+        assert len(result.captures) == 2
+
+    def test_repr(self, platform):
+        assert "103.0 MHz" in repr(platform)

@@ -1,0 +1,73 @@
+"""Unit tests for composite noise sources (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.flicker import FlickerNoiseSource
+from repro.noise.sources import (
+    CompositeNoiseSource,
+    psd_crossover_frequency,
+)
+from repro.noise.thermal import ThermalNoiseSource
+
+
+class TestCompositeNoiseSource:
+    def test_psd_is_sum_of_components(self):
+        """Eq. 1: S_ids = S_th + S_fl because the phenomena are independent."""
+        thermal = ThermalNoiseSource(2e-22)
+        flicker = FlickerNoiseSource(1e-18)
+        composite = CompositeNoiseSource.thermal_plus_flicker(thermal, flicker)
+        frequency = np.array([10.0, 1e3, 1e6])
+        expected = thermal.psd(frequency) + flicker.psd(frequency)
+        np.testing.assert_allclose(composite.psd(frequency), expected)
+
+    def test_empty_composite_has_zero_psd(self):
+        composite = CompositeNoiseSource()
+        assert np.all(composite.psd(np.array([1.0, 2.0])) == 0.0)
+
+    def test_add_source(self):
+        composite = CompositeNoiseSource()
+        composite.add(ThermalNoiseSource(1e-22))
+        composite.add(ThermalNoiseSource(2e-22))
+        assert composite.psd(1.0) == pytest.approx(3e-22)
+
+    def test_scalar_input_returns_scalar(self):
+        composite = CompositeNoiseSource([ThermalNoiseSource(1e-22)])
+        assert isinstance(composite.psd(5.0), float)
+
+    def test_sample_length_and_scaling(self, rng):
+        thermal = ThermalNoiseSource(1e-22)
+        flicker = FlickerNoiseSource(1e-20)
+        composite = CompositeNoiseSource.thermal_plus_flicker(thermal, flicker)
+        samples = composite.sample(4096, 1e6, rng=rng)
+        assert samples.shape == (4096,)
+        assert np.all(np.isfinite(samples))
+
+    def test_sample_variance_increases_with_components(self):
+        thermal = ThermalNoiseSource(1e-22)
+        single = CompositeNoiseSource([thermal])
+        double = CompositeNoiseSource([thermal, ThermalNoiseSource(1e-22)])
+        single_samples = single.sample(50_000, 1e6, rng=np.random.default_rng(1))
+        double_samples = double.sample(50_000, 1e6, rng=np.random.default_rng(1))
+        assert np.var(double_samples) > np.var(single_samples)
+
+
+class TestCrossover:
+    def test_crossover_definition(self):
+        thermal = ThermalNoiseSource(1e-22)
+        flicker = FlickerNoiseSource(1e-18)
+        assert psd_crossover_frequency(thermal, flicker) == pytest.approx(1e4)
+
+    def test_crossover_requires_thermal_noise(self):
+        with pytest.raises(ValueError):
+            psd_crossover_frequency(ThermalNoiseSource(0.0), FlickerNoiseSource(1e-18))
+
+    def test_psds_actually_cross_there(self):
+        thermal = ThermalNoiseSource(1e-22)
+        flicker = FlickerNoiseSource(1e-18)
+        corner = psd_crossover_frequency(thermal, flicker)
+        assert flicker.psd(corner) == pytest.approx(thermal.psd(corner))
+        assert flicker.psd(corner / 10.0) > thermal.psd_a2_per_hz
+        assert flicker.psd(corner * 10.0) < thermal.psd_a2_per_hz

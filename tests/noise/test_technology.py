@@ -1,0 +1,54 @@
+"""Unit tests for the technology-node library (scaling study substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noise.technology import TECHNOLOGY_LIBRARY, get_node, list_nodes
+
+
+class TestLibrary:
+    def test_known_nodes_present(self):
+        for name in ("180nm", "130nm", "90nm", "65nm", "40nm", "28nm"):
+            assert name in TECHNOLOGY_LIBRARY
+
+    def test_list_nodes_ordered_large_to_small(self):
+        nodes = list_nodes()
+        sizes = [TECHNOLOGY_LIBRARY[name].feature_size_m for name in nodes]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_get_node_roundtrip(self):
+        node = get_node("65nm")
+        assert node.name == "65nm"
+        assert node.feature_size_m == pytest.approx(65e-9)
+
+    def test_get_unknown_node_raises_with_hint(self):
+        with pytest.raises(KeyError, match="65nm"):
+            get_node("7nm")
+
+    def test_supply_voltage_decreases_with_scaling(self):
+        nodes = [get_node(name) for name in list_nodes()]
+        supplies = [node.supply_voltage_v for node in nodes]
+        assert supplies == sorted(supplies, reverse=True)
+
+
+class TestNodeDevices:
+    @pytest.mark.parametrize("name", sorted(TECHNOLOGY_LIBRARY))
+    def test_devices_have_minimum_length(self, name):
+        node = get_node(name)
+        assert node.nmos().length_m == pytest.approx(node.feature_size_m)
+        assert node.pmos().length_m == pytest.approx(node.feature_size_m)
+
+    @pytest.mark.parametrize("name", sorted(TECHNOLOGY_LIBRARY))
+    def test_inverter_builds_and_has_positive_delay(self, name):
+        inverter = get_node(name).inverter()
+        assert inverter.propagation_delay() > 0.0
+
+    def test_pmos_wider_than_nmos(self):
+        node = get_node("65nm")
+        assert node.pmos().width_m > node.nmos().width_m
+
+    def test_smaller_nodes_are_faster(self):
+        slow = get_node("180nm").inverter().propagation_delay()
+        fast = get_node("28nm").inverter().propagation_delay()
+        assert fast < slow

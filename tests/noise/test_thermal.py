@@ -1,0 +1,109 @@
+"""Unit tests for the thermal-noise model (paper Section III-A, first PSD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN_K, DEFAULT_TEMPERATURE_K
+from repro.noise.thermal import (
+    LONG_CHANNEL_GAMMA,
+    ThermalNoiseSource,
+    resistor_thermal_voltage_psd,
+    thermal_current_psd,
+)
+
+
+class TestThermalCurrentPSD:
+    def test_matches_paper_expression(self):
+        """The default gamma reproduces the paper's (8/3) k T gm expression."""
+        gm = 1e-3
+        expected = 8.0 / 3.0 * BOLTZMANN_K * DEFAULT_TEMPERATURE_K * gm
+        assert thermal_current_psd(gm) == pytest.approx(expected, rel=1e-12)
+
+    def test_linear_in_gm(self):
+        assert thermal_current_psd(2e-3) == pytest.approx(
+            2.0 * thermal_current_psd(1e-3)
+        )
+
+    def test_linear_in_temperature(self):
+        cold = thermal_current_psd(1e-3, temperature_k=150.0)
+        hot = thermal_current_psd(1e-3, temperature_k=300.0)
+        assert hot == pytest.approx(2.0 * cold)
+
+    def test_zero_gm_gives_zero_psd(self):
+        assert thermal_current_psd(0.0) == 0.0
+
+    def test_negative_gm_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_current_psd(-1e-3)
+
+    def test_non_positive_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_current_psd(1e-3, temperature_k=0.0)
+
+    def test_non_positive_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_current_psd(1e-3, gamma=0.0)
+
+    def test_short_channel_gamma_increases_noise(self):
+        long_channel = thermal_current_psd(1e-3, gamma=LONG_CHANNEL_GAMMA)
+        short_channel = thermal_current_psd(1e-3, gamma=1.3)
+        assert short_channel > long_channel
+
+
+class TestResistorNoise:
+    def test_4ktr(self):
+        expected = 4.0 * BOLTZMANN_K * DEFAULT_TEMPERATURE_K * 1e3
+        assert resistor_thermal_voltage_psd(1e3) == pytest.approx(expected)
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            resistor_thermal_voltage_psd(-1.0)
+
+
+class TestThermalNoiseSource:
+    def test_from_transconductance(self):
+        source = ThermalNoiseSource.from_transconductance(1e-3)
+        assert source.psd_a2_per_hz == pytest.approx(thermal_current_psd(1e-3))
+
+    def test_psd_is_flat(self):
+        source = ThermalNoiseSource(1e-22)
+        values = source.psd(np.array([1.0, 1e3, 1e6, 1e9]))
+        assert np.allclose(values, 1e-22)
+
+    def test_negative_psd_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalNoiseSource(-1.0)
+
+    def test_sample_variance_matches_band_limited_integral(self):
+        source = ThermalNoiseSource(2e-22)
+        assert source.sample_variance(1e9) == pytest.approx(2e-22 * 1e9 / 2.0)
+
+    def test_sample_statistics(self, rng):
+        source = ThermalNoiseSource(1e-22)
+        samples = source.sample(200_000, sampling_rate_hz=1e9, rng=rng)
+        expected_std = np.sqrt(source.sample_variance(1e9))
+        assert np.mean(samples) == pytest.approx(0.0, abs=5 * expected_std / np.sqrt(200_000))
+        assert np.std(samples) == pytest.approx(expected_std, rel=0.02)
+
+    def test_sample_count_and_reproducibility(self):
+        source = ThermalNoiseSource(1e-22)
+        first = source.sample(100, 1e9, rng=np.random.default_rng(1))
+        second = source.sample(100, 1e9, rng=np.random.default_rng(1))
+        assert first.shape == (100,)
+        np.testing.assert_array_equal(first, second)
+
+    def test_zero_samples(self):
+        source = ThermalNoiseSource(1e-22)
+        assert source.sample(0, 1e9).size == 0
+
+    def test_invalid_sampling_rate(self):
+        source = ThermalNoiseSource(1e-22)
+        with pytest.raises(ValueError):
+            source.sample_variance(0.0)
+
+    def test_negative_sample_count_rejected(self):
+        source = ThermalNoiseSource(1e-22)
+        with pytest.raises(ValueError):
+            source.sample(-1, 1e9)

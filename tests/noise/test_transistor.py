@@ -1,0 +1,130 @@
+"""Unit tests for the MOS transistor and inverter-cell models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.transistor import InverterCell, MOSTransistor
+
+
+@pytest.fixture
+def nmos() -> MOSTransistor:
+    return MOSTransistor(
+        width_m=260e-9,
+        length_m=65e-9,
+        kp_a_per_v2=350e-6,
+        vth_v=0.35,
+        flicker_alpha=1.8e-5,
+    )
+
+
+@pytest.fixture
+def pmos() -> MOSTransistor:
+    return MOSTransistor(
+        width_m=520e-9,
+        length_m=65e-9,
+        kp_a_per_v2=130e-6,
+        vth_v=0.35,
+        flicker_alpha=1.8e-5,
+        is_nmos=False,
+    )
+
+
+@pytest.fixture
+def inverter(nmos: MOSTransistor, pmos: MOSTransistor) -> InverterCell:
+    return InverterCell(
+        nmos=nmos, pmos=pmos, load_capacitance_f=3.5e-15, supply_voltage_v=1.2
+    )
+
+
+class TestMOSTransistor:
+    def test_aspect_ratio(self, nmos):
+        assert nmos.aspect_ratio == pytest.approx(4.0)
+
+    def test_square_law_round_trip(self, nmos):
+        """overdrive_for_current inverts saturation_current."""
+        current = nmos.saturation_current(0.3)
+        assert nmos.overdrive_for_current(current) == pytest.approx(0.3)
+
+    def test_transconductance_consistent_with_square_law(self, nmos):
+        """gm = dId/dVov = k' (W/L) Vov must match the analytic expression."""
+        overdrive = 0.25
+        current = nmos.saturation_current(overdrive)
+        expected_gm = nmos.kp_a_per_v2 * nmos.aspect_ratio * overdrive
+        assert nmos.transconductance(current) == pytest.approx(expected_gm, rel=1e-9)
+
+    def test_transconductance_grows_with_current(self, nmos):
+        assert nmos.transconductance(2e-4) > nmos.transconductance(1e-4)
+
+    def test_thermal_psd_positive(self, nmos):
+        assert nmos.thermal_noise_psd(1e-4) > 0.0
+
+    def test_flicker_psd_inverse_f(self, nmos):
+        assert nmos.flicker_noise_psd(1.0, 1e-4) == pytest.approx(
+            10.0 * nmos.flicker_noise_psd(10.0, 1e-4)
+        )
+
+    def test_flicker_corner_positive(self, nmos):
+        assert nmos.flicker_corner_hz(1e-4) > 0.0
+
+    def test_sources_match_psds(self, nmos):
+        thermal = nmos.thermal_source(1e-4)
+        flicker = nmos.flicker_source(1e-4)
+        assert thermal.psd_a2_per_hz == pytest.approx(nmos.thermal_noise_psd(1e-4))
+        assert flicker.psd(2.0) == pytest.approx(nmos.flicker_noise_psd(2.0, 1e-4))
+
+    def test_scaling_increases_flicker_relative_to_thermal(self, nmos):
+        """Shrinking the device must raise the flicker corner (paper conclusion)."""
+        shrunk = nmos.scaled(2.0)
+        assert shrunk.length_m == pytest.approx(nmos.length_m / 2.0)
+        assert shrunk.flicker_corner_hz(1e-4) > nmos.flicker_corner_hz(1e-4)
+
+    def test_invalid_shrink_factor(self, nmos):
+        with pytest.raises(ValueError):
+            nmos.scaled(0.0)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MOSTransistor(0.0, 65e-9, 350e-6, 0.35, 1e-5)
+
+    def test_negative_current_rejected(self, nmos):
+        with pytest.raises(ValueError):
+            nmos.transconductance(-1.0)
+
+
+class TestInverterCell:
+    def test_switching_current_positive(self, inverter):
+        assert inverter.switching_current() > 0.0
+
+    def test_propagation_delay_positive_and_reasonable(self, inverter):
+        delay = inverter.propagation_delay()
+        assert 1e-13 < delay < 1e-9
+
+    def test_delay_scales_with_load(self, inverter, nmos, pmos):
+        heavier = InverterCell(nmos, pmos, 7e-15, 1.2)
+        assert heavier.propagation_delay() == pytest.approx(
+            2.0 * inverter.propagation_delay()
+        )
+
+    def test_total_thermal_psd_is_sum_of_devices(self, inverter):
+        current = inverter.switching_current()
+        expected = inverter.nmos.thermal_noise_psd(
+            current
+        ) + inverter.pmos.thermal_noise_psd(current)
+        assert inverter.total_thermal_psd() == pytest.approx(expected)
+
+    def test_total_flicker_coefficient_is_sum_of_devices(self, inverter):
+        current = inverter.switching_current()
+        expected = float(
+            inverter.nmos.flicker_noise_psd(1.0, current)
+        ) + float(inverter.pmos.flicker_noise_psd(1.0, current))
+        assert inverter.total_flicker_coefficient() == pytest.approx(expected)
+
+    def test_invalid_load_rejected(self, nmos, pmos):
+        with pytest.raises(ValueError):
+            InverterCell(nmos, pmos, 0.0, 1.2)
+
+    def test_invalid_supply_rejected(self, nmos, pmos):
+        with pytest.raises(ValueError):
+            InverterCell(nmos, pmos, 3e-15, 0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the clock abstractions (ideal and jittery clocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oscillator.period_model import Clock, IdealClock, JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+
+
+class TestIdealClock:
+    def test_constant_periods(self):
+        clock = IdealClock(100e6)
+        np.testing.assert_allclose(clock.periods(10), 1e-8)
+
+    def test_edge_times_equally_spaced(self):
+        clock = IdealClock(1e6)
+        edges = clock.edge_times(4, start_time_s=1.0)
+        np.testing.assert_allclose(edges, 1.0 + np.arange(5) * 1e-6)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            IdealClock(0.0)
+
+    def test_negative_period_count(self):
+        with pytest.raises(ValueError):
+            IdealClock(1e6).periods(-1)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(IdealClock(1e6), Clock)
+
+
+class TestJitteryClock:
+    def test_frequency_exposed(self, rng):
+        clock = JitteryClock(103e6, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        assert clock.f0_hz == pytest.approx(103e6)
+
+    def test_periods_fluctuate_around_nominal(self, rng):
+        clock = JitteryClock(103e6, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        periods = clock.periods(10_000)
+        assert np.mean(periods) == pytest.approx(1.0 / 103e6, rel=1e-4)
+        assert np.std(periods) > 0.0
+
+    def test_successive_calls_produce_fresh_noise(self, rng):
+        clock = JitteryClock(103e6, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        first = clock.periods(100)
+        second = clock.periods(100)
+        assert not np.array_equal(first, second)
+
+    def test_edge_times_monotonic(self, rng):
+        clock = JitteryClock(103e6, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        edges = clock.edge_times(1000)
+        assert np.all(np.diff(edges) > 0.0)
+
+    def test_satisfies_clock_protocol(self, rng):
+        assert isinstance(JitteryClock(1e6, PhaseNoisePSD(1.0, 0.0), rng=rng), Clock)
+
+    def test_jitter_accessor(self, rng):
+        clock = JitteryClock(103e6, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        jitter = clock.jitter(5000)
+        assert abs(np.mean(jitter)) < 5 * np.std(jitter) / np.sqrt(5000)

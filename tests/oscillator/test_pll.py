@@ -1,0 +1,57 @@
+"""Unit tests for the PLL-synthesized clock (coherent-sampling substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oscillator.pll import PLLClock, PLLConfiguration
+
+
+class TestPLLConfiguration:
+    def test_valid_configuration(self):
+        configuration = PLLConfiguration(157, 8, 10e-12)
+        assert configuration.multiplication_factor == 157
+
+    def test_requires_coprime_ratio(self):
+        with pytest.raises(ValueError):
+            PLLConfiguration(10, 4, 10e-12)
+
+    def test_rejects_zero_factors(self):
+        with pytest.raises(ValueError):
+            PLLConfiguration(0, 3, 10e-12)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            PLLConfiguration(3, 2, -1e-12)
+
+
+class TestPLLClock:
+    def test_output_frequency(self, rng):
+        clock = PLLClock(125e6, PLLConfiguration(157, 8, 10e-12), rng=rng)
+        assert clock.f0_hz == pytest.approx(125e6 * 157 / 8)
+
+    def test_pattern_geometry(self, rng):
+        clock = PLLClock(125e6, PLLConfiguration(157, 8, 10e-12), rng=rng)
+        assert clock.pattern_length == 8
+        assert clock.samples_per_pattern == 157
+        assert clock.phase_step_s == pytest.approx(1.0 / (clock.f0_hz * 8))
+
+    def test_invalid_reference_frequency(self):
+        with pytest.raises(ValueError):
+            PLLClock(0.0, PLLConfiguration(3, 2, 1e-12))
+
+    def test_period_statistics(self, rng):
+        jitter = 10e-12
+        clock = PLLClock(125e6, PLLConfiguration(157, 8, jitter), rng=rng)
+        periods = clock.periods(50_000)
+        assert np.mean(periods) == pytest.approx(1.0 / clock.f0_hz, rel=1e-4)
+        assert np.std(periods) == pytest.approx(jitter, rel=0.05)
+
+    def test_zero_jitter_clock_is_deterministic(self, rng):
+        clock = PLLClock(125e6, PLLConfiguration(157, 8, 0.0), rng=rng)
+        np.testing.assert_allclose(clock.periods(100), 1.0 / clock.f0_hz)
+
+    def test_edge_times_monotonic(self, rng):
+        clock = PLLClock(125e6, PLLConfiguration(157, 8, 10e-12), rng=rng)
+        assert np.all(np.diff(clock.edge_times(1000)) > 0.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the Hajimiri ISF conversion (current noise -> phase noise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.technology import get_node
+from repro.phase.isf import (
+    ImpulseSensitivityFunction,
+    phase_psd_from_current_noise,
+    phase_psd_from_inverter,
+    ring_oscillation_frequency,
+)
+
+
+class TestImpulseSensitivityFunction:
+    def test_default_is_plausible(self):
+        isf = ImpulseSensitivityFunction.ring_oscillator_default()
+        assert isf.dc_coefficient > 0.0
+        assert isf.sum_of_squares > isf.dc_coefficient**2
+        assert isf.rms > 0.0
+
+    def test_sum_of_squares(self):
+        isf = ImpulseSensitivityFunction(0.5, [1.0, 0.5])
+        assert isf.sum_of_squares == pytest.approx(0.25 + 1.0 + 0.25)
+
+    def test_requires_harmonics(self):
+        with pytest.raises(ValueError):
+            ImpulseSensitivityFunction(0.1, [])
+
+    def test_symmetric_waveform_has_no_dc(self):
+        isf = ImpulseSensitivityFunction.ring_oscillator_default(asymmetry=0.0)
+        assert isf.dc_coefficient == 0.0
+
+    def test_invalid_defaults_rejected(self):
+        with pytest.raises(ValueError):
+            ImpulseSensitivityFunction.ring_oscillator_default(n_harmonics=0)
+        with pytest.raises(ValueError):
+            ImpulseSensitivityFunction.ring_oscillator_default(asymmetry=-0.1)
+
+
+class TestConversion:
+    def test_thermal_noise_feeds_b_thermal_only(self):
+        psd = phase_psd_from_current_noise(
+            thermal_current_psd_a2_per_hz=1e-22,
+            flicker_current_coefficient_a2=0.0,
+            q_max_coulomb=4e-15,
+        )
+        assert psd.b_thermal_hz > 0.0
+        assert psd.b_flicker_hz2 == 0.0
+
+    def test_flicker_noise_feeds_b_flicker_only(self):
+        psd = phase_psd_from_current_noise(
+            thermal_current_psd_a2_per_hz=0.0,
+            flicker_current_coefficient_a2=1e-18,
+            q_max_coulomb=4e-15,
+        )
+        assert psd.b_thermal_hz == 0.0
+        assert psd.b_flicker_hz2 > 0.0
+
+    def test_symmetric_isf_suppresses_flicker_upconversion(self):
+        """Hajimiri's key claim: no DC ISF component, no 1/f^3 phase noise."""
+        symmetric = ImpulseSensitivityFunction.ring_oscillator_default(asymmetry=0.0)
+        psd = phase_psd_from_current_noise(1e-22, 1e-18, 4e-15, isf=symmetric)
+        assert psd.b_flicker_hz2 == 0.0
+        assert psd.b_thermal_hz > 0.0
+
+    def test_coefficients_scale_linearly_with_stage_count(self):
+        single = phase_psd_from_current_noise(1e-22, 1e-18, 4e-15, n_stages=1)
+        triple = phase_psd_from_current_noise(1e-22, 1e-18, 4e-15, n_stages=3)
+        assert triple.b_thermal_hz == pytest.approx(3.0 * single.b_thermal_hz)
+        assert triple.b_flicker_hz2 == pytest.approx(3.0 * single.b_flicker_hz2)
+
+    def test_coefficients_scale_inverse_square_of_qmax(self):
+        small = phase_psd_from_current_noise(1e-22, 1e-18, 2e-15)
+        large = phase_psd_from_current_noise(1e-22, 1e-18, 4e-15)
+        assert small.b_thermal_hz == pytest.approx(4.0 * large.b_thermal_hz)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            phase_psd_from_current_noise(-1.0, 0.0, 1e-15)
+        with pytest.raises(ValueError):
+            phase_psd_from_current_noise(1e-22, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            phase_psd_from_current_noise(1e-22, 0.0, 1e-15, n_stages=0)
+
+
+class TestInverterPath:
+    def test_frequency_decreases_with_stage_count(self):
+        cell = get_node("65nm").inverter()
+        assert ring_oscillation_frequency(cell, 3) > ring_oscillation_frequency(cell, 5)
+
+    def test_frequency_requires_odd_stage_count(self):
+        cell = get_node("65nm").inverter()
+        with pytest.raises(ValueError):
+            ring_oscillation_frequency(cell, 4)
+        with pytest.raises(ValueError):
+            ring_oscillation_frequency(cell, 1)
+
+    def test_inverter_conversion_produces_both_coefficients(self):
+        cell = get_node("65nm").inverter()
+        psd = phase_psd_from_inverter(cell, 3)
+        assert psd.b_thermal_hz > 0.0
+        assert psd.b_flicker_hz2 > 0.0
+
+    def test_bottom_up_jitter_is_in_a_physical_range(self):
+        """The predicted per-period thermal jitter of a 65nm ring must be
+        within roughly 0.01 - 10 ps: the order of magnitude reported for real
+        FPGA/ASIC ring oscillators (the paper measures ~16 ps for the pair of
+        much slower FPGA rings)."""
+        cell = get_node("65nm").inverter()
+        psd = phase_psd_from_inverter(cell, 3)
+        f0 = ring_oscillation_frequency(cell, 3)
+        sigma = np.sqrt(psd.thermal_period_jitter_variance(f0))
+        assert 1e-15 < sigma < 1e-11
+
+    def test_smaller_node_has_larger_flicker_fraction(self):
+        """Technology scaling trend of the paper's conclusion."""
+        old = get_node("130nm")
+        new = get_node("28nm")
+        psd_old = phase_psd_from_inverter(old.inverter(), 3)
+        psd_new = phase_psd_from_inverter(new.inverter(), 3)
+        ratio_old = psd_old.b_flicker_hz2 / psd_old.b_thermal_hz
+        ratio_new = psd_new.b_flicker_hz2 / psd_new.b_thermal_hz
+        assert ratio_new > ratio_old

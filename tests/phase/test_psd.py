@@ -1,0 +1,99 @@
+"""Unit tests for the two-coefficient phase-noise PSD (paper Eq. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phase.psd import PhaseNoisePSD
+
+
+class TestEvaluation:
+    def test_thermal_only_follows_inverse_square(self):
+        psd = PhaseNoisePSD(b_thermal_hz=100.0, b_flicker_hz2=0.0)
+        assert psd(10.0) == pytest.approx(1.0)
+        assert psd(100.0) == pytest.approx(0.01)
+
+    def test_flicker_only_follows_inverse_cube(self):
+        psd = PhaseNoisePSD(b_thermal_hz=0.0, b_flicker_hz2=1000.0)
+        assert psd(10.0) == pytest.approx(1.0)
+        assert psd(100.0) == pytest.approx(1e-3)
+
+    def test_total_is_sum_of_parts(self):
+        psd = PhaseNoisePSD(b_thermal_hz=276.0, b_flicker_hz2=1.9e6)
+        frequencies = np.logspace(1, 7, 20)
+        np.testing.assert_allclose(
+            psd(frequencies),
+            psd.thermal_part(frequencies) + psd.flicker_part(frequencies),
+        )
+
+    def test_rejects_non_positive_frequency(self):
+        psd = PhaseNoisePSD(1.0, 1.0)
+        with pytest.raises(ValueError):
+            psd(0.0)
+        with pytest.raises(ValueError):
+            psd(np.array([1.0, -2.0]))
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            PhaseNoisePSD(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            PhaseNoisePSD(0.0, -1.0)
+
+    def test_scalar_in_scalar_out(self):
+        psd = PhaseNoisePSD(1.0, 1.0)
+        assert isinstance(psd(3.0), float)
+
+    def test_phase_noise_dbc(self):
+        psd = PhaseNoisePSD(b_thermal_hz=100.0, b_flicker_hz2=0.0)
+        # L(f) = S_phi/2 = 0.5 at 10 Hz -> -3.01 dBc/Hz
+        assert psd.phase_noise_dbc_per_hz(10.0) == pytest.approx(-3.0103, abs=1e-3)
+
+
+class TestCornerFrequency:
+    def test_corner_where_terms_are_equal(self):
+        psd = PhaseNoisePSD(b_thermal_hz=100.0, b_flicker_hz2=5000.0)
+        corner = psd.corner_frequency_hz()
+        assert corner == pytest.approx(50.0)
+        assert psd.thermal_part(corner) == pytest.approx(psd.flicker_part(corner))
+
+    def test_no_flicker_gives_zero_corner(self):
+        assert PhaseNoisePSD(10.0, 0.0).corner_frequency_hz() == 0.0
+
+    def test_no_thermal_gives_infinite_corner(self):
+        assert np.isinf(PhaseNoisePSD(0.0, 10.0).corner_frequency_hz())
+
+
+class TestJitterParameterisation:
+    def test_thermal_period_jitter_variance_matches_paper_number(self):
+        """b_th = 276.04 Hz at 103 MHz must give sigma_th ~= 15.89 ps (Sec. IV-B)."""
+        psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+        sigma = np.sqrt(psd.thermal_period_jitter_variance(103e6))
+        assert sigma == pytest.approx(15.89e-12, rel=1e-3)
+
+    def test_flicker_coefficient_conversion(self):
+        psd = PhaseNoisePSD(b_thermal_hz=0.0, b_flicker_hz2=2.0e6)
+        h_minus1 = psd.flicker_fractional_frequency_coefficient(100e6)
+        assert h_minus1 == pytest.approx(2.0 * 2.0e6 / (100e6) ** 2)
+
+    def test_round_trip_from_jitter_parameters(self):
+        original = PhaseNoisePSD(b_thermal_hz=300.0, b_flicker_hz2=1.5e6)
+        f0 = 103e6
+        rebuilt = PhaseNoisePSD.from_jitter_parameters(
+            f0,
+            np.sqrt(original.thermal_period_jitter_variance(f0)),
+            original.flicker_fractional_frequency_coefficient(f0),
+        )
+        assert rebuilt.b_thermal_hz == pytest.approx(original.b_thermal_hz)
+        assert rebuilt.b_flicker_hz2 == pytest.approx(original.b_flicker_hz2)
+
+    def test_invalid_f0_rejected(self):
+        psd = PhaseNoisePSD(1.0, 1.0)
+        with pytest.raises(ValueError):
+            psd.thermal_period_jitter_variance(0.0)
+
+    def test_split(self):
+        psd = PhaseNoisePSD(3.0, 7.0)
+        thermal, flicker = psd.split()
+        assert thermal.b_thermal_hz == 3.0 and thermal.b_flicker_hz2 == 0.0
+        assert flicker.b_thermal_hz == 0.0 and flicker.b_flicker_hz2 == 7.0

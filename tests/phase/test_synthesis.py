@@ -1,0 +1,140 @@
+"""Unit and statistical tests for the period-jitter synthesizer.
+
+The synthesizer is the virtual oscillator every experiment relies on, so these
+tests verify not only the API but the *statistics*: the thermal per-period
+variance, the linear growth of sigma^2_N for thermal-only noise (Bienayme /
+Eq. 6) and the quadratic growth added by flicker noise (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sigma_n import s_n_realizations
+from repro.core.theory import sigma2_n_closed_form
+from repro.phase.psd import PhaseNoisePSD
+from repro.phase.synthesis import (
+    PeriodJitterSynthesizer,
+    synthesize_periods,
+    synthesize_relative_periods,
+)
+
+F0 = 103e6
+
+
+class TestBasicProperties:
+    def test_period_count(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        assert synthesizer.periods(1000).shape == (1000,)
+
+    def test_zero_periods(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        assert synthesizer.periods(0).size == 0
+
+    def test_negative_period_count_rejected(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        with pytest.raises(ValueError):
+            synthesizer.periods(-1)
+
+    def test_invalid_f0_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodJitterSynthesizer(0.0, PhaseNoisePSD(1.0, 0.0))
+
+    def test_noiseless_oscillator_is_perfectly_periodic(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(0.0, 0.0), rng=rng)
+        periods = synthesizer.periods(100)
+        np.testing.assert_allclose(periods, 1.0 / F0)
+
+    def test_jitter_is_periods_minus_nominal(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        decomposition = synthesizer.decompose(500)
+        np.testing.assert_allclose(
+            decomposition.jitter_s,
+            decomposition.periods_s - 1.0 / F0,
+        )
+
+    def test_decomposition_components_sum_to_total(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        decomposition = synthesizer.decompose(500)
+        np.testing.assert_allclose(
+            decomposition.periods_s,
+            1.0 / F0 + decomposition.thermal_jitter_s + decomposition.flicker_jitter_s,
+        )
+
+    def test_reproducibility_with_seeded_rng(self):
+        psd = PhaseNoisePSD(276.0, 1.9e6)
+        first = synthesize_periods(F0, psd, 256, rng=np.random.default_rng(5))
+        second = synthesize_periods(F0, psd, 256, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(first, second)
+
+    def test_edge_times_are_cumulative_periods(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 0.0), rng=rng)
+        synthesizer_copy = PeriodJitterSynthesizer(
+            F0, PhaseNoisePSD(276.0, 0.0), rng=np.random.default_rng(12345)
+        )
+        edges = synthesizer_copy.edge_times(200, start_time_s=1e-6)
+        assert edges.shape == (201,)
+        assert edges[0] == pytest.approx(1e-6)
+        assert np.all(np.diff(edges) > 0.0)
+
+    def test_excess_phase_reference_is_zero(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.0, 1.9e6), rng=rng)
+        phase = synthesizer.excess_phase(100)
+        assert phase[0] == 0.0
+        assert phase.shape == (101,)
+
+
+class TestStatistics:
+    def test_thermal_per_period_std_matches_b_thermal(self, rng):
+        """sigma_th = sqrt(b_th/f0^3): 15.89 ps for the paper's parameters."""
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.04, 0.0), rng=rng)
+        jitter = synthesizer.jitter(100_000)
+        assert np.std(jitter) == pytest.approx(15.89e-12, rel=0.03)
+
+    def test_thermal_jitter_realizations_are_uncorrelated(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(276.04, 0.0), rng=rng)
+        jitter = synthesizer.jitter(50_000)
+        lag1 = np.corrcoef(jitter[:-1], jitter[1:])[0, 1]
+        assert abs(lag1) < 0.02
+
+    def test_flicker_jitter_realizations_are_positively_correlated(self, rng):
+        synthesizer = PeriodJitterSynthesizer(F0, PhaseNoisePSD(0.0, 1.9e6), rng=rng)
+        jitter = synthesizer.jitter(50_000)
+        lag1 = np.corrcoef(jitter[:-1], jitter[1:])[0, 1]
+        assert lag1 > 0.1
+
+    def test_thermal_only_sigma2_n_is_linear(self, thermal_only_jitter_record):
+        """Bienayme (Eq. 6): with independent jitter, sigma^2_N = 2 N sigma^2."""
+        jitter = thermal_only_jitter_record
+        sigma2 = np.var(jitter)
+        for n in (10, 100, 1000):
+            values = s_n_realizations(jitter, n)
+            measured = np.mean(values**2)
+            assert measured == pytest.approx(2.0 * n * sigma2, rel=0.08)
+
+    def test_full_model_sigma2_n_matches_closed_form(self, paper_jitter_record, paper_psd, paper_f0):
+        """Eq. 11 holds for the synthesized thermal + flicker process."""
+        for n in (10, 100, 1000):
+            values = s_n_realizations(paper_jitter_record, n)
+            measured = np.mean(values**2)
+            expected = float(sigma2_n_closed_form(paper_psd, paper_f0, n))
+            assert measured == pytest.approx(expected, rel=0.12)
+
+    def test_relative_periods_combine_the_two_psds(self, rng):
+        psd = PhaseNoisePSD(138.0, 0.0)
+        relative = synthesize_relative_periods(F0, psd, psd, 100_000, rng=rng)
+        jitter = relative - np.mean(relative)
+        # combined b_th = 276 -> std ~= 15.89 ps
+        assert np.std(jitter) == pytest.approx(15.89e-12, rel=0.05)
+
+    @pytest.mark.parametrize("method", ["spectral", "ar"])
+    def test_flicker_methods_agree_on_sigma2_n(self, method):
+        psd = PhaseNoisePSD(0.0, 1.9e6)
+        synthesizer = PeriodJitterSynthesizer(
+            F0, psd, rng=np.random.default_rng(17), flicker_method=method
+        )
+        jitter = synthesizer.jitter(60_000)
+        measured = np.mean(s_n_realizations(jitter, 200) ** 2)
+        expected = float(sigma2_n_closed_form(psd, F0, 200))
+        assert measured == pytest.approx(expected, rel=0.35)

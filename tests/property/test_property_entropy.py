@@ -1,0 +1,120 @@
+"""Property-based tests of the entropy estimators and stochastic models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trng.entropy import (
+    binary_entropy,
+    entropy_from_bias,
+    markov_entropy_rate,
+    min_entropy_per_bit,
+    shannon_entropy_per_bit,
+)
+from repro.trng.models.baudet import (
+    bit_bias_upper_bound,
+    entropy_lower_bound,
+    required_quality_factor,
+)
+from repro.trng.models.refined import RefinedEntropyModel
+from repro.phase.psd import PhaseNoisePSD
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+qualities = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=64, max_size=2048)
+
+
+class TestBinaryEntropyProperties:
+    @given(p=probabilities)
+    @settings(max_examples=300, deadline=None)
+    def test_bounded_and_symmetric(self, p):
+        value = binary_entropy(p)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(binary_entropy(1.0 - p), abs=1e-12)
+
+    @given(p=st.floats(min_value=0.01, max_value=0.49))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_toward_half(self, p):
+        assert binary_entropy(p) < binary_entropy(p + 0.01)
+
+    @given(bias=st.floats(min_value=-0.5, max_value=0.5, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_entropy_from_bias_consistency(self, bias):
+        assert entropy_from_bias(bias) == pytest.approx(binary_entropy(0.5 + bias))
+
+
+class TestEmpiricalEstimatorProperties:
+    @given(bits=bit_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_min_entropy_never_exceeds_shannon(self, bits):
+        array = np.asarray(bits)
+        if np.all(array == array[0]):
+            return
+        assert (
+            min_entropy_per_bit(array) <= shannon_entropy_per_bit(array) + 1e-12
+        )
+
+    @given(bits=bit_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_estimates_are_in_unit_interval(self, bits):
+        array = np.asarray(bits)
+        assert 0.0 <= shannon_entropy_per_bit(array) <= 1.0
+        assert 0.0 <= min_entropy_per_bit(array) <= 1.0 + 1e-12
+        assert 0.0 <= markov_entropy_rate(array) <= 1.0 + 1e-12
+
+    @given(bits=bit_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_markov_rate_never_exceeds_marginal_entropy(self, bits):
+        """Conditioning can only reduce entropy.
+
+        The inequality is exact for the true distribution; the plug-in
+        estimators can violate it slightly on short samples, so a small
+        finite-sample slack (a few times 1/n) is allowed.
+        """
+        array = np.asarray(bits)
+        slack = 5.0 / array.size
+        assert markov_entropy_rate(array) <= shannon_entropy_per_bit(array) + slack
+
+
+class TestModelProperties:
+    @given(q=qualities)
+    @settings(max_examples=300, deadline=None)
+    def test_bounds_live_in_unit_interval(self, q):
+        assert 0.0 <= entropy_lower_bound(q) <= 1.0
+        assert 0.0 <= bit_bias_upper_bound(q) <= 0.5
+
+    @given(q=st.floats(min_value=0.0, max_value=5.0), delta=st.floats(min_value=1e-3, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_entropy_bound_is_monotone(self, q, delta):
+        assert entropy_lower_bound(q + delta) >= entropy_lower_bound(q)
+
+    @given(target=st.floats(min_value=0.5, max_value=0.9999))
+    @settings(max_examples=200, deadline=None)
+    def test_required_quality_round_trip(self, target):
+        q = required_quality_factor(target)
+        if q <= 0.0:
+            assert entropy_lower_bound(0.0) >= target or q <= 0.0
+        else:
+            assert entropy_lower_bound(q) == pytest.approx(target, abs=1e-6)
+
+    @given(
+        b_th=st.floats(min_value=1.0, max_value=1e5),
+        b_fl=st.floats(min_value=1.0, max_value=1e8),
+        n=st.integers(min_value=1, max_value=10**6),
+        calibration=st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_naive_model_never_claims_less_than_refined(
+        self, b_th, b_fl, n, calibration
+    ):
+        """The central security statement of the paper, as an invariant: under
+        any parameters, the independence-assuming evaluation promises at least
+        as much entropy as the flicker-aware one."""
+        model = RefinedEntropyModel(103e6, PhaseNoisePSD(b_th, b_fl))
+        comparison = model.compare(n, calibration_length=calibration)
+        assert comparison.naive_entropy >= comparison.refined_entropy - 1e-9
+        assert 0.0 <= comparison.refined_entropy <= 1.0
+        assert 0.0 <= comparison.naive_entropy <= 1.0

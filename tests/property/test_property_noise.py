@@ -1,0 +1,107 @@
+"""Property-based tests of the noise and phase-noise layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.flicker import flicker_current_psd
+from repro.noise.thermal import thermal_current_psd
+from repro.phase.isf import ImpulseSensitivityFunction, phase_psd_from_current_noise
+from repro.phase.psd import PhaseNoisePSD
+
+positive_small = st.floats(min_value=1e-9, max_value=1e3, allow_nan=False)
+frequencies = st.floats(min_value=1e-3, max_value=1e12, allow_nan=False)
+
+
+class TestNoisePSDProperties:
+    @given(
+        gm=st.floats(min_value=1e-6, max_value=1.0),
+        temperature=st.floats(min_value=1.0, max_value=500.0),
+        gamma=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_thermal_psd_positive_and_linear_in_gm(self, gm, temperature, gamma):
+        value = thermal_current_psd(gm, temperature, gamma)
+        assert value > 0.0
+        assert thermal_current_psd(2.0 * gm, temperature, gamma) == pytest.approx(
+            2.0 * value, rel=1e-9
+        )
+
+    @given(
+        frequency=st.floats(min_value=1e-3, max_value=1e9),
+        current=st.floats(min_value=1e-9, max_value=1e-1),
+        width=st.floats(min_value=1e-8, max_value=1e-5),
+        length=st.floats(min_value=1e-8, max_value=1e-6),
+        alpha=st.floats(min_value=1e-8, max_value=1e-3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_flicker_psd_scalings(self, frequency, current, width, length, alpha):
+        value = flicker_current_psd(frequency, current, width, length, alpha)
+        assert value >= 0.0
+        # 1/f law
+        assert flicker_current_psd(
+            2.0 * frequency, current, width, length, alpha
+        ) == pytest.approx(value / 2.0, rel=1e-9)
+        # inverse-square channel-length law (the paper's scaling argument)
+        assert flicker_current_psd(
+            frequency, current, width, length / 2.0, alpha
+        ) == pytest.approx(4.0 * value, rel=1e-9)
+
+
+class TestPhasePSDProperties:
+    @given(b_th=positive_small, b_fl=positive_small, f=frequencies)
+    @settings(max_examples=300, deadline=None)
+    def test_psd_is_positive_and_decreasing(self, b_th, b_fl, f):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        assert psd(f) > 0.0
+        assert psd(2.0 * f) < psd(f)
+
+    @given(b_th=positive_small, b_fl=positive_small, f=frequencies)
+    @settings(max_examples=300, deadline=None)
+    def test_parts_add_up(self, b_th, b_fl, f):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        assert psd(f) == pytest.approx(
+            psd.thermal_part(f) + psd.flicker_part(f), rel=1e-12
+        )
+
+    @given(
+        b_th=positive_small,
+        b_fl=positive_small,
+        f0=st.floats(min_value=1e6, max_value=1e10),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_jitter_parameter_round_trip(self, b_th, b_fl, f0):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        rebuilt = PhaseNoisePSD.from_jitter_parameters(
+            f0,
+            np.sqrt(psd.thermal_period_jitter_variance(f0)),
+            psd.flicker_fractional_frequency_coefficient(f0),
+        )
+        assert rebuilt.b_thermal_hz == pytest.approx(b_th, rel=1e-9)
+        assert rebuilt.b_flicker_hz2 == pytest.approx(b_fl, rel=1e-9)
+
+
+class TestISFProperties:
+    @given(
+        thermal=st.floats(min_value=0.0, max_value=1e-18),
+        flicker=st.floats(min_value=0.0, max_value=1e-14),
+        q_max=st.floats(min_value=1e-16, max_value=1e-12),
+        n_stages=st.integers(min_value=1, max_value=15),
+        asymmetry=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conversion_is_nonnegative_and_monotone_in_noise(
+        self, thermal, flicker, q_max, n_stages, asymmetry
+    ):
+        isf = ImpulseSensitivityFunction.ring_oscillator_default(asymmetry=asymmetry)
+        psd = phase_psd_from_current_noise(thermal, flicker, q_max, isf, n_stages)
+        assert psd.b_thermal_hz >= 0.0
+        assert psd.b_flicker_hz2 >= 0.0
+        louder = phase_psd_from_current_noise(
+            2.0 * thermal, 2.0 * flicker, q_max, isf, n_stages
+        )
+        assert louder.b_thermal_hz >= psd.b_thermal_hz
+        assert louder.b_flicker_hz2 >= psd.b_flicker_hz2

@@ -1,0 +1,94 @@
+"""Property-based tests of the post-processing blocks and bit utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trng.postprocessing import (
+    bias,
+    parity_filter,
+    von_neumann,
+    xor_decimation,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=512)
+nonempty_bit_lists = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=512
+)
+
+
+class TestVonNeumannProperties:
+    @given(bits=bit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_output_is_binary_and_shorter(self, bits):
+        output = von_neumann(np.asarray(bits, dtype=int))
+        assert output.size <= len(bits) // 2
+        assert set(np.unique(output)).issubset({0, 1})
+
+    @given(bits=bit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_output_equals_second_bit_of_discordant_pairs(self, bits):
+        array = np.asarray(bits, dtype=int)
+        output = von_neumann(array)
+        expected = [
+            array[index + 1]
+            for index in range(0, len(bits) - 1, 2)
+            if array[index] != array[index + 1]
+        ]
+        np.testing.assert_array_equal(output, expected)
+
+    @given(bits=bit_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_complementing_input_complements_output(self, bits):
+        array = np.asarray(bits, dtype=int)
+        direct = von_neumann(array)
+        complemented = von_neumann(1 - array)
+        np.testing.assert_array_equal(complemented, 1 - direct)
+
+
+class TestXorAndParityProperties:
+    @given(bits=bit_lists, factor=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_xor_decimation_length_and_values(self, bits, factor):
+        output = xor_decimation(np.asarray(bits, dtype=int), factor)
+        assert output.size == len(bits) // factor
+        assert set(np.unique(output)).issubset({0, 1})
+
+    @given(bits=nonempty_bit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_xor_factor_one_is_identity(self, bits):
+        array = np.asarray(bits, dtype=int)
+        np.testing.assert_array_equal(xor_decimation(array, 1), array)
+
+    @given(bits=bit_lists, factor=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_xor_matches_block_sum_parity(self, bits, factor):
+        array = np.asarray(bits, dtype=int)
+        output = xor_decimation(array, factor)
+        for block_index in range(output.size):
+            block = array[block_index * factor : (block_index + 1) * factor]
+            assert output[block_index] == block.sum() % 2
+
+    @given(bits=bit_lists, order=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_parity_filter_length(self, bits, order):
+        output = parity_filter(np.asarray(bits, dtype=int), order)
+        expected = max(len(bits) - order + 1, 0) if len(bits) >= order else 0
+        assert output.size == expected
+
+
+class TestBiasProperties:
+    @given(bits=nonempty_bit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_bias_is_bounded(self, bits):
+        value = bias(np.asarray(bits, dtype=int))
+        assert -0.5 <= value <= 0.5
+
+    @given(bits=nonempty_bit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_bias_antisymmetry_under_complement(self, bits):
+        array = np.asarray(bits, dtype=int)
+        assert bias(1 - array) == pytest.approx(-bias(array), abs=1e-12)

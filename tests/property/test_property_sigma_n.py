@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) of the sigma^2_N machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ratio import independence_threshold, ratio_constant, thermal_ratio
+from repro.core.sigma_n import accumulation_weights, s_n_realizations
+from repro.core.theory import (
+    crossover_accumulation_length,
+    sigma2_n_closed_form,
+    sigma2_n_flicker,
+    sigma2_n_thermal,
+)
+from repro.phase.psd import PhaseNoisePSD
+
+coefficients = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False)
+frequencies = st.floats(min_value=1e6, max_value=1e10, allow_nan=False)
+accumulations = st.integers(min_value=1, max_value=10**6)
+
+
+class TestClosedFormProperties:
+    @given(b_th=coefficients, b_fl=coefficients, f0=frequencies, n=accumulations)
+    @settings(max_examples=200, deadline=None)
+    def test_sigma2_n_is_positive_and_additive(self, b_th, b_fl, f0, n):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        total = float(sigma2_n_closed_form(psd, f0, n))
+        thermal = float(sigma2_n_thermal(b_th, f0, n))
+        flicker = float(sigma2_n_flicker(b_fl, f0, n))
+        assert total > 0.0
+        assert total == pytest.approx(thermal + flicker, rel=1e-12)
+
+    @given(b_th=coefficients, b_fl=coefficients, f0=frequencies, n=accumulations)
+    @settings(max_examples=200, deadline=None)
+    def test_sigma2_n_is_monotone_in_n(self, b_th, b_fl, f0, n):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        assert float(sigma2_n_closed_form(psd, f0, n + 1)) > float(
+            sigma2_n_closed_form(psd, f0, n)
+        )
+
+    @given(b_th=coefficients, b_fl=coefficients, f0=frequencies, n=accumulations)
+    @settings(max_examples=200, deadline=None)
+    def test_thermal_term_scales_linearly_and_flicker_quadratically(
+        self, b_th, b_fl, f0, n
+    ):
+        assert float(sigma2_n_thermal(b_th, f0, 2 * n)) == pytest.approx(
+            2.0 * float(sigma2_n_thermal(b_th, f0, n)), rel=1e-9
+        )
+        assert float(sigma2_n_flicker(b_fl, f0, 2 * n)) == pytest.approx(
+            4.0 * float(sigma2_n_flicker(b_fl, f0, n)), rel=1e-9
+        )
+
+
+class TestRatioProperties:
+    @given(b_th=coefficients, b_fl=coefficients, f0=frequencies, n=accumulations)
+    @settings(max_examples=200, deadline=None)
+    def test_ratio_is_a_probability_and_matches_k_form(self, b_th, b_fl, f0, n):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        ratio = float(thermal_ratio(psd, f0, n))
+        assert 0.0 < ratio <= 1.0
+        constant = ratio_constant(psd, f0)
+        assert ratio == pytest.approx(constant / (constant + n), rel=1e-9)
+
+    @given(b_th=coefficients, b_fl=coefficients, f0=frequencies)
+    @settings(max_examples=200, deadline=None)
+    def test_crossover_equals_ratio_constant(self, b_th, b_fl, f0):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        assert crossover_accumulation_length(psd, f0) == pytest.approx(
+            ratio_constant(psd, f0), rel=1e-9
+        )
+
+    @given(
+        b_th=coefficients,
+        b_fl=coefficients,
+        f0=frequencies,
+        requirement=st.floats(min_value=0.5, max_value=0.999),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_respects_requirement(self, b_th, b_fl, f0, requirement):
+        psd = PhaseNoisePSD(b_th, b_fl)
+        threshold = independence_threshold(psd, f0, requirement)
+        assert float(thermal_ratio(psd, f0, threshold * 0.99)) >= requirement
+        assert float(thermal_ratio(psd, f0, threshold * 1.01)) <= requirement
+
+
+class TestSNStatisticProperties:
+    @given(n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_are_balanced(self, n):
+        weights = accumulation_weights(n)
+        assert weights.size == 2 * n
+        assert weights.sum() == 0.0
+        assert np.all(np.abs(weights) == 1.0)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e-9, max_value=1e-9, allow_nan=False),
+            min_size=16,
+            max_size=200,
+        ),
+        n=st.integers(min_value=1, max_value=8),
+        offset=st.floats(min_value=-1e-6, max_value=1e-6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_offset_invariance(self, data, n, offset):
+        """s_N is invariant under a constant shift of the jitter record."""
+        jitter = np.asarray(data)
+        if jitter.size < 2 * n:
+            return
+        base = s_n_realizations(jitter, n)
+        shifted = s_n_realizations(jitter + offset, n)
+        np.testing.assert_allclose(base, shifted, atol=1e-12)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e-9, max_value=1e-9, allow_nan=False),
+            min_size=16,
+            max_size=200,
+        ),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sign_flip_symmetry(self, data, n):
+        """Negating the jitter negates every s_N realization."""
+        jitter = np.asarray(data)
+        if jitter.size < 2 * n:
+            return
+        np.testing.assert_allclose(
+            s_n_realizations(-jitter, n), -s_n_realizations(jitter, n), atol=1e-15
+        )

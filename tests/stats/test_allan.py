@@ -1,0 +1,118 @@
+"""Unit tests for the Allan-variance estimators and their theoretical values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.flicker import generate_pink_noise
+from repro.stats.allan import (
+    allan_deviation,
+    allan_variance,
+    allan_variance_curve,
+    allan_variance_flicker_fm,
+    allan_variance_white_fm,
+    fractional_frequency_from_periods,
+    octave_spaced_factors,
+    sigma2_n_from_allan_variance,
+)
+
+
+class TestFractionalFrequency:
+    def test_constant_periods_give_zero(self):
+        periods = np.full(100, 1e-8)
+        np.testing.assert_allclose(
+            fractional_frequency_from_periods(periods, 1e-8), 0.0
+        )
+
+    def test_small_deviation_linearised(self):
+        periods = np.array([1e-8 * (1 + 1e-6), 1e-8 * (1 - 1e-6)])
+        y = fractional_frequency_from_periods(periods, 1e-8)
+        np.testing.assert_allclose(y, [-1e-6, 1e-6], rtol=1e-3)
+
+    def test_rejects_non_positive_periods(self):
+        with pytest.raises(ValueError):
+            fractional_frequency_from_periods(np.array([1e-8, 0.0]))
+
+    def test_empty_input(self):
+        assert fractional_frequency_from_periods(np.empty(0)).size == 0
+
+
+class TestAllanVarianceEstimators:
+    def test_white_fm_follows_h0_over_2tau(self, rng):
+        """White frequency noise: sigma_y^2(tau) = h0 / (2 tau)."""
+        fs = 1.0
+        sigma_y = 1e-6
+        y = rng.normal(0.0, sigma_y, size=200_000)
+        h0 = 2.0 * sigma_y**2 / fs
+        for m in (1, 4, 16):
+            measured = allan_variance(y, m)
+            expected = allan_variance_white_fm(h0, m / fs)
+            assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_flicker_fm_is_flat_in_tau(self):
+        """Flicker FM: sigma_y^2(tau) = 2 ln2 h_{-1}, independent of tau."""
+        y = generate_pink_noise(2**17, rng=np.random.default_rng(3))
+        values = [allan_variance(y, m) for m in (4, 16, 64)]
+        expected = allan_variance_flicker_fm(1.0)
+        for value in values:
+            assert value == pytest.approx(expected, rel=0.35)
+
+    def test_overlapping_and_nonoverlapping_agree_on_average(self, rng):
+        y = rng.normal(0.0, 1.0, size=50_000)
+        overlapping = allan_variance(y, 8, overlapping=True)
+        plain = allan_variance(y, 8, overlapping=False)
+        assert overlapping == pytest.approx(plain, rel=0.15)
+
+    def test_deviation_is_square_root(self, rng):
+        y = rng.normal(0.0, 1.0, size=10_000)
+        assert allan_deviation(y, 4) == pytest.approx(np.sqrt(allan_variance(y, 4)))
+
+    def test_insufficient_data_rejected(self):
+        with pytest.raises(ValueError):
+            allan_variance(np.ones(10), 8)
+
+    def test_invalid_averaging_factor(self):
+        with pytest.raises(ValueError):
+            allan_variance(np.ones(100), 0)
+
+
+class TestAllanCurveAndHelpers:
+    def test_octave_factors(self):
+        assert octave_spaced_factors(10) == [1, 2, 4, 8]
+        with pytest.raises(ValueError):
+            octave_spaced_factors(0)
+
+    def test_curve_contains_requested_factors(self, rng):
+        y = rng.normal(0.0, 1.0, size=4096)
+        curve = allan_variance_curve(y, tau0_s=1e-8, averaging_factors=[1, 2, 4])
+        assert [point.averaging_factor for point in curve] == [1, 2, 4]
+        assert curve[1].tau_s == pytest.approx(2e-8)
+
+    def test_curve_default_sweep(self, rng):
+        y = rng.normal(0.0, 1.0, size=1024)
+        curve = allan_variance_curve(y, tau0_s=1.0)
+        assert len(curve) >= 5
+
+    def test_curve_requires_positive_tau0(self, rng):
+        with pytest.raises(ValueError):
+            allan_variance_curve(rng.normal(size=128), tau0_s=0.0)
+
+
+class TestTheory:
+    def test_white_fm_theory_validation(self):
+        assert allan_variance_white_fm(2e-12, 1e-3) == pytest.approx(1e-9)
+        with pytest.raises(ValueError):
+            allan_variance_white_fm(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            allan_variance_white_fm(1.0, 0.0)
+
+    def test_flicker_fm_theory_validation(self):
+        assert allan_variance_flicker_fm(1.0) == pytest.approx(2.0 * np.log(2.0))
+        with pytest.raises(ValueError):
+            allan_variance_flicker_fm(-1.0)
+
+    def test_paper_approximation_helper(self):
+        assert sigma2_n_from_allan_variance(1e-12, 1e8) == pytest.approx(2e-28)
+        with pytest.raises(ValueError):
+            sigma2_n_from_allan_variance(1e-12, 0.0)

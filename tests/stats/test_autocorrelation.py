@@ -1,0 +1,95 @@
+"""Unit tests for the autocorrelation and portmanteau independence tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.flicker import generate_pink_noise
+from repro.stats.autocorrelation import (
+    autocorrelation,
+    first_lag_correlation_test,
+    lag_scatter,
+    ljung_box_test,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        series = rng.normal(size=1000)
+        assert autocorrelation(series, 5)[0] == pytest.approx(1.0)
+
+    def test_white_noise_has_small_correlations(self, rng):
+        series = rng.normal(size=50_000)
+        rho = autocorrelation(series, 10)[1:]
+        assert np.all(np.abs(rho) < 0.03)
+
+    def test_ar1_process_has_expected_lag1(self, rng):
+        phi = 0.8
+        noise = rng.normal(size=100_000)
+        series = np.empty_like(noise)
+        series[0] = noise[0]
+        for index in range(1, noise.size):
+            series[index] = phi * series[index - 1] + noise[index]
+        rho = autocorrelation(series, 2)
+        assert rho[1] == pytest.approx(phi, abs=0.02)
+        assert rho[2] == pytest.approx(phi**2, abs=0.03)
+
+    def test_invalid_lag_rejected(self, rng):
+        with pytest.raises(ValueError):
+            autocorrelation(rng.normal(size=10), 10)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(100), 2)
+
+    def test_two_dimensional_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            autocorrelation(rng.normal(size=(10, 10)), 2)
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self, rng):
+        series = rng.normal(size=20_000)
+        result = ljung_box_test(series, lags=20)
+        assert result.p_value > 0.01
+        assert result.independent_at(0.01)
+
+    def test_flicker_noise_rejected(self):
+        series = generate_pink_noise(20_000, rng=np.random.default_rng(8))
+        result = ljung_box_test(series, lags=20)
+        assert result.p_value < 1e-6
+        assert not result.independent_at(0.01)
+
+    def test_statistic_is_positive(self, rng):
+        result = ljung_box_test(rng.normal(size=1000), lags=5)
+        assert result.statistic >= 0.0
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ljung_box_test(rng.normal(size=10), lags=20)
+
+    def test_invalid_significance(self, rng):
+        result = ljung_box_test(rng.normal(size=1000), lags=5)
+        with pytest.raises(ValueError):
+            result.independent_at(1.5)
+
+
+class TestHelpers:
+    def test_lag_scatter_shape_and_content(self):
+        series = np.arange(10.0)
+        pairs = lag_scatter(series, lag=2)
+        assert pairs.shape == (8, 2)
+        np.testing.assert_allclose(pairs[0], [0.0, 2.0])
+
+    def test_lag_scatter_validation(self):
+        with pytest.raises(ValueError):
+            lag_scatter(np.arange(3.0), lag=0)
+        with pytest.raises(ValueError):
+            lag_scatter(np.arange(3.0), lag=5)
+
+    def test_first_lag_test_on_white_and_correlated_data(self, rng):
+        white = rng.normal(size=20_000)
+        assert first_lag_correlation_test(white).p_value > 0.01
+        correlated = np.cumsum(rng.normal(size=5_000))
+        assert first_lag_correlation_test(correlated).p_value < 1e-6

@@ -1,0 +1,87 @@
+"""Unit tests for bootstrap confidence intervals and block resampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import (
+    ConfidenceInterval,
+    block_bootstrap_indices,
+    bootstrap_confidence_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_width_and_contains(self):
+        interval = ConfidenceInterval(1.0, 0.5, 1.5, 0.95)
+        assert interval.width == pytest.approx(1.0)
+        assert interval.contains(1.2)
+        assert not interval.contains(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(1.0, 2.0, 1.5, 0.95)
+        with pytest.raises(ValueError):
+            ConfidenceInterval(1.0, 0.5, 1.5, 1.5)
+
+
+class TestBootstrapCI:
+    def test_mean_interval_covers_true_mean(self, rng):
+        samples = rng.normal(5.0, 1.0, size=2000)
+        interval = bootstrap_confidence_interval(
+            samples, np.mean, n_resamples=300, rng=rng
+        )
+        assert interval.contains(5.0)
+        assert interval.point_estimate == pytest.approx(np.mean(samples))
+
+    def test_interval_narrows_with_more_data(self, rng):
+        small = bootstrap_confidence_interval(
+            rng.normal(size=50), np.mean, n_resamples=200, rng=rng
+        )
+        large = bootstrap_confidence_interval(
+            rng.normal(size=5000), np.mean, n_resamples=200, rng=rng
+        )
+        assert large.width < small.width
+
+    def test_point_estimate_always_inside(self, rng):
+        samples = rng.exponential(size=200)
+        interval = bootstrap_confidence_interval(
+            samples, np.median, n_resamples=100, rng=rng
+        )
+        assert interval.contains(interval.point_estimate)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.array([1.0]), np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(
+                rng.normal(size=10), np.mean, n_resamples=5
+            )
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(
+                rng.normal(size=10), np.mean, confidence_level=1.2
+            )
+
+
+class TestBlockBootstrap:
+    def test_indices_shape_and_range(self, rng):
+        indices = block_bootstrap_indices(1000, 50, rng=rng)
+        assert indices.shape == (1000,)
+        assert indices.min() >= 0
+        assert indices.max() < 1000
+
+    def test_blocks_are_contiguous(self, rng):
+        indices = block_bootstrap_indices(100, 10, rng=rng)
+        first_block = indices[:10]
+        np.testing.assert_array_equal(np.diff(first_block), 1)
+
+    def test_block_longer_than_series_is_clipped(self, rng):
+        indices = block_bootstrap_indices(20, 100, rng=rng)
+        np.testing.assert_array_equal(indices, np.arange(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_bootstrap_indices(0, 10)
+        with pytest.raises(ValueError):
+            block_bootstrap_indices(10, 0)

@@ -1,0 +1,118 @@
+"""Tests for the noise-regime identification diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import sigma2_n_closed_form
+from repro.paper import PAPER_B_FLICKER_HZ2, PAPER_B_THERMAL_HZ, PAPER_F0_HZ
+from repro.phase import PhaseNoisePSD
+from repro.stats.noise_identification import (
+    identify_noise_from_allan,
+    identify_noise_regions,
+    local_log_slope,
+)
+
+
+class TestLocalLogSlope:
+    def test_pure_power_laws(self):
+        x = np.logspace(0, 4, 30)
+        np.testing.assert_allclose(local_log_slope(x, 3.0 * x), 1.0, atol=1e-9)
+        np.testing.assert_allclose(local_log_slope(x, 0.5 * x**2), 2.0, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            local_log_slope(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            local_log_slope(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            local_log_slope(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            local_log_slope(np.array([1.0, 2.0]), np.array([1.0, 1.0, 1.0]))
+
+
+class TestIdentifyNoiseRegions:
+    @pytest.fixture(scope="class")
+    def paper_theory_curve(self):
+        psd = PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+        n = np.unique(np.logspace(0, 6, 60).astype(int))
+        sigma2 = np.asarray(sigma2_n_closed_form(psd, PAPER_F0_HZ, n))
+        return n, sigma2
+
+    def test_paper_curve_has_both_regions(self, paper_theory_curve):
+        n, sigma2 = paper_theory_curve
+        regions = identify_noise_regions(n, sigma2)
+        assert regions.white_fm_range is not None
+        assert regions.flicker_fm_range is not None
+        # Thermal dominates at small N, flicker at large N.
+        assert regions.white_fm_range[0] < regions.flicker_fm_range[0]
+
+    def test_crossover_estimate_near_k(self, paper_theory_curve):
+        """The slope-1.5 crossover of the theory curve sits at N = K."""
+        n, sigma2 = paper_theory_curve
+        regions = identify_noise_regions(n, sigma2)
+        assert regions.crossover_estimate == pytest.approx(5354.0, rel=0.2)
+
+    def test_pure_thermal_curve_is_all_white_fm(self):
+        n = np.unique(np.logspace(0, 5, 40).astype(int))
+        sigma2 = 2.0 * 276.0 / PAPER_F0_HZ**3 * n
+        regions = identify_noise_regions(n, sigma2)
+        assert regions.dominant_regime == "white FM"
+        assert regions.flicker_fm_range is None
+        assert regions.crossover_estimate is None
+
+    def test_pure_flicker_curve_is_all_flicker_fm(self):
+        n = np.unique(np.logspace(0, 5, 40).astype(int))
+        sigma2 = 1e-24 * n.astype(float) ** 2
+        regions = identify_noise_regions(n, sigma2)
+        assert regions.dominant_regime == "flicker FM"
+        assert regions.white_fm_range is None
+
+    def test_summary_mentions_regions(self, paper_theory_curve):
+        n, sigma2 = paper_theory_curve
+        text = identify_noise_regions(n, sigma2).summary()
+        assert "white FM" in text
+        assert "flicker FM" in text
+        assert "crossover" in text
+
+    def test_works_on_measured_curve(self, paper_curve):
+        regions = identify_noise_regions(
+            paper_curve.n_values, paper_curve.sigma2_values_s2, slope_tolerance=0.4
+        )
+        assert regions.white_fm_range is not None
+        assert regions.white_fm_range[0] <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identify_noise_regions([1, 2, 4], [1.0, 2.0, 4.0], slope_tolerance=0.9)
+
+
+class TestIdentifyNoiseFromAllan:
+    def test_white_fm_identified(self):
+        tau = np.logspace(-6, -2, 20)
+        avar = 1e-12 / tau
+        assert identify_noise_from_allan(tau, avar) == "white FM"
+
+    def test_flicker_fm_identified(self):
+        tau = np.logspace(-6, -2, 20)
+        avar = np.full_like(tau, 3e-10)
+        assert identify_noise_from_allan(tau, avar) == "flicker FM"
+
+    def test_random_walk_identified(self):
+        tau = np.logspace(-6, -2, 20)
+        avar = 1e-4 * tau
+        assert identify_noise_from_allan(tau, avar) == "random walk FM"
+
+    def test_white_pm_identified(self):
+        tau = np.logspace(-6, -2, 20)
+        avar = 1e-20 / tau**2
+        assert identify_noise_from_allan(tau, avar) == "white PM"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identify_noise_from_allan([1.0], [1.0])
+        with pytest.raises(ValueError):
+            identify_noise_from_allan([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            identify_noise_from_allan([1.0, 2.0], [1.0, -1.0])

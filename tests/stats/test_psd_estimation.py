@@ -1,0 +1,74 @@
+"""Unit tests for the PSD estimators and the power-law fitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.flicker import generate_pink_noise
+from repro.stats.psd_estimation import (
+    PSDEstimate,
+    fit_power_law,
+    periodogram_psd,
+    welch_psd,
+)
+
+
+class TestEstimators:
+    def test_white_noise_level(self, rng):
+        """Unit-variance white noise sampled at fs has one-sided PSD 2/fs."""
+        fs = 1e6
+        samples = rng.normal(0.0, 1.0, size=200_000)
+        estimate = welch_psd(samples, fs, segment_length=4096)
+        assert np.median(estimate.psd) == pytest.approx(2.0 / fs, rel=0.1)
+
+    def test_parseval_band_power(self, rng):
+        fs = 1e3
+        samples = rng.normal(0.0, 2.0, size=100_000)
+        estimate = periodogram_psd(samples, fs)
+        assert estimate.band_power() == pytest.approx(np.var(samples), rel=0.05)
+
+    def test_dc_bin_removed(self, rng):
+        estimate = periodogram_psd(rng.normal(size=1024), 1.0)
+        assert np.all(estimate.frequencies_hz > 0.0)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            periodogram_psd(rng.normal(size=10), 0.0)
+        with pytest.raises(ValueError):
+            welch_psd(np.array([1.0]), 1.0)
+
+    def test_restrict(self, rng):
+        estimate = welch_psd(rng.normal(size=8192), 1.0, segment_length=1024)
+        band = estimate.restrict(0.01, 0.1)
+        assert np.all((band.frequencies_hz >= 0.01) & (band.frequencies_hz <= 0.1))
+        with pytest.raises(ValueError):
+            estimate.restrict(0.2, 0.1)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            PSDEstimate(np.arange(3.0), np.arange(4.0))
+
+
+class TestPowerLawFit:
+    def test_white_noise_slope_near_zero(self, rng):
+        estimate = welch_psd(rng.normal(size=65536), 1.0, segment_length=4096)
+        _amplitude, exponent = fit_power_law(estimate.restrict(1e-3, 0.4))
+        assert abs(exponent) < 0.15
+
+    def test_pink_noise_slope_near_minus_one(self):
+        samples = generate_pink_noise(65536, rng=np.random.default_rng(2))
+        estimate = welch_psd(samples, 1.0, segment_length=4096)
+        _amplitude, exponent = fit_power_law(estimate.restrict(1e-3, 0.1))
+        assert exponent == pytest.approx(-1.0, abs=0.3)
+
+    def test_exact_power_law_recovered(self):
+        frequencies = np.logspace(0, 3, 50)
+        estimate = PSDEstimate(frequencies, 5.0 * frequencies**-2)
+        amplitude, exponent = fit_power_law(estimate)
+        assert amplitude == pytest.approx(5.0, rel=1e-6)
+        assert exponent == pytest.approx(-2.0, abs=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law(PSDEstimate(np.array([1.0]), np.array([1.0])))

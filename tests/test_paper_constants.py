@@ -1,0 +1,89 @@
+"""Tests for the paper reference values and the physical-constant helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    BOLTZMANN_K,
+    celsius_to_kelvin,
+    db_to_ratio,
+    kelvin_to_celsius,
+    permille,
+    ps_to_seconds,
+    ratio_to_db,
+    seconds_to_ps,
+)
+from repro.core.ratio import independence_threshold, ratio_constant
+from repro.paper import (
+    PAPER_B_FLICKER_HZ2,
+    PAPER_B_THERMAL_HZ,
+    PAPER_F0_HZ,
+    PAPER_INDEPENDENCE_THRESHOLD_N,
+    PAPER_NORMALIZED_THERMAL_SLOPE,
+    PAPER_RATIO_CONSTANT_K,
+    PAPER_REFERENCE,
+    PAPER_THERMAL_JITTER_S,
+    paper_phase_noise_psd,
+    paper_single_oscillator_psd,
+)
+
+
+class TestPaperReferenceConsistency:
+    def test_b_thermal_follows_from_slope(self):
+        """b_th = slope/2 * f0 (Sec. IV-B): 5.36e-6 / 2 * 103 MHz = 276.04 Hz."""
+        assert PAPER_NORMALIZED_THERMAL_SLOPE / 2.0 * PAPER_F0_HZ == pytest.approx(
+            PAPER_B_THERMAL_HZ, rel=2e-3
+        )
+
+    def test_thermal_jitter_follows_from_b_thermal(self):
+        assert np.sqrt(PAPER_B_THERMAL_HZ / PAPER_F0_HZ**3) == pytest.approx(
+            PAPER_THERMAL_JITTER_S, rel=1e-3
+        )
+
+    def test_jitter_ratio_is_1_6_permille(self):
+        assert permille(PAPER_THERMAL_JITTER_S * PAPER_F0_HZ) == pytest.approx(
+            1.6, rel=0.03
+        )
+
+    def test_flicker_coefficient_reproduces_k(self):
+        psd = paper_phase_noise_psd()
+        assert ratio_constant(psd, PAPER_F0_HZ) == pytest.approx(
+            PAPER_RATIO_CONSTANT_K, rel=1e-9
+        )
+
+    def test_threshold_reproduces_281(self):
+        psd = paper_phase_noise_psd()
+        threshold = independence_threshold(psd, PAPER_F0_HZ, 0.95)
+        assert int(threshold) == PAPER_INDEPENDENCE_THRESHOLD_N
+
+    def test_single_oscillator_psd_is_half_of_relative(self):
+        relative = paper_phase_noise_psd()
+        single = paper_single_oscillator_psd()
+        assert single.b_thermal_hz == pytest.approx(relative.b_thermal_hz / 2.0)
+        assert single.b_flicker_hz2 == pytest.approx(relative.b_flicker_hz2 / 2.0)
+
+    def test_reference_dataclass_matches_module_constants(self):
+        assert PAPER_REFERENCE.b_thermal_hz == PAPER_B_THERMAL_HZ
+        assert PAPER_REFERENCE.b_flicker_hz2 == PAPER_B_FLICKER_HZ2
+        assert PAPER_REFERENCE.f0_hz == PAPER_F0_HZ
+
+
+class TestConstants:
+    def test_boltzmann(self):
+        assert BOLTZMANN_K == pytest.approx(1.380649e-23)
+
+    def test_temperature_round_trip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(27.0)) == pytest.approx(27.0)
+
+    def test_db_round_trip(self):
+        assert ratio_to_db(db_to_ratio(-3.0)) == pytest.approx(-3.0)
+        with pytest.raises(ValueError):
+            ratio_to_db(0.0)
+
+    def test_time_unit_round_trip(self):
+        assert ps_to_seconds(seconds_to_ps(15.89e-12)) == pytest.approx(15.89e-12)
+
+    def test_permille(self):
+        assert permille(0.0016) == pytest.approx(1.6)

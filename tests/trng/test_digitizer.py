@@ -1,0 +1,101 @@
+"""Tests for the D flip-flop digitizer (AIS31 digitization block)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oscillator.period_model import IdealClock, JitteryClock
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.digitizer import DFlipFlopSampler, square_wave_level
+
+
+class TestSquareWaveLevel:
+    def test_levels_of_a_regular_wave(self):
+        edges = np.arange(0.0, 10.0, 1.0)
+        samples = np.array([0.25, 0.75, 1.25, 1.75, 8.4, 8.6])
+        levels = square_wave_level(samples, edges, duty_cycle=0.5)
+        np.testing.assert_array_equal(levels, [1, 0, 1, 0, 1, 0])
+
+    def test_duty_cycle_shifts_threshold(self):
+        edges = np.arange(0.0, 4.0, 1.0)
+        samples = np.array([0.6, 0.8])
+        assert square_wave_level(samples, edges, duty_cycle=0.7).tolist() == [1, 0]
+
+    def test_samples_outside_span_rejected(self):
+        edges = np.arange(0.0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            square_wave_level(np.array([3.5]), edges)
+        with pytest.raises(ValueError):
+            square_wave_level(np.array([-0.1]), edges)
+
+    def test_invalid_duty_cycle(self):
+        edges = np.arange(0.0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            square_wave_level(np.array([0.5]), edges, duty_cycle=1.0)
+
+    def test_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            square_wave_level(np.array([0.5]), np.array([0.0]))
+
+
+class TestDFlipFlopSampler:
+    def test_bit_count_and_values(self, rng):
+        psd = PhaseNoisePSD(276.0, 0.0)
+        sampler = DFlipFlopSampler(
+            JitteryClock(103e6, psd, rng=rng),
+            JitteryClock(102.5e6, psd, rng=rng),
+            divider=100,
+        )
+        result = sampler.sample(500)
+        assert result.bits.shape == (500,)
+        assert set(np.unique(result.bits)).issubset({0, 1})
+        assert result.n_bits == 500
+
+    def test_sampling_frequency_accounts_for_divider(self, rng):
+        psd = PhaseNoisePSD(276.0, 0.0)
+        sampler = DFlipFlopSampler(
+            JitteryClock(103e6, psd, rng=rng),
+            JitteryClock(103e6, psd, rng=rng),
+            divider=64,
+        )
+        assert sampler.effective_sampling_frequency_hz == pytest.approx(103e6 / 64)
+
+    def test_accumulation_ratio(self, rng):
+        psd = PhaseNoisePSD(276.0, 0.0)
+        sampler = DFlipFlopSampler(
+            JitteryClock(103e6, psd, rng=rng),
+            JitteryClock(103e6, psd, rng=rng),
+            divider=10,
+        )
+        result = sampler.sample(50)
+        assert result.accumulation_ratio == pytest.approx(10.0, rel=1e-6)
+
+    def test_ideal_clocks_give_deterministic_bits(self):
+        """Without jitter the sampled bits are a deterministic (repeatable) pattern."""
+        sampler = DFlipFlopSampler(IdealClock(3.1e6), IdealClock(2e6), divider=1)
+        first = sampler.sample(60).bits
+        second = sampler.sample(60).bits
+        np.testing.assert_array_equal(first, second)
+        assert set(np.unique(first)).issubset({0, 1})
+
+    def test_jitter_makes_bits_non_deterministic(self, rng):
+        psd = PhaseNoisePSD(5000.0, 0.0)
+        sampler = DFlipFlopSampler(
+            JitteryClock(103e6, psd, rng=rng),
+            JitteryClock(103e6 * 0.999, psd, rng=rng),
+            divider=5000,
+        )
+        bits = sampler.sample(400).bits
+        assert 0.1 < np.mean(bits) < 0.9
+
+    def test_validation(self, rng):
+        psd = PhaseNoisePSD(276.0, 0.0)
+        clock = JitteryClock(103e6, psd, rng=rng)
+        with pytest.raises(ValueError):
+            DFlipFlopSampler(clock, clock, divider=0)
+        with pytest.raises(ValueError):
+            DFlipFlopSampler(clock, clock, duty_cycle=0.0)
+        sampler = DFlipFlopSampler(clock, clock)
+        with pytest.raises(ValueError):
+            sampler.sample(0)

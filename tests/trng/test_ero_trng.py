@@ -1,0 +1,86 @@
+"""Tests for the elementary RO-TRNG (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.entropy import shannon_entropy_per_bit
+from repro.trng.ero_trng import EROTRNG, EROTRNGConfiguration
+from repro.trng.postprocessing import von_neumann
+
+
+@pytest.fixture
+def strong_jitter_configuration() -> EROTRNGConfiguration:
+    """A deliberately noisy design whose output should be close to ideal."""
+    return EROTRNGConfiguration(
+        f0_hz=103e6,
+        oscillator_psd=PhaseNoisePSD(b_thermal_hz=5e4, b_flicker_hz2=0.0),
+        divider=20_000,
+        frequency_mismatch=1e-3,
+    )
+
+
+class TestConfiguration:
+    def test_validation(self):
+        psd = PhaseNoisePSD(100.0, 0.0)
+        with pytest.raises(ValueError):
+            EROTRNGConfiguration(0.0, psd, 100)
+        with pytest.raises(ValueError):
+            EROTRNGConfiguration(1e8, psd, 0)
+        with pytest.raises(ValueError):
+            EROTRNGConfiguration(1e8, psd, 100, frequency_mismatch=0.2)
+
+
+class TestEROTRNG:
+    def test_bit_generation_shape(self, strong_jitter_configuration, rng):
+        trng = EROTRNG(strong_jitter_configuration, rng=rng)
+        result = trng.generate_raw(256)
+        assert result.bits.shape == (256,)
+        assert result.sample_times_s.shape == (256,)
+
+    def test_output_bit_rate(self, strong_jitter_configuration, rng):
+        trng = EROTRNG(strong_jitter_configuration, rng=rng)
+        expected = trng.sampling_oscillator.f0_hz / 20_000
+        assert trng.output_bit_rate_hz == pytest.approx(expected)
+
+    def test_relative_psd_combines_both_oscillators(self, strong_jitter_configuration, rng):
+        trng = EROTRNG(strong_jitter_configuration, rng=rng)
+        assert trng.relative_psd.b_thermal_hz == pytest.approx(1e5)
+
+    def test_high_jitter_design_produces_nearly_ideal_bits(
+        self, strong_jitter_configuration, rng
+    ):
+        """With a quality factor >> 1 the raw bits must be close to uniform."""
+        trng = EROTRNG(strong_jitter_configuration, rng=rng)
+        bits = trng.generate(4000)
+        assert 0.44 < np.mean(bits) < 0.56
+        assert shannon_entropy_per_bit(bits) > 0.98
+
+    def test_low_jitter_design_produces_structured_bits(self, rng):
+        """With almost no jitter the sampler tracks the deterministic beat."""
+        configuration = EROTRNGConfiguration(
+            f0_hz=103e6,
+            oscillator_psd=PhaseNoisePSD(b_thermal_hz=0.5, b_flicker_hz2=0.0),
+            divider=16,
+            frequency_mismatch=1e-3,
+        )
+        trng = EROTRNG(configuration, rng=rng)
+        bits = trng.generate(4000)
+        # The sequence is dominated by the deterministic phase ramp: long runs.
+        transitions = np.count_nonzero(np.diff(bits))
+        assert transitions < 1500
+
+    def test_postprocessor_is_applied(self, strong_jitter_configuration, rng):
+        trng = EROTRNG(
+            strong_jitter_configuration, rng=rng, postprocessor=von_neumann
+        )
+        output = trng.generate(2000)
+        assert output.size < 2000
+
+    def test_paper_reference_design_builds(self, rng):
+        trng = EROTRNG.paper_reference_design(divider=5000, rng=rng)
+        assert trng.configuration.f0_hz == pytest.approx(103e6)
+        bits = trng.generate(64)
+        assert bits.shape == (64,)

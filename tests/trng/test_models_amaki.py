@@ -1,0 +1,83 @@
+"""Tests for the Amaki-style Markov-chain model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trng.models.amaki import AmakiMarkovModel
+
+
+class TestTransitionKernel:
+    def test_matrix_is_row_stochastic(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=0.03)
+        matrix = model.transition_matrix()
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(matrix >= 0.0)
+
+    def test_zero_jitter_gives_deterministic_transitions(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.25, jitter_std_fraction=0.0, n_bins=64)
+        matrix = model.transition_matrix()
+        np.testing.assert_allclose(matrix.max(axis=1), 1.0)
+
+    def test_phase_step_wraps_modulo_one(self):
+        a = AmakiMarkovModel(phase_step_fraction=0.3, jitter_std_fraction=0.02)
+        b = AmakiMarkovModel(phase_step_fraction=1.3, jitter_std_fraction=0.02)
+        np.testing.assert_allclose(a.transition_matrix(), b.transition_matrix())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmakiMarkovModel(0.1, -0.1)
+        with pytest.raises(ValueError):
+            AmakiMarkovModel(0.1, 0.1, n_bins=4)
+        with pytest.raises(ValueError):
+            AmakiMarkovModel(0.1, 0.1, duty_cycle=0.0)
+
+
+class TestStationaryBehaviour:
+    def test_stationary_distribution_sums_to_one(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=0.05)
+        distribution = model.stationary_distribution()
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0.0)
+
+    def test_large_jitter_gives_uniform_stationary_distribution(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=2.0)
+        distribution = model.stationary_distribution()
+        np.testing.assert_allclose(distribution, 1.0 / model.n_bins, rtol=1e-3)
+
+    def test_probability_of_one_tracks_duty_cycle_for_large_jitter(self):
+        model = AmakiMarkovModel(
+            phase_step_fraction=0.1, jitter_std_fraction=2.0, duty_cycle=0.3
+        )
+        assert model.probability_of_one() == pytest.approx(0.3, abs=0.01)
+
+    def test_entropy_increases_with_jitter(self):
+        quiet = AmakiMarkovModel(phase_step_fraction=0.37, jitter_std_fraction=0.01)
+        noisy = AmakiMarkovModel(phase_step_fraction=0.37, jitter_std_fraction=0.5)
+        assert noisy.conditional_entropy_per_bit() > quiet.conditional_entropy_per_bit()
+
+    def test_conditional_entropy_never_exceeds_marginal(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=0.08)
+        assert model.conditional_entropy_per_bit() <= model.entropy_per_bit() + 1e-9
+
+
+class TestSimulation:
+    def test_simulated_bits_match_stationary_probability(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=0.3)
+        bits = model.simulate_bits(20_000, rng=np.random.default_rng(3))
+        assert np.mean(bits) == pytest.approx(model.probability_of_one(), abs=0.03)
+
+    def test_simulation_validation(self):
+        model = AmakiMarkovModel(phase_step_fraction=0.31, jitter_std_fraction=0.3)
+        with pytest.raises(ValueError):
+            model.simulate_bits(0)
+
+    def test_bit_for_bin_scalar_and_array(self):
+        model = AmakiMarkovModel(
+            phase_step_fraction=0.1, jitter_std_fraction=0.1, n_bins=8, duty_cycle=0.5
+        )
+        assert model.bit_for_bin(0) == 1
+        assert model.bit_for_bin(7) == 0
+        bits = model.bit_for_bin(np.arange(8))
+        assert bits.sum() == 4

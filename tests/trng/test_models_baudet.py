@@ -1,0 +1,106 @@
+"""Tests for the Baudet-style (classical, independence-based) entropy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trng.models.baudet import (
+    BaudetModel,
+    bit_bias_upper_bound,
+    entropy_from_worst_case_bias,
+    entropy_lower_bound,
+    quality_factor,
+    required_quality_factor,
+)
+
+
+class TestQualityFactor:
+    def test_definition(self):
+        assert quality_factor(1e-18, 1e-8) == pytest.approx(1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quality_factor(-1.0, 1e-8)
+        with pytest.raises(ValueError):
+            quality_factor(1e-18, 0.0)
+
+
+class TestBoundsBehaviour:
+    def test_bias_decreases_with_quality(self):
+        assert bit_bias_upper_bound(0.1) > bit_bias_upper_bound(0.5)
+
+    def test_bias_is_capped_at_half(self):
+        assert bit_bias_upper_bound(0.0) == 0.5
+
+    def test_entropy_increases_with_quality(self):
+        values = [entropy_lower_bound(q) for q in (0.01, 0.05, 0.1, 0.5, 1.0)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_entropy_bounds_are_in_unit_interval(self):
+        for q in (0.0, 0.001, 0.01, 0.1, 1.0, 10.0):
+            assert 0.0 <= entropy_lower_bound(q) <= 1.0
+
+    def test_entropy_tends_to_one(self):
+        assert entropy_lower_bound(1.0) > 0.999999
+
+    def test_bias_based_entropy_is_more_pessimistic(self):
+        """Plugging the worst-case bias into H() is more pessimistic than the
+        dedicated lower bound (the bound accounts for the phase averaging)."""
+        for q in (0.05, 0.1, 0.2, 0.5):
+            assert entropy_from_worst_case_bias(q) <= entropy_lower_bound(q) + 1e-12
+
+    def test_required_quality_inverts_bound(self):
+        target = 0.997
+        q = required_quality_factor(target)
+        assert entropy_lower_bound(q) == pytest.approx(target, abs=1e-9)
+
+    def test_required_quality_validation(self):
+        with pytest.raises(ValueError):
+            required_quality_factor(1.0)
+
+    def test_negative_quality_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_lower_bound(-0.1)
+        with pytest.raises(ValueError):
+            bit_bias_upper_bound(-0.1)
+
+
+class TestBaudetModel:
+    def test_accumulated_variance_is_linear(self):
+        model = BaudetModel(103e6, (15.89e-12) ** 2)
+        assert model.accumulated_variance(100) == pytest.approx(
+            100 * (15.89e-12) ** 2
+        )
+
+    def test_entropy_grows_with_accumulation(self):
+        model = BaudetModel(103e6, (15.89e-12) ** 2)
+        assert model.entropy_per_bit(100_000) > model.entropy_per_bit(1_000)
+
+    def test_accumulation_for_entropy_reaches_target(self):
+        model = BaudetModel(103e6, (15.89e-12) ** 2)
+        n = model.accumulation_for_entropy(0.997)
+        assert model.entropy_per_bit(n) >= 0.997
+        assert model.entropy_per_bit(max(n // 2, 1)) < 0.997
+
+    def test_paper_scale_accumulation_requirement(self):
+        """With sigma/T0 ~ 1.6 permille, reaching Q ~ 0.08 needs tens of
+        thousands of periods — the order of magnitude practitioners use."""
+        model = BaudetModel(103e6, (15.89e-12) ** 2)
+        n = model.accumulation_for_entropy(0.997)
+        assert 5_000 < n < 100_000
+
+    def test_bias_bound_decreases_with_accumulation(self):
+        model = BaudetModel(103e6, (15.89e-12) ** 2)
+        assert model.bias_upper_bound(50_000) < model.bias_upper_bound(5_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaudetModel(0.0, 1e-24)
+        with pytest.raises(ValueError):
+            BaudetModel(1e8, -1.0)
+        model = BaudetModel(1e8, 1e-24)
+        with pytest.raises(ValueError):
+            model.accumulated_variance(0)
+        with pytest.raises(ValueError):
+            BaudetModel(1e8, 0.0).accumulation_for_entropy(0.9)

@@ -1,0 +1,94 @@
+"""Tests for the Bernard et al. coherent-sampling (PLL-TRNG) model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oscillator.pll import PLLConfiguration
+from repro.trng.models.bernard_pll import CoherentSamplingModel, sweep_jitter
+
+
+@pytest.fixture
+def configuration() -> PLLConfiguration:
+    return PLLConfiguration(
+        multiplication_factor=157, division_factor=8, output_jitter_std_s=15e-12
+    )
+
+
+class TestGeometry:
+    def test_phase_positions_cover_one_period(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6)
+        positions = model.phase_positions_s
+        assert positions.size == 8
+        assert np.all(positions < model.output_period_s)
+        assert np.all(np.diff(positions) > 0.0)
+
+    def test_output_period(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6)
+        assert model.output_period_s == pytest.approx(1.0 / (125e6 * 157 / 8))
+
+    def test_validation(self, configuration):
+        with pytest.raises(ValueError):
+            CoherentSamplingModel(configuration, 0.0)
+        with pytest.raises(ValueError):
+            CoherentSamplingModel(configuration, 125e6, duty_cycle=0.0)
+
+
+class TestProbabilities:
+    def test_probabilities_in_unit_interval(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6)
+        probabilities = model.probability_of_one()
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    def test_zero_jitter_gives_deterministic_samples(self):
+        configuration = PLLConfiguration(157, 8, 0.0)
+        model = CoherentSamplingModel(configuration, 125e6)
+        probabilities = model.probability_of_one()
+        assert set(np.round(probabilities, 9)) <= {0.0, 1.0}
+        assert model.entropy_per_pattern() == pytest.approx(0.0, abs=1e-9)
+        assert model.sensitive_samples() == 0
+
+    def test_mean_probability_tracks_duty_cycle(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6, duty_cycle=0.5)
+        assert np.mean(model.probability_of_one()) == pytest.approx(0.5, abs=0.1)
+
+    def test_sensitive_sample_count_grows_with_jitter(self):
+        quiet = CoherentSamplingModel(PLLConfiguration(157, 8, 1e-12), 125e6)
+        noisy = CoherentSamplingModel(PLLConfiguration(157, 8, 100e-12), 125e6)
+        assert noisy.sensitive_samples() >= quiet.sensitive_samples()
+
+    def test_sensitive_samples_validation(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6)
+        with pytest.raises(ValueError):
+            model.sensitive_samples(probability_margin=0.7)
+
+
+class TestEntropy:
+    def test_entropy_per_pattern_grows_with_jitter(self):
+        values = sweep_jitter(
+            PLLConfiguration(157, 8, 1e-12),
+            125e6,
+            np.array([1e-12, 10e-12, 100e-12, 1e-9]),
+        )
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_entropy_per_output_bit_bounded_by_one(self, configuration):
+        model = CoherentSamplingModel(configuration, 125e6)
+        assert 0.0 <= model.entropy_per_output_bit() <= 1.0
+
+    def test_xor_compression_never_loses_to_single_best_sample(self, configuration):
+        """The XOR of all samples is at least as entropic as the most random
+        single sample (piling-up can only push the bias toward zero)."""
+        model = CoherentSamplingModel(configuration, 125e6)
+        from repro.trng.entropy import binary_entropy
+
+        best_single = max(
+            binary_entropy(float(p)) for p in model.probability_of_one()
+        )
+        assert model.entropy_per_output_bit() >= best_single - 1e-9
+
+    def test_large_jitter_saturates_entropy(self):
+        model = CoherentSamplingModel(PLLConfiguration(157, 8, 2e-9), 125e6)
+        assert model.entropy_per_output_bit() > 0.99

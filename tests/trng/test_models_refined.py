@@ -1,0 +1,91 @@
+"""Tests for the refined (flicker-aware) entropy model — the paper's security message."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.paper import (
+    PAPER_B_FLICKER_HZ2,
+    PAPER_B_THERMAL_HZ,
+    PAPER_F0_HZ,
+    PAPER_RATIO_CONSTANT_K,
+)
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.models.refined import RefinedEntropyModel
+
+
+@pytest.fixture(scope="module")
+def model() -> RefinedEntropyModel:
+    return RefinedEntropyModel(
+        PAPER_F0_HZ, PhaseNoisePSD(PAPER_B_THERMAL_HZ, PAPER_B_FLICKER_HZ2)
+    )
+
+
+class TestRefinedPrediction:
+    def test_thermal_per_period_variance(self, model):
+        assert np.sqrt(model.thermal_per_period_variance_s2) == pytest.approx(
+            15.89e-12, rel=1e-3
+        )
+
+    def test_entropy_monotone_in_accumulation(self, model):
+        assert model.entropy_per_bit(100_000) > model.entropy_per_bit(10_000)
+
+    def test_entropy_in_unit_interval(self, model):
+        for n in (1, 100, 10_000, 1_000_000):
+            assert 0.0 <= model.entropy_per_bit(n) <= 1.0
+
+    def test_accumulation_for_entropy(self, model):
+        n = model.accumulation_for_entropy(0.997)
+        assert model.entropy_per_bit(n) >= 0.997
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.entropy_per_bit(0)
+        with pytest.raises(ValueError):
+            RefinedEntropyModel(0.0, PhaseNoisePSD(1.0, 1.0))
+
+
+class TestNaiveVsRefined:
+    def test_naive_per_period_variance_is_inflated_by_flicker(self, model):
+        """Calibrating over N_cal periods inflates the variance by 1 + N_cal/K."""
+        calibration = 50_000
+        naive = model.naive_per_period_variance_s2(calibration)
+        thermal = model.thermal_per_period_variance_s2
+        expected_inflation = 1.0 + calibration / PAPER_RATIO_CONSTANT_K
+        assert naive / thermal == pytest.approx(expected_inflation, rel=1e-6)
+
+    def test_naive_entropy_never_below_refined(self, model):
+        """The independence assumption can only over-promise entropy."""
+        for n in (1_000, 10_000, 50_000, 200_000):
+            comparison = model.compare(n, calibration_length=100_000)
+            assert comparison.naive_entropy >= comparison.refined_entropy - 1e-12
+
+    def test_overestimation_is_substantial_in_the_transition_region(self, model):
+        """Around the accumulation lengths where the refined model says the
+        entropy is not yet sufficient, the naive model (calibrated with a long,
+        flicker-contaminated measurement) claims it already is — the paper's
+        'security was much lower than expected' scenario."""
+        comparison = model.compare(20_000, calibration_length=200_000)
+        assert comparison.refined_entropy < 0.97
+        assert comparison.naive_entropy > 0.99
+        assert comparison.overestimation > 0.03
+
+    def test_short_calibration_converges_to_refined(self, model):
+        """If the calibration window is short (N_cal << K), flicker has not yet
+        kicked in and the naive and refined models agree."""
+        comparison = model.compare(100, calibration_length=10)
+        assert comparison.naive_entropy == pytest.approx(
+            comparison.refined_entropy, abs=1e-3
+        )
+
+    def test_default_calibration_uses_accumulation_length(self, model):
+        explicit = model.naive_entropy_per_bit(5_000, calibration_length=5_000)
+        implicit = model.naive_entropy_per_bit(5_000)
+        assert implicit == pytest.approx(explicit)
+
+    def test_naive_quality_factor_validation(self, model):
+        with pytest.raises(ValueError):
+            model.naive_per_period_variance_s2(0)
+        with pytest.raises(ValueError):
+            model.naive_entropy_per_bit(0)

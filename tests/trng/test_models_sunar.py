@@ -1,0 +1,88 @@
+"""Tests for the Sunar-Martin-Stinson many-ring XOR TRNG model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trng.models.sunar import SunarModel
+
+
+@pytest.fixture
+def model() -> SunarModel:
+    return SunarModel(
+        n_rings=114,
+        ring_frequency_hz=400e6,
+        sampling_frequency_hz=1e6,
+        relative_jitter_std=0.01,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SunarModel(0, 400e6, 1e6, 0.01)
+        with pytest.raises(ValueError):
+            SunarModel(10, 0.0, 1e6, 0.01)
+        with pytest.raises(ValueError):
+            SunarModel(10, 1e6, 2e6, 0.01)
+        with pytest.raises(ValueError):
+            SunarModel(10, 400e6, 1e6, -0.1)
+
+    def test_urn_count_is_odd_and_tracks_frequency_ratio(self, model):
+        assert model.n_urns % 2 == 1
+        assert model.n_urns == pytest.approx(model.transitions_per_sample, rel=0.01)
+
+
+class TestProbabilities:
+    def test_hit_probability_bounds(self, model):
+        assert 0.0 < model.urn_hit_probability() < 1.0
+
+    def test_zero_jitter_gives_zero_hit_probability(self, model):
+        frozen = model.with_jitter(0.0)
+        assert frozen.urn_hit_probability() == 0.0
+        assert frozen.probability_all_urns_filled() == 0.0
+        assert frozen.entropy_lower_bound() == 0.0
+
+    def test_fill_probability_increases_with_rings(self, model):
+        small = SunarModel(50, 400e6, 1e6, 0.01)
+        large = SunarModel(5000, 400e6, 1e6, 0.01)
+        assert large.probability_all_urns_filled() >= small.probability_all_urns_filled()
+
+    def test_fill_probability_increases_with_jitter(self, model):
+        quiet = model.with_jitter(0.001)
+        noisy = model.with_jitter(0.1)
+        assert noisy.probability_all_urns_filled() >= quiet.probability_all_urns_filled()
+
+    def test_bias_bound_consistency(self, model):
+        assert model.output_bias_bound() == pytest.approx(
+            0.5 * (1.0 - model.probability_all_urns_filled())
+        )
+        assert 0.0 <= model.entropy_lower_bound() <= 1.0
+
+
+class TestDesignHelpers:
+    def test_rings_needed_achieves_target(self, model):
+        target = 0.99
+        needed = model.rings_needed(target)
+        sized = SunarModel(
+            needed, model.ring_frequency_hz, model.sampling_frequency_hz, 0.01
+        )
+        assert sized.probability_all_urns_filled() >= target
+
+    def test_rings_needed_monotone_in_target(self, model):
+        assert model.rings_needed(0.999) >= model.rings_needed(0.9)
+
+    def test_rings_needed_validation(self, model):
+        with pytest.raises(ValueError):
+            model.rings_needed(1.0)
+        with pytest.raises(ValueError):
+            model.with_jitter(0.0).rings_needed(0.9)
+
+    def test_refined_jitter_requires_more_rings(self, model):
+        """The paper's point applied to this design: if the classical
+        evaluation overstated the usable jitter (flicker included), the ring
+        count it certifies is too small once only thermal jitter is counted."""
+        classical = model.with_jitter(0.02)   # total (thermal + flicker) jitter
+        refined = model.with_jitter(0.005)    # thermal-only jitter
+        assert refined.rings_needed(0.99) > classical.rings_needed(0.99)

@@ -1,0 +1,123 @@
+"""Tests for the post-processing algorithms (von Neumann, XOR, parity, LFSR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trng.postprocessing import (
+    LFSRWhitener,
+    bias,
+    parity_filter,
+    von_neumann,
+    xor_decimation,
+)
+
+
+class TestVonNeumann:
+    def test_mapping(self):
+        bits = np.array([0, 1, 1, 0, 0, 0, 1, 1, 0, 1])
+        np.testing.assert_array_equal(von_neumann(bits), [1, 0, 1])
+
+    def test_removes_bias_of_independent_bits(self, biased_bits):
+        corrected = von_neumann(biased_bits)
+        assert abs(bias(corrected)) < 0.01
+        assert corrected.size < biased_bits.size / 2
+
+    def test_output_rate_for_unbiased_input(self, unbiased_bits):
+        corrected = von_neumann(unbiased_bits[:100_000])
+        # Acceptance probability of a pair is 1/2 for unbiased independent bits.
+        assert corrected.size == pytest.approx(25_000, rel=0.05)
+
+    def test_empty_and_odd_inputs(self):
+        assert von_neumann(np.array([], dtype=int)).size == 0
+        assert von_neumann(np.array([1])).size == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            von_neumann(np.array([0, 2]))
+
+
+class TestXorDecimation:
+    def test_parity_of_blocks(self):
+        bits = np.array([1, 1, 0, 1, 0, 0, 1, 0, 1])
+        np.testing.assert_array_equal(xor_decimation(bits, 3), [0, 1, 0])
+
+    def test_reduces_bias_per_piling_up_lemma(self, biased_bits):
+        """XOR of k independent bits: P(1) = (1 - (1 - 2p)^k) / 2 (piling-up lemma)."""
+        input_bias = bias(biased_bits)
+        output = xor_decimation(biased_bits, 4)
+        expected = -(((-2.0 * input_bias) ** 4) / 2.0)
+        assert bias(output) == pytest.approx(expected, abs=0.01)
+        assert abs(bias(output)) < abs(input_bias)
+
+    def test_factor_one_is_identity(self, unbiased_bits):
+        np.testing.assert_array_equal(
+            xor_decimation(unbiased_bits[:100], 1), unbiased_bits[:100]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            xor_decimation(np.array([0, 1]), 0)
+
+    def test_short_input(self):
+        assert xor_decimation(np.array([1, 0]), 4).size == 0
+
+
+class TestParityFilter:
+    def test_sliding_parity(self):
+        bits = np.array([1, 0, 1, 1])
+        np.testing.assert_array_equal(parity_filter(bits, 2), [1, 1, 0])
+
+    def test_output_length(self, unbiased_bits):
+        output = parity_filter(unbiased_bits[:1000], 3)
+        assert output.size == 998
+
+    def test_order_one_is_identity(self):
+        bits = np.array([1, 0, 0, 1])
+        np.testing.assert_array_equal(parity_filter(bits, 1), bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parity_filter(np.array([0, 1]), 0)
+
+
+class TestLFSRWhitener:
+    def test_output_length_matches_input(self, unbiased_bits):
+        whitener = LFSRWhitener(taps=[3, 1])
+        output = whitener.process(unbiased_bits[:500])
+        assert output.size == 500
+
+    def test_whitener_reduces_bias(self, biased_bits):
+        whitener = LFSRWhitener(taps=[16, 14, 13, 11])
+        output = whitener.process(biased_bits[:50_000])
+        assert abs(bias(output)) < abs(bias(biased_bits[:50_000]))
+
+    def test_state_advances_between_calls(self):
+        whitener = LFSRWhitener(taps=[4, 1])
+        first = whitener.process(np.zeros(16, dtype=int))
+        second = whitener.process(np.zeros(16, dtype=int))
+        assert not np.array_equal(first, second) or whitener.state != 1
+
+    def test_deterministic_for_same_seed_state(self):
+        a = LFSRWhitener(taps=[8, 6, 5, 4], state=0xAB).process(np.ones(64, dtype=int))
+        b = LFSRWhitener(taps=[8, 6, 5, 4], state=0xAB).process(np.ones(64, dtype=int))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LFSRWhitener(taps=[])
+        with pytest.raises(ValueError):
+            LFSRWhitener(taps=[0])
+        with pytest.raises(ValueError):
+            LFSRWhitener(taps=[3], state=0)
+
+
+class TestBias:
+    def test_values(self):
+        assert bias(np.array([1, 1, 1, 1])) == pytest.approx(0.5)
+        assert bias(np.array([0, 1, 0, 1])) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bias(np.array([], dtype=int))
