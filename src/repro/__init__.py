@@ -34,6 +34,8 @@ True
 """
 
 from . import ais31, attacks, core, measurement, noise, oscillator, paper, phase, stats, trng
+from . import engine
+from .engine import BatchedOscillatorEnsemble
 from .core import (
     MultilevelModel,
     ThermalNoiseReport,
@@ -52,6 +54,7 @@ from .phase import PhaseNoisePSD
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchedOscillatorEnsemble",
     "MultilevelModel",
     "PAPER_CYCLONE_III",
     "PAPER_REFERENCE",
@@ -65,6 +68,7 @@ __all__ = [
     "assess_independence",
     "attacks",
     "core",
+    "engine",
     "extract_thermal_noise",
     "extract_thermal_noise_from_curve",
     "fit_sigma2_n_curve",

@@ -25,6 +25,7 @@ from .sigma_n import (
     AccumulatedVarianceCurve,
     AccumulatedVariancePoint,
     accumulated_variance_curve,
+    accumulated_variance_curves,
     accumulation_weights,
     bienayme_prediction,
     default_n_sweep,
@@ -58,6 +59,7 @@ __all__ = [
     "Sigma2NFitResult",
     "ThermalNoiseReport",
     "accumulated_variance_curve",
+    "accumulated_variance_curves",
     "accumulation_weights",
     "assess_independence",
     "bienayme_linearity_test",

@@ -1,0 +1,71 @@
+"""Batched simulation engine: vectorized multi-instance synthesis and campaigns.
+
+This package scales the paper's experiments from one oscillator pair at a
+time to whole ensembles:
+
+* :mod:`repro.engine.batch` — ``(B, n_periods)`` vectorized thermal + flicker
+  synthesis with one spawned RNG stream per instance
+  (:class:`BatchedOscillatorEnsemble`); the scalar oscillator/synthesizer
+  classes are thin ``B = 1`` views over it.
+* :mod:`repro.engine.streaming` — chunked generation and online ``sigma^2_N``
+  accumulation, so campaigns and bit generation run in O(chunk) memory for
+  arbitrarily long records.
+* :mod:`repro.engine.campaign` — batched Fig. 7 campaigns that estimate and
+  fit every instance's curve in one pass and return a results table.
+
+``streaming`` and ``campaign`` are imported lazily: ``batch`` sits below the
+measurement/core layers, while the other two sit above them, and the scalar
+synthesis layer imports ``batch`` during package initialisation.
+"""
+
+from __future__ import annotations
+
+from .batch import (
+    BatchedJitterDecomposition,
+    BatchedJitterSynthesizer,
+    BatchedOscillatorEnsemble,
+    spawn_generators,
+)
+
+__all__ = [
+    "BatchedCampaignResult",
+    "BatchedJitterDecomposition",
+    "BatchedJitterSynthesizer",
+    "BatchedOscillatorEnsemble",
+    "StreamingSigma2NEstimator",
+    "batched_relative_jitter_campaign",
+    "batched_sigma2_n_campaign",
+    "campaign",
+    "batch",
+    "fit_sigma2_n_curves",
+    "generate_bits_exact",
+    "spawn_generators",
+    "stream_bits",
+    "streaming",
+    "streaming_accumulated_variance_curves",
+]
+
+_LAZY_EXPORTS = {
+    "BatchedCampaignResult": "campaign",
+    "batched_relative_jitter_campaign": "campaign",
+    "batched_sigma2_n_campaign": "campaign",
+    "fit_sigma2_n_curves": "campaign",
+    "StreamingSigma2NEstimator": "streaming",
+    "generate_bits_exact": "streaming",
+    "stream_bits": "streaming",
+    "streaming_accumulated_variance_curves": "streaming",
+    "campaign": None,
+    "streaming": None,
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        from importlib import import_module
+
+        module_name = _LAZY_EXPORTS[name] or name
+        module = import_module(f".{module_name}", __name__)
+        if _LAZY_EXPORTS[name] is None:
+            return module
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,306 @@
+"""Streaming (chunked) campaigns: O(chunk) memory for arbitrarily long records.
+
+The one-shot estimators in :mod:`repro.core.sigma_n` hold the whole jitter
+record in memory, which caps a sigma^2_N campaign at a few 10^7 periods.  This
+module provides:
+
+* :class:`StreamingSigma2NEstimator` — an online accumulator of the
+  mean-of-squares sigma^2_N estimator over a sweep of ``N``, fed with
+  consecutive chunks of a (batched) jitter record.  It keeps only a
+  ``2 N_max - 1``-sample tail between chunks, so memory is
+  ``O(batch * (chunk + N_max))`` regardless of the total record length, while
+  *every* overlapping (or disjoint) window of the underlying record is still
+  counted exactly once — including the windows that span chunk boundaries.
+* :func:`streaming_accumulated_variance_curves` — a chunked drop-in for
+  :func:`repro.core.sigma_n.accumulated_variance_curves` that synthesizes the
+  record chunk by chunk from an ensemble/synthesizer/oscillator.
+* :func:`stream_bits` / :func:`generate_bits_exact` — chunked TRNG bit
+  generation, bounding the edge-record memory of a divider-``D`` eRO-TRNG at
+  ``O(chunk * D)`` instead of ``O(n_bits * D)``.
+
+Statistical caveat for *generated* streams: the phase-noise synthesizer draws
+statistically independent stretches on every call, so a chunked synthesis
+truncates flicker correlations at the chunk length.  Choose
+``chunk_periods >> max(n_sweep)`` (the estimator enforces a 4x margin by
+default) so the sigma^2_N points are unaffected; a chunked campaign then
+matches the one-shot campaign within the estimator's statistical scatter.
+When the estimator is fed chunks of an *existing* record, the window set is
+identical to the one-shot estimator and results agree to floating-point
+accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.sigma_n import (
+    AccumulatedVarianceCurve,
+    AccumulatedVariancePoint,
+    default_n_sweep,
+)
+
+
+class StreamingSigma2NEstimator:
+    """Online mean-of-squares estimator of ``sigma^2_N`` over a sweep of ``N``.
+
+    Feed consecutive chunks of one (or ``B`` parallel) jitter records with
+    :meth:`update`; read the accumulated curves with :meth:`curves`.  Windows
+    spanning chunk boundaries are recovered from a retained tail of
+    ``2 N_max - 1`` samples, so the set of counted ``s_N`` windows is exactly
+    the set the one-shot estimator uses on the concatenated record.
+
+    Parameters
+    ----------
+    n_sweep:
+        Accumulation lengths ``N`` to track.
+    batch_size:
+        Number of parallel records ``B`` (rows of the chunks).
+    overlapping:
+        When True every window start is used; when False only starts at
+        multiples of ``2N`` (the one-shot disjoint-window semantics).
+    """
+
+    def __init__(
+        self,
+        n_sweep: Sequence[int],
+        batch_size: int = 1,
+        overlapping: bool = True,
+    ) -> None:
+        sweep = sorted({int(n) for n in n_sweep})
+        if not sweep:
+            raise ValueError("n_sweep must contain at least one N")
+        if sweep[0] < 1:
+            raise ValueError(f"N must be >= 1, got {sweep[0]!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        self.n_sweep = sweep
+        self.batch_size = int(batch_size)
+        self.overlapping = bool(overlapping)
+        self._max_n = sweep[-1]
+        self._tail = np.empty((self.batch_size, 0))
+        self._tail_start = 0  # global index of the first tail sample
+        self._n_samples = 0  # total samples seen per record
+        self._sum_sq = {n: np.zeros(self.batch_size) for n in sweep}
+        self._counts = {n: 0 for n in sweep}
+        self._next_start = {n: 0 for n in sweep}  # next uncounted window start
+
+    @property
+    def n_samples_seen(self) -> int:
+        """Total samples consumed per record so far."""
+        return self._n_samples
+
+    def update(self, chunk: np.ndarray) -> None:
+        """Consume the next chunk (``(B, m)`` array, or ``(m,)`` when B = 1)."""
+        data = np.asarray(chunk, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.ndim != 2 or data.shape[0] != self.batch_size:
+            raise ValueError(
+                f"chunk must have shape ({self.batch_size}, m), got {data.shape}"
+            )
+        if data.shape[1] == 0:
+            return
+        buffer = np.concatenate([self._tail, data], axis=1)
+        buffer_start = self._tail_start
+        length = buffer.shape[1]
+        cumulative = np.concatenate(
+            [np.zeros((self.batch_size, 1)), np.cumsum(buffer, axis=1)], axis=1
+        )
+        for n in self.n_sweep:
+            window = 2 * n
+            last_start = buffer_start + length - window  # global, inclusive
+            start = self._next_start[n]
+            if not self.overlapping:
+                # Disjoint windows begin at global multiples of 2N.
+                start = -(-start // window) * window
+            if last_start < start:
+                continue
+            lo = start - buffer_start
+            stride = window if not self.overlapping else 1
+            c0 = cumulative[:, lo : length - window + 1 : stride]
+            c1 = cumulative[:, lo + n : length - n + 1 : stride]
+            c2 = cumulative[:, lo + window : length + 1 : stride]
+            values = (c2 - c1) - (c1 - c0)
+            self._sum_sq[n] += np.einsum("ij,ij->i", values, values)
+            self._counts[n] += values.shape[1]
+            self._next_start[n] = (
+                start + stride * values.shape[1]
+                if not self.overlapping
+                else last_start + 1
+            )
+        self._n_samples += data.shape[1]
+        keep = min(length, 2 * self._max_n - 1)
+        self._tail = buffer[:, length - keep :].copy()
+        self._tail_start = buffer_start + length - keep
+
+    def curves(
+        self, f0_hz, min_realizations: int = 8
+    ) -> List[AccumulatedVarianceCurve]:
+        """Curves accumulated so far (one per record row).
+
+        Sweep points with fewer than two realizations, or fewer than
+        ``min_realizations`` effectively independent windows, are skipped —
+        the same rule as the one-shot estimators.
+        """
+        f0 = np.asarray(f0_hz, dtype=float)
+        if f0.ndim == 0:
+            f0 = np.full(self.batch_size, float(f0))
+        if f0.shape != (self.batch_size,):
+            raise ValueError(
+                f"f0_hz must be a scalar or shape ({self.batch_size},) array"
+            )
+        usable = []
+        for n in self.n_sweep:
+            count = self._counts[n]
+            effective = (
+                self._n_samples // (2 * n) if self.overlapping else count
+            )
+            if count < 2 or effective < min_realizations:
+                continue
+            usable.append((n, self._sum_sq[n] / count, count))
+        if not usable:
+            raise ValueError("record too short to estimate any sigma^2_N point")
+        curves = []
+        for row in range(self.batch_size):
+            points = [
+                AccumulatedVariancePoint(
+                    n_accumulations=n,
+                    sigma2_n_s2=float(sigma2[row]),
+                    n_realizations=count,
+                )
+                for n, sigma2, count in usable
+            ]
+            curves.append(
+                AccumulatedVarianceCurve(points=points, f0_hz=float(f0[row]))
+            )
+        return curves
+
+
+def _source_batch_size(source) -> int:
+    """Batch size of a jitter source (1 for scalar oscillators/synthesizers)."""
+    return int(getattr(source, "batch_size", 1))
+
+
+def streaming_accumulated_variance_curves(
+    source,
+    n_periods: int,
+    chunk_periods: int,
+    n_sweep: Optional[Sequence[int]] = None,
+    overlapping: bool = True,
+    min_realizations: int = 8,
+    f0_hz=None,
+) -> List[AccumulatedVarianceCurve]:
+    """Chunked sigma^2_N campaign over a synthesized record of any length.
+
+    Parameters
+    ----------
+    source:
+        Anything with a ``jitter(n)`` method and an ``f0_hz`` attribute: a
+        :class:`repro.engine.batch.BatchedOscillatorEnsemble`, a batched or
+        scalar synthesizer, or a :class:`repro.oscillator.ring.RingOscillator`.
+        Periods are drawn ``chunk_periods`` at a time, so peak memory is
+        ``O(batch * chunk_periods)`` regardless of ``n_periods``.
+    n_periods:
+        Total record length per instance.
+    chunk_periods:
+        Chunk length.  Must be at least ``4 * max(n_sweep)`` so the chunked
+        flicker synthesis (independent stretches per chunk) cannot distort the
+        largest accumulation windows.
+    n_sweep, overlapping, min_realizations:
+        As in :func:`repro.core.sigma_n.accumulated_variance_curves`; the
+        default sweep is derived from the *total* ``n_periods``, capped at a
+        quarter of ``chunk_periods``.
+    f0_hz:
+        Override for sources that do not expose ``f0_hz``.
+    """
+    if n_periods < 1:
+        raise ValueError("n_periods must be >= 1")
+    if chunk_periods < 1:
+        raise ValueError("chunk_periods must be >= 1")
+    chunk_periods = int(min(chunk_periods, n_periods))
+    if n_sweep is None:
+        max_n = max(
+            min(n_periods // (2 * min_realizations), chunk_periods // 4), 1
+        )
+        n_sweep = default_n_sweep(max_n)
+    max_requested = max(int(n) for n in n_sweep)
+    if 4 * max_requested > chunk_periods and chunk_periods < n_periods:
+        raise ValueError(
+            f"chunk_periods = {chunk_periods} is too short for N up to "
+            f"{max_requested}: chunked flicker synthesis needs "
+            f"chunk_periods >= 4 * max(n_sweep)"
+        )
+    if f0_hz is None:
+        f0_hz = source.f0_hz
+    estimator = StreamingSigma2NEstimator(
+        n_sweep,
+        batch_size=_source_batch_size(source),
+        overlapping=overlapping,
+    )
+    remaining = int(n_periods)
+    while remaining > 0:
+        step = min(chunk_periods, remaining)
+        estimator.update(source.jitter(step))
+        remaining -= step
+    return estimator.curves(f0_hz, min_realizations=min_realizations)
+
+
+def stream_bits(
+    trng,
+    n_bits: int,
+    chunk_bits: int = 4096,
+    max_empty_chunks: int = 32,
+) -> Iterator[np.ndarray]:
+    """Yield post-processed TRNG bits in chunks until ``n_bits`` are produced.
+
+    Each step generates ``chunk_bits`` *raw* bits and applies the TRNG's
+    post-processor, so peak memory is bounded by the per-chunk edge records
+    (``O(chunk_bits * divider)`` for an eRO-TRNG) instead of the full run.
+    The concatenation of the yielded arrays has exactly ``n_bits`` elements.
+
+    Raises ``RuntimeError`` when ``max_empty_chunks`` consecutive chunks yield
+    no bits (a pathological decimating post-processor).
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    if chunk_bits < 1:
+        raise ValueError("chunk_bits must be >= 1")
+    produced = 0
+    empty_streak = 0
+    decimating = getattr(trng, "postprocessor", None) is not None
+    while produced < n_bits:
+        # Without a post-processor the output length is the raw length, so the
+        # final chunk can be trimmed to what is still needed.
+        request = chunk_bits if decimating else min(chunk_bits, n_bits - produced)
+        bits = np.asarray(trng.generate(request))
+        if bits.size == 0:
+            empty_streak += 1
+            if empty_streak >= max_empty_chunks:
+                raise RuntimeError(
+                    f"post-processor produced no bits in {empty_streak} "
+                    f"consecutive chunks of {chunk_bits} raw bits"
+                )
+            continue
+        empty_streak = 0
+        take = min(bits.size, n_bits - produced)
+        produced += take
+        yield bits[:take]
+
+
+def generate_bits_exact(
+    trng, n_bits: int, chunk_bits: Optional[int] = None
+) -> np.ndarray:
+    """Exactly ``n_bits`` post-processed bits from a TRNG, generated chunkwise.
+
+    This is the helper behind :meth:`repro.trng.ero_trng.EROTRNG.generate_exact`;
+    unlike ``generate``, the output length does not depend on the
+    post-processor's decimation ratio.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    if chunk_bits is None:
+        chunk_bits = max(min(n_bits, 8192), 64)
+    chunks = list(stream_bits(trng, n_bits, chunk_bits=chunk_bits))
+    return np.concatenate(chunks)

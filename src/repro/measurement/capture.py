@@ -55,13 +55,24 @@ def relative_jitter_campaign(
     n_periods: int,
     n_sweep: Optional[Sequence[int]] = None,
     min_realizations: int = 8,
+    overlapping: bool = True,
 ) -> AccumulatedVarianceCurve:
-    """Estimate the sigma^2_N curve from an ideal relative-timing capture."""
+    """Estimate the sigma^2_N curve from an ideal relative-timing capture.
+
+    This is the scalar (one oscillator pair) reference path.  To sweep many
+    pairs at once — technology corners, noise mixes, divider studies — use
+    :func:`repro.engine.campaign.batched_relative_jitter_campaign`, whose row
+    ``i`` reproduces this function when the ensembles share the scalar
+    oscillators' RNG streams (bit-for-bit with ``exact=True``, within
+    ``~ sqrt(n) * eps`` by default); for records too long to hold in memory,
+    pass ``chunk_periods`` there (O(chunk) streaming estimation).
+    """
     record = relative_jitter_record(oscillator_1, oscillator_2, n_periods)
     return accumulated_variance_curve(
         record,
         oscillator_1.f0_hz,
         n_sweep=n_sweep,
+        overlapping=overlapping,
         min_realizations=min_realizations,
     )
 

@@ -20,7 +20,7 @@ target PSD.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -189,22 +189,66 @@ def generate_pink_noise(
     raise ValueError(f"unknown pink-noise method {method!r}")
 
 
-def _pink_spectral(n_samples: int, rng: np.random.Generator) -> np.ndarray:
-    """FFT spectral-synthesis pink noise (exact 1/f shaping of white noise)."""
-    # Work on a longer buffer to decorrelate the circular wrap-around.
-    n_fft = int(2 ** np.ceil(np.log2(max(n_samples * 2, 16))))
-    white = rng.normal(0.0, 1.0, size=n_fft)
-    spectrum = np.fft.rfft(white)
+def generate_pink_noise_batch(
+    n_samples: int,
+    rngs: Sequence[np.random.Generator],
+    method: str = "spectral",
+) -> np.ndarray:
+    """Generate one 1/f sequence per generator, as a ``(len(rngs), n)`` array.
+
+    Row ``i`` consumes ``rngs[i]`` exactly like
+    ``generate_pink_noise(n_samples, rng=rngs[i], method=method)`` would, so
+    the batched output reproduces the scalar generator row by row
+    (bit-for-bit: the white-noise draws are identical and the batched FFT
+    shaping equals the 1-D transform applied to each row).  The ``"spectral"``
+    method shapes all rows with a single batched FFT; the recursive methods
+    fall back to a per-row loop.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples!r}")
+    batch = len(rngs)
+    if batch == 0:
+        return np.empty((0, n_samples))
+    if n_samples == 0:
+        return np.empty((batch, 0))
+    if method != "spectral":
+        return np.stack(
+            [generate_pink_noise(n_samples, rng=rng, method=method) for rng in rngs]
+        )
+    n_fft = _spectral_fft_length(n_samples)
+    white = np.empty((batch, n_fft))
+    for index, rng in enumerate(rngs):
+        white[index] = rng.normal(0.0, 1.0, size=n_fft)
+    return _pink_spectral_shape(white, n_samples)
+
+
+def _spectral_fft_length(n_samples: int) -> int:
+    """FFT buffer length of the spectral method (oversized 2x to decorrelate
+    the circular wrap-around)."""
+    return int(2 ** np.ceil(np.log2(max(n_samples * 2, 16))))
+
+
+def _pink_spectral_shape(white: np.ndarray, n_samples: int) -> np.ndarray:
+    """Shape white noise (last axis = time, length ``n_fft``) to a 1/f PSD."""
+    n_fft = white.shape[-1]
+    spectrum = np.fft.rfft(white, axis=-1)
     freqs = np.fft.rfftfreq(n_fft, d=1.0)
     scaling = np.ones_like(freqs)
     nonzero = freqs > 0
     scaling[nonzero] = 1.0 / np.sqrt(freqs[nonzero])
     scaling[0] = 0.0  # remove the DC component: 1/f noise has no defined mean.
-    shaped = np.fft.irfft(spectrum * scaling, n=n_fft)
+    shaped = np.fft.irfft(spectrum * scaling, n=n_fft, axis=-1)
     # White noise of unit variance has one-sided PSD 2/fs = 2 (fs = 1), so the
     # shaped sequence has PSD 2/f; divide the amplitude by sqrt(2) to obtain
     # a one-sided PSD of exactly 1/f.
-    return shaped[:n_samples] / np.sqrt(2.0)
+    return shaped[..., :n_samples] / np.sqrt(2.0)
+
+
+def _pink_spectral(n_samples: int, rng: np.random.Generator) -> np.ndarray:
+    """FFT spectral-synthesis pink noise (exact 1/f shaping of white noise)."""
+    n_fft = _spectral_fft_length(n_samples)
+    white = rng.normal(0.0, 1.0, size=n_fft)
+    return _pink_spectral_shape(white, n_samples)
 
 
 def _pink_ar_cascade(

@@ -14,6 +14,12 @@ A :class:`RingOscillator` can be built two ways:
 Either way the oscillator exposes the :class:`repro.oscillator.period_model.Clock`
 interface (periods and edge times) used by the measurement circuit and the
 TRNG digitizer.
+
+Synthesis runs through the batched engine: a :class:`RingOscillator` is a
+``B = 1`` view over :class:`repro.engine.batch.BatchedJitterSynthesizer`, and
+:meth:`RingOscillator.ensemble` builds the ``B``-instance
+:class:`repro.engine.batch.BatchedOscillatorEnsemble` whose row ``i``
+reproduces the scalar oscillator bit-for-bit for a shared seed.
 """
 
 from __future__ import annotations
@@ -97,6 +103,38 @@ class RingOscillator:
             node = get_node(node)
         return cls.from_inverter(
             node.inverter(), n_stages, isf=isf, rng=rng, name=name
+        )
+
+    @classmethod
+    def ensemble(
+        cls,
+        batch_size: int,
+        f0_hz,
+        psd,
+        n_stages: int = 3,
+        seed=None,
+        rngs=None,
+        flicker_method: str = "spectral",
+        name: str = "ensemble",
+    ):
+        """A :class:`repro.engine.batch.BatchedOscillatorEnsemble` of this design.
+
+        ``f0_hz`` and ``psd`` may be scalars (shared by all instances) or
+        length-``batch_size`` sequences (heterogeneous ensembles).  Instance
+        ``i`` of the ensemble is bit-for-bit the scalar oscillator
+        ``RingOscillator(f0, psd, rng=spawn_generators(seed, batch_size)[i])``.
+        """
+        from ..engine.batch import BatchedOscillatorEnsemble
+
+        return BatchedOscillatorEnsemble(
+            f0_hz,
+            psd,
+            batch_size=batch_size,
+            n_stages=n_stages,
+            rngs=rngs,
+            seed=seed,
+            flicker_method=flicker_method,
+            name=name,
         )
 
     # -- clock interface -----------------------------------------------------

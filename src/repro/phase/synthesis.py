@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..noise.flicker import generate_pink_noise
+from ..engine.batch import BatchedJitterSynthesizer
 from .psd import PhaseNoisePSD
 
 
@@ -71,6 +71,12 @@ class JitterDecomposition:
 class PeriodJitterSynthesizer:
     """Generates period sequences of an oscillator with a given phase-noise PSD.
 
+    This class is a thin ``B = 1`` view over the batched engine
+    (:class:`repro.engine.batch.BatchedJitterSynthesizer`): all synthesis runs
+    through the same code path as the multi-instance ensembles, consuming
+    ``rng`` exactly as the original scalar implementation did, so seeded
+    records are unchanged and batched row-equivalence holds structurally.
+
     Parameters
     ----------
     f0_hz:
@@ -92,10 +98,66 @@ class PeriodJitterSynthesizer:
     ) -> None:
         if f0_hz <= 0.0:
             raise ValueError(f"f0 must be > 0, got {f0_hz!r}")
-        self.f0_hz = float(f0_hz)
-        self.psd = psd
-        self.rng = np.random.default_rng() if rng is None else rng
-        self.flicker_method = flicker_method
+        self._f0_hz = float(f0_hz)
+        self._psd = psd
+        self._rng = np.random.default_rng() if rng is None else rng
+        self._flicker_method = flicker_method
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._batch = BatchedJitterSynthesizer(
+            self._f0_hz,
+            self._psd,
+            batch_size=1,
+            rngs=[self._rng],
+            flicker_method=self._flicker_method,
+        )
+
+    # The pre-engine implementation read f0_hz/psd/rng/flicker_method live on
+    # every call, so reassigning them (e.g. re-seeding rng to reproduce a
+    # record) must keep working: each setter re-syncs the B=1 engine view.
+
+    @property
+    def f0_hz(self) -> float:
+        """Nominal oscillation frequency [Hz]."""
+        return self._f0_hz
+
+    @f0_hz.setter
+    def f0_hz(self, value: float) -> None:
+        if value <= 0.0:
+            raise ValueError(f"f0 must be > 0, got {value!r}")
+        self._f0_hz = float(value)
+        self._rebuild()
+
+    @property
+    def psd(self) -> PhaseNoisePSD:
+        """Phase-noise PSD (``b_th``, ``b_fl``) of the oscillator."""
+        return self._psd
+
+    @psd.setter
+    def psd(self, value: PhaseNoisePSD) -> None:
+        self._psd = value
+        self._rebuild()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The random generator consumed by the synthesis."""
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
+        self._batch.rngs[0] = value
+
+    @property
+    def flicker_method(self) -> str:
+        """1/f generator method (``"spectral"``, ``"ar"`` or ``"hosking"``)."""
+        return self._flicker_method
+
+    @flicker_method.setter
+    def flicker_method(self, value: str) -> None:
+        self._flicker_method = value
+        self._batch.flicker_method = value
 
     @property
     def nominal_period_s(self) -> float:
@@ -109,17 +171,7 @@ class PeriodJitterSynthesizer:
 
     def decompose(self, n_periods: int) -> JitterDecomposition:
         """Synthesize ``n_periods`` periods, keeping the components separate."""
-        if n_periods < 0:
-            raise ValueError(f"n_periods must be >= 0, got {n_periods!r}")
-        thermal = self._thermal_component(n_periods)
-        flicker = self._flicker_component(n_periods)
-        periods = self.nominal_period_s + thermal + flicker
-        return JitterDecomposition(
-            periods_s=periods,
-            thermal_jitter_s=thermal,
-            flicker_jitter_s=flicker,
-            nominal_period_s=self.nominal_period_s,
-        )
+        return self._batch.decompose(n_periods).row(0)
 
     def periods(self, n_periods: int) -> np.ndarray:
         """Synthesize ``n_periods`` period values ``T(t_i)`` [s]."""
@@ -154,26 +206,6 @@ class PeriodJitterSynthesizer:
         phase[0] = 0.0
         np.cumsum(-jitter * 2.0 * np.pi * self.f0_hz, out=phase[1:])
         return phase
-
-    # -- internal ------------------------------------------------------------
-
-    def _thermal_component(self, n_periods: int) -> np.ndarray:
-        sigma = self.thermal_jitter_std_s
-        if sigma == 0.0 or n_periods == 0:
-            return np.zeros(n_periods)
-        return self.rng.normal(0.0, sigma, size=n_periods)
-
-    def _flicker_component(self, n_periods: int) -> np.ndarray:
-        h_minus1 = self.psd.flicker_fractional_frequency_coefficient(self.f0_hz)
-        if h_minus1 == 0.0 or n_periods == 0:
-            return np.zeros(n_periods)
-        fractional_frequency = np.sqrt(h_minus1) * generate_pink_noise(
-            n_periods, rng=self.rng, method=self.flicker_method
-        )
-        # A fractional-frequency deviation y shortens/lengthens the period by
-        # approximately -y * T0 (first order in y, |y| << 1).
-        return -fractional_frequency * self.nominal_period_s
-
 
 def synthesize_periods(
     f0_hz: float,

@@ -126,12 +126,34 @@ class EROTRNG:
         return self._sampler.sample(n_bits)
 
     def generate(self, n_bits: int) -> np.ndarray:
-        """Generate ``n_bits`` raw bits and apply the post-processor, if any.
+        """Generate ``n_bits`` *raw* bits and apply the post-processor, if any.
 
-        Note that a decimating post-processor returns fewer than ``n_bits``
-        bits; callers that need an exact output length should loop.
+        Length contract: ``n_bits`` counts the raw bits entering the
+        post-processor, so the returned array has exactly ``n_bits`` elements
+        only when no post-processor is configured.  A decimating
+        post-processor (von Neumann, XOR decimation, parity filtering)
+        returns *fewer* bits — possibly zero.  Callers that need an exact
+        post-processed output length should use :meth:`generate_exact`.
         """
         raw = self.generate_raw(n_bits).bits
         if self.postprocessor is None:
             return raw
         return self.postprocessor(raw)
+
+    def generate_exact(
+        self, n_bits: int, chunk_bits: Optional[int] = None
+    ) -> np.ndarray:
+        """Exactly ``n_bits`` *post-processed* bits, whatever the decimation.
+
+        Raw bits are generated in chunks (``chunk_bits`` raw bits at a time,
+        default ``max(min(n_bits, 8192), 64)``) and fed through the
+        post-processor
+        until ``n_bits`` output bits have accumulated, so the peak memory is
+        bounded by the per-chunk edge records (``O(chunk_bits * divider)``)
+        rather than growing with the requested length — see
+        :mod:`repro.engine.streaming`.  Raises ``RuntimeError`` if the
+        post-processor keeps returning nothing.
+        """
+        from ..engine.streaming import generate_bits_exact
+
+        return generate_bits_exact(self, n_bits, chunk_bits=chunk_bits)

@@ -78,9 +78,23 @@ class TestSNRealizations:
         with pytest.raises(ValueError):
             s_n_realizations(rng.normal(size=10), 0)
 
-    def test_two_dimensional_input_rejected(self, rng):
+    def test_two_dimensional_input_is_batched(self, rng):
+        """A (B, n) input is treated as B records; time is the last axis."""
+        records = rng.normal(size=(3, 50))
+        batched = s_n_realizations(records, 2)
+        assert batched.shape == (3, 50 - 4 + 1)
+        for row in range(3):
+            np.testing.assert_array_equal(
+                batched[row], s_n_realizations(records[row], 2)
+            )
+
+    def test_batched_rows_shorter_than_2n_rejected(self, rng):
         with pytest.raises(ValueError):
             s_n_realizations(rng.normal(size=(10, 2)), 2)
+
+    def test_three_dimensional_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            s_n_realizations(rng.normal(size=(2, 10, 4)), 2)
 
 
 class TestSigma2NEstimate:

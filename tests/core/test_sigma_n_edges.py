@@ -1,0 +1,121 @@
+"""Regression tests for previously untested sigma_N estimator edges.
+
+Covers the ``overlapping=False`` stride/count semantics of
+:func:`repro.core.sigma_n.s_n_realizations`, the minimum-sample error paths of
+:func:`repro.core.sigma_n.sigma2_n_estimate`, and the 2-D (batched) input
+behaviour of both estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sigma_n import (
+    accumulated_variance_curves,
+    accumulation_weights,
+    s_n_realizations,
+    sigma2_n_estimate,
+)
+
+
+class TestNonOverlappingSemantics:
+    def test_windows_start_at_multiples_of_2n(self, rng):
+        """Non-overlapping realizations are the overlapping ones at stride 2N."""
+        jitter = rng.normal(size=203)
+        n = 7
+        overlapping = s_n_realizations(jitter, n, overlapping=True)
+        disjoint = s_n_realizations(jitter, n, overlapping=False)
+        np.testing.assert_array_equal(disjoint, overlapping[:: 2 * n])
+
+    @pytest.mark.parametrize(
+        "size,n,expected",
+        [
+            (100, 10, 5),  # ceil((100 - 20 + 1) / 20)
+            (39, 10, 1),  # fewer than four blocks -> a single disjoint window
+            (40, 10, 2),  # 21 overlapping starts -> strides 0 and 20
+            (100, 1, 50),  # ceil(99 / 2)
+            (39, 3, 6),  # ceil((39 - 6 + 1) / 6)
+        ],
+    )
+    def test_count_formula(self, rng, size, n, expected):
+        jitter = rng.normal(size=size)
+        values = s_n_realizations(jitter, n, overlapping=False)
+        assert values.size == expected
+
+    def test_values_match_direct_disjoint_sums(self, rng):
+        """Each disjoint window equals the literal Eq. 4 weighted sum."""
+        jitter = rng.normal(size=60)
+        n = 5
+        values = s_n_realizations(jitter, n, overlapping=False)
+        weights = accumulation_weights(n)
+        for index, value in enumerate(values):
+            start = index * 2 * n
+            direct = float(np.dot(weights, jitter[start : start + 2 * n]))
+            assert value == pytest.approx(direct, rel=1e-12, abs=1e-18)
+
+    def test_two_dimensional_stride(self, rng):
+        records = rng.normal(size=(3, 100))
+        batched = s_n_realizations(records, 10, overlapping=False)
+        assert batched.shape == (3, 5)
+        for row in range(3):
+            np.testing.assert_array_equal(
+                batched[row], s_n_realizations(records[row], 10, overlapping=False)
+            )
+
+
+class TestSigma2NEstimateErrorPaths:
+    def test_single_realization_rejected(self, rng):
+        """Exactly 2N samples yield one realization: not enough for a variance."""
+        with pytest.raises(ValueError, match="at least two"):
+            sigma2_n_estimate(rng.normal(size=4), 2)
+
+    def test_single_disjoint_realization_rejected(self, rng):
+        """19 samples give 10 overlapping but only 1 disjoint window for N=5."""
+        jitter = rng.normal(size=19)
+        assert sigma2_n_estimate(jitter, 5, overlapping=True) >= 0.0
+        with pytest.raises(ValueError, match="at least two"):
+            sigma2_n_estimate(jitter, 5, overlapping=False)
+
+    def test_record_shorter_than_2n_rejected(self, rng):
+        with pytest.raises(ValueError, match="need at least 2N"):
+            sigma2_n_estimate(rng.normal(size=9), 5)
+
+    def test_invalid_n_rejected(self, rng):
+        with pytest.raises(ValueError, match="N must be >= 1"):
+            sigma2_n_estimate(rng.normal(size=10), 0)
+
+    def test_batched_error_paths_match_scalar(self, rng):
+        records = rng.normal(size=(4, 4))
+        with pytest.raises(ValueError, match="at least two"):
+            sigma2_n_estimate(records, 2)
+        with pytest.raises(ValueError, match="need at least 2N"):
+            sigma2_n_estimate(rng.normal(size=(4, 9)), 5)
+
+
+class TestTwoDimensionalEstimates:
+    def test_batched_estimate_equals_per_row(self, rng):
+        records = rng.normal(0.0, 1e-12, size=(5, 500))
+        batched = sigma2_n_estimate(records, 6)
+        assert isinstance(batched, np.ndarray) and batched.shape == (5,)
+        for row in range(5):
+            assert batched[row] == sigma2_n_estimate(records[row], 6)
+
+    def test_scalar_input_still_returns_float(self, rng):
+        value = sigma2_n_estimate(rng.normal(size=100), 3)
+        assert isinstance(value, float)
+
+    def test_three_dimensional_input_rejected(self, rng):
+        with pytest.raises(ValueError, match="one- or two-dimensional"):
+            s_n_realizations(rng.normal(size=(2, 3, 50)), 2)
+
+    def test_batched_curves_invalid_f0(self, rng):
+        records = rng.normal(size=(2, 200))
+        with pytest.raises(ValueError):
+            accumulated_variance_curves(records, 0.0)
+        with pytest.raises(ValueError):
+            accumulated_variance_curves(records, np.array([1e8, 1e8, 1e8]))
+
+    def test_batched_curves_too_short_record(self, rng):
+        with pytest.raises(ValueError, match="record too short"):
+            accumulated_variance_curves(rng.normal(size=(2, 4)), 1e8, n_sweep=[100])

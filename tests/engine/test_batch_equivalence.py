@@ -1,0 +1,308 @@
+"""Property-based equivalence: batched rows reproduce the scalar path.
+
+The engine's contract (ISSUE: batched row ``i`` must reproduce the scalar
+``RingOscillator`` / ``relative_jitter_campaign`` outputs bit-for-bit, or
+within 1e-12, for a shared seed) is exercised here for thermal-only,
+flicker-only and mixed PSDs, across batch sizes and record lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import fit_sigma2_n_curve
+from repro.core.sigma_n import accumulated_variance_curve, accumulated_variance_curves
+from repro.engine.batch import (
+    BatchedJitterSynthesizer,
+    BatchedOscillatorEnsemble,
+    spawn_generators,
+)
+from repro.engine.campaign import (
+    batched_relative_jitter_campaign,
+    batched_sigma2_n_campaign,
+    fit_sigma2_n_curves,
+)
+from repro.measurement.capture import relative_jitter_campaign, relative_jitter_record
+from repro.oscillator.ring import RingOscillator
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase.psd import PhaseNoisePSD
+from repro.phase.synthesis import PeriodJitterSynthesizer
+
+F0 = PAPER_F0_HZ
+
+PSD_CASES = {
+    "thermal-only": PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0),
+    "flicker-only": PhaseNoisePSD(b_thermal_hz=0.0, b_flicker_hz2=5.42),
+    "mixed": paper_phase_noise_psd(),
+}
+
+
+@pytest.mark.parametrize("psd", PSD_CASES.values(), ids=PSD_CASES.keys())
+@given(seed=st.integers(0, 2**32 - 1), batch=st.integers(1, 5))
+@settings(max_examples=12, deadline=None)
+def test_batched_records_match_scalar_bitwise(psd, seed, batch):
+    """Row i of every synthesized record equals the scalar oscillator's."""
+    n_periods = 512
+    ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=batch, seed=seed)
+    decomposition = ensemble.decompose(n_periods)
+    children = spawn_generators(seed, batch)
+    for row in range(batch):
+        scalar = RingOscillator(F0, psd, rng=children[row]).decompose(n_periods)
+        np.testing.assert_array_equal(
+            decomposition.periods_s[row], scalar.periods_s
+        )
+        np.testing.assert_array_equal(
+            decomposition.thermal_jitter_s[row], scalar.thermal_jitter_s
+        )
+        np.testing.assert_array_equal(
+            decomposition.flicker_jitter_s[row], scalar.flicker_jitter_s
+        )
+
+
+@pytest.mark.parametrize("psd", PSD_CASES.values(), ids=PSD_CASES.keys())
+def test_jitter_and_edge_times_match_scalar(psd):
+    """jitter() and edge_times() agree with the scalar view row by row."""
+    batch, n_periods, seed = 3, 300, 77
+    ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=batch, seed=seed)
+    jitter = ensemble.jitter(n_periods)
+    edges = ensemble.edge_times(n_periods, start_time_s=1e-6)
+    children = spawn_generators(seed, batch)
+    for row in range(batch):
+        oscillator = RingOscillator(F0, psd, rng=children[row])
+        np.testing.assert_array_equal(jitter[row], oscillator.jitter(n_periods))
+        np.testing.assert_array_equal(
+            edges[row], oscillator.edge_times(n_periods, start_time_s=1e-6)
+        )
+
+
+def test_scalar_synthesizer_is_thin_view_over_engine():
+    """PeriodJitterSynthesizer and a B=1 batched synthesizer share the stream."""
+    psd = PSD_CASES["mixed"]
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    scalar = PeriodJitterSynthesizer(F0, psd, rng=rng_a)
+    batched = BatchedJitterSynthesizer(F0, psd, rngs=[rng_b])
+    for n_periods in (100, 37, 0, 256):
+        np.testing.assert_array_equal(
+            scalar.periods(n_periods), batched.periods(n_periods)[0]
+        )
+
+
+def test_ensemble_row_view_shares_stream():
+    """ensemble.row(i) is a scalar oscillator consuming the row's stream."""
+    psd = PSD_CASES["mixed"]
+    ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=3, seed=9)
+    reference = BatchedOscillatorEnsemble(F0, psd, batch_size=3, seed=9)
+    expected = reference.jitter(64)
+    row_view = ensemble.row(1)
+    assert isinstance(row_view, RingOscillator)
+    # Row 1's stream is consumed by the view; other rows are untouched.
+    np.testing.assert_array_equal(row_view.jitter(64), expected[1])
+
+
+@pytest.mark.parametrize("psd", PSD_CASES.values(), ids=PSD_CASES.keys())
+@pytest.mark.parametrize("exact", [True, False])
+def test_batched_campaign_matches_scalar_curves_and_fits(psd, exact):
+    """Campaign row i reproduces accumulated_variance_curve + fit (<= 1e-12)."""
+    batch, n_periods, seed = 4, 2048, 123
+    ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=batch, seed=seed)
+    result = batched_sigma2_n_campaign(ensemble, n_periods, exact=exact)
+    children = spawn_generators(seed, batch)
+    for row in range(batch):
+        oscillator = RingOscillator(F0, psd, rng=children[row])
+        curve = accumulated_variance_curve(oscillator.jitter(n_periods), F0)
+        np.testing.assert_array_equal(result.curves[row].n_values, curve.n_values)
+        np.testing.assert_array_equal(
+            result.curves[row].realization_counts, curve.realization_counts
+        )
+        if exact:
+            np.testing.assert_array_equal(
+                result.curves[row].sigma2_values_s2, curve.sigma2_values_s2
+            )
+        else:
+            np.testing.assert_allclose(
+                result.curves[row].sigma2_values_s2,
+                curve.sigma2_values_s2,
+                rtol=1e-12,
+            )
+        scalar_fit = fit_sigma2_n_curve(curve)
+        batched_fit = result.fits[row]
+        np.testing.assert_allclose(
+            [batched_fit.b_thermal_hz, batched_fit.b_flicker_hz2],
+            [scalar_fit.b_thermal_hz, scalar_fit.b_flicker_hz2],
+            rtol=1e-9,
+            atol=1e-20,
+        )
+
+
+def test_batched_relative_campaign_matches_scalar_pairwise():
+    """Relative (pair) campaign row i == scalar relative_jitter_campaign."""
+    psd = PSD_CASES["mixed"]
+    batch, n_periods, seed = 3, 4096, 2014
+    mismatch = 1e-3
+    f0_fast = F0 * (1.0 + mismatch / 2.0)
+    f0_slow = F0 * (1.0 - mismatch / 2.0)
+    children = spawn_generators(seed, 2 * batch)
+    ensemble_1 = BatchedOscillatorEnsemble(
+        f0_fast, psd, batch_size=batch, rngs=children[:batch]
+    )
+    ensemble_2 = BatchedOscillatorEnsemble(
+        f0_slow, psd, batch_size=batch, rngs=children[batch:]
+    )
+    result = batched_relative_jitter_campaign(
+        ensemble_1, ensemble_2, n_periods, exact=True
+    )
+    children = spawn_generators(seed, 2 * batch)
+    for row in range(batch):
+        oscillator_1 = RingOscillator(f0_fast, psd, rng=children[row])
+        oscillator_2 = RingOscillator(f0_slow, psd, rng=children[batch + row])
+        curve = relative_jitter_campaign(oscillator_1, oscillator_2, n_periods)
+        np.testing.assert_array_equal(
+            result.curves[row].sigma2_values_s2, curve.sigma2_values_s2
+        )
+        np.testing.assert_array_equal(result.curves[row].n_values, curve.n_values)
+
+
+def test_relative_record_matches_scalar():
+    psd = PSD_CASES["thermal-only"]
+    children = spawn_generators(3, 2)
+    ensemble_1 = BatchedOscillatorEnsemble(F0, psd, batch_size=1, rngs=[children[0]])
+    ensemble_2 = BatchedOscillatorEnsemble(F0, psd, batch_size=1, rngs=[children[1]])
+    periods_1 = ensemble_1.periods(256)
+    periods_2 = ensemble_2.periods(256)
+    batched_record = periods_1 - periods_2 + ensemble_1.nominal_period_s[:, None]
+    children = spawn_generators(3, 2)
+    scalar_record = relative_jitter_record(
+        RingOscillator(F0, psd, rng=children[0]),
+        RingOscillator(F0, psd, rng=children[1]),
+        256,
+    )
+    np.testing.assert_array_equal(batched_record[0], scalar_record)
+
+
+def test_accumulated_variance_curves_rowwise_bitwise(rng):
+    """The vectorized core estimator equals the scalar one, row by row."""
+    records = rng.normal(0.0, 1e-12, size=(6, 3000))
+    curves = accumulated_variance_curves(records, F0)
+    for row in range(6):
+        scalar_curve = accumulated_variance_curve(records[row], F0)
+        np.testing.assert_array_equal(
+            curves[row].sigma2_values_s2, scalar_curve.sigma2_values_s2
+        )
+        np.testing.assert_array_equal(curves[row].n_values, scalar_curve.n_values)
+
+
+def test_fit_sigma2_n_curves_heterogeneous_sweep_fallback(rng):
+    """Curves with different sweeps fall back to per-curve scalar fits."""
+    records = rng.normal(0.0, 1e-12, size=(2, 2000))
+    curve_a = accumulated_variance_curve(records[0], F0, n_sweep=[1, 2, 4, 8])
+    curve_b = accumulated_variance_curve(records[1], F0, n_sweep=[1, 3, 9, 27])
+    fits = fit_sigma2_n_curves([curve_a, curve_b])
+    for fit, curve in zip(fits, (curve_a, curve_b)):
+        scalar_fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(scalar_fit.b_thermal_hz, rel=1e-9)
+
+
+def test_heterogeneous_ensemble_parameters():
+    """Per-instance f0 and PSDs are honoured (corner-sweep style ensemble)."""
+    f0_values = np.array([50e6, 100e6, 200e6])
+    b_thermal = np.array([100.0, 276.0, 500.0])
+    b_flicker = np.array([0.0, 5.0, 20.0])
+    ensemble = BatchedOscillatorEnsemble.from_phase_noise(
+        f0_values, b_thermal, b_flicker, seed=4
+    )
+    assert ensemble.batch_size == 3
+    np.testing.assert_allclose(ensemble.f0_hz, f0_values)
+    children = spawn_generators(4, 3)
+    records = ensemble.jitter(400)
+    for row in range(3):
+        oscillator = RingOscillator.from_phase_noise(
+            f0_values[row], b_thermal[row], b_flicker[row], rng=children[row]
+        )
+        np.testing.assert_array_equal(records[row], oscillator.jitter(400))
+
+
+def test_scalar_synthesizer_attributes_stay_live():
+    """Reassigning rng/psd on the scalar view must affect later synthesis.
+
+    The pre-engine implementation read these attributes on every call;
+    re-seeding ``rng`` to reproduce a record is a documented workflow.
+    """
+    psd = PSD_CASES["mixed"]
+    synthesizer = PeriodJitterSynthesizer(F0, psd, rng=np.random.default_rng(0))
+    first = synthesizer.periods(32)
+    synthesizer.rng = np.random.default_rng(0)
+    np.testing.assert_array_equal(synthesizer.periods(32), first)
+    thermal_only = PSD_CASES["thermal-only"]
+    synthesizer.psd = thermal_only
+    synthesizer.rng = np.random.default_rng(1)
+    expected = PeriodJitterSynthesizer(
+        F0, thermal_only, rng=np.random.default_rng(1)
+    ).periods(32)
+    np.testing.assert_array_equal(synthesizer.periods(32), expected)
+
+
+def test_ar_flicker_method_matches_scalar():
+    """The non-spectral fallback path is row-equivalent to the scalar class."""
+    psd = PSD_CASES["mixed"]
+    ensemble = BatchedOscillatorEnsemble(
+        F0, psd, batch_size=2, seed=5, flicker_method="ar"
+    )
+    records = ensemble.jitter(128)
+    children = spawn_generators(5, 2)
+    for row in range(2):
+        oscillator = RingOscillator(
+            F0, psd, rng=children[row], flicker_method="ar"
+        )
+        np.testing.assert_array_equal(records[row], oscillator.jitter(128))
+
+
+def test_exact_incompatible_with_chunked_campaign():
+    """exact=True must not be silently ignored on the streaming path."""
+    ensemble = BatchedOscillatorEnsemble(
+        F0, PSD_CASES["thermal-only"], batch_size=1, seed=2
+    )
+    with pytest.raises(ValueError, match="exact"):
+        batched_sigma2_n_campaign(
+            ensemble, 100_000, chunk_periods=10_000, exact=True
+        )
+
+
+def test_fit_curves_with_different_record_lengths_fall_back(rng):
+    """Same sweep but different counts must not share one weight row."""
+    short = accumulated_variance_curve(
+        rng.normal(0.0, 1e-12, size=400), F0, n_sweep=[1, 2, 4, 8]
+    )
+    long = accumulated_variance_curve(
+        rng.normal(0.0, 1e-12, size=4000), F0, n_sweep=[1, 2, 4, 8]
+    )
+    fits = fit_sigma2_n_curves([short, long])
+    for fit, curve in zip(fits, (short, long)):
+        scalar_fit = fit_sigma2_n_curve(curve)
+        assert fit.b_thermal_hz == pytest.approx(scalar_fit.b_thermal_hz, rel=1e-12)
+
+
+def test_psds_iterator_accepted():
+    """A generator of PSDs must survive batch-size inference."""
+    psd = PSD_CASES["thermal-only"]
+    synthesizer = BatchedJitterSynthesizer(F0, (psd for _ in range(3)))
+    assert synthesizer.batch_size == 3
+
+
+def test_ensemble_validation_errors():
+    psd = PSD_CASES["mixed"]
+    with pytest.raises(ValueError):
+        BatchedOscillatorEnsemble(F0, psd, batch_size=0)
+    with pytest.raises(ValueError):
+        BatchedOscillatorEnsemble(-1.0, psd, batch_size=2)
+    with pytest.raises(ValueError):
+        BatchedOscillatorEnsemble(F0, [psd, psd], batch_size=3)
+    with pytest.raises(ValueError):
+        BatchedJitterSynthesizer(F0, psd, batch_size=2, rngs=[np.random.default_rng()])
+    with pytest.raises(IndexError):
+        BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=1).row(5)
+    with pytest.raises(ValueError):
+        BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=1).decompose(-1)

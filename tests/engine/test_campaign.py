@@ -1,0 +1,98 @@
+"""Campaign result-table tests: array-form results, lazy objects, formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import sigma2_n_closed_form
+from repro.engine.batch import BatchedOscillatorEnsemble
+from repro.engine.campaign import BatchedCampaignResult, batched_sigma2_n_campaign
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase.psd import PhaseNoisePSD
+
+F0 = PAPER_F0_HZ
+
+
+@pytest.fixture(scope="module")
+def campaign() -> BatchedCampaignResult:
+    ensemble = BatchedOscillatorEnsemble(
+        F0, paper_phase_noise_psd(), batch_size=6, seed=71
+    )
+    return batched_sigma2_n_campaign(ensemble, 32_768)
+
+
+class TestResultsTable:
+    def test_table_columns_and_shapes(self, campaign):
+        table = campaign.table()
+        for column in (
+            "instance",
+            "f0_hz",
+            "b_thermal_hz",
+            "b_flicker_hz2",
+            "thermal_jitter_std_s",
+            "thermal_jitter_ratio",
+            "r_squared",
+            "n_points",
+        ):
+            assert table[column].shape == (6,)
+        np.testing.assert_array_equal(table["instance"], np.arange(6))
+        assert np.all(table["b_thermal_hz"] > 0.0)
+
+    def test_fitted_coefficients_recover_ground_truth(self, campaign):
+        psd = paper_phase_noise_psd()
+        table = campaign.table()
+        # Median over instances beats any single noisy record.
+        assert np.median(table["b_thermal_hz"]) == pytest.approx(
+            psd.b_thermal_hz, rel=0.25
+        )
+
+    def test_lazy_objects_consistent_with_table(self, campaign):
+        table = campaign.table()
+        fits = campaign.fits
+        curves = campaign.curves
+        assert len(fits) == len(curves) == 6
+        for row in range(6):
+            assert fits[row].b_thermal_hz == table["b_thermal_hz"][row]
+            assert fits[row].n_points == curves[row].n_values.size
+
+    def test_format_table_renders(self, campaign):
+        text = campaign.format_table(max_rows=3)
+        assert "b_thermal_hz" in text
+        assert "more rows" in text
+
+    def test_fit_false_blocks_table_and_fits(self):
+        ensemble = BatchedOscillatorEnsemble(
+            F0, PhaseNoisePSD(276.0, 0.0), batch_size=2, seed=3
+        )
+        result = batched_sigma2_n_campaign(ensemble, 4096, fit=False)
+        with pytest.raises(ValueError, match="fit=False"):
+            result.table()
+        with pytest.raises(ValueError, match="fit=False"):
+            result.fits
+        assert len(result.curves) == 2
+
+    def test_batch_size_and_len(self, campaign):
+        assert campaign.batch_size == len(campaign) == 6
+
+
+class TestCampaignStatistics:
+    def test_thermal_only_campaign_matches_closed_form(self):
+        psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+        ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=8, seed=15)
+        result = batched_sigma2_n_campaign(ensemble, 65_536)
+        for column, n in enumerate(result.n_values):
+            expected = sigma2_n_closed_form(psd, F0, int(n))
+            median = float(np.median(result.sigma2_s2[:, column]))
+            assert median == pytest.approx(expected, rel=0.1)
+
+    def test_heterogeneous_campaign_separates_instances(self):
+        """A corner-sweep ensemble yields clearly distinct fitted b_th."""
+        b_thermal = np.array([50.0, 276.0, 1500.0])
+        ensemble = BatchedOscillatorEnsemble.from_phase_noise(
+            F0, b_thermal, 0.0, seed=19
+        )
+        result = batched_sigma2_n_campaign(ensemble, 65_536)
+        fitted = result.table()["b_thermal_hz"]
+        np.testing.assert_allclose(fitted, b_thermal, rtol=0.2)
+        assert fitted[0] < fitted[1] < fitted[2]

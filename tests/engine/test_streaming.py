@@ -1,0 +1,197 @@
+"""Streaming engine tests: chunked estimation and chunked campaigns.
+
+Two distinct guarantees are exercised:
+
+* feeding an *existing* record to the streaming estimator in chunks counts
+  exactly the same ``s_N`` windows as the one-shot estimator (agreement to
+  floating-point accuracy, any chunking);
+* a chunked *generated* campaign over >= 10^6 periods matches the monolithic
+  campaign estimates within statistical tolerance (chunking truncates flicker
+  correlations at the chunk length, so only statistical agreement is
+  possible there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_sigma2_n_curve
+from repro.core.sigma_n import (
+    accumulated_variance_curve,
+    accumulated_variance_curves,
+    sigma2_n_estimate,
+)
+from repro.core.theory import sigma2_n_closed_form
+from repro.engine.batch import BatchedOscillatorEnsemble
+from repro.engine.streaming import (
+    StreamingSigma2NEstimator,
+    streaming_accumulated_variance_curves,
+)
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase.psd import PhaseNoisePSD
+
+F0 = PAPER_F0_HZ
+
+
+class TestStreamingEstimatorWindowExactness:
+    @pytest.mark.parametrize("overlapping", [True, False])
+    @pytest.mark.parametrize(
+        "chunk_sizes",
+        [
+            [50_000],
+            [7, 1234, 999, 12345, 20_000, 15_415],
+            [1] * 200 + [49_800],
+        ],
+        ids=["one-shot", "ragged", "tiny-then-big"],
+    )
+    def test_matches_one_shot_for_any_chunking(self, rng, overlapping, chunk_sizes):
+        record = rng.normal(0.0, 1e-12, size=(2, 50_000))
+        sweep = [1, 2, 5, 17, 100, 400]
+        estimator = StreamingSigma2NEstimator(
+            sweep, batch_size=2, overlapping=overlapping
+        )
+        position = 0
+        for size in chunk_sizes:
+            estimator.update(record[:, position : position + size])
+            position += size
+        assert position == 50_000
+        assert estimator.n_samples_seen == 50_000
+        streamed = estimator.curves(F0)
+        one_shot = accumulated_variance_curves(
+            record, F0, n_sweep=sweep, overlapping=overlapping
+        )
+        for streamed_curve, reference in zip(streamed, one_shot):
+            np.testing.assert_array_equal(
+                streamed_curve.n_values, reference.n_values
+            )
+            np.testing.assert_array_equal(
+                streamed_curve.realization_counts, reference.realization_counts
+            )
+            np.testing.assert_allclose(
+                streamed_curve.sigma2_values_s2,
+                reference.sigma2_values_s2,
+                rtol=1e-9,
+            )
+
+    def test_one_dimensional_chunks_accepted(self, rng):
+        record = rng.normal(size=2000)
+        estimator = StreamingSigma2NEstimator([3], batch_size=1)
+        for chunk in np.array_split(record, 7):
+            estimator.update(chunk)
+        curve = estimator.curves(F0)[0]
+        expected = sigma2_n_estimate(record, 3)
+        assert curve.sigma2_values_s2[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            StreamingSigma2NEstimator([])
+        with pytest.raises(ValueError):
+            StreamingSigma2NEstimator([0])
+        with pytest.raises(ValueError):
+            StreamingSigma2NEstimator([3], batch_size=0)
+        estimator = StreamingSigma2NEstimator([3], batch_size=2)
+        with pytest.raises(ValueError):
+            estimator.update(np.zeros((3, 10)))
+        with pytest.raises(ValueError):
+            # No samples consumed yet: no point can be estimated.
+            estimator.curves(F0)
+
+    def test_min_realizations_rule_matches_one_shot(self, rng):
+        record = rng.normal(size=(1, 600))
+        sweep = [1, 10, 300]  # N = 300 needs 2N = 600 -> only one realization
+        estimator = StreamingSigma2NEstimator(sweep, batch_size=1)
+        estimator.update(record)
+        curve = estimator.curves(F0, min_realizations=8)[0]
+        reference = accumulated_variance_curve(
+            record[0], F0, n_sweep=sweep, min_realizations=8
+        )
+        np.testing.assert_array_equal(curve.n_values, reference.n_values)
+        assert 300 not in curve.n_values
+
+
+class TestStreamingCampaign:
+    def test_million_period_campaign_matches_monolithic(self):
+        """Chunked >= 10^6-period campaign agrees with the one-shot campaign.
+
+        Thermal-only PSD: chunked synthesis is then statistically identical to
+        monolithic synthesis (independent periods), so the two estimates of
+        sigma^2_N must agree within the estimator's own scatter, and both must
+        match the Eq. 11 closed form.
+        """
+        psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+        n_periods = 1_000_000
+        sweep = [1, 2, 5, 10, 50, 200, 1000]
+        ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=1, seed=31)
+        streamed = streaming_accumulated_variance_curves(
+            ensemble, n_periods, chunk_periods=125_000, n_sweep=sweep
+        )[0]
+        monolithic = accumulated_variance_curve(
+            BatchedOscillatorEnsemble(F0, psd, batch_size=1, seed=32).jitter(
+                n_periods
+            )[0],
+            F0,
+            n_sweep=sweep,
+        )
+        np.testing.assert_array_equal(streamed.n_values, monolithic.n_values)
+        np.testing.assert_allclose(
+            streamed.sigma2_values_s2, monolithic.sigma2_values_s2, rtol=0.08
+        )
+        expected = np.array(
+            [sigma2_n_closed_form(psd, F0, n) for n in streamed.n_values]
+        )
+        np.testing.assert_allclose(streamed.sigma2_values_s2, expected, rtol=0.08)
+
+    def test_mixed_psd_streaming_fit_recovers_coefficients(self):
+        """A chunked mixed-noise campaign recovers b_th (and b_fl's scale)."""
+        psd = paper_phase_noise_psd()
+        ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=8)
+        curves = streaming_accumulated_variance_curves(
+            ensemble, 400_000, chunk_periods=100_000
+        )
+        for curve in curves:
+            fit = fit_sigma2_n_curve(curve)
+            assert fit.b_thermal_hz == pytest.approx(psd.b_thermal_hz, rel=0.25)
+
+    def test_chunk_too_short_for_sweep_rejected(self):
+        psd = paper_phase_noise_psd()
+        ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=1, seed=1)
+        with pytest.raises(ValueError):
+            streaming_accumulated_variance_curves(
+                ensemble, 100_000, chunk_periods=256, n_sweep=[1, 10, 1000]
+            )
+
+    def test_default_sweep_capped_by_chunk(self):
+        psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+        ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=1, seed=2)
+        curves = streaming_accumulated_variance_curves(
+            ensemble, 100_000, chunk_periods=4096
+        )
+        assert max(curves[0].n_values) <= 4096 // 4
+
+    def test_campaign_chunked_equals_campaign_streaming_path(self):
+        """batched_sigma2_n_campaign(chunk_periods=...) routes to streaming."""
+        from repro.engine.campaign import batched_sigma2_n_campaign
+
+        psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
+        sweep = [1, 2, 5, 10]
+        result = batched_sigma2_n_campaign(
+            BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=6),
+            200_000,
+            n_sweep=sweep,
+            chunk_periods=50_000,
+        )
+        reference = batched_sigma2_n_campaign(
+            BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=6),
+            200_000,
+            n_sweep=sweep,
+        )
+        np.testing.assert_array_equal(result.n_values, reference.n_values)
+        # Same seed and thermal-only noise: chunked generation consumes the
+        # streams identically, so the estimates agree to fp accuracy.
+        np.testing.assert_allclose(
+            result.sigma2_s2, reference.sigma2_s2, rtol=1e-9
+        )
+        assert result.table()["b_thermal_hz"] == pytest.approx(
+            reference.table()["b_thermal_hz"], rel=1e-6
+        )

@@ -1,0 +1,90 @@
+"""Length-contract tests for EROTRNG.generate / generate_exact / stream_bits.
+
+The satellite requirement: ``generate`` documents that a decimating
+post-processor shrinks the output, and ``generate_exact`` always returns
+exactly the requested number of post-processed bits, generating raw bits
+chunkwise (O(chunk) memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.streaming import generate_bits_exact, stream_bits
+from repro.paper import PAPER_F0_HZ
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.ero_trng import EROTRNG, EROTRNGConfiguration
+from repro.trng.postprocessing import von_neumann, xor_decimation
+
+
+def _make_trng(postprocessor=None, divider: int = 16, seed: int = 3) -> EROTRNG:
+    configuration = EROTRNGConfiguration(
+        f0_hz=PAPER_F0_HZ,
+        oscillator_psd=PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0),
+        divider=divider,
+        frequency_mismatch=1e-3,
+    )
+    return EROTRNG(
+        configuration,
+        rng=np.random.default_rng(seed),
+        postprocessor=postprocessor,
+    )
+
+
+class TestGenerateLengthContract:
+    def test_generate_without_postprocessor_returns_n_bits(self):
+        trng = _make_trng()
+        assert trng.generate(257).size == 257
+
+    def test_generate_with_decimator_returns_fewer_bits(self):
+        trng = _make_trng(postprocessor=von_neumann)
+        bits = trng.generate(1024)
+        assert 0 < bits.size < 1024
+
+    def test_generate_exact_without_postprocessor(self):
+        trng = _make_trng()
+        bits = trng.generate_exact(300)
+        assert bits.size == 300
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    @pytest.mark.parametrize(
+        "postprocessor", [von_neumann, lambda bits: xor_decimation(bits, 4)]
+    )
+    def test_generate_exact_with_decimators(self, postprocessor):
+        trng = _make_trng(postprocessor=postprocessor)
+        bits = trng.generate_exact(500, chunk_bits=512)
+        assert bits.size == 500
+
+    def test_generate_exact_small_chunks(self):
+        trng = _make_trng(postprocessor=von_neumann)
+        assert trng.generate_exact(64, chunk_bits=128).size == 64
+
+    def test_generate_exact_invalid_n_bits(self):
+        trng = _make_trng()
+        with pytest.raises(ValueError):
+            trng.generate_exact(0)
+
+    def test_pathological_postprocessor_raises(self):
+        trng = _make_trng(postprocessor=lambda bits: bits[:0])
+        with pytest.raises(RuntimeError, match="no bits"):
+            trng.generate_exact(10, chunk_bits=32)
+
+
+class TestStreamBits:
+    def test_chunks_concatenate_to_exact_length(self):
+        trng = _make_trng(postprocessor=von_neumann)
+        chunks = list(stream_bits(trng, 400, chunk_bits=256))
+        assert sum(chunk.size for chunk in chunks) == 400
+        assert all(chunk.size > 0 for chunk in chunks)
+
+    def test_generate_bits_exact_matches_requested_length(self):
+        trng = _make_trng()
+        assert generate_bits_exact(trng, 123).size == 123
+
+    def test_validation(self):
+        trng = _make_trng()
+        with pytest.raises(ValueError):
+            list(stream_bits(trng, 0))
+        with pytest.raises(ValueError):
+            list(stream_bits(trng, 10, chunk_bits=0))
