@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from _bench_utils import report
-from repro.core import accumulated_variance_curve, fit_sigma2_n_curve
+from repro.core import fit_sigma2_n_curve
 from repro.core.sigma_n import AccumulatedVarianceCurve, AccumulatedVariancePoint, s_n_realizations
 from repro.paper import PAPER_REFERENCE
 

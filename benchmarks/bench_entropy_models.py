@@ -15,7 +15,6 @@ the accumulation length each approach would certify for the AIS31-style
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from _bench_utils import report

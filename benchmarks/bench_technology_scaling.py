@@ -14,7 +14,6 @@ checks the monotonic trend the paper predicts.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from _bench_utils import report

@@ -7,14 +7,18 @@ model.  Procedure A is the black-box battery; its tests T1-T4 are the FIPS
 140-1 tests on 20 000-bit blocks, T0 is a disjointness test on 48-bit words
 and T5 an autocorrelation test.
 
-Each test returns a :class:`TestResult` with the statistic, the pass verdict
-and the bounds used, so the online-test framework can log and aggregate them.
+Every test accepts either one bit sequence (``(n,)``) or a whole ensemble of
+sequences (``(B, n)``, one row per TRNG instance) and computes its statistics
+vectorized across rows — there is no Python loop over the bits of any row.
+A 1-D input returns a single :class:`TestResult`; a 2-D input returns a list
+of ``B`` results (row order).  The scalar path is the ``B = 1`` view of the
+batched kernels, so both are exercised by the same reference vectors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,54 +47,102 @@ def _as_bits(bits: Sequence[int] | np.ndarray, minimum: int) -> np.ndarray:
     return array.astype(np.int64)
 
 
-def t0_disjointness_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+def _as_bit_rows(
+    bits: Sequence[int] | np.ndarray, minimum: int
+) -> Tuple[np.ndarray, bool]:
+    """Normalize to ``(B, n)`` int64 rows; also report whether input was 1-D."""
+    array = np.asarray(bits)
+    if array.ndim == 1:
+        return _as_bits(array, minimum)[None, :], True
+    if array.ndim != 2:
+        raise ValueError("bit sequences must be (n,) or (B, n) arrays")
+    if array.shape[1] < minimum:
+        raise ValueError(
+            f"test needs at least {minimum} bits, got {array.shape[1]}"
+        )
+    if not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit sequences may only contain 0 and 1")
+    return array.astype(np.int64), False
+
+
+def _one_or_many(
+    results: List[TestResult], scalar: bool
+) -> Union[TestResult, List[TestResult]]:
+    return results[0] if scalar else results
+
+
+def t0_disjointness_test(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[TestResult, List[TestResult]]:
     """T0: 2^16 consecutive 48-bit words must be pairwise distinct.
 
-    Requires ``65536 * 48 = 3 145 728`` bits.
+    Requires ``65536 * 48 = 3 145 728`` bits (per row).
     """
     n_words = 1 << 16
     word_bits = 48
-    array = _as_bits(bits, n_words * word_bits)
-    words = array[: n_words * word_bits].reshape(n_words, word_bits)
-    weights = 1 << np.arange(word_bits - 1, -1, -1, dtype=np.uint64)
-    values = (words.astype(np.uint64) * weights).sum(axis=1)
-    n_distinct = np.unique(values).size
-    passed = n_distinct == n_words
-    return TestResult(
-        name="T0 disjointness",
-        passed=bool(passed),
-        statistic=float(n_words - n_distinct),
-        details=f"{n_words - n_distinct} repeated 48-bit words",
+    rows, scalar = _as_bit_rows(bits, n_words * word_bits)
+    words = rows[:, : n_words * word_bits].reshape(-1, n_words, word_bits)
+    weights = 1 << np.arange(word_bits - 1, -1, -1, dtype=np.int64)
+    values = np.einsum("bwk,k->bw", words, weights)
+    values.sort(axis=1)
+    n_repeated = np.sum(values[:, 1:] == values[:, :-1], axis=1)
+    return _one_or_many(
+        [
+            TestResult(
+                name="T0 disjointness",
+                passed=bool(repeated == 0),
+                statistic=float(repeated),
+                details=f"{int(repeated)} repeated 48-bit words",
+            )
+            for repeated in n_repeated
+        ],
+        scalar,
     )
 
 
-def t1_monobit_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+def t1_monobit_test(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[TestResult, List[TestResult]]:
     """T1: number of ones in 20 000 bits must lie in (9654, 10346)."""
-    array = _as_bits(bits, 20_000)[:20_000]
-    ones = int(np.sum(array))
-    passed = 9654 < ones < 10346
-    return TestResult(
-        name="T1 monobit",
-        passed=bool(passed),
-        statistic=float(ones),
-        details=f"{ones} ones in 20000 bits",
+    rows, scalar = _as_bit_rows(bits, 20_000)
+    ones = np.sum(rows[:, :20_000], axis=1)
+    return _one_or_many(
+        [
+            TestResult(
+                name="T1 monobit",
+                passed=bool(9654 < count < 10346),
+                statistic=float(count),
+                details=f"{int(count)} ones in 20000 bits",
+            )
+            for count in ones
+        ],
+        scalar,
     )
 
 
-def t2_poker_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+def t2_poker_test(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[TestResult, List[TestResult]]:
     """T2: chi-square statistic on 4-bit nibbles of 20 000 bits in (1.03, 57.4)."""
-    array = _as_bits(bits, 20_000)[:20_000]
-    nibbles = array.reshape(5000, 4)
+    rows, scalar = _as_bit_rows(bits, 20_000)
+    batch = rows.shape[0]
+    nibbles = rows[:, :20_000].reshape(batch, 5000, 4)
     weights = np.array([8, 4, 2, 1])
     values = nibbles @ weights
-    counts = np.bincount(values, minlength=16)
-    statistic = float(16.0 / 5000.0 * np.sum(counts.astype(float) ** 2) - 5000.0)
-    passed = 1.03 < statistic < 57.4
-    return TestResult(
-        name="T2 poker",
-        passed=bool(passed),
-        statistic=statistic,
-        details=f"chi-square = {statistic:.2f}",
+    keys = values + 16 * np.arange(batch)[:, None]
+    counts = np.bincount(keys.ravel(), minlength=16 * batch).reshape(batch, 16)
+    statistics = 16.0 / 5000.0 * np.sum(counts.astype(float) ** 2, axis=1) - 5000.0
+    return _one_or_many(
+        [
+            TestResult(
+                name="T2 poker",
+                passed=bool(1.03 < statistic < 57.4),
+                statistic=float(statistic),
+                details=f"chi-square = {statistic:.2f}",
+            )
+            for statistic in statistics
+        ],
+        scalar,
     )
 
 
@@ -105,67 +157,98 @@ _T3_BOUNDS: Dict[int, tuple] = {
 }
 
 
+def _run_table(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run decomposition of every row of a 0/1 array, without a row loop.
+
+    Returns ``(values, lengths, row_first_run)``: the value and length of
+    every run (all rows concatenated, row-major) and, per row, the index of
+    its first run in those arrays.
+    """
+    batch, n = rows.shape
+    flat = rows.reshape(-1)
+    starts = np.empty(batch * n, dtype=bool)
+    starts[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=starts[1:])
+    starts[::n] = True  # a row boundary always starts a new run
+    start_positions = np.flatnonzero(starts)
+    lengths = np.diff(np.append(start_positions, batch * n))
+    values = flat[start_positions]
+    row_first_run = np.searchsorted(start_positions, np.arange(batch) * n)
+    return values, lengths, row_first_run
+
+
 def _run_lengths(array: np.ndarray) -> List[tuple]:
     """List of (value, length) runs of a 0/1 array."""
     if array.size == 0:
         return []
-    change_points = np.flatnonzero(np.diff(array)) + 1
-    boundaries = np.concatenate(([0], change_points, [array.size]))
-    return [
-        (int(array[start]), int(end - start))
-        for start, end in zip(boundaries[:-1], boundaries[1:])
-    ]
+    values, lengths, _first = _run_table(np.asarray(array)[None, :])
+    return [(int(value), int(length)) for value, length in zip(values, lengths)]
 
 
-def t3_runs_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+def t3_runs_test(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[TestResult, List[TestResult]]:
     """T3: counts of runs of each length (1..5, >=6) within AIS31 bounds."""
-    array = _as_bits(bits, 20_000)[:20_000]
-    runs = _run_lengths(array)
-    failures = []
-    worst_deviation = 0.0
-    for value in (0, 1):
-        for length in range(1, 7):
-            if length < 6:
-                count = sum(
-                    1 for run_value, run_length in runs
-                    if run_value == value and run_length == length
-                )
-            else:
-                count = sum(
-                    1 for run_value, run_length in runs
-                    if run_value == value and run_length >= 6
-                )
-            low, high = _T3_BOUNDS[length]
-            if not low <= count <= high:
-                failures.append(f"runs({value}, len {length}) = {count}")
-            center = (low + high) / 2.0
-            half_width = (high - low) / 2.0
-            worst_deviation = max(worst_deviation, abs(count - center) / half_width)
-    passed = not failures
-    return TestResult(
-        name="T3 runs",
-        passed=bool(passed),
-        statistic=worst_deviation,
-        details="; ".join(failures) if failures else "all run counts in bounds",
-    )
+    rows, scalar = _as_bit_rows(bits, 20_000)
+    rows = rows[:, :20_000]
+    batch = rows.shape[0]
+    values, lengths, row_first_run = _run_table(rows)
+    run_rows = np.searchsorted(
+        row_first_run, np.arange(values.size), side="right"
+    ) - 1
+    keys = (run_rows * 2 + values) * 6 + (np.minimum(lengths, 6) - 1)
+    counts = np.bincount(keys, minlength=batch * 12).reshape(batch, 2, 6)
+    lows = np.array([_T3_BOUNDS[length][0] for length in range(1, 7)])
+    highs = np.array([_T3_BOUNDS[length][1] for length in range(1, 7)])
+    in_bounds = (counts >= lows) & (counts <= highs)
+    centers = (lows + highs) / 2.0
+    half_widths = (highs - lows) / 2.0
+    deviations = np.max(np.abs(counts - centers) / half_widths, axis=(1, 2))
+    results = []
+    for row in range(batch):
+        failures = [
+            f"runs({value}, len {length}) = {counts[row, value, length - 1]}"
+            for value in (0, 1)
+            for length in range(1, 7)
+            if not in_bounds[row, value, length - 1]
+        ]
+        results.append(
+            TestResult(
+                name="T3 runs",
+                passed=not failures,
+                statistic=float(deviations[row]),
+                details="; ".join(failures)
+                if failures
+                else "all run counts in bounds",
+            )
+        )
+    return _one_or_many(results, scalar)
 
 
-def t4_long_run_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+def t4_long_run_test(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[TestResult, List[TestResult]]:
     """T4: no run of length >= 34 in 20 000 bits."""
-    array = _as_bits(bits, 20_000)[:20_000]
-    longest = max(length for _value, length in _run_lengths(array))
-    passed = longest < 34
-    return TestResult(
-        name="T4 long run",
-        passed=bool(passed),
-        statistic=float(longest),
-        details=f"longest run = {longest}",
+    rows, scalar = _as_bit_rows(bits, 20_000)
+    _values, lengths, row_first_run = _run_table(rows[:, :20_000])
+    longest = np.maximum.reduceat(lengths, row_first_run)
+    return _one_or_many(
+        [
+            TestResult(
+                name="T4 long run",
+                passed=bool(length < 34),
+                statistic=float(length),
+                details=f"longest run = {int(length)}",
+            )
+            for length in longest
+        ],
+        scalar,
     )
 
 
 def t5_autocorrelation_test(
     bits: Sequence[int] | np.ndarray, shift: int = 1
-) -> TestResult:
+) -> Union[TestResult, List[TestResult]]:
     """T5: autocorrelation statistic of a 10 000-bit block in (2326, 2674).
 
     Uses the first 5000 bits XORed with the ``shift``-displaced bits, per the
@@ -173,38 +256,59 @@ def t5_autocorrelation_test(
     """
     if not 1 <= shift <= 5000:
         raise ValueError("shift must be in [1, 5000]")
-    array = _as_bits(bits, 10_000)[:10_000]
-    statistic = int(np.sum(array[:5000] ^ array[shift : shift + 5000]))
-    passed = 2326 < statistic < 2674
-    return TestResult(
-        name="T5 autocorrelation",
-        passed=bool(passed),
-        statistic=float(statistic),
-        details=f"Z(shift={shift}) = {statistic}",
+    rows, scalar = _as_bit_rows(bits, 10_000)
+    statistics = np.sum(
+        rows[:, :5000] ^ rows[:, shift : shift + 5000], axis=1
+    )
+    return _one_or_many(
+        [
+            TestResult(
+                name="T5 autocorrelation",
+                passed=bool(2326 < statistic < 2674),
+                statistic=float(statistic),
+                details=f"Z(shift={shift}) = {int(statistic)}",
+            )
+            for statistic in statistics
+        ],
+        scalar,
     )
 
 
-def procedure_a(bits: Sequence[int] | np.ndarray, include_t0: bool = False) -> List[TestResult]:
-    """Run the Procedure A battery on a bit stream.
+def procedure_a(
+    bits: Sequence[int] | np.ndarray, include_t0: bool = False
+) -> Union[List[TestResult], List[List[TestResult]]]:
+    """Run the Procedure A battery on one bit stream or a ``(B, n)`` ensemble.
 
     ``T0`` needs more than 3 million bits and is therefore opt-in; the block
-    tests T1-T5 are run on the first 20 000 bits.
+    tests T1-T5 are run on the first 20 000 bits.  A 1-D input returns one
+    flat result list; a 2-D input returns one result list per row, each
+    computed by the vectorized batch kernels.
     """
-    results = []
+    array = np.asarray(bits)
+    batteries = []
     if include_t0:
-        results.append(t0_disjointness_test(bits))
-    results.extend(
+        batteries.append(t0_disjointness_test(array))
+    batteries.extend(
         [
-            t1_monobit_test(bits),
-            t2_poker_test(bits),
-            t3_runs_test(bits),
-            t4_long_run_test(bits),
-            t5_autocorrelation_test(bits),
+            t1_monobit_test(array),
+            t2_poker_test(array),
+            t3_runs_test(array),
+            t4_long_run_test(array),
+            t5_autocorrelation_test(array),
         ]
     )
-    return results
+    if array.ndim == 1:
+        return batteries
+    return [list(row_results) for row_results in zip(*batteries)]
 
 
 def all_passed(results: Sequence[TestResult]) -> bool:
-    """True when every test in a result list passed."""
+    """True when every test in a (flat) result list passed."""
     return all(result.passed for result in results)
+
+
+def rows_passed(per_row_results: Sequence[Sequence[TestResult]]) -> np.ndarray:
+    """Per-row verdicts of a batched battery run, as a ``(B,)`` bool array."""
+    return np.array(
+        [all_passed(row_results) for row_results in per_row_results], dtype=bool
+    )

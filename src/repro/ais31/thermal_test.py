@@ -24,12 +24,11 @@ the very problem the multilevel model solves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..core.fitting import coefficients_to_phase_noise
-from ..core.sigma_n import AccumulatedVarianceCurve, AccumulatedVariancePoint
 from ..core.thermal_extraction import ThermalNoiseReport, extract_thermal_noise_from_curve
 from ..measurement.counter import DifferentialJitterCounter
 from ..oscillator.period_model import Clock

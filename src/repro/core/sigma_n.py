@@ -18,7 +18,7 @@ jitter series, period series or counter captures, over sweeps of ``N``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -7,15 +7,22 @@ time to whole ensembles:
   synthesis with one spawned RNG stream per instance
   (:class:`BatchedOscillatorEnsemble`); the scalar oscillator/synthesizer
   classes are thin ``B = 1`` views over it.
+* :mod:`repro.engine.bits` — the batched TRNG bit pipeline: ensemble
+  D-flip-flop sampling (:class:`BatchedDFlipFlopSampler`) and whole
+  eRO-TRNG ensembles (:class:`BatchedEROTRNG`) producing ``(B, n_bits)``
+  raw-bit records with streaming (chunk-invariant) semantics; the scalar
+  digitizer and TRNG are thin ``B = 1`` views over it.
 * :mod:`repro.engine.streaming` — chunked generation and online ``sigma^2_N``
   accumulation, so campaigns and bit generation run in O(chunk) memory for
   arbitrarily long records.
-* :mod:`repro.engine.campaign` — batched Fig. 7 campaigns that estimate and
-  fit every instance's curve in one pass and return a results table.
+* :mod:`repro.engine.campaign` — batched Fig. 7 campaigns (estimate + fit
+  every instance in one pass) and batched bit campaigns
+  (:func:`batched_bit_campaign`: entropy-vs-divider tables with per-ensemble
+  AIS31 evaluation).
 
-``streaming`` and ``campaign`` are imported lazily: ``batch`` sits below the
-measurement/core layers, while the other two sit above them, and the scalar
-synthesis layer imports ``batch`` during package initialisation.
+``streaming`` and ``campaign`` are imported lazily: ``batch``/``bits`` sit
+below the measurement/core layers, while the other two sit above them, and
+the scalar synthesis layer imports ``batch`` during package initialisation.
 """
 
 from __future__ import annotations
@@ -26,20 +33,33 @@ from .batch import (
     BatchedOscillatorEnsemble,
     spawn_generators,
 )
+from .bits import (
+    BatchedDFlipFlopSampler,
+    BatchedEROTRNG,
+    BatchedSamplingResult,
+    square_wave_level_batch,
+)
 
 __all__ = [
     "BatchedCampaignResult",
+    "BatchedDFlipFlopSampler",
+    "BatchedEROTRNG",
     "BatchedJitterDecomposition",
     "BatchedJitterSynthesizer",
     "BatchedOscillatorEnsemble",
+    "BatchedSamplingResult",
+    "BitCampaignResult",
     "StreamingSigma2NEstimator",
+    "batched_bit_campaign",
     "batched_relative_jitter_campaign",
     "batched_sigma2_n_campaign",
+    "bits",
     "campaign",
     "batch",
     "fit_sigma2_n_curves",
     "generate_bits_exact",
     "spawn_generators",
+    "square_wave_level_batch",
     "stream_bits",
     "streaming",
     "streaming_accumulated_variance_curves",
@@ -47,6 +67,8 @@ __all__ = [
 
 _LAZY_EXPORTS = {
     "BatchedCampaignResult": "campaign",
+    "BitCampaignResult": "campaign",
+    "batched_bit_campaign": "campaign",
     "batched_relative_jitter_campaign": "campaign",
     "batched_sigma2_n_campaign": "campaign",
     "fit_sigma2_n_curves": "campaign",

@@ -1,4 +1,4 @@
-"""Batched Fig. 7 campaigns: estimate and fit every instance in one pass.
+"""Batched campaigns: every instance of an ensemble estimated in one pass.
 
 A *campaign* is the paper's central experiment: synthesize a jitter record,
 estimate the accumulated variance ``sigma^2_N`` over a sweep of ``N`` and fit
@@ -18,10 +18,17 @@ The scalar workflow (``RingOscillator`` + ``accumulated_variance_curve`` +
 row ``i`` of a campaign consumes the same RNG stream and reproduces it
 bit-for-bit with ``exact=True``, or within a relative ``~ sqrt(n) * eps``
 (far below 1e-12) with the default fused reduction (see ``tests/engine``).
+
+Bit-level campaigns (:func:`batched_bit_campaign`) run the pipeline one step
+further: per-ensemble raw-bit generation at a grid of divider values, with
+vectorized bias/entropy estimates and batched AIS31 evaluation — the paper's
+entropy-vs-accumulation design-guidance table, produced in one vectorized
+pass per divider instead of a ``dividers x instances`` Python loop.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -32,8 +39,9 @@ from ..core.sigma_n import (
     assemble_variance_curves,
     batched_sigma2_n_sweep,
 )
-from .batch import BatchedOscillatorEnsemble
-from .streaming import StreamingSigma2NEstimator, streaming_accumulated_variance_curves
+from .batch import BatchedOscillatorEnsemble, SeedLike
+from .bits import BatchedEROTRNG
+from .streaming import streaming_accumulated_variance_curves
 
 _TABLE_COLUMNS = (
     "instance",
@@ -473,4 +481,211 @@ def batched_relative_jitter_campaign(
         fit,
         weighted,
         exact,
+    )
+
+
+_BIT_TABLE_COLUMNS = (
+    "divider",
+    "instance",
+    "bias",
+    "shannon_entropy",
+    "min_entropy",
+    "markov_entropy",
+    "procedure_a_passed",
+    "procedure_b_passed",
+)
+
+
+class BitCampaignResult:
+    """Per-divider, per-instance results of one batched bit campaign.
+
+    All estimate attributes are ``(D, B)`` arrays (divider x instance):
+    ``bias`` (``P(1) - 1/2`` of the raw bits), ``shannon_entropy`` /
+    ``min_entropy`` / ``markov_entropy`` (per-bit estimates from
+    :mod:`repro.trng.entropy`), and — when the campaign ran them —
+    ``procedure_a_passed`` / ``procedure_b_passed`` boolean verdict arrays
+    (``None`` otherwise).  This is the paper's entropy-vs-accumulation
+    design-guidance table in array form.
+    """
+
+    def __init__(
+        self,
+        dividers: np.ndarray,
+        bias: np.ndarray,
+        shannon_entropy: np.ndarray,
+        min_entropy: np.ndarray,
+        markov_entropy: np.ndarray,
+        procedure_a_passed: Optional[np.ndarray],
+        procedure_b_passed: Optional[np.ndarray],
+        n_bits: int,
+    ) -> None:
+        self.dividers = np.asarray(dividers)
+        self.bias = np.asarray(bias)
+        self.shannon_entropy = np.asarray(shannon_entropy)
+        self.min_entropy = np.asarray(min_entropy)
+        self.markov_entropy = np.asarray(markov_entropy)
+        self.procedure_a_passed = procedure_a_passed
+        self.procedure_b_passed = procedure_b_passed
+        self.n_bits = int(n_bits)
+
+    @property
+    def n_dividers(self) -> int:
+        """Number of divider grid points ``D``."""
+        return int(self.bias.shape[0])
+
+    @property
+    def batch_size(self) -> int:
+        """Number of TRNG instances ``B`` per divider."""
+        return int(self.bias.shape[1])
+
+    def entropy_vs_divider(self) -> Dict[str, np.ndarray]:
+        """Ensemble means per divider: the paper's design-guidance curve."""
+        summary = {
+            "divider": self.dividers,
+            "bias": np.mean(self.bias, axis=1),
+            "shannon_entropy": np.mean(self.shannon_entropy, axis=1),
+            "min_entropy": np.mean(self.min_entropy, axis=1),
+            "markov_entropy": np.mean(self.markov_entropy, axis=1),
+        }
+        if self.procedure_a_passed is not None:
+            summary["procedure_a_pass_rate"] = np.mean(
+                self.procedure_a_passed, axis=1
+            )
+        if self.procedure_b_passed is not None:
+            summary["procedure_b_pass_rate"] = np.mean(
+                self.procedure_b_passed, axis=1
+            )
+        return summary
+
+    def table(self) -> Dict[str, np.ndarray]:
+        """Flat results table: one column array per quantity, row-major."""
+        n_dividers, batch = self.bias.shape
+        table = {
+            "divider": np.repeat(self.dividers, batch),
+            "instance": np.tile(np.arange(batch), n_dividers),
+            "bias": self.bias.ravel(),
+            "shannon_entropy": self.shannon_entropy.ravel(),
+            "min_entropy": self.min_entropy.ravel(),
+            "markov_entropy": self.markov_entropy.ravel(),
+        }
+        if self.procedure_a_passed is not None:
+            table["procedure_a_passed"] = self.procedure_a_passed.ravel()
+        if self.procedure_b_passed is not None:
+            table["procedure_b_passed"] = self.procedure_b_passed.ravel()
+        return table
+
+    def format_table(self, max_rows: int = 24) -> str:
+        """Human-readable results table (for logs and benchmarks)."""
+        table = self.table()
+        columns = [name for name in _BIT_TABLE_COLUMNS if name in table]
+        lines = [" | ".join(f"{name:>18}" for name in columns)]
+        n_rows = self.n_dividers * self.batch_size
+        shown = min(n_rows, max_rows)
+        for row in range(shown):
+            cells = []
+            for name in columns:
+                value = table[name][row]
+                if name in ("divider", "instance"):
+                    cells.append(f"{int(value):>18d}")
+                elif name.startswith("procedure"):
+                    cells.append(f"{'pass' if value else 'FAIL':>18}")
+                else:
+                    cells.append(f"{value:>18.6g}")
+            lines.append(" | ".join(cells))
+        if shown < n_rows:
+            lines.append(f"... ({n_rows - shown} more rows)")
+        return "\n".join(lines)
+
+
+def batched_bit_campaign(
+    configuration,
+    dividers: Sequence[int],
+    batch_size: int,
+    n_bits: int,
+    seed: SeedLike = None,
+    run_procedure_a: bool = False,
+    include_t0: bool = False,
+    run_procedure_b: bool = False,
+    min_entropy_block_size: int = 8,
+) -> BitCampaignResult:
+    """Entropy-vs-divider sweep over a whole eRO-TRNG ensemble at once.
+
+    For every divider ``D`` in the grid, a fresh
+    :class:`~repro.engine.bits.BatchedEROTRNG` ensemble (same
+    ``configuration``, same ``seed`` — a *paired* design: every divider sees
+    identically seeded noise) generates ``n_bits`` raw bits per instance in
+    one batched pass, and the bias/entropy estimates and (optionally) the
+    AIS31 Procedure A/B batteries are evaluated vectorized across the
+    ensemble.  This replaces the ``dividers x instances`` Python loop of the
+    scalar workflow with one vectorized pass per divider.
+
+    Parameters
+    ----------
+    configuration:
+        An :class:`repro.trng.ero_trng.EROTRNGConfiguration`; its ``divider``
+        field is replaced by each grid value in turn.
+    dividers:
+        Accumulation lengths ``D`` to sweep (the paper's design axis).
+    batch_size:
+        TRNG instances per divider.
+    n_bits:
+        Raw bits per instance per divider.  Procedure A needs >= 20 000,
+        Procedure B >= 100 000 bits.
+    seed:
+        Engine seed; per-instance streams are spawned from it (one per
+        instance, one sub-stream per ring).
+    run_procedure_a, include_t0, run_procedure_b:
+        Evaluate the AIS31 batteries per instance (batched, no row loop).
+    min_entropy_block_size:
+        Block size of the min-entropy (``H_min``) estimate.
+    """
+    from ..ais31.procedure_a import procedure_a, rows_passed
+    from ..ais31.procedure_b import procedure_b
+    from ..trng.entropy import (
+        bit_bias,
+        markov_entropy_rate,
+        min_entropy_per_bit,
+        shannon_entropy_per_bit,
+    )
+
+    divider_grid = np.asarray([int(d) for d in dividers])
+    if divider_grid.size == 0:
+        raise ValueError("need at least one divider")
+    if np.any(divider_grid < 1):
+        raise ValueError("dividers must be >= 1")
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    shape = (divider_grid.size, int(batch_size))
+    bias = np.empty(shape)
+    shannon = np.empty(shape)
+    min_entropy = np.empty(shape)
+    markov = np.empty(shape)
+    passed_a = np.empty(shape, dtype=bool) if run_procedure_a else None
+    passed_b = np.empty(shape, dtype=bool) if run_procedure_b else None
+    for index, divider in enumerate(divider_grid):
+        trng = BatchedEROTRNG(
+            replace(configuration, divider=int(divider)),
+            batch_size=batch_size,
+            seed=seed,
+        )
+        bits = trng.generate_raw(n_bits).bits
+        bias[index] = bit_bias(bits)
+        shannon[index] = shannon_entropy_per_bit(bits)
+        min_entropy[index] = min_entropy_per_bit(
+            bits, block_size=min_entropy_block_size
+        )
+        markov[index] = markov_entropy_rate(bits)
+        if run_procedure_a:
+            passed_a[index] = rows_passed(procedure_a(bits, include_t0=include_t0))
+        if run_procedure_b:
+            passed_b[index] = rows_passed(procedure_b(bits))
+    return BitCampaignResult(
+        dividers=divider_grid,
+        bias=bias,
+        shannon_entropy=shannon,
+        min_entropy=min_entropy,
+        markov_entropy=markov,
+        procedure_a_passed=passed_a,
+        procedure_b_passed=passed_b,
+        n_bits=n_bits,
     )

@@ -15,8 +15,11 @@ module provides:
   :func:`repro.core.sigma_n.accumulated_variance_curves` that synthesizes the
   record chunk by chunk from an ensemble/synthesizer/oscillator.
 * :func:`stream_bits` / :func:`generate_bits_exact` — chunked TRNG bit
-  generation, bounding the edge-record memory of a divider-``D`` eRO-TRNG at
-  ``O(chunk * D)`` instead of ``O(n_bits * D)``.
+  generation for scalar and batched TRNGs.  Since the batched bit pipeline
+  (:mod:`repro.engine.bits`) the generators themselves stream in fixed
+  synthesis blocks, so raw chunked generation is *bit-for-bit independent*
+  of the chunk size and peak memory is bounded by the synthesis block, not
+  by ``O(n_bits * divider)``.
 
 Statistical caveat for *generated* streams: the phase-noise synthesizer draws
 statistically independent stretches on every call, so a chunked synthesis
@@ -247,6 +250,14 @@ def streaming_accumulated_variance_curves(
     return estimator.curves(f0_hz, min_realizations=min_realizations)
 
 
+def _generate_rows(trng, request: int) -> List[np.ndarray]:
+    """Normalize one ``generate`` call to a list of per-row 1-D bit arrays."""
+    output = trng.generate(request)
+    if isinstance(output, np.ndarray):
+        return list(output) if output.ndim == 2 else [output]
+    return [np.asarray(row) for row in output]
+
+
 def stream_bits(
     trng,
     n_bits: int,
@@ -256,26 +267,49 @@ def stream_bits(
     """Yield post-processed TRNG bits in chunks until ``n_bits`` are produced.
 
     Each step generates ``chunk_bits`` *raw* bits and applies the TRNG's
-    post-processor, so peak memory is bounded by the per-chunk edge records
-    (``O(chunk_bits * divider)`` for an eRO-TRNG) instead of the full run.
-    The concatenation of the yielded arrays has exactly ``n_bits`` elements.
+    post-processor, so peak memory is bounded by the per-chunk synthesis
+    blocks instead of the full run.  A scalar
+    :class:`repro.trng.ero_trng.EROTRNG` yields 1-D arrays concatenating to
+    exactly ``n_bits`` elements; a :class:`repro.engine.bits.BatchedEROTRNG`
+    (anything exposing ``batch_size``) yields ``(B, k)`` blocks concatenating
+    to ``(B, n_bits)``.  With a decimating post-processor the per-row output
+    lengths differ, so rows are buffered and each yielded block advances all
+    rows in lockstep.
 
-    Raises ``RuntimeError`` when ``max_empty_chunks`` consecutive chunks yield
-    no bits (a pathological decimating post-processor).
+    Chunk invariance: both TRNG classes generate bits with *streaming*
+    semantics (consecutive ``generate`` calls continue the clock timelines on
+    a fixed synthesis-block grid), so without a post-processor the yielded
+    stream is bit-for-bit independent of ``chunk_bits`` — including chunk
+    sizes that split a divider period across synthesis blocks.  A decimating
+    post-processor is applied per raw chunk (as before), so *its* output
+    depends on the chunking of its input.
+
+    Raises ``RuntimeError`` when ``max_empty_chunks`` consecutive chunks make
+    no progress (a pathological decimating post-processor).
     """
     if n_bits < 1:
         raise ValueError("n_bits must be >= 1")
     if chunk_bits < 1:
         raise ValueError("chunk_bits must be >= 1")
+    batched = getattr(trng, "batch_size", None) is not None
     produced = 0
     empty_streak = 0
     decimating = getattr(trng, "postprocessor", None) is not None
+    buffers: Optional[List[np.ndarray]] = None
     while produced < n_bits:
         # Without a post-processor the output length is the raw length, so the
         # final chunk can be trimmed to what is still needed.
         request = chunk_bits if decimating else min(chunk_bits, n_bits - produced)
-        bits = np.asarray(trng.generate(request))
-        if bits.size == 0:
+        rows = _generate_rows(trng, request)
+        if buffers is None:
+            buffers = rows
+        else:
+            buffers = [
+                np.concatenate([held, new]) for held, new in zip(buffers, rows)
+            ]
+        available = min(row.size for row in buffers)
+        take = min(available, n_bits - produced)
+        if take == 0:
             empty_streak += 1
             if empty_streak >= max_empty_chunks:
                 raise RuntimeError(
@@ -284,9 +318,14 @@ def stream_bits(
                 )
             continue
         empty_streak = 0
-        take = min(bits.size, n_bits - produced)
+        chunk = (
+            np.stack([row[:take] for row in buffers])
+            if batched
+            else buffers[0][:take]
+        )
+        buffers = [row[take:] for row in buffers]
         produced += take
-        yield bits[:take]
+        yield chunk
 
 
 def generate_bits_exact(
@@ -294,13 +333,15 @@ def generate_bits_exact(
 ) -> np.ndarray:
     """Exactly ``n_bits`` post-processed bits from a TRNG, generated chunkwise.
 
-    This is the helper behind :meth:`repro.trng.ero_trng.EROTRNG.generate_exact`;
-    unlike ``generate``, the output length does not depend on the
-    post-processor's decimation ratio.
+    This is the helper behind :meth:`repro.trng.ero_trng.EROTRNG.generate_exact`
+    and :meth:`repro.engine.bits.BatchedEROTRNG.generate_exact`; unlike
+    ``generate``, the output length does not depend on the post-processor's
+    decimation ratio.  Scalar TRNGs get a 1-D array, batched TRNGs a
+    ``(B, n_bits)`` array.
     """
     if n_bits < 1:
         raise ValueError("n_bits must be >= 1")
     if chunk_bits is None:
         chunk_bits = max(min(n_bits, 8192), 64)
     chunks = list(stream_bits(trng, n_bits, chunk_bits=chunk_bits))
-    return np.concatenate(chunks)
+    return np.concatenate(chunks, axis=-1)

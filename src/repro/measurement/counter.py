@@ -22,7 +22,6 @@ would, including the +-1 quantisation inherent to counting edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -27,7 +27,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.sigma_n import AccumulatedVarianceCurve
-from ..oscillator.period_model import Clock
 from ..oscillator.ring import RingOscillator
 from ..paper import PAPER_B_FLICKER_HZ2, PAPER_B_THERMAL_HZ, PAPER_F0_HZ
 from ..phase.psd import PhaseNoisePSD

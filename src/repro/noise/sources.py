@@ -13,7 +13,7 @@ sources and provides joint time-domain sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol
 
 import numpy as np
 

@@ -17,7 +17,7 @@ by the ``ALLAN-LINK`` benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -10,8 +10,6 @@ are used by ``repro.core.independence`` and by the test-suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
-
 import numpy as np
 from scipy import stats
 

@@ -10,7 +10,7 @@ difference between two oscillators, or a drift under attack, is significant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 

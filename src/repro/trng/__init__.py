@@ -1,8 +1,15 @@
-"""TRNG construction layer: digitizer, eRO-TRNG, post-processing, entropy tools."""
+"""TRNG construction layer: digitizer, eRO-TRNG, post-processing, entropy tools.
 
+The scalar classes here are thin ``B = 1`` views over the batched bit
+pipeline; :class:`repro.engine.bits.BatchedEROTRNG` (re-exported here) is
+their whole-ensemble counterpart.
+"""
+
+from ..engine.bits import BatchedEROTRNG, BatchedSamplingResult
 from .digitizer import DFlipFlopSampler, SamplingResult, square_wave_level
 from .entropy import (
     binary_entropy,
+    bit_bias,
     block_probabilities,
     conditional_entropy_per_bit,
     entropy_from_bias,
@@ -20,12 +27,15 @@ from .postprocessing import (
 )
 
 __all__ = [
+    "BatchedEROTRNG",
+    "BatchedSamplingResult",
     "DFlipFlopSampler",
     "EROTRNG",
     "EROTRNGConfiguration",
     "LFSRWhitener",
     "SamplingResult",
     "bias",
+    "bit_bias",
     "binary_entropy",
     "block_probabilities",
     "conditional_entropy_per_bit",

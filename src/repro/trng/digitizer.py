@@ -9,16 +9,19 @@ instantaneous logic level of the sampled oscillator.
 :class:`DFlipFlopSampler` implements that at the event level (edge times in,
 bits out), which keeps it valid for any pair of clocks — free-running rings,
 PLL-synthesized clocks, attacked oscillators — as long as they expose the
-:class:`repro.oscillator.period_model.Clock` interface.
+:class:`repro.oscillator.period_model.Clock` interface.  Both the level
+function and the sampler are thin ``B = 1`` views over the batched bit
+pipeline (:mod:`repro.engine.bits`), which is where the actual edge-time
+``searchsorted`` and level computation live.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from ..engine.bits import BatchedDFlipFlopSampler, square_wave_level_batch
 from ..oscillator.period_model import Clock
 
 
@@ -35,29 +38,28 @@ def square_wave_level(
         Times at which the wave is sampled [s]; must fall inside the span of
         the provided edges.
     rising_edge_times_s:
-        Sorted rising-edge times of the wave [s].  The wave is high for
-        ``duty_cycle`` of each period following a rising edge.
+        Strictly increasing rising-edge times of the wave [s].  The wave is
+        high for ``duty_cycle`` of each period following a rising edge.
+        Unsorted (or duplicate) edges raise a dedicated ``ValueError`` rather
+        than a misleading span failure.
     duty_cycle:
-        High fraction of each period (0 < duty_cycle < 1).
+        High fraction of each period (0 < duty_cycle < 1).  Validated before
+        the input arrays are touched.
 
     Returns
     -------
     numpy.ndarray
         Array of 0/1 integers, one per sample time.
     """
-    samples = np.asarray(sample_times_s, dtype=float)
-    edges = np.asarray(rising_edge_times_s, dtype=float)
     if not 0.0 < duty_cycle < 1.0:
         raise ValueError("duty cycle must be in (0, 1)")
-    if edges.size < 2:
-        raise ValueError("need at least two rising edges")
-    if np.any(samples < edges[0]) or np.any(samples >= edges[-1]):
-        raise ValueError("sample times must fall within the span of the edges")
-    indices = np.searchsorted(edges, samples, side="right") - 1
-    period_start = edges[indices]
-    period_length = edges[indices + 1] - period_start
-    phase_fraction = (samples - period_start) / period_length
-    return (phase_fraction < duty_cycle).astype(np.int8)
+    samples = np.asarray(sample_times_s, dtype=float)
+    edges = np.asarray(rising_edge_times_s, dtype=float)
+    if samples.ndim != 1 or edges.ndim != 1:
+        raise ValueError("sample times and edges must be one-dimensional")
+    return square_wave_level_batch(
+        samples[None, :], edges[None, :], duty_cycle=duty_cycle
+    )[0]
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,13 @@ class SamplingResult:
 
 class DFlipFlopSampler:
     """D flip-flop sampling of a jittery oscillator by a (divided) clock.
+
+    Each :meth:`sample` call is an independent run: it builds a fresh ``B = 1``
+    :class:`repro.engine.bits.BatchedDFlipFlopSampler` whose timeline starts
+    at ``t = 0`` (the clocks' RNG streams still advance between calls, as
+    before).  For a *continuing* bit stream — chunked calls concatenating to
+    one seamless record — use the batched kernel directly, as
+    :class:`repro.trng.ero_trng.EROTRNG` does.
 
     Parameters
     ----------
@@ -121,30 +130,16 @@ class DFlipFlopSampler:
     def sample(self, n_bits: int) -> SamplingResult:
         """Produce ``n_bits`` raw bits.
 
-        The sampled oscillator's edge record is generated with a 10 % margin
-        over the nominal duration of the sampling window so that accumulated
-        jitter and frequency mismatch cannot run past the end of the record.
+        The underlying kernel draws both clocks in fixed synthesis blocks and
+        keeps only a rolling window of the sampled oscillator's edge record,
+        so peak memory is bounded by the block size instead of the
+        ``O(n_bits * divider)`` edge record the one-shot implementation used
+        to materialize.
         """
-        if n_bits < 1:
-            raise ValueError("n_bits must be >= 1")
-        n_sampling_periods = n_bits * self.divider
-        sampling_edges = self.sampling_clock.edge_times(n_sampling_periods)
-        sample_times = sampling_edges[self.divider :: self.divider]
-        duration = sample_times[-1]
-        n_osc_periods = (
-            int(np.ceil(duration * self.sampled_oscillator.f0_hz * 1.1)) + 16
+        kernel = BatchedDFlipFlopSampler(
+            self.sampled_oscillator,
+            self.sampling_clock,
+            divider=self.divider,
+            duty_cycle=self.duty_cycle,
         )
-        oscillator_edges = self.sampled_oscillator.edge_times(n_osc_periods)
-        if oscillator_edges[-1] <= sample_times[-1]:
-            raise RuntimeError(
-                "sampled-oscillator record too short; frequency mismatch exceeds margin"
-            )
-        bits = square_wave_level(
-            sample_times, oscillator_edges, duty_cycle=self.duty_cycle
-        )
-        return SamplingResult(
-            bits=bits,
-            sample_times_s=sample_times,
-            sampled_frequency_hz=self.sampled_oscillator.f0_hz,
-            sampling_frequency_hz=self.effective_sampling_frequency_hz,
-        )
+        return kernel.sample(n_bits).row(0)

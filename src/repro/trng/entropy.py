@@ -5,11 +5,19 @@ raw binary sequence (AIS31).  This module provides the empirical estimators
 used to *check* a bit stream (Shannon entropy of blocks, min-entropy,
 Markov-chain entropy rate) and the analytic helpers shared by the stochastic
 models (binary entropy of a known bias).
+
+The empirical estimators (``bit_bias``, ``block_probabilities``,
+``shannon_entropy_per_bit``, ``min_entropy_per_bit``, ``markov_entropy_rate``)
+accept either one sequence (``(n,)``, returning a float) or a whole ensemble
+(``(B, n)``, one row per TRNG instance, returning a ``(B,)`` array), with the
+statistics computed vectorized across rows — the shape the batched bit
+pipeline (:mod:`repro.engine.bits`) produces.
+:func:`conditional_entropy_per_bit` remains 1-D only.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,64 +48,130 @@ def _as_bits(bits: Sequence[int] | np.ndarray) -> np.ndarray:
     return array.astype(np.int64)
 
 
-def block_probabilities(bits: Sequence[int] | np.ndarray, block_size: int) -> np.ndarray:
-    """Empirical probabilities of all ``2**block_size`` non-overlapping blocks."""
-    array = _as_bits(bits)
+def _as_bit_rows(bits: Sequence[int] | np.ndarray) -> Tuple[np.ndarray, bool]:
+    """Normalize to ``(B, n)`` int64 rows; also report whether input was 1-D."""
+    array = np.asarray(bits)
+    if array.ndim == 1:
+        return _as_bits(array)[None, :], True
+    if array.ndim != 2:
+        raise ValueError("bit sequences must be (n,) or (B, n) arrays")
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit sequences may only contain 0 and 1")
+    return array.astype(np.int64), False
+
+
+def _one_or_rows(values: np.ndarray, scalar: bool) -> Union[float, np.ndarray]:
+    return float(values[0]) if scalar else values
+
+
+def bit_bias(bits: Sequence[int] | np.ndarray) -> Union[float, np.ndarray]:
+    """Empirical bias ``P(1) - 1/2`` of a bit stream (per row for ``(B, n)``)."""
+    rows, scalar = _as_bit_rows(bits)
+    if rows.shape[1] == 0:
+        raise ValueError("need at least one bit")
+    return _one_or_rows(np.mean(rows, axis=1) - 0.5, scalar)
+
+
+def block_probabilities(
+    bits: Sequence[int] | np.ndarray, block_size: int
+) -> np.ndarray:
+    """Empirical probabilities of all ``2**block_size`` non-overlapping blocks.
+
+    Returns ``(2**block_size,)`` for a 1-D input and ``(B, 2**block_size)``
+    for a ``(B, n)`` input (one distribution per row, computed with a single
+    shared ``bincount``).
+    """
+    rows, scalar = _as_bit_rows(bits)
     if block_size < 1:
         raise ValueError("block size must be >= 1")
     if block_size > 24:
         raise ValueError("block size above 24 bits is not supported")
-    n_blocks = array.size // block_size
+    batch = rows.shape[0]
+    n_blocks = rows.shape[1] // block_size
     if n_blocks == 0:
         raise ValueError("sequence shorter than one block")
-    blocks = array[: n_blocks * block_size].reshape(n_blocks, block_size)
+    blocks = rows[:, : n_blocks * block_size].reshape(batch, n_blocks, block_size)
     weights = 1 << np.arange(block_size - 1, -1, -1)
     values = blocks @ weights
-    counts = np.bincount(values, minlength=1 << block_size)
-    return counts / n_blocks
+    n_states = 1 << block_size
+    keys = values + n_states * np.arange(batch)[:, None]
+    counts = np.bincount(keys.ravel(), minlength=n_states * batch)
+    probabilities = counts.reshape(batch, n_states) / n_blocks
+    return probabilities[0] if scalar else probabilities
 
 
 def shannon_entropy_per_bit(
     bits: Sequence[int] | np.ndarray, block_size: int = 1
-) -> float:
+) -> Union[float, np.ndarray]:
     """Empirical Shannon entropy per bit, estimated on ``block_size``-bit blocks."""
-    probabilities = block_probabilities(bits, block_size)
-    nonzero = probabilities[probabilities > 0.0]
-    entropy_per_block = float(-np.sum(nonzero * np.log2(nonzero)))
-    return entropy_per_block / block_size
+    rows, scalar = _as_bit_rows(bits)
+    probabilities = np.atleast_2d(block_probabilities(rows, block_size))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(
+            probabilities > 0.0,
+            -probabilities * np.log2(np.where(probabilities > 0.0, probabilities, 1.0)),
+            0.0,
+        )
+    entropy_per_block = np.sum(terms, axis=1)
+    return _one_or_rows(entropy_per_block / block_size, scalar)
 
 
-def min_entropy_per_bit(bits: Sequence[int] | np.ndarray, block_size: int = 1) -> float:
+def min_entropy_per_bit(
+    bits: Sequence[int] | np.ndarray, block_size: int = 1
+) -> Union[float, np.ndarray]:
     """Empirical min-entropy per bit: ``-log2(max block probability) / block_size``."""
-    probabilities = block_probabilities(bits, block_size)
-    max_probability = float(np.max(probabilities))
-    if max_probability <= 0.0:
+    rows, scalar = _as_bit_rows(bits)
+    probabilities = np.atleast_2d(block_probabilities(rows, block_size))
+    max_probabilities = np.max(probabilities, axis=1)
+    if np.any(max_probabilities <= 0.0):
         raise ValueError("degenerate block distribution")
-    return float(-np.log2(max_probability) / block_size)
+    return _one_or_rows(-np.log2(max_probabilities) / block_size, scalar)
 
 
-def markov_entropy_rate(bits: Sequence[int] | np.ndarray) -> float:
+def _binary_entropy_rows(probabilities: np.ndarray) -> np.ndarray:
+    """Elementwise binary entropy, with ``h(0) = h(1) = 0`` (and NaN for NaN)."""
+    clipped = np.clip(probabilities, 0.0, 1.0)
+    inner = (0.0 < clipped) & (clipped < 1.0)
+    safe = np.where(inner, clipped, 0.5)
+    entropy = -safe * np.log2(safe) - (1.0 - safe) * np.log2(1.0 - safe)
+    entropy = np.where(inner, entropy, 0.0)
+    return np.where(np.isnan(probabilities), np.nan, entropy)
+
+
+def markov_entropy_rate(
+    bits: Sequence[int] | np.ndarray,
+) -> Union[float, np.ndarray]:
     """Entropy rate of the first-order Markov chain fitted to the bit stream.
 
     This estimator, unlike the block Shannon entropy, is sensitive to serial
     dependence between consecutive bits — the kind of defect produced by
     correlated jitter — and is the basis of AIS31's T8-style evaluation of
-    the internal random numbers.
+    the internal random numbers.  Computed per row for ``(B, n)`` inputs.
     """
-    array = _as_bits(bits)
-    if array.size < 2:
+    rows, scalar = _as_bit_rows(bits)
+    if rows.shape[1] < 2:
         raise ValueError("need at least two bits")
-    current = array[:-1]
-    following = array[1:]
-    entropy = 0.0
-    for state in (0, 1):
-        mask = current == state
-        state_probability = float(np.mean(mask))
-        if state_probability == 0.0:
-            continue
-        transition_probability = float(np.mean(following[mask]))
-        entropy += state_probability * binary_entropy(transition_probability)
-    return entropy
+    current = rows[:, :-1]
+    following = rows[:, 1:]
+    n_transitions = current.shape[1]
+    count_one = np.sum(current, axis=1)
+    count_zero = n_transitions - count_one
+    ones_after_one = np.sum(following * current, axis=1)
+    ones_after_zero = np.sum(following, axis=1) - ones_after_one
+    entropy = np.zeros(rows.shape[0])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for counts, ones in (
+            (count_zero, ones_after_zero),
+            (count_one, ones_after_one),
+        ):
+            state_probability = counts / n_transitions
+            transition_probability = np.where(counts > 0, ones / np.maximum(counts, 1), 0.0)
+            entropy += np.where(
+                counts > 0,
+                state_probability * _binary_entropy_rows(transition_probability),
+                0.0,
+            )
+    return _one_or_rows(entropy, scalar)
 
 
 def conditional_entropy_per_bit(

@@ -8,7 +8,13 @@ land with respect to the sampled oscillator's edges.
 
 The class wires together the oscillator, digitizer and (optional)
 post-processing layers of this library and exposes both bit generation and
-the ground-truth parameters needed by the stochastic models.
+the ground-truth parameters needed by the stochastic models.  Since the
+batched bit pipeline (:mod:`repro.engine.bits`), a scalar :class:`EROTRNG`
+is a thin ``B = 1`` view over :class:`repro.engine.bits.BatchedEROTRNG`:
+the generator owns one RNG stream, spawns one sub-stream per ring, and its
+bit stream *continues* across ``generate`` calls — chunked generation is
+bit-for-bit identical to one monolithic call (see
+:func:`repro.engine.streaming.stream_bits`).
 """
 
 from __future__ import annotations
@@ -18,11 +24,10 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..oscillator.period_model import Clock
-from ..oscillator.ring import RingOscillator
+from ..engine.bits import BatchedEROTRNG
 from ..paper import PAPER_F0_HZ
 from ..phase.psd import PhaseNoisePSD
-from .digitizer import DFlipFlopSampler, SamplingResult
+from .digitizer import SamplingResult
 
 
 @dataclass(frozen=True)
@@ -69,24 +74,16 @@ class EROTRNG:
         self.configuration = configuration
         self.rng = np.random.default_rng() if rng is None else rng
         self.postprocessor = postprocessor
-        mismatch = configuration.frequency_mismatch
-        self.sampled_oscillator = RingOscillator(
-            f0_hz=configuration.f0_hz * (1.0 + mismatch / 2.0),
-            psd=configuration.oscillator_psd,
-            rng=self.rng,
-            name="sampled",
+        # B = 1 view over the batched kernel: this instance's stream is the
+        # single parent, split by the kernel into one sub-stream per ring.
+        self._batched = BatchedEROTRNG(
+            configuration, batch_size=1, rngs=[self.rng]
         )
-        self.sampling_oscillator = RingOscillator(
-            f0_hz=configuration.f0_hz * (1.0 - mismatch / 2.0),
-            psd=configuration.oscillator_psd,
-            rng=self.rng,
-            name="sampling",
-        )
-        self._sampler = DFlipFlopSampler(
-            self.sampled_oscillator,
-            self.sampling_oscillator,
-            divider=configuration.divider,
-        )
+        # Scalar oscillator views sharing the row streams (reading parameters
+        # is free; generating periods from them advances the TRNG's streams).
+        self.sampled_oscillator = self._batched.sampled_ensemble.row(0)
+        self.sampling_oscillator = self._batched.sampling_ensemble.row(0)
+        self._sampler = self._batched._sampler
 
     @classmethod
     def paper_reference_design(
@@ -122,8 +119,13 @@ class EROTRNG:
         return self.sampling_oscillator.f0_hz / self.divider
 
     def generate_raw(self, n_bits: int) -> SamplingResult:
-        """Generate ``n_bits`` raw bits together with their sampling times."""
-        return self._sampler.sample(n_bits)
+        """Generate the next ``n_bits`` raw bits with their sampling times.
+
+        Streaming semantics: consecutive calls continue the generator's bit
+        stream (the two ring timelines advance seamlessly), so chunked
+        generation concatenates to exactly the monolithic record.
+        """
+        return self._batched.generate_raw(n_bits).row(0)
 
     def generate(self, n_bits: int) -> np.ndarray:
         """Generate ``n_bits`` *raw* bits and apply the post-processor, if any.
@@ -149,10 +151,9 @@ class EROTRNG:
         default ``max(min(n_bits, 8192), 64)``) and fed through the
         post-processor
         until ``n_bits`` output bits have accumulated, so the peak memory is
-        bounded by the per-chunk edge records (``O(chunk_bits * divider)``)
-        rather than growing with the requested length — see
-        :mod:`repro.engine.streaming`.  Raises ``RuntimeError`` if the
-        post-processor keeps returning nothing.
+        bounded by the per-chunk synthesis blocks rather than growing with
+        the requested length — see :mod:`repro.engine.streaming`.  Raises
+        ``RuntimeError`` if the post-processor keeps returning nothing.
         """
         from ..engine.streaming import generate_bits_exact
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from ...core.theory import sigma2_n_closed_form
 from ...phase.psd import PhaseNoisePSD

@@ -10,7 +10,7 @@ how much raw entropy each one preserves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

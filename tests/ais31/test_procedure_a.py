@@ -102,3 +102,48 @@ class TestInputValidation:
 
     def test_result_truthiness(self, unbiased_bits):
         assert bool(t1_monobit_test(unbiased_bits)) is True
+
+
+class TestBatchedRows:
+    """(B, n) inputs: per-row results equal the scalar test of each row."""
+
+    @pytest.fixture
+    def bit_rows(self, rng):
+        # Row 0 ideal, row 1 biased, row 2 sticky: mixed verdicts on purpose.
+        ideal = rng.integers(0, 2, size=30_000)
+        biased = (rng.random(30_000) < 0.7).astype(int)
+        sticky = np.cumsum(rng.random(30_000) < 0.04) % 2
+        return np.stack([ideal, biased, sticky])
+
+    @pytest.mark.parametrize(
+        "test",
+        [t1_monobit_test, t2_poker_test, t3_runs_test, t4_long_run_test,
+         t5_autocorrelation_test],
+    )
+    def test_each_test_matches_scalar_per_row(self, bit_rows, test):
+        batched = test(bit_rows)
+        assert len(batched) == 3
+        for row in range(3):
+            assert batched[row] == test(bit_rows[row])
+
+    def test_t0_batched_matches_scalar(self, rng):
+        rows = rng.integers(0, 2, size=(2, (1 << 16) * 48))
+        rows[1, :96] = np.tile(rows[1, 96:144], 2)  # force repeats in row 1
+        batched = t0_disjointness_test(rows)
+        for row in range(2):
+            assert batched[row] == t0_disjointness_test(rows[row])
+        assert batched[0].passed and not batched[1].passed
+
+    def test_procedure_a_batched_returns_per_row_batteries(self, bit_rows):
+        per_row = procedure_a(bit_rows)
+        assert len(per_row) == 3 and all(len(row) == 5 for row in per_row)
+        for row in range(3):
+            assert per_row[row] == procedure_a(bit_rows[row])
+        from repro.ais31.procedure_a import rows_passed
+
+        verdicts = rows_passed(per_row)
+        assert verdicts[0] and not verdicts[1] and not verdicts[2]
+
+    def test_three_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            t1_monobit_test(np.zeros((2, 2, 20_000), dtype=int))

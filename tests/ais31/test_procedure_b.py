@@ -85,3 +85,37 @@ class TestBattery:
     def test_procedure_b_flags_bias(self, biased_bits):
         results = procedure_b(biased_bits)
         assert not all(result.passed for result in results)
+
+
+class TestBatchedRows:
+    """(B, n) inputs: per-row results equal the scalar test of each row."""
+
+    @pytest.fixture
+    def bit_rows(self, rng):
+        ideal = rng.integers(0, 2, size=130_000)
+        biased = (rng.random(130_000) < 0.7).astype(int)
+        return np.stack([ideal, biased])
+
+    @pytest.mark.parametrize(
+        "test", [t6_uniform_distribution_test, t7_comparative_test, t8_entropy_test]
+    )
+    def test_each_test_matches_scalar_per_row(self, bit_rows, test):
+        batched = test(bit_rows)
+        assert len(batched) == 2
+        for row in range(2):
+            scalar = test(bit_rows[row])
+            assert batched[row].passed == scalar.passed
+            assert batched[row].statistic == pytest.approx(
+                scalar.statistic, rel=1e-12
+            )
+
+    def test_coron_estimate_matches_scalar_per_row(self, bit_rows):
+        batched = coron_entropy_estimate(bit_rows)
+        for row in range(2):
+            assert batched[row] == coron_entropy_estimate(bit_rows[row])
+
+    def test_procedure_b_batched_verdicts(self, bit_rows):
+        per_row = procedure_b(bit_rows)
+        assert len(per_row) == 2 and all(len(row) == 3 for row in per_row)
+        assert all(result.passed for result in per_row[0])
+        assert not all(result.passed for result in per_row[1])

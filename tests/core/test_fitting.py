@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.fitting import (
-    Sigma2NFitResult,
     bootstrap_fit,
     coefficients_to_phase_noise,
     fit_linear_only,

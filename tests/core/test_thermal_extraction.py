@@ -9,7 +9,7 @@ from repro.core.thermal_extraction import (
     extract_thermal_noise,
     extract_thermal_noise_from_curve,
 )
-from repro.paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ, PAPER_RATIO_CONSTANT_K
+from repro.paper import PAPER_B_THERMAL_HZ, PAPER_RATIO_CONSTANT_K
 
 
 class TestExtractionOnSyntheticData:

@@ -1,0 +1,272 @@
+"""Equivalence of the batched bit pipeline with the scalar TRNG path.
+
+The tentpole contract (ISSUE 2): batched row ``i`` of the bit pipeline —
+:class:`repro.engine.bits.BatchedDFlipFlopSampler`,
+:class:`repro.engine.bits.BatchedEROTRNG`, the batched AIS31 batteries and
+the batched entropy estimators — must reproduce the scalar
+``DFlipFlopSampler`` / ``EROTRNG.generate`` outputs **bit-for-bit** for the
+same seed, across divider values, and the scalar classes must behave as thin
+``B = 1`` views over the batched kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import spawn_generators
+from repro.engine.bits import (
+    BatchedDFlipFlopSampler,
+    BatchedEROTRNG,
+    square_wave_level_batch,
+)
+from repro.engine.campaign import batched_bit_campaign
+from repro.oscillator.period_model import IdealClock
+from repro.paper import PAPER_F0_HZ
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.digitizer import DFlipFlopSampler, square_wave_level
+from repro.trng.entropy import (
+    bit_bias,
+    min_entropy_per_bit,
+    shannon_entropy_per_bit,
+)
+from repro.trng.ero_trng import EROTRNG, EROTRNGConfiguration
+
+F0 = PAPER_F0_HZ
+
+PSD_CASES = {
+    "thermal-only": PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0),
+    "mixed": PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=5.42),
+}
+
+#: The acceptance criterion requires at least three divider values.
+DIVIDERS = (8, 33, 128)
+
+
+def _configuration(divider: int, psd: PhaseNoisePSD) -> EROTRNGConfiguration:
+    return EROTRNGConfiguration(
+        f0_hz=F0,
+        oscillator_psd=psd,
+        divider=divider,
+        frequency_mismatch=1e-3,
+    )
+
+
+class TestBatchedEROTRNGEquivalence:
+    @pytest.mark.parametrize("psd", PSD_CASES.values(), ids=PSD_CASES.keys())
+    @pytest.mark.parametrize("divider", DIVIDERS)
+    def test_rows_reproduce_scalar_generate_bitwise(self, psd, divider):
+        """Batched row i == scalar EROTRNG.generate for the spawned child seed."""
+        batch, n_bits, seed = 5, 400, 20140324 + divider
+        configuration = _configuration(divider, psd)
+        batched = BatchedEROTRNG(configuration, batch_size=batch, seed=seed)
+        bits = batched.generate_raw(n_bits)
+        children = spawn_generators(seed, batch)
+        for row in range(batch):
+            scalar = EROTRNG(configuration, rng=children[row])
+            result = scalar.generate_raw(n_bits)
+            np.testing.assert_array_equal(bits.bits[row], result.bits)
+            np.testing.assert_array_equal(
+                bits.sample_times_s[row], result.sample_times_s
+            )
+
+    def test_generate_matches_generate_raw_bits(self):
+        configuration = _configuration(16, PSD_CASES["mixed"])
+        trng_a = BatchedEROTRNG(configuration, batch_size=3, seed=1)
+        trng_b = BatchedEROTRNG(configuration, batch_size=3, seed=1)
+        np.testing.assert_array_equal(
+            trng_a.generate(257), trng_b.generate_raw(257).bits
+        )
+
+    def test_streaming_calls_continue_the_record(self):
+        """sample(a) + sample(b) == sample(a + b), per row, bit-for-bit."""
+        configuration = _configuration(33, PSD_CASES["mixed"])
+        one_shot = BatchedEROTRNG(configuration, batch_size=4, seed=9)
+        chunked = BatchedEROTRNG(configuration, batch_size=4, seed=9)
+        whole = one_shot.generate_raw(300)
+        parts = [chunked.generate_raw(k) for k in (1, 7, 100, 192)]
+        np.testing.assert_array_equal(
+            whole.bits, np.concatenate([part.bits for part in parts], axis=1)
+        )
+        np.testing.assert_array_equal(
+            whole.sample_times_s,
+            np.concatenate([part.sample_times_s for part in parts], axis=1),
+        )
+
+    def test_generate_exact_rows_match_scalar(self):
+        configuration = _configuration(8, PSD_CASES["thermal-only"])
+        batched = BatchedEROTRNG(configuration, batch_size=3, seed=77)
+        block = batched.generate_exact(300, chunk_bits=128)
+        assert block.shape == (3, 300)
+        children = spawn_generators(77, 3)
+        for row in range(3):
+            scalar = EROTRNG(configuration, rng=children[row])
+            np.testing.assert_array_equal(
+                block[row], scalar.generate_exact(300, chunk_bits=128)
+            )
+
+    def test_batched_postprocessor_applied_per_row(self):
+        from repro.trng.postprocessing import von_neumann
+
+        configuration = _configuration(8, PSD_CASES["thermal-only"])
+        trng = BatchedEROTRNG(
+            configuration, batch_size=3, seed=5, postprocessor=von_neumann
+        )
+        rows = trng.generate(512)
+        assert isinstance(rows, list) and len(rows) == 3
+        assert all(0 < row.size < 512 for row in rows)
+
+    def test_validation_errors(self):
+        configuration = _configuration(8, PSD_CASES["thermal-only"])
+        with pytest.raises(ValueError):
+            BatchedEROTRNG(configuration, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchedEROTRNG(
+                configuration, batch_size=3, rngs=[np.random.default_rng()]
+            )
+        trng = BatchedEROTRNG(configuration, batch_size=2, seed=1)
+        with pytest.raises(ValueError):
+            trng.generate_raw(0)
+
+
+class TestBatchedSamplerEquivalence:
+    def test_scalar_sampler_is_thin_view_over_kernel(self):
+        """DFlipFlopSampler.sample == a fresh B=1 batched kernel's sample."""
+        psd = PSD_CASES["mixed"]
+        from repro.oscillator.ring import RingOscillator
+
+        children = spawn_generators(3, 2)
+        scalar = DFlipFlopSampler(
+            RingOscillator(F0 * 1.0005, psd, rng=children[0]),
+            RingOscillator(F0 * 0.9995, psd, rng=children[1]),
+            divider=16,
+        ).sample(200)
+        # Fresh spawn of the same seed: the kernel replays identical streams.
+        children = spawn_generators(3, 2)
+        kernel = BatchedDFlipFlopSampler(
+            RingOscillator(F0 * 1.0005, psd, rng=children[0]),
+            RingOscillator(F0 * 0.9995, psd, rng=children[1]),
+            divider=16,
+        )
+        batched = kernel.sample(200)
+        np.testing.assert_array_equal(scalar.bits, batched.bits[0])
+        assert scalar.sampling_frequency_hz == pytest.approx(
+            float(batched.sampling_frequency_hz[0])
+        )
+
+    def test_ideal_clock_rows_match_scalar_sampler(self):
+        scalar = DFlipFlopSampler(IdealClock(3.1e6), IdealClock(2e6), divider=2)
+        kernel = BatchedDFlipFlopSampler(
+            IdealClock(3.1e6), IdealClock(2e6), divider=2
+        )
+        np.testing.assert_array_equal(
+            scalar.sample(100).bits, kernel.sample(100).bits[0]
+        )
+
+    def test_batch_size_mismatch_rejected(self):
+        psd = PSD_CASES["thermal-only"]
+        from repro.engine.batch import BatchedOscillatorEnsemble
+
+        fast = BatchedOscillatorEnsemble(F0, psd, batch_size=3, seed=0)
+        slow = BatchedOscillatorEnsemble(F0, psd, batch_size=2, seed=1)
+        with pytest.raises(ValueError, match="batch mismatch"):
+            BatchedDFlipFlopSampler(fast, slow)
+
+    def test_result_row_view(self):
+        configuration = _configuration(8, PSD_CASES["thermal-only"])
+        result = BatchedEROTRNG(configuration, batch_size=2, seed=4).generate_raw(64)
+        row = result.row(1)
+        np.testing.assert_array_equal(row.bits, result.bits[1])
+        assert row.n_bits == 64
+        assert row.accumulation_ratio == pytest.approx(
+            float(result.accumulation_ratio[1])
+        )
+
+
+class TestSquareWaveLevelBatch:
+    def test_rows_match_scalar_function(self, rng):
+        edges = np.cumsum(rng.uniform(0.5, 1.5, size=(4, 64)), axis=1)
+        samples = np.sort(
+            rng.uniform(edges[:, :1] + 1e-9, edges[:, -1:] - 1e-9, size=(4, 40)),
+            axis=1,
+        )
+        levels = square_wave_level_batch(samples, edges, duty_cycle=0.37)
+        for row in range(4):
+            np.testing.assert_array_equal(
+                levels[row],
+                square_wave_level(samples[row], edges[row], duty_cycle=0.37),
+            )
+
+    def test_unsorted_sample_rows_supported(self, rng):
+        edges = np.arange(0.0, 32.0)[None, :].repeat(2, axis=0)
+        samples = rng.uniform(0.0, 30.9, size=(2, 25))
+        levels = square_wave_level_batch(samples, edges)
+        for row in range(2):
+            np.testing.assert_array_equal(
+                levels[row], square_wave_level(samples[row], edges[row])
+            )
+
+
+class TestBatchedBitCampaign:
+    def test_campaign_rows_match_scalar_trngs(self):
+        """Campaign cell (divider d, instance i) == scalar TRNG estimates."""
+        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
+        configuration = _configuration(10, psd)
+        dividers = [10, 40, 160]
+        batch, n_bits, seed = 3, 2000, 13
+        result = batched_bit_campaign(
+            configuration, dividers, batch_size=batch, n_bits=n_bits, seed=seed
+        )
+        assert result.bias.shape == (3, 3)
+        from dataclasses import replace
+
+        for index, divider in enumerate(dividers):
+            children = spawn_generators(seed, batch)
+            for row in range(batch):
+                scalar = EROTRNG(
+                    replace(configuration, divider=divider), rng=children[row]
+                )
+                bits = scalar.generate(n_bits)
+                assert result.bias[index, row] == bit_bias(bits)
+                assert result.shannon_entropy[index, row] == pytest.approx(
+                    shannon_entropy_per_bit(bits), rel=1e-12
+                )
+                assert result.min_entropy[index, row] == pytest.approx(
+                    min_entropy_per_bit(bits, block_size=8), rel=1e-12
+                )
+
+    def test_entropy_increases_with_divider(self):
+        """More accumulation -> more entropy: the paper's design guidance."""
+        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
+        configuration = _configuration(10, psd)
+        result = batched_bit_campaign(
+            configuration, [4, 600], batch_size=6, n_bits=4000, seed=2
+        )
+        summary = result.entropy_vs_divider()
+        assert summary["markov_entropy"][1] > summary["markov_entropy"][0]
+
+    def test_ais31_verdict_arrays(self):
+        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
+        configuration = _configuration(250, psd)
+        result = batched_bit_campaign(
+            configuration,
+            [250],
+            batch_size=2,
+            n_bits=21_000,
+            seed=3,
+            run_procedure_a=True,
+        )
+        assert result.procedure_a_passed.shape == (1, 2)
+        assert result.procedure_b_passed is None
+        table = result.table()
+        assert "procedure_a_passed" in table
+        assert "pass" in result.format_table() or "FAIL" in result.format_table()
+
+    def test_validation(self):
+        configuration = _configuration(8, PSD_CASES["thermal-only"])
+        with pytest.raises(ValueError):
+            batched_bit_campaign(configuration, [], batch_size=2, n_bits=100)
+        with pytest.raises(ValueError):
+            batched_bit_campaign(configuration, [0], batch_size=2, n_bits=100)
+        with pytest.raises(ValueError):
+            batched_bit_campaign(configuration, [8], batch_size=2, n_bits=0)

@@ -195,3 +195,74 @@ class TestStreamingCampaign:
         assert result.table()["b_thermal_hz"] == pytest.approx(
             reference.table()["b_thermal_hz"], rel=1e-6
         )
+
+
+class TestBitStreamChunkInvariance:
+    """stream_bits / generate_bits_exact: the raw bit stream must not depend
+    on how it is chunked — the generators stream on a fixed synthesis-block
+    grid, so any chunking (including chunks that split a divider period
+    across synthesis blocks) yields identical bits."""
+
+    @staticmethod
+    def _trng(divider: int, seed: int = 17):
+        from repro.trng.ero_trng import EROTRNG, EROTRNGConfiguration
+
+        configuration = EROTRNGConfiguration(
+            f0_hz=F0,
+            oscillator_psd=PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=5.42),
+            divider=divider,
+            frequency_mismatch=1e-3,
+        )
+        return EROTRNG(configuration, rng=np.random.default_rng(seed))
+
+    @pytest.mark.parametrize("divider", [1, 3, 96])
+    @pytest.mark.parametrize("chunk_bits", [1, 7, 64, 1000])
+    def test_generate_bits_exact_chunk_invariant(self, divider, chunk_bits):
+        """Identical bit streams for any chunk size (odd chunks split the
+        divider grid against the synthesis-block grid)."""
+        from repro.engine.streaming import generate_bits_exact
+
+        reference = generate_bits_exact(self._trng(divider), 500, chunk_bits=500)
+        chunked = generate_bits_exact(
+            self._trng(divider), 500, chunk_bits=chunk_bits
+        )
+        np.testing.assert_array_equal(reference, chunked)
+
+    def test_stream_bits_concatenation_equals_one_shot_generate(self):
+        from repro.engine.streaming import stream_bits
+
+        reference = self._trng(33).generate(777)
+        chunks = list(stream_bits(self._trng(33), 777, chunk_bits=50))
+        np.testing.assert_array_equal(reference, np.concatenate(chunks))
+
+    def test_batched_trng_stream_matches_scalar_rows(self):
+        """Chunked batched generation: (B, k) blocks, rows == scalar streams."""
+        from repro.engine.batch import spawn_generators
+        from repro.engine.bits import BatchedEROTRNG
+        from repro.engine.streaming import generate_bits_exact
+        from repro.trng.ero_trng import EROTRNG, EROTRNGConfiguration
+
+        configuration = EROTRNGConfiguration(
+            f0_hz=F0,
+            oscillator_psd=PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0),
+            divider=5,
+            frequency_mismatch=1e-3,
+        )
+        batched = BatchedEROTRNG(configuration, batch_size=3, seed=23)
+        block = generate_bits_exact(batched, 400, chunk_bits=128)
+        assert block.shape == (3, 400)
+        children = spawn_generators(23, 3)
+        for row in range(3):
+            scalar = EROTRNG(configuration, rng=children[row])
+            np.testing.assert_array_equal(
+                block[row], generate_bits_exact(scalar, 400, chunk_bits=128)
+            )
+
+    def test_sampler_state_survives_interleaved_chunk_sizes(self):
+        """Ragged chunk schedules agree with each other, not just with 1 call."""
+        schedule_a = [5, 1, 94, 250, 150]
+        schedule_b = [100, 100, 100, 100, 100]
+        trng_a, trng_b = self._trng(7), self._trng(7)
+        bits_a = np.concatenate([trng_a.generate(k) for k in schedule_a])
+        bits_b = np.concatenate([trng_b.generate(k) for k in schedule_b])
+        np.testing.assert_array_equal(bits_a, bits_b)

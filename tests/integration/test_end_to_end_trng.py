@@ -9,7 +9,6 @@ paper's thermal online test (and the classical tests) react.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.ais31 import (
     ThermalNoiseOnlineTest,

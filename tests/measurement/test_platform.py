@@ -9,7 +9,6 @@ from repro.core.thermal_extraction import extract_thermal_noise_from_curve
 from repro.measurement.platform import (
     PAPER_CYCLONE_III,
     PlatformConfiguration,
-    VirtualEvaristePlatform,
 )
 from repro.paper import PAPER_B_FLICKER_HZ2, PAPER_B_THERMAL_HZ, PAPER_F0_HZ
 from repro.phase.psd import PhaseNoisePSD

@@ -99,3 +99,33 @@ class TestDFlipFlopSampler:
         sampler = DFlipFlopSampler(clock, clock)
         with pytest.raises(ValueError):
             sampler.sample(0)
+
+
+class TestSquareWaveLevelValidation:
+    """Regression tests for the precise validation errors (ISSUE 2)."""
+
+    def test_unsorted_edges_get_a_precise_error(self):
+        """Unsorted edges used to surface as a misleading span failure."""
+        edges = np.array([0.0, 2.0, 1.0, 3.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            square_wave_level(np.array([0.5]), edges)
+
+    def test_duplicate_edges_rejected(self):
+        edges = np.array([0.0, 1.0, 1.0, 3.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            square_wave_level(np.array([0.5]), edges)
+
+    def test_duty_cycle_validated_before_arrays_are_touched(self):
+        """An invalid duty cycle must win over (and not mask) bad arrays."""
+        with pytest.raises(ValueError, match="duty cycle"):
+            square_wave_level(
+                np.array([0.5]), np.array([3.0, 2.0, 1.0]), duty_cycle=1.5
+            )
+        # Even un-array-able input: the duty check fires first.
+        with pytest.raises(ValueError, match="duty cycle"):
+            square_wave_level(None, None, duty_cycle=0.0)
+
+    def test_sorted_edges_still_accepted(self):
+        edges = np.arange(0.0, 5.0)
+        levels = square_wave_level(np.array([0.25, 1.75]), edges)
+        np.testing.assert_array_equal(levels, [1, 0])
