@@ -1,0 +1,246 @@
+"""Benchmark: distributed campaign runner vs the single-process batched path.
+
+Measures the paper's Fig. 7 sigma^2_N campaign (synthesis + vectorized
+estimate + Eq. 11 fit) for a ``B``-instance ensemble two ways:
+
+* **single process**: one :func:`repro.engine.campaign.batched_sigma2_n_campaign`
+  call — the engine's fastest single-core path, and the baseline every
+  speedup claim is measured against;
+* **distributed**: the same spec through
+  :func:`repro.engine.distributed.run_campaign`, sharded into row ranges and
+  fanned out over a :class:`~repro.engine.distributed.MultiprocessExecutor`.
+
+Because every shard re-derives its rows' RNG streams from the root
+``SeedSequence`` spawn tree, the distributed result must be **bit-for-bit
+identical** to the single-process one; the script asserts exactly that
+(across shard counts {1, 3} serially and the full multi-process
+configuration) before any timing runs.
+
+The headline target is a >= 3x wall-clock speedup at 4 workers for B >= 256
+campaigns.  The speedup is hardware-bound: ``--check`` enforces the target
+only when the machine actually has >= 4 CPU cores (and skips, with a note,
+under ``--quick`` or smaller configurations — CI smoke runs stay fast).
+
+Run ``python benchmarks/bench_distributed.py`` (add ``--quick`` for a smoke
+run, ``--check`` to gate on the target, ``--json PATH`` for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from the repository root.
+sys.path.insert(0, "src")
+
+from repro.engine.campaign import batched_sigma2_n_campaign  # noqa: E402
+from repro.engine.distributed import (  # noqa: E402
+    MultiprocessExecutor,
+    SerialExecutor,
+    Sigma2NCampaignSpec,
+    run_campaign,
+)
+
+TARGET_SPEEDUP = 3.0
+TARGET_WORKERS = 4
+TARGET_BATCH = 256
+
+
+def _best_of(function, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _spec(batch: int, n_periods: int, seed: int) -> Sigma2NCampaignSpec:
+    return Sigma2NCampaignSpec(
+        batch_size=batch, n_periods=n_periods, seed=seed
+    )
+
+
+def verify_equivalence(spec: Sigma2NCampaignSpec, workers: int, shards: int):
+    """Assert sharded/distributed output == the unsharded batched campaign."""
+    reference = batched_sigma2_n_campaign(spec.ensemble(), spec.n_periods)
+    configurations = [
+        ("serial, 1 shard", SerialExecutor(), 1),
+        ("serial, 3 shards", SerialExecutor(), 3),
+        (
+            f"{workers} workers, {shards} shards",
+            MultiprocessExecutor(max_workers=workers),
+            shards,
+        ),
+    ]
+    for label, executor, n_shards in configurations:
+        result = run_campaign(spec, executor=executor, n_shards=n_shards)
+        for name, expected in (
+            ("n_values", reference.n_values),
+            ("sigma2_s2", reference.sigma2_s2),
+            ("realization_counts", reference.realization_counts),
+            ("f0_hz", reference.f0_hz),
+        ):
+            if not np.array_equal(getattr(result, name), expected):
+                raise AssertionError(f"{label}: {name} differs from unsharded")
+        table = result.table()
+        for name, expected in reference.table().items():
+            if not np.array_equal(table[name], expected):
+                raise AssertionError(
+                    f"{label}: table column {name!r} differs from unsharded"
+                )
+
+
+def run(
+    batch: int,
+    n_periods: int,
+    workers: int,
+    shards: int,
+    repeats: int,
+    seed: int,
+):
+    executor = MultiprocessExecutor(max_workers=workers)
+
+    # Fresh specs per repetition keep both paths on cold RNG streams; the
+    # distributed timing includes pool startup and result pickling (honest
+    # end-to-end wall clock).
+    def single_process() -> None:
+        ensemble = _spec(batch, n_periods, seed).ensemble()
+        batched_sigma2_n_campaign(ensemble, n_periods)
+
+    def distributed() -> None:
+        run_campaign(
+            _spec(batch, n_periods, seed), executor=executor, n_shards=shards
+        )
+
+    single_seconds = _best_of(single_process, repeats)
+    distributed_seconds = _best_of(distributed, repeats)
+    return single_seconds, distributed_seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--batch", type=int, default=TARGET_BATCH, help="instances B"
+    )
+    parser.add_argument(
+        "--n-periods", type=int, default=65_536, help="periods per instance"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=TARGET_WORKERS, help="worker processes"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: 4x workers, for load balance)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions (best-of; raise on a noisy machine)",
+    )
+    parser.add_argument("--seed", type=int, default=20140324)
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the speedup target is missed",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the benchmark results to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.batch = min(args.batch, 16)
+        args.n_periods = min(args.n_periods, 8192)
+        args.workers = min(args.workers, 2)
+        args.repeats = 1
+    if args.shards is None:
+        args.shards = 4 * args.workers
+
+    spec = _spec(args.batch, min(args.n_periods, 16_384), args.seed)
+    verify_equivalence(spec, args.workers, args.shards)
+    print(
+        f"equivalence: distributed == unsharded batched campaign (bitwise) "
+        f"for shards {{1, 3, {args.shards}}} and {args.workers} workers"
+    )
+
+    single_seconds, distributed_seconds = run(
+        args.batch,
+        args.n_periods,
+        args.workers,
+        args.shards,
+        args.repeats,
+        args.seed,
+    )
+    speedup = single_seconds / distributed_seconds
+    cores = os.cpu_count() or 1
+    print(
+        f"\nworkload: B={args.batch} instances x {args.n_periods} periods, "
+        f"sigma^2_N sweep + Eq. 11 fit ({cores} cores available)"
+    )
+    print(f"single process  : {single_seconds * 1e3:8.1f} ms")
+    print(
+        f"distributed     : {distributed_seconds * 1e3:8.1f} ms "
+        f"({args.workers} workers, {args.shards} shards)"
+    )
+    print(
+        f"speedup         : {speedup:.2f}x "
+        f"(target >= {TARGET_SPEEDUP}x at {TARGET_WORKERS} workers, "
+        f"B >= {TARGET_BATCH})"
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "distributed",
+            "batch": args.batch,
+            "n_periods": args.n_periods,
+            "workers": args.workers,
+            "shards": args.shards,
+            "cpu_cores": cores,
+            "single_process_seconds": single_seconds,
+            "distributed_seconds": distributed_seconds,
+            "speedup": speedup,
+            "target_speedup": TARGET_SPEEDUP,
+            "equivalence": "bitwise",
+            "quick": bool(args.quick),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    if args.check:
+        eligible = (
+            not args.quick
+            and args.batch >= TARGET_BATCH
+            and args.workers >= TARGET_WORKERS
+            and cores >= TARGET_WORKERS
+        )
+        if not eligible:
+            print(
+                "note: --check skipped (it requires a full run with "
+                f"--batch >= {TARGET_BATCH}, --workers >= {TARGET_WORKERS} "
+                f"and >= {TARGET_WORKERS} CPU cores)",
+                file=sys.stderr,
+            )
+        elif speedup < TARGET_SPEEDUP:
+            print(f"FAIL: speedup below {TARGET_SPEEDUP}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

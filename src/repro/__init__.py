@@ -7,6 +7,10 @@ The package is organised bottom-up, mirroring the paper's multilevel approach:
 * :mod:`repro.phase` — Hajimiri ISF conversion, the ``b_fl/f^3 + b_th/f^2``
   phase PSD and time-domain period synthesis;
 * :mod:`repro.oscillator` — ring oscillators, PLL clocks, clock abstractions;
+* :mod:`repro.engine` — the batched/streaming simulation engine (``(B, n)``
+  synthesis, bit pipeline, streaming estimators, batched campaigns) and the
+  distributed campaign runner (:mod:`repro.engine.distributed`, with the
+  ``python -m repro.campaigns`` CLI);
 * :mod:`repro.stats` — Allan variance, PSD estimation, autocorrelation tests;
 * :mod:`repro.measurement` — the Fig. 6 differential counter and the virtual
   Evariste/Cyclone III platform (the paper's hardware substitute);

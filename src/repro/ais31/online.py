@@ -13,7 +13,7 @@ comparison baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -126,6 +126,136 @@ class OnlineTestBench:
         return OnlineTestReport(
             block_results=results, alarm_threshold=self.alarm_threshold
         )
+
+    def run_stream(self, chunks: Iterable) -> OnlineTestReport:
+        """Evaluate an *unbounded* chunked stream with bounded memory.
+
+        ``chunks`` is any iterable of 1-D sample arrays — e.g. the output of
+        :func:`repro.engine.streaming.stream_bits` for a *scalar* TRNG, or
+        chunked jitter records for the sample-domain tests.  Each complete
+        block is evaluated the moment it fills; only the
+        (< ``block_size_bits``) remainder is retained between chunks, so
+        memory stays ``O(block)`` no matter how long the stream runs.  For
+        any chunking of a given stream the report is identical to
+        :meth:`run` on the concatenated samples (trailing partial block
+        ignored in both).
+
+        A bench monitors *one* generator: multi-row ``(B, k)`` chunks (a
+        batched TRNG's stream) are rejected — flattening them would
+        interleave instances and make the block verdicts chunking-dependent.
+        Run one bench per row instead.
+        """
+        results: List[TestResult] = []
+        leftover: Optional[np.ndarray] = None
+        for chunk in chunks:
+            array = np.asarray(chunk)
+            if array.ndim != 1:
+                raise ValueError(
+                    f"run_stream needs 1-D chunks (one generator); got shape "
+                    f"{array.shape} — run one bench per batched row instead"
+                )
+            data = (
+                array
+                if leftover is None or leftover.size == 0
+                else np.concatenate([leftover, array])
+            )
+            n_blocks = data.size // self.block_size_bits
+            for index in range(n_blocks):
+                block = data[
+                    index * self.block_size_bits : (index + 1) * self.block_size_bits
+                ]
+                results.append(self.block_test(block))
+            leftover = data[n_blocks * self.block_size_bits :]
+        if not results:
+            raise ValueError("stream shorter than one block")
+        return OnlineTestReport(
+            block_results=results, alarm_threshold=self.alarm_threshold
+        )
+
+
+def thermal_variance_online_test(
+    reference_b_thermal_hz: float,
+    f0_hz: float,
+    minimum_ratio: float = 0.5,
+    accumulation_lengths: Sequence[int] = (16, 128),
+    block_size_samples: int = 8192,
+    alarm_threshold: int = 2,
+    min_realizations: int = 8,
+) -> OnlineTestBench:
+    """The paper's embedded thermal test as a *streaming* online test.
+
+    Each block of the relative jitter record (the generator's raw analog
+    signal, chunked to any convenient size via :meth:`OnlineTestBench.run_stream`)
+    is fed to a :class:`repro.engine.streaming.StreamingSigma2NEstimator` at
+    two accumulation lengths ``N1 < N2``; the two points identify the linear
+    (thermal) and quadratic (flicker) parts of Eq. 11 exactly, and the block
+    fails when the recovered ``b_th`` drops below ``minimum_ratio`` times the
+    healthy reference — the signature of an injection attack or source
+    failure.  Combined with ``run_stream`` this runs on unbounded streams
+    with ``O(block)`` memory: nothing beyond the current block and the
+    estimator's ``O(N2)`` tail is ever held.
+
+    Parameters mirror :class:`repro.ais31.thermal_test.ThermalNoiseOnlineTest`
+    (which drives the Fig. 6 counter instead of a sample stream); the default
+    ``N`` pair sits deep in the paper's thermal-dominated region ``N < 281``
+    so the two-point solve is well conditioned.
+    """
+    from ..core.fitting import coefficients_to_phase_noise
+    from ..engine.streaming import StreamingSigma2NEstimator
+
+    if reference_b_thermal_hz <= 0.0:
+        raise ValueError("reference b_th must be > 0")
+    if not 0.0 < minimum_ratio < 1.0:
+        raise ValueError("minimum ratio must be in (0, 1)")
+    if f0_hz <= 0.0:
+        raise ValueError("f0 must be > 0")
+    lengths = sorted(int(n) for n in accumulation_lengths)
+    if len(lengths) != 2 or lengths[0] < 1 or lengths[0] == lengths[1]:
+        raise ValueError("need two distinct accumulation lengths >= 1")
+    n1, n2 = lengths
+    if min_realizations < 1:
+        raise ValueError("min_realizations must be >= 1")
+    # The estimator drops a sweep point below 2 windows (count = block - 2N
+    # + 1) or below min_realizations effective windows (block // 2N); every
+    # block must retain both N points or the two-point solve has nothing to
+    # work with.
+    minimum_block = max(2 * n2 * min_realizations, 2 * n2 + 1)
+    if block_size_samples < minimum_block:
+        raise ValueError(
+            f"block_size_samples must be >= {minimum_block} "
+            f"(max(2 * N2 * min_realizations, 2 * N2 + 1)) so every block "
+            f"yields both sigma^2_N points"
+        )
+
+    def thermal_block_test(block: np.ndarray) -> TestResult:
+        estimator = StreamingSigma2NEstimator((n1, n2), batch_size=1)
+        estimator.update(np.asarray(block, dtype=float)[None, :])
+        curve = estimator.curves(f0_hz, min_realizations=min_realizations)[0]
+        sigma2 = {
+            point.n_accumulations: point.sigma2_n_s2 for point in curve.points
+        }
+        # Solve sigma2 = A n + B n^2 exactly from the two points.
+        determinant = n1 * n2**2 - n2 * n1**2
+        linear = (sigma2[n1] * n2**2 - sigma2[n2] * n1**2) / determinant
+        quadratic = (sigma2[n2] * n1 - sigma2[n1] * n2) / determinant
+        b_thermal, _ = coefficients_to_phase_noise(linear, quadratic, f0_hz)
+        passed = b_thermal >= minimum_ratio * reference_b_thermal_hz
+        return TestResult(
+            name="thermal sigma^2_N",
+            passed=bool(passed),
+            statistic=float(b_thermal),
+            details=(
+                f"estimated b_th = {b_thermal:.4g} Hz "
+                f"(reference {reference_b_thermal_hz:.4g} Hz, "
+                f"alarm below {minimum_ratio:.2f}x)"
+            ),
+        )
+
+    return OnlineTestBench(
+        block_test=thermal_block_test,
+        block_size_bits=block_size_samples,
+        alarm_threshold=alarm_threshold,
+    )
 
 
 def monobit_online_test(block_size_bits: int = 20_000) -> OnlineTestBench:

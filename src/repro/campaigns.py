@@ -1,0 +1,334 @@
+"""``python -m repro.campaigns`` — the distributed campaign runner CLI.
+
+Runs the paper's headline experiments as sharded, optionally multi-process,
+optionally checkpointed campaigns::
+
+    # Fig. 7 sigma^2_N sweep, 4 shards over 2 worker processes
+    python -m repro.campaigns sigma2n --batch 64 --n-periods 32768 \
+        --shards 4 --workers 2 --seed 7 --json sigma2n.json
+
+    # Entropy-vs-divider bit campaign, resumable
+    python -m repro.campaigns bits --batch 16 --n-bits 20000 \
+        --dividers 500,1000,2000 --shards 8 --workers 4 \
+        --checkpoint-dir runs/bits --resume
+
+``--verify`` additionally runs the unsharded batched campaign on the same
+spec and asserts the merged tables are bit-for-bit identical (exit code 1 on
+any mismatch) — the shard-invariance contract, checkable from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from .engine.campaign import batched_bit_campaign, batched_sigma2_n_campaign
+from .engine.distributed import (
+    BitCampaignSpec,
+    MultiprocessExecutor,
+    SerialExecutor,
+    Sigma2NCampaignSpec,
+    run_campaign,
+    spec_to_json,
+)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch", type=int, default=64, help="instances B")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: one per worker)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs serially in-process",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed (default: fresh entropy, recorded in --json output)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="persist completed shards here (manifest + per-shard .npz)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed shards found in --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, help="write results to this JSON file"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the unsharded campaign and require bit-for-bit equality",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=16, help="table rows to print"
+    )
+    parser.add_argument(
+        "--f0", type=float, default=None, help="f0 [Hz] (paper value by default)"
+    )
+    parser.add_argument(
+        "--b-thermal",
+        type=float,
+        default=None,
+        help="thermal coefficient b_th [Hz] (paper value by default)",
+    )
+    parser.add_argument(
+        "--b-flicker",
+        type=float,
+        default=None,
+        help="flicker coefficient b_fl [Hz^2] (paper-calibrated default)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns",
+        description=__doc__.splitlines()[0],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sigma2n = commands.add_parser(
+        "sigma2n",
+        help="sharded Fig. 7 sigma^2_N campaign (estimate + Eq. 11 fit)",
+    )
+    _add_common_arguments(sigma2n)
+    sigma2n.add_argument(
+        "--n-periods", type=int, default=32_768, help="record length per instance"
+    )
+    sigma2n.add_argument(
+        "--chunk-periods",
+        type=int,
+        default=None,
+        help="stream in chunks of this length (O(chunk) memory per worker)",
+    )
+    sigma2n.add_argument(
+        "--disjoint",
+        action="store_true",
+        help="disjoint (non-overlapping) accumulation windows",
+    )
+    sigma2n.add_argument(
+        "--no-fit", action="store_true", help="estimate curves only, skip the fit"
+    )
+
+    bits = commands.add_parser(
+        "bits", help="sharded entropy-vs-divider bit campaign"
+    )
+    _add_common_arguments(bits)
+    bits.add_argument(
+        "--n-bits", type=int, default=4096, help="raw bits per instance"
+    )
+    bits.add_argument(
+        "--dividers",
+        type=str,
+        default="500,1000,2000",
+        help="comma-separated accumulation lengths D",
+    )
+    bits.add_argument(
+        "--mismatch", type=float, default=1e-3, help="relative frequency mismatch"
+    )
+    bits.add_argument(
+        "--procedure-a", action="store_true", help="run AIS31 Procedure A"
+    )
+    bits.add_argument(
+        "--procedure-b", action="store_true", help="run AIS31 Procedure B"
+    )
+    return parser
+
+
+def _build_spec(args: argparse.Namespace):
+    # Omitted flags fall through to the spec dataclass defaults (the single
+    # source of the paper-calibrated coefficients).
+    noise = {}
+    if args.f0 is not None:
+        noise["f0_hz"] = args.f0
+    if args.b_thermal is not None:
+        noise["b_thermal_hz"] = args.b_thermal
+    if args.b_flicker is not None:
+        noise["b_flicker_hz2"] = args.b_flicker
+    if args.command == "sigma2n":
+        return Sigma2NCampaignSpec(
+            batch_size=args.batch,
+            n_periods=args.n_periods,
+            seed=args.seed,
+            overlapping=not args.disjoint,
+            chunk_periods=args.chunk_periods,
+            fit=not args.no_fit,
+            **noise,
+        )
+    dividers = tuple(int(d) for d in args.dividers.split(",") if d.strip())
+    return BitCampaignSpec(
+        batch_size=args.batch,
+        n_bits=args.n_bits,
+        dividers=dividers,
+        frequency_mismatch=args.mismatch,
+        seed=args.seed,
+        run_procedure_a=args.procedure_a,
+        run_procedure_b=args.procedure_b,
+        **noise,
+    )
+
+
+def _reference_result(spec):
+    """The unsharded batched campaign on the same spec (for --verify)."""
+    if isinstance(spec, Sigma2NCampaignSpec):
+        return batched_sigma2_n_campaign(
+            spec.ensemble(),
+            spec.n_periods,
+            n_sweep=spec.n_sweep,
+            overlapping=spec.overlapping,
+            min_realizations=spec.min_realizations,
+            chunk_periods=spec.chunk_periods,
+            fit=spec.fit,
+            weighted=spec.weighted,
+            exact=spec.exact,
+        )
+    return batched_bit_campaign(
+        spec.configuration(),
+        spec.dividers,
+        spec.batch_size,
+        spec.n_bits,
+        seed=spec.seed,
+        run_procedure_a=spec.run_procedure_a,
+        include_t0=spec.include_t0,
+        run_procedure_b=spec.run_procedure_b,
+        min_entropy_block_size=spec.min_entropy_block_size,
+    )
+
+
+def _comparison_tables(spec, result) -> Dict[str, np.ndarray]:
+    if isinstance(spec, Sigma2NCampaignSpec):
+        tables = {
+            "n_values": result.n_values,
+            "sigma2_s2": result.sigma2_s2,
+            "realization_counts": result.realization_counts,
+            "f0_hz": result.f0_hz,
+        }
+        if spec.fit:
+            tables.update(result.table())
+        return tables
+    return dict(result.table())
+
+
+def _verify(spec, result) -> bool:
+    reference = _reference_result(spec)
+    sharded = _comparison_tables(spec, result)
+    unsharded = _comparison_tables(spec, reference)
+    ok = True
+    for name, values in unsharded.items():
+        if not np.array_equal(sharded[name], values):
+            print(f"VERIFY FAIL: column {name!r} differs", file=sys.stderr)
+            ok = False
+    return ok
+
+
+def _json_table(result) -> Dict[str, list]:
+    table = result.table()
+    return {name: np.asarray(column).tolist() for name, column in table.items()}
+
+
+def _adopt_checkpoint_seed(args: argparse.Namespace) -> None:
+    """Resume without --seed: continue the campaign the manifest records.
+
+    A spec built with ``seed=None`` pins *fresh* entropy, which could never
+    match a previous run's manifest — so an unseeded ``--resume`` adopts the
+    recorded seed instead of refusing to resume.  Any other spec mismatch
+    (changed batch, record length, ...) still fails in the checkpoint layer.
+    """
+    if not (args.resume and args.seed is None and args.checkpoint_dir):
+        return
+    from pathlib import Path
+
+    manifest_path = Path(args.checkpoint_dir) / "manifest.json"
+    if not manifest_path.exists():
+        return
+    recorded = json.loads(manifest_path.read_text()).get("spec", {})
+    if recorded.get("kind") == args.command and "seed" in recorded:
+        args.seed = int(recorded["seed"])
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    _adopt_checkpoint_seed(args)
+    spec = _build_spec(args)
+    executor = (
+        SerialExecutor()
+        if args.workers == 1
+        else MultiprocessExecutor(max_workers=args.workers)
+    )
+    n_shards = args.shards if args.shards is not None else args.workers
+
+    start = time.perf_counter()
+    result = run_campaign(
+        spec,
+        executor=executor,
+        n_shards=n_shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    elapsed = time.perf_counter() - start
+
+    effective_shards = min(n_shards, spec.batch_size)
+    print(
+        f"{args.command} campaign: B={spec.batch_size}, "
+        f"{effective_shards} shard(s), {args.workers} worker(s), "
+        f"seed={spec.seed}, {elapsed:.3f} s"
+    )
+    if isinstance(spec, Sigma2NCampaignSpec) and not spec.fit:
+        print(f"{len(result.curves)} curves estimated (fit skipped)")
+    else:
+        print(result.format_table(max_rows=args.max_rows))
+
+    verified: Optional[bool] = None
+    if args.verify:
+        verified = _verify(spec, result)
+        if verified:
+            print(
+                "verify: sharded output is bit-for-bit identical to the "
+                "unsharded campaign"
+            )
+        else:
+            print("verify: MISMATCH against the unsharded campaign")
+
+    if args.json:
+        payload = {
+            "command": args.command,
+            "spec": spec_to_json(spec),
+            "n_shards": effective_shards,
+            "workers": args.workers,
+            "elapsed_seconds": elapsed,
+            "verified": verified,
+        }
+        if not (isinstance(spec, Sigma2NCampaignSpec) and not spec.fit):
+            payload["table"] = _json_table(result)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    return 0 if verified in (None, True) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,10 +19,15 @@ time to whole ensembles:
   every instance in one pass) and batched bit campaigns
   (:func:`batched_bit_campaign`: entropy-vs-divider tables with per-ensemble
   AIS31 evaluation).
+* :mod:`repro.engine.distributed` — the sharded campaign runner: campaign
+  specs with deterministic per-shard RNG re-derivation, serial/multi-process
+  executors behind :func:`run_campaign`, result merging and shard-level
+  checkpoint/resume.  ``python -m repro.campaigns`` is its CLI.
 
-``streaming`` and ``campaign`` are imported lazily: ``batch``/``bits`` sit
-below the measurement/core layers, while the other two sit above them, and
-the scalar synthesis layer imports ``batch`` during package initialisation.
+``streaming``, ``campaign`` and ``distributed`` are imported lazily:
+``batch``/``bits`` sit below the measurement/core layers, while the others
+sit above them, and the scalar synthesis layer imports ``batch`` during
+package initialisation.
 """
 
 from __future__ import annotations
@@ -49,6 +54,11 @@ __all__ = [
     "BatchedOscillatorEnsemble",
     "BatchedSamplingResult",
     "BitCampaignResult",
+    "BitCampaignSpec",
+    "MultiprocessExecutor",
+    "SerialExecutor",
+    "ShardPlan",
+    "Sigma2NCampaignSpec",
     "StreamingSigma2NEstimator",
     "batched_bit_campaign",
     "batched_relative_jitter_campaign",
@@ -56,13 +66,17 @@ __all__ = [
     "bits",
     "campaign",
     "batch",
+    "distributed",
     "fit_sigma2_n_curves",
     "generate_bits_exact",
+    "plan_shards",
+    "run_campaign",
     "spawn_generators",
     "square_wave_level_batch",
     "stream_bits",
     "streaming",
     "streaming_accumulated_variance_curves",
+    "streaming_sigma2_n_estimator",
 ]
 
 _LAZY_EXPORTS = {
@@ -76,8 +90,17 @@ _LAZY_EXPORTS = {
     "generate_bits_exact": "streaming",
     "stream_bits": "streaming",
     "streaming_accumulated_variance_curves": "streaming",
+    "streaming_sigma2_n_estimator": "streaming",
+    "BitCampaignSpec": "distributed",
+    "MultiprocessExecutor": "distributed",
+    "SerialExecutor": "distributed",
+    "ShardPlan": "distributed",
+    "Sigma2NCampaignSpec": "distributed",
+    "plan_shards": "distributed",
+    "run_campaign": "distributed",
     "campaign": None,
     "streaming": None,
+    "distributed": None,
 }
 
 

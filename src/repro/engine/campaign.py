@@ -277,11 +277,16 @@ class BatchedCampaignResult:
         return table
 
     def format_table(self, max_rows: int = 16) -> str:
-        """Human-readable results table (for logs and benchmarks)."""
+        """Human-readable results table (for logs and benchmarks).
+
+        Truncation is always explicit: when more than ``max_rows`` rows exist,
+        the table ends with a ``... (+N more rows)`` footer accounting for
+        every hidden row.
+        """
         table = self.table()
         lines = [" | ".join(f"{name:>20}" for name in _TABLE_COLUMNS)]
         n_rows = self.batch_size
-        shown = min(n_rows, max_rows)
+        shown = min(n_rows, max(int(max_rows), 0))
         for row in range(shown):
             cells = []
             for name in _TABLE_COLUMNS:
@@ -292,7 +297,7 @@ class BatchedCampaignResult:
                     cells.append(f"{value:>20.6g}")
             lines.append(" | ".join(cells))
         if shown < n_rows:
-            lines.append(f"... ({n_rows - shown} more rows)")
+            lines.append(f"... (+{n_rows - shown} more rows)")
         return "\n".join(lines)
 
 
@@ -575,12 +580,17 @@ class BitCampaignResult:
         return table
 
     def format_table(self, max_rows: int = 24) -> str:
-        """Human-readable results table (for logs and benchmarks)."""
+        """Human-readable results table (for logs and benchmarks).
+
+        Truncation is always explicit: when more than ``max_rows`` rows exist,
+        the table ends with a ``... (+N more rows)`` footer accounting for
+        every hidden row.
+        """
         table = self.table()
         columns = [name for name in _BIT_TABLE_COLUMNS if name in table]
         lines = [" | ".join(f"{name:>18}" for name in columns)]
         n_rows = self.n_dividers * self.batch_size
-        shown = min(n_rows, max_rows)
+        shown = min(n_rows, max(int(max_rows), 0))
         for row in range(shown):
             cells = []
             for name in columns:
@@ -593,7 +603,7 @@ class BitCampaignResult:
                     cells.append(f"{value:>18.6g}")
             lines.append(" | ".join(cells))
         if shown < n_rows:
-            lines.append(f"... ({n_rows - shown} more rows)")
+            lines.append(f"... (+{n_rows - shown} more rows)")
         return "\n".join(lines)
 
 
@@ -607,6 +617,7 @@ def batched_bit_campaign(
     include_t0: bool = False,
     run_procedure_b: bool = False,
     min_entropy_block_size: int = 8,
+    instance_range: Optional[tuple] = None,
 ) -> BitCampaignResult:
     """Entropy-vs-divider sweep over a whole eRO-TRNG ensemble at once.
 
@@ -638,6 +649,15 @@ def batched_bit_campaign(
         Evaluate the AIS31 batteries per instance (batched, no row loop).
     min_entropy_block_size:
         Block size of the min-entropy (``H_min``) estimate.
+    instance_range:
+        Optional ``(start, stop)`` row range: run only instances
+        ``start..stop-1`` of the ``batch_size``-wide ensemble, re-deriving
+        their RNG streams by slicing the full spawn tree of ``seed``.  The
+        result rows are bit-for-bit rows ``start..stop-1`` of the full
+        campaign — the hook :mod:`repro.engine.distributed` shards on.
+        Requires a *stateless* seed (an int or ``SeedSequence``): only those
+        re-derive the same spawn tree on every call, which is what makes
+        shard rows belong to one coherent campaign.
     """
     from ..ais31.procedure_a import procedure_a, rows_passed
     from ..ais31.procedure_b import procedure_b
@@ -647,6 +667,7 @@ def batched_bit_campaign(
         min_entropy_per_bit,
         shannon_entropy_per_bit,
     )
+    from .batch import spawn_generators
 
     divider_grid = np.asarray([int(d) for d in dividers])
     if divider_grid.size == 0:
@@ -655,7 +676,23 @@ def batched_bit_campaign(
         raise ValueError("dividers must be >= 1")
     if n_bits < 1:
         raise ValueError("n_bits must be >= 1")
-    shape = (divider_grid.size, int(batch_size))
+    if instance_range is None:
+        start, stop = 0, int(batch_size)
+    else:
+        if not isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+            raise ValueError(
+                "instance_range requires a stateless seed (int or "
+                "SeedSequence): None or a Generator cannot re-derive the "
+                "same spawn tree across shard calls"
+            )
+        start, stop = (int(edge) for edge in instance_range)
+        if not 0 <= start < stop <= int(batch_size):
+            raise ValueError(
+                f"instance_range must satisfy 0 <= start < stop <= "
+                f"{batch_size}, got {instance_range!r}"
+            )
+    rows = stop - start
+    shape = (divider_grid.size, rows)
     bias = np.empty(shape)
     shannon = np.empty(shape)
     min_entropy = np.empty(shape)
@@ -663,10 +700,14 @@ def batched_bit_campaign(
     passed_a = np.empty(shape, dtype=bool) if run_procedure_a else None
     passed_b = np.empty(shape, dtype=bool) if run_procedure_b else None
     for index, divider in enumerate(divider_grid):
+        # Every divider re-derives the same per-instance parent streams from
+        # the root seed (a paired design); a row range takes its slice of the
+        # full spawn tree, so shard rows match the unsharded run bit-for-bit.
+        parents = spawn_generators(seed, int(batch_size))[start:stop]
         trng = BatchedEROTRNG(
             replace(configuration, divider=int(divider)),
-            batch_size=batch_size,
-            seed=seed,
+            batch_size=rows,
+            rngs=parents,
         )
         bits = trng.generate_raw(n_bits).bits
         bias[index] = bit_bias(bits)

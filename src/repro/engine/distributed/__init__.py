@@ -1,0 +1,49 @@
+"""Distributed campaign runner: deterministic sharding, execution, merging.
+
+This package is the layer between the batched kernels
+(:mod:`repro.engine.batch` / :mod:`repro.engine.bits`) and the user: it
+plans an ensemble campaign as row-range shards (:mod:`plan`), describes the
+campaign as a picklable/JSON-able spec that re-derives every shard's RNG
+streams from one root ``SeedSequence`` (:mod:`spec`), executes shards
+serially or across processes behind one interface (:mod:`executor`), merges
+partials — including streaming-estimator state — back into the exact
+unsharded result tables (:mod:`merge`), and checkpoints completed shards so
+long campaigns survive interruption (:mod:`checkpoint`).
+
+Entry points: :func:`run_campaign` (programmatic) and the
+``python -m repro.campaigns`` CLI.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import CampaignCheckpoint
+from .executor import MultiprocessExecutor, SerialExecutor
+from .merge import merge_bit_partials, merge_sigma2n_partials
+from .plan import Shard, ShardPlan, plan_shards
+from .runner import run_campaign
+from .spec import (
+    BitCampaignSpec,
+    CampaignSpec,
+    Sigma2NCampaignSpec,
+    spec_from_json,
+    spec_to_json,
+)
+from .worker import run_shard
+
+__all__ = [
+    "BitCampaignSpec",
+    "CampaignCheckpoint",
+    "CampaignSpec",
+    "MultiprocessExecutor",
+    "SerialExecutor",
+    "Shard",
+    "ShardPlan",
+    "Sigma2NCampaignSpec",
+    "merge_bit_partials",
+    "merge_sigma2n_partials",
+    "plan_shards",
+    "run_campaign",
+    "run_shard",
+    "spec_from_json",
+    "spec_to_json",
+]

@@ -1,0 +1,123 @@
+"""Shard-level checkpointing: a JSON manifest plus per-shard ``.npz`` partials.
+
+Layout of a checkpoint directory::
+
+    manifest.json      # spec + shard plan + completed shard indices
+    shard_0000.npz     # one partial payload per completed shard
+    shard_0001.npz
+    ...
+
+The manifest pins the *spec* (including the root seed) and the *plan*, so a
+resumed run provably continues the same campaign: any mismatch is an error,
+never a silent re-seed.  Partials are written first and the manifest updated
+after (both via atomic rename), so a run killed mid-write never records a
+shard it cannot reload.  Because shard output is deterministic given (spec,
+shard), re-running an interrupted shard from scratch is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Set
+
+import numpy as np
+
+from .plan import ShardPlan
+from .spec import CampaignSpec, spec_from_json, spec_to_json
+from .worker import Partial
+
+_MANIFEST_VERSION = 1
+
+
+class CampaignCheckpoint:
+    """Checkpoint state of one sharded campaign in one directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / "manifest.json"
+        self._completed: Set[int] = set()
+
+    def shard_path(self, index: int) -> Path:
+        """Path of the partial payload of shard ``index``."""
+        return self.directory / f"shard_{index:04d}.npz"
+
+    # -- manifest ------------------------------------------------------------
+
+    def _manifest_payload(self, spec: CampaignSpec, plan: ShardPlan) -> Dict:
+        return {
+            "version": _MANIFEST_VERSION,
+            "spec": spec_to_json(spec),
+            "plan": {
+                "batch_size": plan.batch_size,
+                "shards": [[shard.start, shard.stop] for shard in plan],
+            },
+        }
+
+    def _write_manifest(self, spec: CampaignSpec, plan: ShardPlan) -> None:
+        payload = self._manifest_payload(spec, plan)
+        payload["completed"] = sorted(self._completed)
+        temporary = self.manifest_path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, indent=2))
+        os.replace(temporary, self.manifest_path)
+
+    def initialize(
+        self, spec: CampaignSpec, plan: ShardPlan, resume: bool
+    ) -> Set[int]:
+        """Create (or, when resuming, validate) the manifest.
+
+        Returns the set of shard indices whose partials are already on disk.
+        ``resume=True`` with no existing manifest starts a fresh run, so a
+        long campaign can always be launched with resume enabled.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if resume and self.manifest_path.exists():
+            manifest = json.loads(self.manifest_path.read_text())
+            if manifest.get("version") != _MANIFEST_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint manifest version in "
+                    f"{self.manifest_path}"
+                )
+            recorded = spec_from_json(manifest["spec"])
+            if spec_to_json(recorded) != spec_to_json(spec):
+                raise ValueError(
+                    "checkpoint manifest describes a different campaign "
+                    f"(spec mismatch in {self.manifest_path}); refusing to "
+                    "resume — use a fresh checkpoint directory"
+                )
+            expected = self._manifest_payload(spec, plan)["plan"]
+            if manifest.get("plan") != expected:
+                raise ValueError(
+                    "checkpoint manifest was written with a different shard "
+                    f"plan (found {manifest.get('plan')}, expected "
+                    f"{expected}); rerun with the original --shards value"
+                )
+            self._completed = {
+                int(index)
+                for index in manifest.get("completed", [])
+                if self.shard_path(int(index)).exists()
+            }
+        else:
+            self._completed = set()
+        self._write_manifest(spec, plan)
+        self._spec = spec
+        self._plan = plan
+        return set(self._completed)
+
+    # -- partials ------------------------------------------------------------
+
+    def save_partial(self, index: int, partial: Partial) -> None:
+        """Persist one shard's payload and record it as completed."""
+        path = self.shard_path(index)
+        temporary = path.with_suffix(".npz.tmp")
+        with open(temporary, "wb") as handle:
+            np.savez(handle, **partial)
+        os.replace(temporary, path)
+        self._completed.add(int(index))
+        self._write_manifest(self._spec, self._plan)
+
+    def load_partial(self, index: int) -> Partial:
+        """Reload one shard's payload from its ``.npz`` file."""
+        with np.load(self.shard_path(index), allow_pickle=False) as archive:
+            return {name: archive[name].copy() for name in archive.files}

@@ -1,0 +1,109 @@
+"""Reassemble campaign results from shard partials.
+
+Shard rows are independent by construction (one spawned RNG stream per
+instance, row-wise estimators and fits), so merging is row concatenation in
+shard order — followed by the *same* vectorized fit the unsharded campaign
+runs on its full arrays.  That ordering matters: fitting once over the merged
+``(B, P)`` arrays reproduces ``batched_sigma2_n_campaign`` bit-for-bit,
+whereas per-shard fits would merely match to machine identity row-wise.  For
+streaming campaigns the partials are :class:`StreamingSigma2NEstimator`
+states; they merge through
+:meth:`~repro.engine.streaming.StreamingSigma2NEstimator.merge_rows`, so the
+merge holds ``O(P x B)`` accumulator state and never a record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..campaign import (
+    BatchedCampaignResult,
+    BitCampaignResult,
+    _campaign_from_curves,
+    _fit_sweep_arrays,
+)
+from ..streaming import StreamingSigma2NEstimator
+from .spec import BitCampaignSpec, Sigma2NCampaignSpec
+from .worker import Partial
+
+
+def _kind(partial: Partial) -> str:
+    return str(np.asarray(partial["kind"]))
+
+
+def merge_sigma2n_partials(
+    spec: Sigma2NCampaignSpec, partials: Sequence[Partial]
+) -> BatchedCampaignResult:
+    """Merge sigma^2_N shard partials (in shard order) into one result."""
+    partials = list(partials)
+    if not partials:
+        raise ValueError("no shard partials to merge")
+    kinds = {_kind(partial) for partial in partials}
+    if len(kinds) != 1:
+        raise ValueError(f"mixed shard partial kinds: {sorted(kinds)}")
+    kind = kinds.pop()
+    if kind == "sigma2n_stream":
+        return _merge_stream_partials(spec, partials)
+    if kind != "sigma2n_sweep":
+        raise ValueError(f"not sigma^2_N shard partials: {kind!r}")
+    first = partials[0]
+    for partial in partials[1:]:
+        if not np.array_equal(partial["n_values"], first["n_values"]):
+            raise ValueError("shards disagree on the retained N sweep")
+        if not np.array_equal(partial["counts"], first["counts"]):
+            raise ValueError("shards disagree on realization counts")
+    sigma2 = np.concatenate([partial["sigma2"] for partial in partials])
+    f0 = np.concatenate([partial["f0"] for partial in partials])
+    n_values = np.asarray(first["n_values"])
+    counts = np.asarray(first["counts"])
+    fitted = (
+        _fit_sweep_arrays(n_values, sigma2, counts, f0, weighted=spec.weighted)
+        if spec.fit
+        else None
+    )
+    return BatchedCampaignResult(n_values, sigma2, counts, f0, fitted)
+
+
+def _merge_stream_partials(
+    spec: Sigma2NCampaignSpec, partials: List[Partial]
+) -> BatchedCampaignResult:
+    estimators = [
+        StreamingSigma2NEstimator.from_state(partial) for partial in partials
+    ]
+    merged = StreamingSigma2NEstimator.merge_rows(estimators)
+    f0 = np.concatenate([np.asarray(partial["f0"]) for partial in partials])
+    curves = merged.curves(f0, min_realizations=spec.min_realizations)
+    return _campaign_from_curves(curves, spec.fit, spec.weighted)
+
+
+def merge_bit_partials(
+    spec: BitCampaignSpec, partials: Sequence[Partial]
+) -> BitCampaignResult:
+    """Merge bit-campaign shard partials (in shard order) into one result."""
+    partials = list(partials)
+    if not partials:
+        raise ValueError("no shard partials to merge")
+    first = partials[0]
+    for partial in partials:
+        if _kind(partial) != "bits":
+            raise ValueError(f"not bit-campaign partials: {_kind(partial)!r}")
+        if not np.array_equal(partial["dividers"], first["dividers"]):
+            raise ValueError("shards disagree on the divider grid")
+
+    def rows(name: str) -> np.ndarray:
+        return np.concatenate([partial[name] for partial in partials], axis=1)
+
+    has_a = all("procedure_a_passed" in partial for partial in partials)
+    has_b = all("procedure_b_passed" in partial for partial in partials)
+    return BitCampaignResult(
+        dividers=np.asarray(first["dividers"]),
+        bias=rows("bias"),
+        shannon_entropy=rows("shannon_entropy"),
+        min_entropy=rows("min_entropy"),
+        markov_entropy=rows("markov_entropy"),
+        procedure_a_passed=rows("procedure_a_passed") if has_a else None,
+        procedure_b_passed=rows("procedure_b_passed") if has_b else None,
+        n_bits=int(np.asarray(first["n_bits"])),
+    )

@@ -1,0 +1,101 @@
+"""Deterministic shard planning: partition an ensemble into row ranges.
+
+A campaign over ``B`` instances is embarrassingly parallel across rows
+because every instance owns one spawned RNG stream (the engine's seeding
+discipline).  A :class:`ShardPlan` splits ``range(B)`` into contiguous,
+balanced, non-empty row ranges; each shard re-derives its rows' streams by
+slicing the root ``SeedSequence`` spawn tree, so the plan is *pure
+bookkeeping* — shard outputs are bit-for-bit rows of the unsharded run
+regardless of the shard count (see ``tests/engine/test_distributed_invariance``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous row range ``[start, stop)`` of an ensemble."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"shard index must be >= 0, got {self.index!r}")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"shard rows must satisfy 0 <= start < stop, "
+                f"got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of ensemble rows in the shard."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete, ordered partition of ``range(batch_size)`` into shards."""
+
+    batch_size: int
+    shards: Tuple[Shard, ...]
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size!r}")
+        expected = 0
+        for position, shard in enumerate(self.shards):
+            if shard.index != position:
+                raise ValueError(
+                    f"shard at position {position} has index {shard.index}"
+                )
+            if shard.start != expected:
+                raise ValueError(
+                    f"shard {position} starts at row {shard.start}, "
+                    f"expected {expected}: shards must tile the batch"
+                )
+            expected = shard.stop
+        if expected != self.batch_size:
+            raise ValueError(
+                f"shards cover rows [0, {expected}) of a "
+                f"batch of {self.batch_size}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(batch_size: int, n_shards: int) -> ShardPlan:
+    """Balanced contiguous partition of ``batch_size`` rows into ``n_shards``.
+
+    The first ``batch_size % n_shards`` shards get one extra row, so shard
+    sizes differ by at most one.  Requesting more shards than rows clamps to
+    one row per shard (empty shards are never produced).  The plan depends
+    only on ``(batch_size, n_shards)`` — deterministic by construction.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    n_shards = min(int(n_shards), int(batch_size))
+    base, extra = divmod(int(batch_size), n_shards)
+    shards = []
+    start = 0
+    for index in range(n_shards):
+        stop = start + base + (1 if index < extra else 0)
+        shards.append(Shard(index=index, start=start, stop=stop))
+        start = stop
+    return ShardPlan(batch_size=int(batch_size), shards=tuple(shards))

@@ -1,0 +1,101 @@
+"""`run_campaign`: plan, execute, checkpoint and merge a sharded campaign.
+
+The one call behind both the ``repro.campaigns`` CLI and programmatic use::
+
+    from repro.engine.distributed import (
+        MultiprocessExecutor, Sigma2NCampaignSpec, run_campaign,
+    )
+
+    spec = Sigma2NCampaignSpec(batch_size=1024, n_periods=262_144, seed=7)
+    result = run_campaign(
+        spec, executor=MultiprocessExecutor(max_workers=4), n_shards=16,
+    )
+
+Invariant: the returned result is **bit-for-bit identical** to the unsharded
+batched campaign on the same spec, for every shard count and executor — each
+shard re-derives its rows' RNG streams from the root ``SeedSequence`` spawn
+tree, and the merge re-runs the same vectorized fit on the reassembled
+arrays (``tests/engine/test_distributed_invariance.py`` enforces this over
+shard counts {1, 2, 3, 7} and both executors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..campaign import BatchedCampaignResult, BitCampaignResult
+from .checkpoint import CampaignCheckpoint
+from .executor import SerialExecutor
+from .merge import merge_bit_partials, merge_sigma2n_partials
+from .plan import ShardPlan, plan_shards
+from .spec import BitCampaignSpec, CampaignSpec, Sigma2NCampaignSpec
+from .worker import run_shard
+
+CampaignResult = Union[BatchedCampaignResult, BitCampaignResult]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor=None,
+    n_shards: Optional[int] = None,
+    plan: Optional[ShardPlan] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> CampaignResult:
+    """Run a campaign spec shard-by-shard and merge the partials.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`Sigma2NCampaignSpec` or :class:`BitCampaignSpec`.
+    executor:
+        A :class:`SerialExecutor` (default) or :class:`MultiprocessExecutor`
+        — anything with ``run(function, tasks)`` yielding ``(position,
+        result)`` pairs in completion order.
+    n_shards:
+        Shard count for the default balanced plan (default: one shard per
+        executor worker, or 1 for serial execution).
+    plan:
+        Explicit :class:`ShardPlan`; overrides ``n_shards``.
+    checkpoint_dir:
+        When given, completed shards are persisted there as they land (JSON
+        manifest + per-shard ``.npz``), making the run interruptible.
+    resume:
+        Reuse completed shards found in ``checkpoint_dir`` (validating that
+        they belong to this spec and plan) instead of recomputing them.
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint directory")
+    if plan is None:
+        if n_shards is None:
+            n_shards = getattr(executor, "max_workers", 1)
+        plan = plan_shards(spec.batch_size, n_shards)
+    elif plan.batch_size != spec.batch_size:
+        raise ValueError(
+            f"plan covers {plan.batch_size} rows but the spec has "
+            f"{spec.batch_size} instances"
+        )
+
+    partials = {}
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(checkpoint_dir)
+        for index in checkpoint.initialize(spec, plan, resume=resume):
+            partials[index] = checkpoint.load_partial(index)
+
+    pending = [shard for shard in plan if shard.index not in partials]
+    tasks = [(spec, shard) for shard in pending]
+    for position, partial in executor.run(run_shard, tasks):
+        shard = pending[position]
+        partials[shard.index] = partial
+        if checkpoint is not None:
+            checkpoint.save_partial(shard.index, partial)
+
+    ordered = [partials[shard.index] for shard in plan]
+    if isinstance(spec, Sigma2NCampaignSpec):
+        return merge_sigma2n_partials(spec, ordered)
+    if isinstance(spec, BitCampaignSpec):
+        return merge_bit_partials(spec, ordered)
+    raise TypeError(f"unsupported campaign spec: {type(spec)!r}")

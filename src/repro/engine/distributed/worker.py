@@ -1,0 +1,102 @@
+"""Shard execution: turn ``(spec, shard)`` into a mergeable partial payload.
+
+:func:`run_shard` is the single function every executor dispatches — a
+module-level callable, so it pickles by reference into worker processes.  A
+*partial* is a flat dict of numpy arrays plus a ``kind`` tag, chosen so it
+(a) pickles cheaply between processes, (b) saves losslessly to a per-shard
+``.npz`` checkpoint, and (c) merges into the exact arrays the unsharded
+campaign produces (see :mod:`repro.engine.distributed.merge`).
+
+Memory discipline: a sigma^2_N shard holds ``O(rows x n_periods)`` (or
+``O(rows x chunk_periods)`` in streaming mode, where the partial is the
+streaming estimator's *state*, not a record); a bit shard holds
+``O(rows x synthesis_block)`` thanks to the streaming sampler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...core.sigma_n import batched_sigma2_n_sweep
+from ..streaming import streaming_sigma2_n_estimator
+from .plan import Shard
+from .spec import BitCampaignSpec, CampaignSpec, Sigma2NCampaignSpec
+
+ShardTask = Tuple[CampaignSpec, Shard]
+Partial = Dict[str, np.ndarray]
+
+
+def run_shard(task: ShardTask) -> Partial:
+    """Run one shard of a campaign and return its partial payload."""
+    spec, shard = task
+    if isinstance(spec, Sigma2NCampaignSpec):
+        return _run_sigma2n_shard(spec, shard)
+    if isinstance(spec, BitCampaignSpec):
+        return _run_bit_shard(spec, shard)
+    raise TypeError(f"unsupported campaign spec: {type(spec)!r}")
+
+
+def _run_sigma2n_shard(spec: Sigma2NCampaignSpec, shard: Shard) -> Partial:
+    ensemble = spec.ensemble(shard.start, shard.stop)
+    if spec.chunk_periods is not None:
+        estimator = streaming_sigma2_n_estimator(
+            ensemble,
+            spec.n_periods,
+            spec.chunk_periods,
+            n_sweep=spec.n_sweep,
+            overlapping=spec.overlapping,
+            min_realizations=spec.min_realizations,
+        )
+        payload: Partial = {"kind": np.array("sigma2n_stream")}
+        payload.update(estimator.export_state())
+        payload["f0"] = ensemble.f0_hz
+        return payload
+    records = ensemble.jitter(spec.n_periods)
+    n_list, sigma2, counts, f0 = batched_sigma2_n_sweep(
+        records,
+        ensemble.f0_hz,
+        n_sweep=spec.n_sweep,
+        overlapping=spec.overlapping,
+        min_realizations=spec.min_realizations,
+        exact=spec.exact,
+    )
+    return {
+        "kind": np.array("sigma2n_sweep"),
+        "n_values": np.array(n_list, dtype=np.int64),
+        "sigma2": sigma2,
+        "counts": np.asarray(counts),
+        "f0": f0,
+    }
+
+
+def _run_bit_shard(spec: BitCampaignSpec, shard: Shard) -> Partial:
+    from ..campaign import batched_bit_campaign
+
+    result = batched_bit_campaign(
+        spec.configuration(),
+        spec.dividers,
+        spec.batch_size,
+        spec.n_bits,
+        seed=spec.seed,
+        run_procedure_a=spec.run_procedure_a,
+        include_t0=spec.include_t0,
+        run_procedure_b=spec.run_procedure_b,
+        min_entropy_block_size=spec.min_entropy_block_size,
+        instance_range=(shard.start, shard.stop),
+    )
+    payload: Partial = {
+        "kind": np.array("bits"),
+        "dividers": result.dividers,
+        "bias": result.bias,
+        "shannon_entropy": result.shannon_entropy,
+        "min_entropy": result.min_entropy,
+        "markov_entropy": result.markov_entropy,
+        "n_bits": np.array(result.n_bits, dtype=np.int64),
+    }
+    if result.procedure_a_passed is not None:
+        payload["procedure_a_passed"] = result.procedure_a_passed
+    if result.procedure_b_passed is not None:
+        payload["procedure_b_passed"] = result.procedure_b_passed
+    return payload

@@ -34,7 +34,7 @@ accuracy.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -138,6 +138,96 @@ class StreamingSigma2NEstimator:
         self._tail = buffer[:, length - keep :].copy()
         self._tail_start = buffer_start + length - keep
 
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Snapshot of the accumulator as plain arrays (picklable, ``.npz``-able).
+
+        The state is complete: :meth:`from_state` reconstructs an estimator
+        that continues accumulating (the boundary tail is included), and
+        :meth:`merge_rows` combines states of disjoint row-shards.  Array
+        layout: ``sum_sq`` is ``(P, B)`` with one row per sweep ``N`` (in
+        ``n_sweep`` order); ``counts``/``next_start`` are ``(P,)``.
+        """
+        sweep = self.n_sweep
+        return {
+            "n_sweep": np.array(sweep, dtype=np.int64),
+            "overlapping": np.array(self.overlapping),
+            "n_samples": np.array(self._n_samples, dtype=np.int64),
+            "sum_sq": np.stack([self._sum_sq[n] for n in sweep]),
+            "counts": np.array([self._counts[n] for n in sweep], dtype=np.int64),
+            "next_start": np.array(
+                [self._next_start[n] for n in sweep], dtype=np.int64
+            ),
+            "tail": self._tail.copy(),
+            "tail_start": np.array(self._tail_start, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "StreamingSigma2NEstimator":
+        """Reconstruct an estimator from an :meth:`export_state` snapshot."""
+        sum_sq = np.asarray(state["sum_sq"], dtype=float)
+        estimator = cls(
+            [int(n) for n in np.asarray(state["n_sweep"])],
+            batch_size=int(sum_sq.shape[1]),
+            overlapping=bool(np.asarray(state["overlapping"])),
+        )
+        estimator._n_samples = int(np.asarray(state["n_samples"]))
+        counts = np.asarray(state["counts"])
+        next_start = np.asarray(state["next_start"])
+        for index, n in enumerate(estimator.n_sweep):
+            estimator._sum_sq[n] = sum_sq[index].copy()
+            estimator._counts[n] = int(counts[index])
+            estimator._next_start[n] = int(next_start[index])
+        estimator._tail = np.asarray(state["tail"], dtype=float).copy()
+        estimator._tail_start = int(np.asarray(state["tail_start"]))
+        return estimator
+
+    @classmethod
+    def merge_rows(
+        cls, estimators: Sequence["StreamingSigma2NEstimator"]
+    ) -> "StreamingSigma2NEstimator":
+        """Merge estimators that consumed disjoint *row-shards* of one record set.
+
+        Every estimator must have seen the same scalar timeline (same sweep,
+        overlap mode, sample count and window bookkeeping — which is exactly
+        what row-range shards of one campaign produce); the merged estimator
+        holds the concatenated rows, in argument order, and is
+        indistinguishable from one estimator fed the stacked records.  Memory
+        stays ``O(P x B_total + B_total x N_max)`` — no record is revisited.
+        """
+        estimators = list(estimators)
+        if not estimators:
+            raise ValueError("need at least one estimator to merge")
+        first = estimators[0]
+        for other in estimators[1:]:
+            if other.n_sweep != first.n_sweep:
+                raise ValueError("estimators disagree on the N sweep")
+            if other.overlapping != first.overlapping:
+                raise ValueError("estimators disagree on the overlap mode")
+            if other._n_samples != first._n_samples:
+                raise ValueError(
+                    "estimators consumed different record lengths: "
+                    f"{first._n_samples} vs {other._n_samples} samples"
+                )
+            if other._counts != first._counts:
+                raise ValueError("estimators disagree on window counts")
+            if other._next_start != first._next_start:
+                raise ValueError("estimators disagree on window bookkeeping")
+            if other._tail_start != first._tail_start:
+                raise ValueError("estimators disagree on the retained tail")
+        merged = cls(
+            first.n_sweep,
+            batch_size=sum(e.batch_size for e in estimators),
+            overlapping=first.overlapping,
+        )
+        merged._n_samples = first._n_samples
+        for n in first.n_sweep:
+            merged._sum_sq[n] = np.concatenate([e._sum_sq[n] for e in estimators])
+            merged._counts[n] = first._counts[n]
+            merged._next_start[n] = first._next_start[n]
+        merged._tail = np.concatenate([e._tail for e in estimators], axis=0)
+        merged._tail_start = first._tail_start
+        return merged
+
     def curves(
         self, f0_hz, min_realizations: int = 8
     ) -> List[AccumulatedVarianceCurve]:
@@ -186,6 +276,54 @@ def _source_batch_size(source) -> int:
     return int(getattr(source, "batch_size", 1))
 
 
+def streaming_sigma2_n_estimator(
+    source,
+    n_periods: int,
+    chunk_periods: int,
+    n_sweep: Optional[Sequence[int]] = None,
+    overlapping: bool = True,
+    min_realizations: int = 8,
+) -> StreamingSigma2NEstimator:
+    """Feed a chunked synthesized record into a fresh streaming estimator.
+
+    This is the accumulation step of a chunked campaign, factored out so that
+    sharded runs (:mod:`repro.engine.distributed`) can ship the estimator
+    *state* between processes and merge shards with
+    :meth:`StreamingSigma2NEstimator.merge_rows` instead of materializing
+    curves per shard.  The sweep-defaulting and chunk-length validation rules
+    depend only on ``n_periods``/``chunk_periods`` (never on the batch size),
+    so every row-shard of one campaign resolves the same sweep.
+    """
+    if n_periods < 1:
+        raise ValueError("n_periods must be >= 1")
+    if chunk_periods < 1:
+        raise ValueError("chunk_periods must be >= 1")
+    chunk_periods = int(min(chunk_periods, n_periods))
+    if n_sweep is None:
+        max_n = max(
+            min(n_periods // (2 * min_realizations), chunk_periods // 4), 1
+        )
+        n_sweep = default_n_sweep(max_n)
+    max_requested = max(int(n) for n in n_sweep)
+    if 4 * max_requested > chunk_periods and chunk_periods < n_periods:
+        raise ValueError(
+            f"chunk_periods = {chunk_periods} is too short for N up to "
+            f"{max_requested}: chunked flicker synthesis needs "
+            f"chunk_periods >= 4 * max(n_sweep)"
+        )
+    estimator = StreamingSigma2NEstimator(
+        n_sweep,
+        batch_size=_source_batch_size(source),
+        overlapping=overlapping,
+    )
+    remaining = int(n_periods)
+    while remaining > 0:
+        step = min(chunk_periods, remaining)
+        estimator.update(source.jitter(step))
+        remaining -= step
+    return estimator
+
+
 def streaming_accumulated_variance_curves(
     source,
     n_periods: int,
@@ -218,35 +356,16 @@ def streaming_accumulated_variance_curves(
     f0_hz:
         Override for sources that do not expose ``f0_hz``.
     """
-    if n_periods < 1:
-        raise ValueError("n_periods must be >= 1")
-    if chunk_periods < 1:
-        raise ValueError("chunk_periods must be >= 1")
-    chunk_periods = int(min(chunk_periods, n_periods))
-    if n_sweep is None:
-        max_n = max(
-            min(n_periods // (2 * min_realizations), chunk_periods // 4), 1
-        )
-        n_sweep = default_n_sweep(max_n)
-    max_requested = max(int(n) for n in n_sweep)
-    if 4 * max_requested > chunk_periods and chunk_periods < n_periods:
-        raise ValueError(
-            f"chunk_periods = {chunk_periods} is too short for N up to "
-            f"{max_requested}: chunked flicker synthesis needs "
-            f"chunk_periods >= 4 * max(n_sweep)"
-        )
     if f0_hz is None:
         f0_hz = source.f0_hz
-    estimator = StreamingSigma2NEstimator(
-        n_sweep,
-        batch_size=_source_batch_size(source),
+    estimator = streaming_sigma2_n_estimator(
+        source,
+        n_periods,
+        chunk_periods,
+        n_sweep=n_sweep,
         overlapping=overlapping,
+        min_realizations=min_realizations,
     )
-    remaining = int(n_periods)
-    while remaining > 0:
-        step = min(chunk_periods, remaining)
-        estimator.update(source.jitter(step))
-        remaining -= step
     return estimator.curves(f0_hz, min_realizations=min_realizations)
 
 

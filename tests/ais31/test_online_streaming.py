@@ -1,0 +1,134 @@
+"""Streaming online tests: chunked benches and the sigma^2_N thermal test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ais31.online import (
+    monobit_online_test,
+    thermal_variance_online_test,
+)
+from repro.engine.batch import BatchedOscillatorEnsemble
+from repro.paper import PAPER_F0_HZ, paper_phase_noise_psd
+from repro.phase.psd import PhaseNoisePSD
+
+F0 = PAPER_F0_HZ
+
+
+def chunked_jitter(psd, total: int, chunk: int, seed: int):
+    """Yield a B=1 jitter record in chunks (the streaming-bench input)."""
+    ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=1, seed=seed)
+    produced = 0
+    while produced < total:
+        step = min(chunk, total - produced)
+        yield ensemble.jitter(step)[0]
+        produced += step
+
+
+class TestRunStream:
+    def test_matches_run_for_any_chunking(self):
+        bench = monobit_online_test(block_size_bits=20_000)
+        bits = np.random.default_rng(3).integers(0, 2, 65_000)
+        reference = bench.run(bits)
+        chunked = bench.run_stream(
+            [bits[:7000], bits[7000:7001], bits[7001:40_000], bits[40_000:]]
+        )
+        assert chunked.n_blocks == reference.n_blocks == 3
+        for a, b in zip(reference.block_results, chunked.block_results):
+            assert a.passed == b.passed
+            assert a.statistic == b.statistic
+
+    def test_memory_stays_bounded_by_block(self):
+        bench = monobit_online_test(block_size_bits=20_000)
+        rng = np.random.default_rng(5)
+
+        def chunks():
+            for _ in range(8):
+                yield rng.integers(0, 2, 10_000)
+
+        report = bench.run_stream(chunks())
+        assert report.n_blocks == 4
+
+    def test_too_short_stream_raises(self):
+        bench = monobit_online_test(block_size_bits=20_000)
+        with pytest.raises(ValueError, match="shorter than one block"):
+            bench.run_stream([np.zeros(100, dtype=int)])
+
+    def test_batched_chunks_are_rejected(self):
+        """Regression: (B, k) chunks must not be silently interleaved."""
+        bench = monobit_online_test(block_size_bits=20_000)
+        with pytest.raises(ValueError, match="1-D chunks"):
+            bench.run_stream([np.zeros((2, 30_000), dtype=int)])
+
+
+class TestThermalVarianceOnlineTest:
+    def test_healthy_generator_passes(self):
+        psd = paper_phase_noise_psd()
+        bench = thermal_variance_online_test(psd.b_thermal_hz, F0)
+        report = bench.run_stream(chunked_jitter(psd, 4 * 8192, 3000, seed=11))
+        assert report.n_blocks == 4
+        assert not report.alarm
+        # The blockwise two-point estimates recover b_th to ~10-15%.
+        estimates = [result.statistic for result in report.block_results]
+        assert np.median(estimates) == pytest.approx(psd.b_thermal_hz, rel=0.25)
+
+    def test_attacked_generator_alarms(self):
+        healthy = paper_phase_noise_psd()
+        attacked = PhaseNoisePSD(
+            b_thermal_hz=healthy.b_thermal_hz * 0.05,
+            b_flicker_hz2=healthy.b_flicker_hz2,
+        )
+        bench = thermal_variance_online_test(healthy.b_thermal_hz, F0)
+        report = bench.run_stream(
+            chunked_jitter(attacked, 4 * 8192, 3000, seed=11)
+        )
+        assert report.n_failures == report.n_blocks == 4
+        assert report.alarm
+        assert report.first_failure_block == 0
+
+    def test_streamed_report_matches_one_shot_run(self):
+        psd = paper_phase_noise_psd()
+        bench = thermal_variance_online_test(psd.b_thermal_hz, F0)
+        record = BatchedOscillatorEnsemble(
+            F0, psd, batch_size=1, seed=21
+        ).jitter(3 * 8192)[0]
+        reference = bench.run(record)
+        chunked = bench.run_stream(
+            [record[:5000], record[5000:13_000], record[13_000:]]
+        )
+        assert [r.statistic for r in reference.block_results] == [
+            r.statistic for r in chunked.block_results
+        ]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="reference"):
+            thermal_variance_online_test(0.0, F0)
+        with pytest.raises(ValueError, match="ratio"):
+            thermal_variance_online_test(276.0, F0, minimum_ratio=1.5)
+        with pytest.raises(ValueError, match="accumulation"):
+            thermal_variance_online_test(276.0, F0, accumulation_lengths=(8, 8))
+        with pytest.raises(ValueError, match="block_size_samples"):
+            thermal_variance_online_test(276.0, F0, block_size_samples=256)
+        with pytest.raises(ValueError, match="f0"):
+            thermal_variance_online_test(276.0, 0.0)
+        with pytest.raises(ValueError, match="min_realizations"):
+            thermal_variance_online_test(276.0, F0, min_realizations=0)
+
+    def test_minimal_block_still_yields_both_points(self):
+        """Regression: the guard must leave >= 2 windows at N2 per block.
+
+        With min_realizations=1 the old 2*N2*min_realizations floor admitted
+        blocks whose N2 point the estimator drops (count < 2), crashing the
+        two-point solve with a KeyError on the first block.
+        """
+        with pytest.raises(ValueError, match="block_size_samples"):
+            thermal_variance_online_test(
+                276.0, F0, block_size_samples=256, min_realizations=1
+            )
+        bench = thermal_variance_online_test(
+            276.0, F0, block_size_samples=257, min_realizations=1
+        )
+        psd = paper_phase_noise_psd()
+        report = bench.run_stream(chunked_jitter(psd, 2 * 257, 100, seed=4))
+        assert report.n_blocks == 2

@@ -61,6 +61,35 @@ class TestResultsTable:
         assert "b_thermal_hz" in text
         assert "more rows" in text
 
+    def test_format_table_truncation_is_explicit(self, campaign):
+        """Regression: hidden rows are announced, never silently dropped."""
+        text = campaign.format_table(max_rows=4)
+        assert text.splitlines()[-1] == "... (+2 more rows)"
+        # Every row shown: no footer at all.
+        full = campaign.format_table(max_rows=6)
+        assert "more rows" not in full
+        assert len(full.splitlines()) == 7  # header + 6 rows
+        # Degenerate budget: nothing but header and the full count.
+        empty = campaign.format_table(max_rows=0)
+        assert empty.splitlines()[-1] == "... (+6 more rows)"
+
+    def test_bit_format_table_truncation_is_explicit(self):
+        from repro.engine.campaign import BitCampaignResult
+
+        result = BitCampaignResult(
+            dividers=np.array([2, 4]),
+            bias=np.zeros((2, 3)),
+            shannon_entropy=np.ones((2, 3)),
+            min_entropy=np.ones((2, 3)),
+            markov_entropy=np.ones((2, 3)),
+            procedure_a_passed=np.ones((2, 3), dtype=bool),
+            procedure_b_passed=None,
+            n_bits=128,
+        )
+        text = result.format_table(max_rows=4)
+        assert text.splitlines()[-1] == "... (+2 more rows)"
+        assert "more rows" not in result.format_table(max_rows=6)
+
     def test_fit_false_blocks_table_and_fits(self):
         ensemble = BatchedOscillatorEnsemble(
             F0, PhaseNoisePSD(276.0, 0.0), batch_size=2, seed=3

@@ -1,0 +1,93 @@
+"""CLI tests for ``python -m repro.campaigns`` (invoked in-process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import main
+
+
+def test_sigma2n_verify_and_json(tmp_path, capsys):
+    out = tmp_path / "sigma2n.json"
+    arguments = ["sigma2n", "--batch", "6", "--n-periods", "4096"]
+    arguments += ["--shards", "3", "--seed", "7", "--verify"]
+    arguments += ["--max-rows", "2", "--json", str(out)]
+    assert main(arguments) == 0
+    captured = capsys.readouterr().out
+    assert "bit-for-bit identical" in captured
+    assert "... (+4 more rows)" in captured
+    payload = json.loads(out.read_text())
+    assert payload["command"] == "sigma2n"
+    assert payload["verified"] is True
+    assert payload["spec"]["seed"] == 7
+    assert len(payload["table"]["b_thermal_hz"]) == 6
+    # Omitted noise flags use the spec dataclass defaults (single source).
+    from repro.engine.distributed import Sigma2NCampaignSpec
+
+    defaults = Sigma2NCampaignSpec(batch_size=1, n_periods=1, seed=0)
+    assert payload["spec"]["b_thermal_hz"] == defaults.b_thermal_hz
+    assert payload["spec"]["b_flicker_hz2"] == defaults.b_flicker_hz2
+    assert payload["spec"]["f0_hz"] == defaults.f0_hz
+
+
+def test_sigma2n_multiprocess_workers():
+    arguments = ["sigma2n", "--batch", "4", "--n-periods", "2048"]
+    arguments += ["--shards", "4", "--workers", "2", "--seed", "3", "--verify"]
+    assert main(arguments) == 0
+
+
+def test_bits_subcommand_with_checkpoint_resume(tmp_path, capsys):
+    checkpoint = tmp_path / "ck"
+    out = tmp_path / "bits.json"
+    arguments = ["bits", "--batch", "4", "--n-bits", "512", "--dividers", "4,8"]
+    arguments += ["--shards", "2", "--seed", "5"]
+    arguments += ["--checkpoint-dir", str(checkpoint), "--json", str(out)]
+    assert main(arguments) == 0
+    assert (checkpoint / "manifest.json").exists()
+    assert main(arguments + ["--resume", "--verify"]) == 0
+    captured = capsys.readouterr().out
+    assert "bit-for-bit identical" in captured
+    payload = json.loads(out.read_text())
+    assert payload["table"]["divider"][:4] == [4, 4, 4, 4]
+
+
+def test_streaming_campaign_via_cli():
+    arguments = ["sigma2n", "--batch", "4", "--n-periods", "8192"]
+    arguments += ["--chunk-periods", "2048", "--shards", "2", "--seed", "11"]
+    arguments += ["--verify"]
+    assert main(arguments) == 0
+
+
+def test_no_fit_prints_curve_count(capsys):
+    arguments = ["sigma2n", "--batch", "3", "--n-periods", "2048"]
+    arguments += ["--seed", "2", "--no-fit"]
+    assert main(arguments) == 0
+    assert "fit skipped" in capsys.readouterr().out
+
+
+def test_unseeded_resume_adopts_the_recorded_seed(tmp_path):
+    """Regression: resume without --seed must continue the recorded campaign."""
+    checkpoint = tmp_path / "ck"
+    arguments = ["sigma2n", "--batch", "4", "--n-periods", "1024"]
+    arguments += ["--shards", "2", "--checkpoint-dir", str(checkpoint)]
+    out_first, out_second = tmp_path / "first.json", tmp_path / "second.json"
+    assert main(arguments + ["--json", str(out_first)]) == 0
+    assert main(arguments + ["--resume", "--json", str(out_second)]) == 0
+    first = json.loads(out_first.read_text())
+    second = json.loads(out_second.read_text())
+    assert second["spec"]["seed"] == first["spec"]["seed"]
+    assert second["table"] == first["table"]
+
+
+def test_resume_requires_checkpoint_dir():
+    arguments = ["sigma2n", "--batch", "2", "--n-periods", "128", "--resume"]
+    assert main(arguments) == 2
+
+
+@pytest.mark.parametrize("workers", ["0", "-2"])
+def test_invalid_worker_count(workers):
+    arguments = ["sigma2n", "--batch", "2", "--n-periods", "128"]
+    arguments += ["--workers", workers]
+    assert main(arguments) == 2

@@ -1,0 +1,108 @@
+"""Checkpoint/resume tests: manifests, per-shard partials, mismatch refusal."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.campaign import batched_sigma2_n_campaign
+from repro.engine.distributed import (
+    CampaignCheckpoint,
+    Sigma2NCampaignSpec,
+    plan_shards,
+    run_campaign,
+    run_shard,
+)
+
+
+@pytest.fixture()
+def spec() -> Sigma2NCampaignSpec:
+    return Sigma2NCampaignSpec(batch_size=8, n_periods=4096, seed=77)
+
+
+@pytest.fixture()
+def reference(spec):
+    return batched_sigma2_n_campaign(spec.ensemble(), spec.n_periods)
+
+
+def test_interrupted_run_resumes_only_missing_shards(
+    spec, reference, tmp_path, monkeypatch
+):
+    plan = plan_shards(spec.batch_size, 4)
+    checkpoint = CampaignCheckpoint(tmp_path)
+    checkpoint.initialize(spec, plan, resume=False)
+    # Simulate an interrupted run: shards 0 and 2 already completed.
+    for shard in (plan.shards[0], plan.shards[2]):
+        checkpoint.save_partial(shard.index, run_shard((spec, shard)))
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["completed"] == [0, 2]
+
+    import repro.engine.distributed.runner as runner_module
+
+    executed = []
+    original = runner_module.run_shard
+
+    def counting_run_shard(task):
+        executed.append(task[1].index)
+        return original(task)
+
+    monkeypatch.setattr(runner_module, "run_shard", counting_run_shard)
+    result = run_campaign(
+        spec, n_shards=4, checkpoint_dir=tmp_path, resume=True
+    )
+    assert sorted(executed) == [1, 3]
+    np.testing.assert_array_equal(result.sigma2_s2, reference.sigma2_s2)
+    np.testing.assert_array_equal(
+        result.table()["b_thermal_hz"], reference.table()["b_thermal_hz"]
+    )
+
+    # A second resume finds every shard cached and recomputes nothing.
+    executed.clear()
+    cached = run_campaign(
+        spec, n_shards=4, checkpoint_dir=tmp_path, resume=True
+    )
+    assert executed == []
+    np.testing.assert_array_equal(cached.sigma2_s2, reference.sigma2_s2)
+
+
+def test_streaming_partials_round_trip_through_npz(tmp_path):
+    spec = Sigma2NCampaignSpec(
+        batch_size=4, n_periods=8192, chunk_periods=2048, seed=3
+    )
+    reference = batched_sigma2_n_campaign(
+        spec.ensemble(), spec.n_periods, chunk_periods=spec.chunk_periods
+    )
+    run_campaign(spec, n_shards=2, checkpoint_dir=tmp_path)
+    resumed = run_campaign(
+        spec, n_shards=2, checkpoint_dir=tmp_path, resume=True
+    )
+    np.testing.assert_array_equal(resumed.sigma2_s2, reference.sigma2_s2)
+    np.testing.assert_array_equal(
+        resumed.table()["b_flicker_hz2"], reference.table()["b_flicker_hz2"]
+    )
+
+
+def test_resume_refuses_foreign_manifest(spec, tmp_path):
+    run_campaign(spec, n_shards=2, checkpoint_dir=tmp_path)
+    other = Sigma2NCampaignSpec(batch_size=8, n_periods=4096, seed=78)
+    with pytest.raises(ValueError, match="different campaign"):
+        run_campaign(other, n_shards=2, checkpoint_dir=tmp_path, resume=True)
+    with pytest.raises(ValueError, match="shard plan"):
+        run_campaign(spec, n_shards=3, checkpoint_dir=tmp_path, resume=True)
+
+
+def test_resume_without_checkpoint_dir_is_an_error(spec):
+    with pytest.raises(ValueError, match="checkpoint"):
+        run_campaign(spec, n_shards=2, resume=True)
+
+
+def test_resume_with_empty_directory_starts_fresh(spec, reference, tmp_path):
+    result = run_campaign(
+        spec, n_shards=2, checkpoint_dir=tmp_path, resume=True
+    )
+    np.testing.assert_array_equal(result.sigma2_s2, reference.sigma2_s2)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["completed"] == [0, 1]
+    assert manifest["spec"]["seed"] == spec.seed

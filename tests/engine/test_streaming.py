@@ -266,3 +266,66 @@ class TestBitStreamChunkInvariance:
         bits_a = np.concatenate([trng_a.generate(k) for k in schedule_a])
         bits_b = np.concatenate([trng_b.generate(k) for k in schedule_b])
         np.testing.assert_array_equal(bits_a, bits_b)
+
+
+class TestEstimatorStateAndRowMerge:
+    """export_state / from_state round-trips and disjoint row-shard merging."""
+
+    def _fed_estimator(self, rows: np.ndarray, chunks=(300, 200, 500)):
+        estimator = StreamingSigma2NEstimator(
+            [2, 8, 32], batch_size=rows.shape[0]
+        )
+        start = 0
+        for size in chunks:
+            estimator.update(rows[:, start : start + size])
+            start += size
+        return estimator
+
+    def test_state_round_trip_preserves_curves_and_updates(self):
+        rng = np.random.default_rng(41)
+        record = rng.normal(0.0, 1e-12, size=(2, 1400))
+        direct = self._fed_estimator(record)
+        restored = StreamingSigma2NEstimator.from_state(
+            self._fed_estimator(record).export_state()
+        )
+        # Continuing to update after restoration must match the original.
+        extra = rng.normal(0.0, 1e-12, size=(2, 700))
+        direct.update(extra)
+        restored.update(extra)
+        for a, b in zip(direct.curves(F0), restored.curves(F0)):
+            np.testing.assert_array_equal(a.sigma2_values_s2, b.sigma2_values_s2)
+            np.testing.assert_array_equal(a.realization_counts, b.realization_counts)
+
+    def test_merge_rows_equals_stacked_estimation(self):
+        rng = np.random.default_rng(42)
+        record = rng.normal(0.0, 1e-12, size=(5, 1000))
+        stacked = self._fed_estimator(record)
+        shards = [
+            self._fed_estimator(record[0:2]),
+            self._fed_estimator(record[2:3]),
+            self._fed_estimator(record[3:5]),
+        ]
+        merged = StreamingSigma2NEstimator.merge_rows(shards)
+        assert merged.batch_size == 5
+        for a, b in zip(stacked.curves(F0), merged.curves(F0)):
+            np.testing.assert_array_equal(a.sigma2_values_s2, b.sigma2_values_s2)
+        # The merged estimator keeps streaming: boundary windows included.
+        extra = rng.normal(0.0, 1e-12, size=(5, 400))
+        stacked.update(extra)
+        merged.update(extra)
+        for a, b in zip(stacked.curves(F0), merged.curves(F0)):
+            np.testing.assert_array_equal(a.sigma2_values_s2, b.sigma2_values_s2)
+
+    def test_merge_rows_rejects_mismatched_timelines(self):
+        rng = np.random.default_rng(43)
+        record = rng.normal(0.0, 1e-12, size=(2, 900))
+        complete = self._fed_estimator(record, chunks=(900,))
+        shorter = self._fed_estimator(record[:, :600], chunks=(600,))
+        with pytest.raises(ValueError, match="different record lengths"):
+            StreamingSigma2NEstimator.merge_rows([complete, shorter])
+        other_sweep = StreamingSigma2NEstimator([2, 8], batch_size=2)
+        other_sweep.update(record)
+        with pytest.raises(ValueError, match="N sweep"):
+            StreamingSigma2NEstimator.merge_rows([complete, other_sweep])
+        with pytest.raises(ValueError, match="at least one"):
+            StreamingSigma2NEstimator.merge_rows([])
