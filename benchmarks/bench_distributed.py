@@ -203,9 +203,25 @@ def main(argv=None) -> int:
         f"B >= {TARGET_BATCH})"
     )
 
+    # Speedup-threshold eligibility, decided once and recorded in the JSON
+    # output so downstream gates (scripts/check_bench.py) can skip the
+    # distributed thresholds on small runners *deterministically* instead of
+    # re-deriving the hardware gate from a log message.
+    skip_reasons = []
+    if args.quick:
+        skip_reasons.append("quick mode")
+    if args.batch < TARGET_BATCH:
+        skip_reasons.append(f"batch {args.batch} < {TARGET_BATCH}")
+    if args.workers < TARGET_WORKERS:
+        skip_reasons.append(f"workers {args.workers} < {TARGET_WORKERS}")
+    if cores < TARGET_WORKERS:
+        skip_reasons.append(f"only {cores} CPU cores (need {TARGET_WORKERS})")
+    eligible = not skip_reasons
+
     if args.json:
         payload = {
             "benchmark": "distributed",
+            "mode": "quick" if args.quick else "full",
             "batch": args.batch,
             "n_periods": args.n_periods,
             "workers": args.workers,
@@ -215,6 +231,8 @@ def main(argv=None) -> int:
             "distributed_seconds": distributed_seconds,
             "speedup": speedup,
             "target_speedup": TARGET_SPEEDUP,
+            "check_eligible": eligible,
+            "check_skip_reason": None if eligible else "; ".join(skip_reasons),
             "equivalence": "bitwise",
             "quick": bool(args.quick),
         }
@@ -223,15 +241,10 @@ def main(argv=None) -> int:
         print(f"results written to {args.json}")
 
     if args.check:
-        eligible = (
-            not args.quick
-            and args.batch >= TARGET_BATCH
-            and args.workers >= TARGET_WORKERS
-            and cores >= TARGET_WORKERS
-        )
         if not eligible:
             print(
-                "note: --check skipped (it requires a full run with "
+                "note: --check skipped on this configuration: "
+                f"{'; '.join(skip_reasons)} (it requires a full run with "
                 f"--batch >= {TARGET_BATCH}, --workers >= {TARGET_WORKERS} "
                 f"and >= {TARGET_WORKERS} CPU cores)",
                 file=sys.stderr,

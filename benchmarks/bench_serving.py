@@ -1,0 +1,256 @@
+"""Benchmark: coalesced serving vs serial serving under concurrent clients.
+
+Simulates ``C`` concurrent clients, each issuing a stream of small bit
+requests (its own seed per request) against one in-process
+:class:`repro.serving.service.TRNGService`, two ways:
+
+* **serial**: ``max_batch=1`` — every request is its own
+  ``BatchedEROTRNG`` construction and ``generate_exact`` call, the
+  pre-serving workflow;
+* **coalesced**: ``max_batch=C`` — the coalescer groups compatible requests
+  from the window into single batched engine calls, so the ``(B, n)``
+  kernels run at full width.
+
+Both modes serve the *identical* request set, and every request derives its
+engine RNG stream from its own seed, so the served bits are bit-for-bit
+identical across modes; the script asserts exactly that on a subset before
+any timing.  The speedup is therefore pure coalescing: one engine
+construction + one kernel pass per batch instead of per request.
+
+The headline target is >= 5x throughput at 64 concurrent clients; the
+``--quick`` CI smoke asserts the weaker "coalesced >= serial" bound at the
+same client count (shared runners are noisy).
+
+Run ``python benchmarks/bench_serving.py`` (add ``--quick`` for a smoke
+run, ``--check`` to gate on the target, ``--json PATH`` for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from the repository root.
+sys.path.insert(0, "src")
+
+from repro.serving.requests import BitsRequest  # noqa: E402
+from repro.serving.scatter import run_bits_batch  # noqa: E402
+from repro.serving.service import TRNGService  # noqa: E402
+
+TARGET_SPEEDUP = 5.0
+TARGET_CLIENTS = 64
+
+
+def _requests(clients: int, per_client: int, n_bits: int, divider: int, seed: int):
+    """The workload: one request list per client, seeds unique per request."""
+    return [
+        [
+            BitsRequest(
+                n_bits=n_bits,
+                divider=divider,
+                seed=seed + client * 100_003 + index,
+            )
+            for index in range(per_client)
+        ]
+        for client in range(clients)
+    ]
+
+
+def verify_equivalence(workload, max_wait_ms: float) -> None:
+    """Assert coalesced serving == solo serving, bit for bit, on a subset."""
+    sample = [requests[0] for requests in workload[:8]]
+
+    async def serve_coalesced():
+        async with TRNGService(
+            max_batch=len(sample), max_wait_ms=max_wait_ms
+        ) as service:
+            return await asyncio.gather(
+                *(service.get_bits(request) for request in sample)
+            )
+
+    served = asyncio.run(serve_coalesced())
+    for request, result in zip(sample, served):
+        solo = run_bits_batch([request])[0]
+        if not np.array_equal(result.bits, solo.bits):
+            raise AssertionError(
+                f"seed {request.seed}: coalesced bits != solo-served bits"
+            )
+
+
+def serve_workload(workload, max_batch: int, max_wait_ms: float):
+    """Wall-clock seconds to serve the whole workload, plus the stats."""
+    total = sum(len(requests) for requests in workload)
+
+    async def run() -> float:
+        service = TRNGService(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max(total, 1),
+        )
+        async with service:
+
+            async def client(requests) -> None:
+                for request in requests:
+                    await service.get_bits(request)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(client(requests) for requests in workload))
+            elapsed = time.perf_counter() - start
+            return elapsed, service.stats.snapshot()
+
+    return asyncio.run(run())
+
+
+def best_of(workload, max_batch: int, max_wait_ms: float, repeats: int):
+    best_seconds, stats = float("inf"), None
+    for _ in range(repeats):
+        seconds, snapshot = serve_workload(workload, max_batch, max_wait_ms)
+        if seconds < best_seconds:
+            best_seconds, stats = seconds, snapshot
+    return best_seconds, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=TARGET_CLIENTS, help="concurrent clients"
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=6, help="requests per client"
+    )
+    parser.add_argument(
+        "--n-bits", type=int, default=64, help="bits per request"
+    )
+    parser.add_argument(
+        "--divider", type=int, default=16, help="accumulation length D"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="coalescing window of the coalesced configuration",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions (best-of; raise on a noisy machine)",
+    )
+    parser.add_argument("--seed", type=int, default=20140324)
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the throughput target is missed",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the benchmark results to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.requests_per_client = min(args.requests_per_client, 2)
+        args.n_bits = min(args.n_bits, 32)
+        args.divider = min(args.divider, 8)
+        args.repeats = 1
+
+    workload = _requests(
+        args.clients, args.requests_per_client, args.n_bits, args.divider,
+        args.seed,
+    )
+    total = args.clients * args.requests_per_client
+    verify_equivalence(workload, args.max_wait_ms)
+    print(
+        "equivalence: coalesced serving == solo serving (bitwise) "
+        "on a sample of the workload"
+    )
+
+    serial_seconds, serial_stats = best_of(workload, 1, 0.0, args.repeats)
+    coalesced_seconds, coalesced_stats = best_of(
+        workload, args.clients, args.max_wait_ms, args.repeats
+    )
+    serial_rps = total / serial_seconds
+    coalesced_rps = total / coalesced_seconds
+    speedup = serial_seconds / coalesced_seconds
+
+    mode = "quick" if args.quick else "full"
+    print(
+        f"\nworkload: {args.clients} clients x {args.requests_per_client} "
+        f"requests x {args.n_bits} bits at D={args.divider}"
+    )
+    print(
+        f"serial    : {serial_seconds * 1e3:8.1f} ms "
+        f"({serial_rps:,.0f} req/s, {serial_stats['batches']} engine calls)"
+    )
+    print(
+        f"coalesced : {coalesced_seconds * 1e3:8.1f} ms "
+        f"({coalesced_rps:,.0f} req/s, {coalesced_stats['batches']} engine "
+        f"calls, max batch {coalesced_stats['max_batch_size']})"
+    )
+    print(
+        f"speedup   : {speedup:.2f}x "
+        f"(target >= {TARGET_SPEEDUP}x at {TARGET_CLIENTS} clients; "
+        f"quick gate: >= 1x)"
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "serving",
+            "mode": mode,
+            "clients": args.clients,
+            "requests_per_client": args.requests_per_client,
+            "n_bits": args.n_bits,
+            "divider": args.divider,
+            "max_wait_ms": args.max_wait_ms,
+            "cpu_cores": os.cpu_count() or 1,
+            "total_requests": total,
+            "serial_seconds": serial_seconds,
+            "coalesced_seconds": coalesced_seconds,
+            "serial_rps": serial_rps,
+            "coalesced_rps": coalesced_rps,
+            "speedup": speedup,
+            "max_batch_size": coalesced_stats["max_batch_size"],
+            "engine_calls_serial": serial_stats["batches"],
+            "engine_calls_coalesced": coalesced_stats["batches"],
+            "target_speedup": TARGET_SPEEDUP,
+            "equivalence": "bitwise",
+            "quick": bool(args.quick),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    if args.check:
+        if args.clients < TARGET_CLIENTS:
+            print(
+                f"note: --check skipped (it requires --clients >= "
+                f"{TARGET_CLIENTS})",
+                file=sys.stderr,
+            )
+        elif args.quick:
+            if speedup < 1.0:
+                print(
+                    "FAIL: coalesced serving slower than serial at "
+                    f"{args.clients} clients ({speedup:.2f}x)",
+                    file=sys.stderr,
+                )
+                return 1
+        elif speedup < TARGET_SPEEDUP:
+            print(f"FAIL: speedup below {TARGET_SPEEDUP}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

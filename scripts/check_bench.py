@@ -1,0 +1,250 @@
+"""Perf-regression gate: compare BENCH_*.json artifacts to committed baselines.
+
+Every CI benchmark emits a JSON artifact (``BENCH_bit_pipeline.json``,
+``BENCH_distributed*.json``, ``BENCH_serving.json``, ...).  This script is
+what makes those artifacts *enforced* instead of decorative: each committed
+baseline in ``benchmarks/baselines/*.json`` names the artifact it gates, the
+fields to check, and the tolerance — and the gate fails when a measured
+speedup/throughput field drops below ``min_fraction`` of its baseline.
+
+Baseline file schema (one JSON object per file)::
+
+    {
+      "source": "BENCH_bit_pipeline.json",      # artifact basename (fnmatch)
+      "require": {                              # all must hold, else SKIP:
+        "mode": "full",                         #   exact-equality gate
+        "cpu_cores": {"min": 4}                 #   numeric floor gate
+      },
+      "fields": {
+        "speedup": {"baseline": 8.0, "min_fraction": 0.8},  # >= 6.4 or FAIL
+        "serial_rps": {"min": 100.0},                       # absolute floor
+        "equivalence": {"equals": "bitwise"}                # exact equality
+      }
+    }
+
+``require`` makes hardware-dependent thresholds deterministic on small
+runners: benchmarks record their execution mode and core count in their own
+JSON (e.g. ``bench_distributed.py``'s ``mode``/``cpu_cores``/
+``check_eligible``), and a baseline whose requirements are unmet is skipped
+with an explicit note instead of flaking.
+
+The gate prints a markdown summary (written to ``--summary``, e.g.
+``$GITHUB_STEP_SUMMARY``) and exits non-zero if any check fails — or, with
+``--require-all``, if an expected artifact is missing.
+
+Usage::
+
+    python scripts/check_bench.py [--baseline-dir benchmarks/baselines]
+        [--summary $GITHUB_STEP_SUMMARY] [--require-all] BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+PASS, FAIL, SKIP = "PASS", "FAIL", "SKIP"
+
+
+@dataclass
+class CheckRow:
+    """One line of the gate report."""
+
+    source: str
+    field: str
+    status: str
+    measured: object = None
+    constraint: str = ""
+    note: str = ""
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "—"
+    return str(value)
+
+
+def _unmet_requirements(require: Dict, bench: Dict) -> List[str]:
+    """Human-readable reasons this artifact's thresholds do not apply."""
+    reasons = []
+    for key, expected in require.items():
+        actual = bench.get(key)
+        if isinstance(expected, dict):
+            floor = expected.get("min")
+            if floor is not None and not (
+                isinstance(actual, (int, float)) and actual >= floor
+            ):
+                reasons.append(f"{key}={_format_value(actual)} < {floor}")
+        elif actual != expected:
+            reasons.append(f"{key}={_format_value(actual)} != {expected!r}")
+    return reasons
+
+
+def _check_field(name: str, spec: Dict, bench: Dict, source: str) -> CheckRow:
+    measured = bench.get(name)
+    if "equals" in spec:
+        expected = spec["equals"]
+        status = PASS if measured == expected else FAIL
+        return CheckRow(
+            source, name, status, measured, f"== {expected!r}"
+        )
+    floor: Optional[float] = None
+    constraint = ""
+    if "baseline" in spec:
+        fraction = float(spec.get("min_fraction", 0.8))
+        floor = float(spec["baseline"]) * fraction
+        constraint = (
+            f">= {floor:.4g} ({fraction:.0%} of baseline "
+            f"{_format_value(float(spec['baseline']))})"
+        )
+    if "min" in spec:
+        absolute = float(spec["min"])
+        if floor is None or absolute > floor:
+            floor = absolute
+        constraint = constraint or f">= {absolute:.4g}"
+    if floor is None:
+        return CheckRow(
+            source, name, FAIL, measured, "", "baseline spec has no constraint"
+        )
+    if not isinstance(measured, (int, float)) or isinstance(measured, bool):
+        return CheckRow(
+            source, name, FAIL, measured, constraint,
+            "field missing or not numeric",
+        )
+    status = PASS if measured >= floor else FAIL
+    return CheckRow(source, name, status, float(measured), constraint)
+
+
+def check_baseline(baseline: Dict, bench: Optional[Dict]) -> List[CheckRow]:
+    """All report rows of one baseline file against its (maybe absent) artifact."""
+    source = baseline["source"]
+    if bench is None:
+        return [CheckRow(source, "—", SKIP, note="artifact not provided")]
+    unmet = _unmet_requirements(baseline.get("require", {}), bench)
+    if unmet:
+        return [
+            CheckRow(
+                source, "—", SKIP,
+                note=f"requirements unmet: {'; '.join(unmet)}",
+            )
+        ]
+    return [
+        _check_field(name, spec, bench, source)
+        for name, spec in sorted(baseline.get("fields", {}).items())
+    ]
+
+
+def load_baselines(baseline_dir: Path) -> List[Dict]:
+    baselines = []
+    for path in sorted(baseline_dir.glob("*.json")):
+        baseline = json.loads(path.read_text())
+        if "source" not in baseline:
+            raise ValueError(f"{path}: baseline file has no 'source' field")
+        baselines.append(baseline)
+    if not baselines:
+        raise ValueError(f"no baseline files found in {baseline_dir}")
+    return baselines
+
+
+def match_artifact(source_pattern: str, artifacts: Dict[str, Dict]) -> Optional[Dict]:
+    for name, payload in artifacts.items():
+        if fnmatch.fnmatch(name, source_pattern):
+            return payload
+    return None
+
+
+def markdown_report(rows: List[CheckRow]) -> str:
+    lines = [
+        "## Benchmark perf gate",
+        "",
+        "| artifact | field | measured | constraint | status |",
+        "|---|---|---|---|---|",
+    ]
+    icons = {PASS: "✅", FAIL: "❌", SKIP: "⏭️"}
+    for row in rows:
+        detail = row.note if row.note else row.constraint
+        lines.append(
+            f"| {row.source} | {row.field} | {_format_value(row.measured)} "
+            f"| {detail} | {icons[row.status]} {row.status} |"
+        )
+    counts = {status: sum(row.status == status for row in rows) for status in icons}
+    lines.append("")
+    lines.append(
+        f"**{counts[PASS]} passed, {counts[FAIL]} failed, "
+        f"{counts[SKIP]} skipped.**"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifacts", nargs="+", help="BENCH_*.json files to check"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory of committed baseline files",
+    )
+    parser.add_argument(
+        "--summary",
+        type=str,
+        default=None,
+        help="append the markdown report here (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when a baseline's artifact is missing (default: skip)",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts: Dict[str, Dict] = {}
+    for artifact in args.artifacts:
+        path = Path(artifact)
+        if not path.exists():
+            if args.require_all:
+                print(f"FAIL: artifact {artifact} does not exist", file=sys.stderr)
+                return 1
+            print(f"note: artifact {artifact} not found, skipping", file=sys.stderr)
+            continue
+        artifacts[path.name] = json.loads(path.read_text())
+
+    rows: List[CheckRow] = []
+    for baseline in load_baselines(args.baseline_dir):
+        bench = match_artifact(baseline["source"], artifacts)
+        rows.extend(check_baseline(baseline, bench))
+
+    report = markdown_report(rows)
+    print(report)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(report + "\n")
+
+    if args.require_all and any(
+        row.status == SKIP and row.note == "artifact not provided" for row in rows
+    ):
+        print("FAIL: required artifacts missing", file=sys.stderr)
+        return 1
+    failed = [row for row in rows if row.status == FAIL]
+    if failed:
+        for row in failed:
+            print(
+                f"FAIL: {row.source}: {row.field} = "
+                f"{_format_value(row.measured)} violates {row.constraint or row.note}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -364,6 +364,14 @@ class BatchedEROTRNG:
     postprocessor:
         Optional per-row post-processing callable (applied row by row, since
         decimating post-processors produce ragged row lengths).
+    synthesis_block_periods:
+        Internal synthesis block length of the sampler (see
+        :class:`BatchedDFlipFlopSampler`).  The default suits long
+        campaign-style records; short-request workloads (the serving layer)
+        pass a smaller block so a few output bits do not cost thousands of
+        synthesized periods.  Bits are a deterministic function of
+        (streams, configuration, block size): chunked calls never depend on
+        chunking, but changing the block changes the edge-time grid.
     """
 
     def __init__(
@@ -374,6 +382,7 @@ class BatchedEROTRNG:
         seed: SeedLike = None,
         postprocessor=None,
         flicker_method: str = "spectral",
+        synthesis_block_periods: Optional[int] = None,
     ) -> None:
         self.configuration = configuration
         if batch_size is None:
@@ -412,6 +421,7 @@ class BatchedEROTRNG:
             self.sampled_ensemble,
             self.sampling_ensemble,
             divider=configuration.divider,
+            synthesis_block_periods=synthesis_block_periods,
         )
 
     @property

@@ -29,8 +29,13 @@ ParamLike = Union[float, Tuple[float, ...]]
 DEFAULT_B_FLICKER_HZ2 = 5.42
 
 
-def _fresh_entropy() -> int:
-    """Root entropy for specs constructed without an explicit seed."""
+def fresh_entropy() -> int:
+    """Root entropy for specs/requests constructed without an explicit seed.
+
+    Pinning fresh ``SeedSequence`` entropy at construction time is what makes
+    one spec (or one serving request) describe one reproducible computation:
+    the recorded seed replays it exactly, sharded or coalesced.
+    """
     return int(np.random.SeedSequence().entropy)
 
 
@@ -109,7 +114,7 @@ class Sigma2NCampaignSpec:
                 self, name, _as_param(getattr(self, name), self.batch_size, name)
             )
         if self.seed is None:
-            object.__setattr__(self, "seed", _fresh_entropy())
+            object.__setattr__(self, "seed", fresh_entropy())
         else:
             object.__setattr__(self, "seed", int(self.seed))
         if self.n_sweep is not None:
@@ -174,7 +179,7 @@ class BitCampaignSpec:
             raise ValueError("dividers must contain integers >= 1")
         object.__setattr__(self, "dividers", dividers)
         if self.seed is None:
-            object.__setattr__(self, "seed", _fresh_entropy())
+            object.__setattr__(self, "seed", fresh_entropy())
         else:
             object.__setattr__(self, "seed", int(self.seed))
         self.configuration()  # validate f0/mismatch eagerly

@@ -1,0 +1,191 @@
+"""``python -m repro.serve`` — the async TRNG serving front-end.
+
+Starts a JSON-lines server (TCP by default, ``--stdio`` for pipes) over one
+coalescing :class:`~repro.serving.service.TRNGService`::
+
+    # TCP server with a 64-request coalescing window
+    python -m repro.serve --port 8765 --max-batch 64 --max-wait-ms 5
+
+    # One-shot request over stdio
+    echo '{"kind": "bits", "n_bits": 64, "divider": 512, "seed": 7}' | \
+        python -m repro.serve --stdio
+
+    # CI smoke: real sockets, coalescing + solo-equivalence assertions
+    python -m repro.serve --self-test
+
+See :mod:`repro.serving.protocol` for the wire format and
+:mod:`repro.serving` for the pipeline and its determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional
+
+from .serving.server import TRNGServer, run_self_test, seed_stream, serve_stdio
+from .serving.service import TRNGService
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 picks one)"
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve stdin/stdout instead of TCP (exits at EOF)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="most requests one engine call may serve (1 disables coalescing)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window: how long a batch leader waits for companions",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="request queue bound (the backpressure knob)",
+    )
+    parser.add_argument(
+        "--overflow",
+        choices=("reject", "wait"),
+        default="reject",
+        help="full-queue policy: shed load (reject) or suspend submitters",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed assigned (in arrival order) to unseeded requests",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a stats snapshot to stderr every --stats-interval seconds",
+    )
+    parser.add_argument(
+        "--stats-interval", type=float, default=10.0, help="seconds between stats"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the end-to-end smoke (server + 32 concurrent clients) and exit",
+    )
+    return parser
+
+
+def _service(args: argparse.Namespace) -> TRNGService:
+    return TRNGService(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        overflow=args.overflow,
+    )
+
+
+async def _stats_loop(service: TRNGService, interval: float) -> None:
+    while True:
+        await asyncio.sleep(interval)
+        print(f"stats: {json.dumps(service.stats.snapshot())}", file=sys.stderr)
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = _service(args)
+    default_seed = seed_stream(args.seed)
+    stats_task: Optional[asyncio.Task] = None
+    async with service:
+        if args.stats:
+            stats_task = asyncio.create_task(
+                _stats_loop(service, max(args.stats_interval, 0.1))
+            )
+        try:
+            if args.stdio:
+                await serve_stdio(service, default_seed=default_seed)
+            else:
+                server = TRNGServer(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    default_seed=default_seed,
+                )
+                await server.start()
+                print(
+                    f"serving on {args.host}:{server.port} "
+                    f"(max_batch={args.max_batch}, "
+                    f"max_wait_ms={args.max_wait_ms})",
+                    file=sys.stderr,
+                )
+                try:
+                    await server.serve_forever()
+                finally:
+                    await server.stop()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if stats_task is not None:
+                stats_task.cancel()
+        if args.stats:
+            print(
+                f"final stats: {json.dumps(service.stats.snapshot())}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+async def _self_test(args: argparse.Namespace) -> int:
+    try:
+        summary = await run_self_test(
+            max_batch=args.max_batch,
+            max_wait_ms=max(args.max_wait_ms, 100.0),
+        )
+    except AssertionError as error:
+        print(f"self-test FAIL: {error}", file=sys.stderr)
+        return 1
+    stats = summary["stats"]
+    print(
+        f"self-test: {summary['clients']} concurrent clients over TCP, "
+        f"dividers {summary['dividers']}"
+    )
+    print(
+        f"self-test: coalescing happened "
+        f"(max batch {stats['max_batch_size']}, "
+        f"{stats['batches']} batches for {stats['completed']} requests)"
+    )
+    print("self-test: served bits == solo-served bits (bitwise) for all clients")
+    if args.stats:
+        print(f"stats: {json.dumps(stats)}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.max_batch < 1:
+        print("--max-batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_wait_ms < 0:
+        print("--max-wait-ms must be >= 0", file=sys.stderr)
+        return 2
+    runner = _self_test if args.self_test else _serve
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Request coalescing: group compatible pending requests into one batch.
+
+The coalescer turns a stream of small requests into full engine batches.  It
+takes the oldest pending request as the batch *leader*, then keeps admitting
+requests whose :meth:`group_key` matches the leader's until either
+``max_batch`` requests are aboard or ``max_wait_ms`` has elapsed since the
+leader arrived.  Incompatible requests observed during the window are
+*deferred* — parked in arrival order and reconsidered first for the next
+batch, so a minority group is never starved, only delayed by at most one
+window.
+
+With ``max_batch=1`` the window is skipped entirely: every request is its
+own batch (the serial reference mode the determinism tests and the serving
+benchmark compare against).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List
+
+from .queue import PendingRequest, RequestQueue
+
+
+class Coalescer:
+    """Groups compatible pending requests within a bounded time window."""
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if max_wait_ms < 0.0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self._deferred: Deque[PendingRequest] = deque()
+
+    def __len__(self) -> int:
+        """Requests currently parked for a later batch."""
+        return len(self._deferred)
+
+    def drain(self, error: BaseException) -> int:
+        """Fail every deferred request (service shutdown); returns the count."""
+        failed = 0
+        while self._deferred:
+            if self._deferred.popleft().fail(error):
+                failed += 1
+        return failed
+
+    async def next_batch(self, queue: RequestQueue) -> List[PendingRequest]:
+        """The next coalesced batch (>= 1 compatible pending requests).
+
+        Suspends until at least one request is available; then collects
+        compatible requests (same :meth:`group_key` as the leader) from the
+        deferred pool and the queue until ``max_batch`` or the window closes.
+        """
+        leader = self._deferred.popleft() if self._deferred else await queue.get()
+        batch = [leader]
+        try:
+            if self.max_batch == 1:
+                return batch
+            key = leader.request.group_key()
+
+            # Deferred requests are reconsidered first, in arrival order.
+            still_deferred: Deque[PendingRequest] = deque()
+            while self._deferred and len(batch) < self.max_batch:
+                candidate = self._deferred.popleft()
+                if candidate.request.group_key() == key:
+                    batch.append(candidate)
+                else:
+                    still_deferred.append(candidate)
+            still_deferred.extend(self._deferred)
+            self._deferred = still_deferred
+
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0.0:
+                    break
+                try:
+                    candidate = await asyncio.wait_for(queue.get(), timeout)
+                except TimeoutError:
+                    break
+                if candidate.request.group_key() == key:
+                    batch.append(candidate)
+                else:
+                    self._deferred.append(candidate)
+            return batch
+        except asyncio.CancelledError:
+            # Service shutdown mid-window: the requests captured so far are
+            # in neither the queue nor the deferred pool, so park them back
+            # where drain() (or a restarted dispatcher) can see them —
+            # otherwise their futures would hang forever.
+            self._deferred.extendleft(reversed(batch))
+            raise

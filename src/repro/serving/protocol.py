@@ -1,0 +1,176 @@
+"""JSON-lines wire protocol of the TRNG serving layer.
+
+One request per line, one response per line, both UTF-8 JSON objects::
+
+    -> {"id": 1, "kind": "bits", "n_bits": 64, "divider": 512, "seed": 7}
+    <- {"id": 1, "ok": true, "result": {"kind": "bits", "bits": "0110...",
+        "n_bits": 64, "divider": 512, "seed": 7}}
+
+    -> {"id": 2, "kind": "sigma2n", "n_periods": 16384, "seed": 11}
+    <- {"id": 2, "ok": true, "result": {"kind": "sigma2n", "n_values": [...],
+        "sigma2_s2": [...], "b_thermal_hz": ..., ...}}
+
+    -> {"id": 3, "kind": "stats"}        # service counters
+    -> {"id": 4, "kind": "ping"}         # liveness
+
+``id`` is echoed verbatim so clients may pipeline requests on one
+connection; it is optional (``null`` when omitted).  Errors come back as
+``{"id": ..., "ok": false, "error": "..."}`` — a malformed line never kills
+the connection.  Bits travel as a compact ``"0"``/``"1"`` string.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
+
+#: Wire fields accepted per request kind (everything else is rejected).
+_REQUEST_FIELDS = {
+    "bits": (
+        "n_bits",
+        "divider",
+        "seed",
+        "f0_hz",
+        "b_thermal_hz",
+        "b_flicker_hz2",
+        "frequency_mismatch",
+    ),
+    "sigma2n": (
+        "n_periods",
+        "seed",
+        "f0_hz",
+        "b_thermal_hz",
+        "b_flicker_hz2",
+        "n_sweep",
+        "overlapping",
+        "min_realizations",
+    ),
+}
+
+_REQUEST_CLASSES = {"bits": BitsRequest, "sigma2n": Sigma2NRequest}
+
+
+class ProtocolError(ValueError):
+    """A syntactically or semantically invalid protocol message.
+
+    Carries the offending message's ``id`` when it could be extracted, so
+    error responses still reach the right pipelined request.
+    """
+
+    def __init__(self, message: str, request_id=None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+def bits_to_string(bits: np.ndarray) -> str:
+    """Compact ``"0"``/``"1"`` wire form of a 1-D bit array.
+
+    Vectorized (serialization runs on the event-loop thread, so a large
+    request must not stall every other connection's coalescing window).
+    """
+    levels = (np.asarray(bits).ravel() != 0).astype(np.uint8)
+    return (levels + ord("0")).tobytes().decode("ascii")
+
+
+def string_to_bits(text: str) -> np.ndarray:
+    """Decode :func:`bits_to_string` output back to an ``int8`` array."""
+    if not set(text) <= {"0", "1"}:
+        raise ProtocolError("bit strings may only contain '0' and '1'")
+    return np.frombuffer(text.encode("ascii"), dtype=np.uint8).astype(
+        np.int8
+    ) - ord("0")
+
+
+def parse_request_line(line: str) -> Tuple[Optional[object], str, Dict]:
+    """Split one wire line into ``(id, kind, fields)``.
+
+    ``kind`` is one of ``"bits"``, ``"sigma2n"``, ``"stats"``, ``"ping"``.
+    Raises :class:`ProtocolError` on anything malformed.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("each request line must be a JSON object")
+    request_id = payload.pop("id", None)
+    kind = payload.pop("kind", None)
+    if kind in ("stats", "ping"):
+        if payload:
+            raise ProtocolError(
+                f"unexpected fields for {kind!r}: {sorted(payload)}",
+                request_id=request_id,
+            )
+        return request_id, kind, {}
+    if kind not in _REQUEST_CLASSES:
+        raise ProtocolError(
+            f"unknown request kind {kind!r} "
+            f"(expected one of: bits, sigma2n, stats, ping)",
+            request_id=request_id,
+        )
+    unknown = sorted(set(payload) - set(_REQUEST_FIELDS[kind]))
+    if unknown:
+        raise ProtocolError(
+            f"unknown fields for {kind!r}: {unknown}", request_id=request_id
+        )
+    return request_id, kind, payload
+
+
+def build_request(kind: str, fields: Dict, default_seed=None) -> Request:
+    """Construct the typed request; invalid values become protocol errors.
+
+    ``default_seed`` (a callable returning an int) supplies the seed of
+    requests that arrive without one — the server wires its ``--seed``
+    stream in here so unseeded traffic is still reproducible.
+    """
+    fields = dict(fields)
+    if fields.get("seed") is None and default_seed is not None:
+        fields["seed"] = default_seed()
+    try:
+        if fields.get("n_sweep") is not None:
+            fields["n_sweep"] = tuple(fields["n_sweep"])
+        return _REQUEST_CLASSES[kind](**fields)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"invalid {kind} request: {error}") from None
+
+
+def result_to_payload(result) -> Dict:
+    """Plain-JSON form of a served result."""
+    if isinstance(result, BitsResult):
+        return {
+            "kind": "bits",
+            "bits": bits_to_string(result.bits),
+            "n_bits": result.n_bits,
+            "divider": result.divider,
+            "seed": result.seed,
+        }
+    if isinstance(result, Sigma2NResult):
+        return {
+            "kind": "sigma2n",
+            "n_values": np.asarray(result.n_values).tolist(),
+            "sigma2_s2": np.asarray(result.sigma2_s2).tolist(),
+            "realization_counts": np.asarray(result.realization_counts).tolist(),
+            "f0_hz": result.f0_hz,
+            "b_thermal_hz": result.b_thermal_hz,
+            "b_flicker_hz2": result.b_flicker_hz2,
+            "r_squared": result.r_squared,
+            "thermal_jitter_std_s": result.thermal_jitter_std_s,
+            "seed": result.seed,
+        }
+    raise TypeError(f"cannot serialize result of type {type(result)!r}")
+
+
+def response_line(request_id, result_payload: Dict) -> str:
+    """Success response wire line (newline-terminated)."""
+    return (
+        json.dumps({"id": request_id, "ok": True, "result": result_payload}) + "\n"
+    )
+
+
+def error_line(request_id, message: str) -> str:
+    """Error response wire line (newline-terminated)."""
+    return json.dumps({"id": request_id, "ok": False, "error": message}) + "\n"

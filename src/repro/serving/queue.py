@@ -1,0 +1,127 @@
+"""Bounded request queue with an explicit load-shedding policy.
+
+The queue is the serving layer's backpressure point: every client request
+becomes a :class:`PendingRequest` (request + result future) and must pass
+through a bounded :class:`asyncio.Queue` before the coalescer sees it.  When
+the queue is full, the ``overflow`` policy decides what happens:
+
+* ``"reject"`` (default) — **load shedding**: :meth:`RequestQueue.submit`
+  raises :class:`ServiceOverloaded` immediately, so callers get a fast,
+  explicit failure instead of unbounded latency;
+* ``"wait"`` — **backpressure**: ``submit`` suspends until the dispatcher
+  drains a slot, propagating the slowdown to the producers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .requests import Request
+
+OVERFLOW_POLICIES = ("reject", "wait")
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded request queue is full and the policy is load shedding."""
+
+
+class ServiceStopped(RuntimeError):
+    """The service stopped before this request could be served."""
+
+
+@dataclass
+class PendingRequest:
+    """One queued request and the future its result will resolve."""
+
+    request: Request
+    future: asyncio.Future = field(repr=False)
+
+    def resolve(self, result) -> bool:
+        """Fulfil the future; False when the caller already went away."""
+        if self.future.done():
+            return False
+        self.future.set_result(result)
+        return True
+
+    def fail(self, error: BaseException) -> bool:
+        """Fail the future; False when the caller already went away."""
+        if self.future.done():
+            return False
+        self.future.set_exception(error)
+        return True
+
+
+class RequestQueue:
+    """Bounded FIFO of :class:`PendingRequest` with an overflow policy."""
+
+    def __init__(self, max_pending: int = 1024, overflow: str = "reject") -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
+            )
+        self.max_pending = int(max_pending)
+        self.overflow = overflow
+        self._queue: asyncio.Queue[PendingRequest] = asyncio.Queue(
+            maxsize=self.max_pending
+        )
+        self._closed: Optional[BaseException] = None
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    async def submit(self, request: Request) -> asyncio.Future:
+        """Enqueue a request; returns the future its result will resolve.
+
+        Under the ``"reject"`` policy a full queue raises
+        :class:`ServiceOverloaded` without suspending; under ``"wait"`` the
+        call suspends until a slot frees up.
+        """
+        if self._closed is not None:
+            raise self._closed
+        future = asyncio.get_running_loop().create_future()
+        pending = PendingRequest(request=request, future=future)
+        if self.overflow == "reject":
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                raise ServiceOverloaded(
+                    f"request queue is full ({self.max_pending} pending); "
+                    f"the load-shedding policy rejects new requests"
+                ) from None
+        else:
+            await self._queue.put(pending)
+            # The queue may have been drained (service stopped) while this
+            # submitter was suspended on the full queue: its request just
+            # landed in a dispatcherless queue, so fail the future now
+            # instead of letting the caller await it forever.
+            if self._closed is not None:
+                pending.fail(self._closed)
+        return future
+
+    async def get(self) -> PendingRequest:
+        """Next pending request (FIFO); suspends while the queue is empty."""
+        return await self._queue.get()
+
+    def drain(self, error: BaseException) -> int:
+        """Close the queue and fail every queued request; returns the count.
+
+        After draining, new :meth:`submit` calls raise ``error`` until
+        :meth:`reopen` is called (the service does so on restart).
+        """
+        self._closed = error
+        failed = 0
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return failed
+            if pending.fail(error):
+                failed += 1
+
+    def reopen(self) -> None:
+        """Accept submissions again after a :meth:`drain` (service restart)."""
+        self._closed = None

@@ -1,0 +1,315 @@
+"""Asyncio front-ends for the TRNG service: TCP (JSON-lines) and stdio.
+
+:class:`TRNGServer` speaks the :mod:`repro.serving.protocol` over TCP with
+full pipelining: every request line becomes its own task, so many requests
+from one connection (or many connections) land in the coalescing window
+together — which is the whole point of the serving layer.  Responses carry
+the request ``id`` so clients can match them out of order.
+
+:func:`run_self_test` is the CI smoke: it spawns a real server on an
+ephemeral port, fires concurrent requests from real sockets, then proves
+(a) coalescing actually happened (``max_batch_size > 1``) and (b) every
+response is **bit-for-bit** what serving that request solo produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .protocol import (
+    ProtocolError,
+    build_request,
+    error_line,
+    parse_request_line,
+    response_line,
+    result_to_payload,
+    string_to_bits,
+)
+from .queue import ServiceOverloaded, ServiceStopped
+from .requests import BitsRequest
+from .scatter import run_bits_batch
+from .service import TRNGService
+
+SeedFactory = Optional[Callable[[], int]]
+
+#: Per-line stream buffer limit [bytes].  Large sigma2n sweeps fit easily;
+#: anything longer gets an error response instead of a dead connection.
+MAX_LINE_BYTES = 1 << 20
+
+
+def seed_stream(root_seed: Optional[int]) -> SeedFactory:
+    """Seed factory for requests that arrive without one.
+
+    With a ``root_seed`` the assigned seeds are a deterministic function of
+    the root and the *arrival order* of unseeded requests (reproducible
+    service runs); with ``None`` each unseeded request pins its own fresh
+    entropy instead.
+    """
+    if root_seed is None:
+        return None
+    rng = np.random.default_rng(int(root_seed))
+    return lambda: int(rng.integers(0, 2**63))
+
+
+async def handle_request_line(
+    service: TRNGService, line: str, default_seed: SeedFactory = None
+) -> str:
+    """Serve one wire line; always returns a response line (never raises)."""
+    request_id = None
+    try:
+        request_id, kind, fields = parse_request_line(line)
+        if kind == "ping":
+            return response_line(request_id, {"kind": "ping", "pong": True})
+        if kind == "stats":
+            payload = dict(service.stats.snapshot())
+            payload["kind"] = "stats"
+            return response_line(request_id, payload)
+        request = build_request(kind, fields, default_seed=default_seed)
+        result = await (await service.submit(request))
+        return response_line(request_id, result_to_payload(result))
+    except ProtocolError as error:
+        if error.request_id is not None:
+            request_id = error.request_id
+        return error_line(request_id, str(error))
+    except ServiceOverloaded as error:
+        return error_line(request_id, f"overloaded: {error}")
+    except ServiceStopped as error:
+        return error_line(request_id, f"stopped: {error}")
+    except Exception as error:  # engine-side failures stay on this line
+        return error_line(request_id, f"internal error: {error}")
+
+
+class TRNGServer:
+    """JSON-lines TCP server in front of one :class:`TRNGService`."""
+
+    def __init__(
+        self,
+        service: TRNGService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_seed: SeedFactory = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self._default_seed = default_seed
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                self.host,
+                self._requested_port,
+                limit=MAX_LINE_BYTES,
+            )
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self._server.serve_forever()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def respond(line: str) -> None:
+            response = await handle_request_line(
+                self.service, line, self._default_seed
+            )
+            try:
+                async with write_lock:
+                    writer.write(response.encode())
+                    await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass  # client went away; its batch row is simply dropped
+
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break  # abrupt client disconnect mid-line
+                except ValueError:
+                    # Line exceeded the stream limit.  The buffer is no
+                    # longer line-aligned, so answer and close cleanly
+                    # rather than serving from a desynchronized stream.
+                    async with write_lock:
+                        writer.write(
+                            error_line(
+                                None,
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            ).encode()
+                        )
+                        await writer.drain()
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                # One task per line: requests on one connection pipeline
+                # into the coalescing window instead of serializing.
+                task = asyncio.create_task(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Every spawned task is awaited, even on a reader error, so no
+            # response task is abandoned with an unretrieved exception.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+
+async def serve_stdio(
+    service: TRNGService, default_seed: SeedFactory = None
+) -> None:
+    """Serve the JSON-lines protocol over stdin/stdout until EOF.
+
+    stdin is read on a dedicated *daemon* thread (not the default executor):
+    ``asyncio.run`` joins executor threads at shutdown, so an executor
+    blocked in ``readline`` would make Ctrl-C hang the process forever.  A
+    daemon thread just dies with the interpreter.
+    """
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    tasks = set()
+    lines: asyncio.Queue = asyncio.Queue()
+
+    def pump() -> None:
+        while True:
+            raw = sys.stdin.readline()
+            try:
+                loop.call_soon_threadsafe(lines.put_nowait, raw)
+            except RuntimeError:
+                return  # loop already closed (shutdown raced the read)
+            if not raw:
+                return  # EOF
+    threading.Thread(target=pump, name="serve-stdio-reader", daemon=True).start()
+
+    async def respond(line: str) -> None:
+        response = await handle_request_line(service, line, default_seed)
+        async with write_lock:
+            sys.stdout.write(response)
+            sys.stdout.flush()
+
+    while True:
+        raw = await lines.get()
+        if not raw:
+            break
+        line = raw.strip()
+        if not line:
+            continue
+        task = asyncio.create_task(respond(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def run_self_test(
+    n_clients: int = 32,
+    n_bits: int = 48,
+    dividers=(8, 16),
+    max_batch: int = 16,
+    max_wait_ms: float = 150.0,
+    base_seed: int = 20140324,
+    host: str = "127.0.0.1",
+) -> Dict:
+    """End-to-end smoke: concurrent sockets, coalescing, solo equivalence.
+
+    Spawns a real TCP server, fires ``n_clients`` concurrent bit requests
+    (split over ``dividers`` so several coalescing groups coexist), and then
+    asserts that (a) at least one batch actually coalesced and (b) every
+    client's bits are bit-for-bit identical to serving its request **solo**
+    (a one-request batch through the same engine bridge).  Returns a summary
+    dict; raises ``AssertionError`` on any violation.
+    """
+    requests = [
+        BitsRequest(
+            n_bits=n_bits,
+            divider=int(dividers[index % len(dividers)]),
+            seed=base_seed + index,
+        )
+        for index in range(n_clients)
+    ]
+    service = TRNGService(
+        max_batch=max_batch, max_wait_ms=max_wait_ms, max_pending=4 * n_clients
+    )
+    server = TRNGServer(service, host=host, port=0)
+    async with service:
+        await server.start()
+        try:
+            port = server.port
+
+            async def client(index: int) -> Dict:
+                reader, writer = await asyncio.open_connection(host, port)
+                request = requests[index]
+                line = {
+                    "id": index,
+                    "kind": "bits",
+                    "n_bits": request.n_bits,
+                    "divider": request.divider,
+                    "seed": request.seed,
+                }
+                writer.write((json.dumps(line) + "\n").encode())
+                await writer.drain()
+                raw = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return json.loads(raw)
+
+            responses = await asyncio.gather(
+                *(client(index) for index in range(n_clients))
+            )
+        finally:
+            await server.stop()
+        stats = service.stats.snapshot()
+
+    for index, response in enumerate(responses):
+        if not response.get("ok"):
+            raise AssertionError(
+                f"client {index}: server error: {response.get('error')}"
+            )
+        served = string_to_bits(response["result"]["bits"])
+        solo = run_bits_batch([requests[index]])[0].bits
+        if not np.array_equal(served, solo):
+            raise AssertionError(
+                f"client {index}: coalesced bits differ from solo-served bits"
+            )
+    if stats["max_batch_size"] < 2:
+        raise AssertionError(
+            "no coalescing happened: every batch served a single request "
+            f"(stats: {stats})"
+        )
+    return {
+        "clients": n_clients,
+        "n_bits": n_bits,
+        "dividers": list(int(d) for d in dividers),
+        "stats": stats,
+        "solo_equivalence": "bitwise",
+    }

@@ -1,0 +1,191 @@
+"""The serving facade: async ``get_bits`` / ``get_sigma2n`` over one engine.
+
+:class:`TRNGService` wires the pieces together: a bounded
+:class:`~repro.serving.queue.RequestQueue` (backpressure / load shedding), a
+:class:`~repro.serving.coalescer.Coalescer` (request grouping), one dispatch
+loop that runs each coalesced batch on a worker thread
+(``asyncio.to_thread`` — the event loop keeps accepting requests while numpy
+runs), and a :class:`~repro.serving.scatter.Scatterer` that resolves the
+per-request futures.  :class:`ServiceStats` counts everything the benchmark
+and the self-test assert on (batches, coalesced sizes, rejections).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .coalescer import Coalescer
+from .queue import RequestQueue, ServiceStopped
+from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
+from .scatter import Scatterer, execute_batch
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one service lifetime (read with :meth:`snapshot`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    coalesced_batches: int = 0
+    coalesced_requests: int = 0
+    max_batch_size: int = 0
+    requests_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_submit(self, request: Request) -> None:
+        self.submitted += 1
+        kind = request.kind
+        self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        if size > 1:
+            self.coalesced_batches += 1
+            self.coalesced_requests += size
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON view of the counters (the ``stats`` protocol reply)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_requests": self.coalesced_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+            "requests_by_kind": dict(self.requests_by_kind),
+        }
+
+
+class TRNGService:
+    """Async facade over the batched engine with request coalescing.
+
+    Parameters
+    ----------
+    max_batch:
+        Most requests one engine call may serve; ``1`` disables coalescing
+        (the serial reference mode).
+    max_wait_ms:
+        How long a batch leader waits for companions.  The window is pure
+        latency budget: a request is never delayed longer than this before
+        its engine call starts (plus queueing behind earlier batches).
+    max_pending:
+        Bound of the request queue — the backpressure knob.
+    overflow:
+        ``"reject"`` (load shedding, raises
+        :class:`~repro.serving.queue.ServiceOverloaded`) or ``"wait"``
+        (suspend the submitter until a slot frees).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+        overflow: str = "reject",
+    ) -> None:
+        self.queue = RequestQueue(max_pending=max_pending, overflow=overflow)
+        self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self.scatterer = Scatterer()
+        self.stats = ServiceStats()
+        self._dispatch_task: Optional[asyncio.Task] = None
+
+    @property
+    def running(self) -> bool:
+        return self._dispatch_task is not None and not self._dispatch_task.done()
+
+    async def start(self) -> None:
+        """Start the dispatch loop (idempotent; reopens a stopped queue)."""
+        if not self.running:
+            self.queue.reopen()
+            self._dispatch_task = asyncio.create_task(
+                self._dispatch_loop(), name="trng-service-dispatch"
+            )
+
+    async def stop(self) -> None:
+        """Stop dispatching and fail everything still pending."""
+        task, self._dispatch_task = self._dispatch_task, None
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        stopped = ServiceStopped("TRNG service stopped")
+        self.stats.failed += self.queue.drain(stopped)
+        self.stats.failed += self.coalescer.drain(stopped)
+
+    async def __aenter__(self) -> "TRNGService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = await self.coalescer.next_batch(self.queue)
+            self.stats.record_batch(len(batch))
+            requests = [pending.request for pending in batch]
+            try:
+                results = await asyncio.to_thread(execute_batch, requests)
+            except asyncio.CancelledError:
+                self.stats.failed += self.scatterer.fail(
+                    batch, ServiceStopped("TRNG service stopped")
+                )
+                raise
+            except Exception as error:
+                self.stats.failed += self.scatterer.fail(batch, error)
+                continue
+            self.stats.completed += self.scatterer.scatter(batch, results)
+
+    async def submit(self, request: Request) -> asyncio.Future:
+        """Low-level enqueue; prefer :meth:`get_bits` / :meth:`get_sigma2n`."""
+        if not self.running:
+            raise ServiceStopped("TRNG service is not running (call start())")
+        try:
+            future = await self.queue.submit(request)
+        except Exception:
+            self.stats.rejected += 1
+            raise
+        self.stats.record_submit(request)
+        return future
+
+    async def get_bits(self, request: Optional[BitsRequest] = None, **parameters):
+        """Serve one bit request; returns its :class:`BitsResult`.
+
+        Pass a prebuilt :class:`~repro.serving.requests.BitsRequest` or the
+        dataclass fields as keyword arguments (``n_bits=..., divider=...``).
+        """
+        if request is None:
+            request = BitsRequest(**parameters)
+        elif parameters:
+            raise TypeError("pass either a request object or keyword fields")
+        result = await (await self.submit(request))
+        assert isinstance(result, BitsResult)
+        return result
+
+    async def get_sigma2n(
+        self, request: Optional[Sigma2NRequest] = None, **parameters
+    ):
+        """Serve one sigma^2_N request; returns its :class:`Sigma2NResult`."""
+        if request is None:
+            request = Sigma2NRequest(**parameters)
+        elif parameters:
+            raise TypeError("pass either a request object or keyword fields")
+        result = await (await self.submit(request))
+        assert isinstance(result, Sigma2NResult)
+        return result

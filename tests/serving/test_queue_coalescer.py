@@ -1,0 +1,215 @@
+"""Backpressure, load shedding and coalescing-window behaviour."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    BitsRequest,
+    Coalescer,
+    RequestQueue,
+    ServiceOverloaded,
+    ServiceStopped,
+    TRNGService,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _request(seed: int, divider: int = 8) -> BitsRequest:
+    return BitsRequest(n_bits=4, divider=divider, seed=seed)
+
+
+class TestRequestQueue:
+    def test_rejects_when_full_under_load_shedding(self):
+        async def scenario():
+            queue = RequestQueue(max_pending=2, overflow="reject")
+            await queue.submit(_request(1))
+            await queue.submit(_request(2))
+            with pytest.raises(ServiceOverloaded):
+                await queue.submit(_request(3))
+            assert len(queue) == 2
+
+        run(scenario())
+
+    def test_wait_policy_applies_backpressure(self):
+        async def scenario():
+            queue = RequestQueue(max_pending=1, overflow="wait")
+            await queue.submit(_request(1))
+            blocked = asyncio.create_task(queue.submit(_request(2)))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()  # suspended on the full queue
+            pending = await queue.get()
+            assert pending.request.seed == 1
+            await asyncio.wait_for(blocked, timeout=1.0)  # slot freed
+
+        run(scenario())
+
+    def test_submitter_blocked_on_full_queue_fails_at_drain(self):
+        async def scenario():
+            # Regression: a "wait"-policy submitter suspended on a full
+            # queue when the service stops must get ServiceStopped, not an
+            # eternally pending future in a dispatcherless queue.
+            queue = RequestQueue(max_pending=1, overflow="wait")
+            await queue.submit(_request(1))
+            blocked = asyncio.create_task(queue.submit(_request(2)))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            queue.drain(ServiceStopped("stop"))
+            await queue.get()  # frees the slot, waking the blocked putter
+            future = await asyncio.wait_for(blocked, timeout=1.0)
+            with pytest.raises(ServiceStopped):
+                await future
+            # ...and the closed queue sheds new submissions immediately.
+            with pytest.raises(ServiceStopped):
+                await queue.submit(_request(3))
+            queue.reopen()
+            await queue.submit(_request(4))
+
+        run(scenario())
+
+    def test_drain_fails_all_queued_futures(self):
+        async def scenario():
+            queue = RequestQueue(max_pending=4)
+            futures = [await queue.submit(_request(seed)) for seed in (1, 2)]
+            assert queue.drain(ServiceStopped("stop")) == 2
+            for future in futures:
+                with pytest.raises(ServiceStopped):
+                    await future
+
+        run(scenario())
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_pending=0)
+        with pytest.raises(ValueError):
+            RequestQueue(overflow="drop-oldest")
+
+
+class TestCoalescer:
+    def test_groups_compatible_requests_up_to_max_batch(self):
+        async def scenario():
+            queue = RequestQueue()
+            coalescer = Coalescer(max_batch=3, max_wait_ms=50.0)
+            for seed in range(5):
+                await queue.submit(_request(seed))
+            batch = await coalescer.next_batch(queue)
+            assert [p.request.seed for p in batch] == [0, 1, 2]
+            batch = await coalescer.next_batch(queue)
+            assert [p.request.seed for p in batch] == [3, 4]
+
+        run(scenario())
+
+    def test_incompatible_requests_are_deferred_in_order(self):
+        async def scenario():
+            queue = RequestQueue()
+            coalescer = Coalescer(max_batch=8, max_wait_ms=30.0)
+            await queue.submit(_request(1, divider=8))
+            await queue.submit(_request(2, divider=16))
+            await queue.submit(_request(3, divider=8))
+            await queue.submit(_request(4, divider=16))
+            first = await coalescer.next_batch(queue)
+            assert [p.request.seed for p in first] == [1, 3]
+            assert len(coalescer) == 2  # both divider-16 requests parked
+            second = await coalescer.next_batch(queue)
+            assert [p.request.seed for p in second] == [2, 4]
+            assert len(coalescer) == 0
+
+        run(scenario())
+
+    def test_max_batch_one_skips_the_window(self):
+        async def scenario():
+            queue = RequestQueue()
+            coalescer = Coalescer(max_batch=1, max_wait_ms=10_000.0)
+            await queue.submit(_request(1))
+            batch = await asyncio.wait_for(
+                coalescer.next_batch(queue), timeout=1.0
+            )
+            assert len(batch) == 1
+
+        run(scenario())
+
+    def test_window_closes_without_companions(self):
+        async def scenario():
+            queue = RequestQueue()
+            coalescer = Coalescer(max_batch=8, max_wait_ms=10.0)
+            await queue.submit(_request(1))
+            batch = await asyncio.wait_for(
+                coalescer.next_batch(queue), timeout=1.0
+            )
+            assert len(batch) == 1
+
+        run(scenario())
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            Coalescer(max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(max_wait_ms=-1.0)
+
+
+class TestServiceLifecycle:
+    def test_submit_requires_running_service(self):
+        async def scenario():
+            service = TRNGService()
+            with pytest.raises(ServiceStopped):
+                await service.submit(_request(1))
+
+        run(scenario())
+
+    def test_stop_fails_pending_requests(self):
+        async def scenario():
+            # A service that never dispatches (not started) but has queued
+            # work when stopped must fail those futures, not hang them.
+            service = TRNGService(max_batch=4)
+            await service.start()
+            await service.stop()
+            assert not service.running
+
+        run(scenario())
+
+    def test_service_sheds_load_and_counts_rejections(self):
+        async def scenario():
+            service = TRNGService(max_pending=1, overflow="reject")
+            await service.start()
+            # Submitting without suspending never yields to the event loop,
+            # so the dispatcher cannot drain between these calls: the queue
+            # is deterministically full when the second submit arrives.
+            first = await service.submit(_request(1))
+            with pytest.raises(ServiceOverloaded):
+                await service.submit(_request(2))
+            assert service.stats.rejected == 1
+            assert service.stats.submitted == 1
+            await service.stop()
+            with pytest.raises(ServiceStopped):
+                await first
+
+        run(scenario())
+
+    def test_stop_mid_window_fails_the_captured_leader(self):
+        async def scenario():
+            # Regression: stop() during an open coalescing window used to
+            # lose the batch leader (popped from the queue, not yet
+            # dispatched), hanging its caller forever.
+            service = TRNGService(max_batch=8, max_wait_ms=10_000.0)
+            await service.start()
+            future = await service.submit(_request(1))
+            await asyncio.sleep(0.05)  # dispatcher pops the leader, waits
+            assert not future.done()
+            await asyncio.wait_for(service.stop(), timeout=1.0)
+            with pytest.raises(ServiceStopped):
+                await asyncio.wait_for(future, timeout=1.0)
+
+        run(scenario())
+
+    def test_context_manager_starts_and_stops(self):
+        async def scenario():
+            async with TRNGService() as service:
+                assert service.running
+            assert not service.running
+
+        run(scenario())

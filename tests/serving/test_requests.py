@@ -1,0 +1,105 @@
+"""Serving request semantics: seed closure, group keys, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import spawn_generators
+from repro.serving import BitsRequest, Sigma2NRequest
+
+
+class TestSeedClosure:
+    def test_unseeded_request_pins_fresh_entropy(self):
+        request = BitsRequest(n_bits=8)
+        assert isinstance(request.seed, int)
+
+    def test_two_unseeded_requests_get_distinct_seeds(self):
+        assert BitsRequest(n_bits=8).seed != BitsRequest(n_bits=8).seed
+
+    def test_explicit_seed_is_kept(self):
+        assert BitsRequest(n_bits=8, seed=42).seed == 42
+        assert Sigma2NRequest(n_periods=64, seed=7).seed == 7
+
+    def test_generator_is_the_engine_spawn_tree_root(self):
+        request = BitsRequest(n_bits=8, seed=99)
+        expected = spawn_generators(99, 1)[0].standard_normal(16)
+        actual = request.generator().standard_normal(16)
+        assert np.array_equal(actual, expected)
+
+
+class TestGroupKeys:
+    def test_same_configuration_same_key(self):
+        one = BitsRequest(n_bits=8, divider=32, seed=1)
+        two = BitsRequest(n_bits=800, divider=32, seed=2)
+        # n_bits and seed are per-row: they must not split the group.
+        assert one.group_key() == two.group_key()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("divider", 64),
+            ("f0_hz", 123e6),
+            ("b_thermal_hz", 0.5),
+            ("b_flicker_hz2", 1.0),
+            ("frequency_mismatch", 2e-3),
+        ],
+    )
+    def test_configuration_fields_split_bit_groups(self, field, value):
+        base = BitsRequest(n_bits=8, divider=32, seed=1)
+        other = BitsRequest(n_bits=8, seed=1, **{"divider": 32, field: value})
+        assert base.group_key() != other.group_key()
+
+    def test_sigma2n_noise_parameters_are_per_row(self):
+        one = Sigma2NRequest(n_periods=4096, seed=1, b_thermal_hz=100.0)
+        two = Sigma2NRequest(n_periods=4096, seed=2, b_thermal_hz=500.0)
+        assert one.group_key() == two.group_key()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_periods", 8192),
+            ("n_sweep", (1, 2, 4)),
+            ("overlapping", False),
+            ("min_realizations", 4),
+        ],
+    )
+    def test_sweep_parameters_split_sigma2n_groups(self, field, value):
+        base = Sigma2NRequest(n_periods=4096, seed=1)
+        other = Sigma2NRequest(
+            **{"n_periods": 4096, "seed": 1, field: value}
+        )
+        assert base.group_key() != other.group_key()
+
+    def test_bit_and_sigma2n_requests_never_share_a_group(self):
+        bits = BitsRequest(n_bits=8, seed=1)
+        sigma = Sigma2NRequest(n_periods=4096, seed=1)
+        assert bits.group_key() != sigma.group_key()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n_bits", [0, -1])
+    def test_bits_request_rejects_bad_n_bits(self, n_bits):
+        with pytest.raises(ValueError):
+            BitsRequest(n_bits=n_bits)
+
+    def test_bits_request_rejects_bad_divider(self):
+        with pytest.raises(ValueError):
+            BitsRequest(n_bits=8, divider=0)
+
+    def test_bits_request_validates_configuration_eagerly(self):
+        with pytest.raises(ValueError):
+            BitsRequest(n_bits=8, frequency_mismatch=0.5)
+
+    @pytest.mark.parametrize("n_periods", [0, -5])
+    def test_sigma2n_request_rejects_bad_n_periods(self, n_periods):
+        with pytest.raises(ValueError):
+            Sigma2NRequest(n_periods=n_periods)
+
+    def test_sigma2n_request_rejects_bad_sweep(self):
+        with pytest.raises(ValueError):
+            Sigma2NRequest(n_periods=4096, n_sweep=(0, 2))
+
+    def test_sigma2n_request_normalizes_sweep_to_int_tuple(self):
+        request = Sigma2NRequest(n_periods=4096, n_sweep=[1.0, 2.0, 4.0])
+        assert request.n_sweep == (1, 2, 4)

@@ -1,0 +1,210 @@
+"""Wire protocol and end-to-end TCP serving tests."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import BitsRequest, TRNGServer, TRNGService, run_self_test
+from repro.serving.protocol import (
+    ProtocolError,
+    bits_to_string,
+    build_request,
+    parse_request_line,
+    string_to_bits,
+)
+from repro.serving.scatter import run_bits_batch
+from repro.serving.server import seed_stream
+
+
+class TestBitEncoding:
+    def test_round_trip(self):
+        bits = np.array([0, 1, 1, 0, 1], dtype=np.int8)
+        assert np.array_equal(string_to_bits(bits_to_string(bits)), bits)
+
+    def test_rejects_non_binary_text(self):
+        with pytest.raises(ProtocolError):
+            string_to_bits("01x0")
+
+
+class TestParseRequestLine:
+    def test_bits_request_round_trip(self):
+        request_id, kind, fields = parse_request_line(
+            '{"id": 7, "kind": "bits", "n_bits": 16, "divider": 8, "seed": 3}'
+        )
+        assert (request_id, kind) == (7, "bits")
+        request = build_request(kind, fields)
+        assert isinstance(request, BitsRequest)
+        assert (request.n_bits, request.divider, request.seed) == (16, 8, 3)
+
+    def test_sigma2n_sweep_becomes_tuple(self):
+        _, kind, fields = parse_request_line(
+            '{"kind": "sigma2n", "n_periods": 4096, "n_sweep": [1, 2, 4]}'
+        )
+        request = build_request(kind, fields)
+        assert request.n_sweep == (1, 2, 4)
+
+    @pytest.mark.parametrize(
+        "line, message_part",
+        [
+            ("not json", "invalid JSON"),
+            ('["a", "list"]', "JSON object"),
+            ('{"kind": "frobnicate"}', "unknown request kind"),
+            ('{"kind": "bits", "n_bits": 8, "bogus": 1}', "unknown fields"),
+            ('{"kind": "stats", "extra": 1}', "unexpected fields"),
+        ],
+    )
+    def test_malformed_lines_raise_protocol_errors(self, line, message_part):
+        with pytest.raises(ProtocolError, match=message_part):
+            parse_request_line(line)
+
+    def test_invalid_values_raise_protocol_errors(self):
+        _, kind, fields = parse_request_line(
+            '{"kind": "bits", "n_bits": 0}'
+        )
+        with pytest.raises(ProtocolError, match="invalid bits request"):
+            build_request(kind, fields)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            '{"kind": "sigma2n", "n_periods": 4096, "n_sweep": 8}',
+            '{"kind": "bits", "n_bits": 64.5}',
+            '{"kind": "sigma2n", "n_periods": 4096.5}',
+        ],
+    )
+    def test_bad_field_values_are_client_errors_not_internal(self, line):
+        # Regression: these used to escape as "internal error" responses.
+        _, kind, fields = parse_request_line(line)
+        with pytest.raises(ProtocolError, match=f"invalid {kind} request"):
+            build_request(kind, fields)
+
+    def test_default_seed_factory_fills_unseeded_requests(self):
+        _, kind, fields = parse_request_line('{"kind": "bits", "n_bits": 8}')
+        first = build_request(kind, fields, default_seed=seed_stream(5))
+        again = build_request(kind, fields, default_seed=seed_stream(5))
+        assert first.seed == again.seed  # same root, same arrival order
+
+    def test_explicit_seed_wins_over_factory(self):
+        _, kind, fields = parse_request_line(
+            '{"kind": "bits", "n_bits": 8, "seed": 11}'
+        )
+        request = build_request(kind, fields, default_seed=seed_stream(5))
+        assert request.seed == 11
+
+
+async def _roundtrip(host: str, port: int, lines):
+    reader, writer = await asyncio.open_connection(host, port)
+    for line in lines:
+        writer.write((json.dumps(line) + "\n").encode())
+    await writer.drain()
+    responses = [json.loads(await reader.readline()) for _ in lines]
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+class TestTCPServer:
+    def test_pipelined_requests_match_solo_serving(self):
+        requests = [
+            BitsRequest(n_bits=12 + index, divider=8, seed=71_000 + index)
+            for index in range(6)
+        ]
+
+        async def scenario():
+            async with TRNGService(max_batch=8, max_wait_ms=40.0) as service:
+                server = TRNGServer(service, port=0)
+                await server.start()
+                try:
+                    responses = await _roundtrip(
+                        server.host,
+                        server.port,
+                        [
+                            {
+                                "id": index,
+                                "kind": "bits",
+                                "n_bits": request.n_bits,
+                                "divider": request.divider,
+                                "seed": request.seed,
+                            }
+                            for index, request in enumerate(requests)
+                        ],
+                    )
+                finally:
+                    await server.stop()
+                return responses
+
+        responses = asyncio.run(scenario())
+        by_id = {response["id"]: response for response in responses}
+        for index, request in enumerate(requests):
+            response = by_id[index]
+            assert response["ok"], response
+            served = string_to_bits(response["result"]["bits"])
+            solo = run_bits_batch([request])[0].bits
+            assert np.array_equal(served, solo)
+
+    def test_stats_ping_and_errors_on_one_connection(self):
+        async def scenario():
+            async with TRNGService(max_batch=4, max_wait_ms=5.0) as service:
+                server = TRNGServer(service, port=0)
+                await server.start()
+                try:
+                    responses = await _roundtrip(
+                        server.host,
+                        server.port,
+                        [
+                            {"id": 1, "kind": "ping"},
+                            {"id": 2, "kind": "bits", "n_bits": 4,
+                             "divider": 8, "seed": 1},
+                            {"id": 3, "kind": "stats"},
+                            {"id": 4, "kind": "nonsense"},
+                        ],
+                    )
+                finally:
+                    await server.stop()
+                return responses
+
+        responses = {r["id"]: r for r in asyncio.run(scenario())}
+        assert responses[1]["result"]["pong"] is True
+        assert responses[2]["ok"]
+        assert responses[3]["result"]["submitted"] >= 1
+        assert not responses[4]["ok"]
+        assert "unknown request kind" in responses[4]["error"]
+
+
+    def test_oversized_line_gets_an_error_response_not_a_dead_socket(self):
+        async def scenario():
+            async with TRNGService(max_batch=2, max_wait_ms=5.0) as service:
+                server = TRNGServer(service, port=0)
+                await server.start()
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        server.host, server.port
+                    )
+                    from repro.serving.server import MAX_LINE_BYTES
+
+                    writer.write(b"x" * (MAX_LINE_BYTES + 1024) + b"\n")
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    await server.stop()
+                return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"] is False
+        assert "exceeds" in response["error"]
+
+
+class TestSelfTest:
+    def test_self_test_passes(self):
+        summary = asyncio.run(
+            run_self_test(n_clients=12, n_bits=16, max_wait_ms=80.0)
+        )
+        assert summary["solo_equivalence"] == "bitwise"
+        assert summary["stats"]["max_batch_size"] > 1
+        assert summary["stats"]["completed"] == 12

@@ -1,0 +1,198 @@
+"""Unit tests of the CI perf-regression gate (scripts/check_bench.py).
+
+The acceptance property: the gate **fails** (non-zero exit) when a
+benchmark's speedup field drops below ``min_fraction`` of its committed
+baseline — demonstrated here with synthetic artifacts, so CI itself never
+has to break to prove the gate works.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py"
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves annotations through sys.modules at class-creation
+    # time, so the module must be registered before executing it.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """A baseline dir plus a helper to drop artifact/baseline files."""
+    baseline_dir = tmp_path / "baselines"
+    baseline_dir.mkdir()
+
+    def write(name: str, payload: dict, kind: str = "artifact") -> Path:
+        directory = baseline_dir if kind == "baseline" else tmp_path
+        path = directory / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    return tmp_path, baseline_dir, write
+
+
+BASELINE = {
+    "source": "BENCH_thing.json",
+    "fields": {"speedup": {"baseline": 10.0, "min_fraction": 0.8}},
+}
+
+
+def run_gate(check_bench, baseline_dir, artifacts, extra=()):
+    argv = [str(path) for path in artifacts]
+    argv += ["--baseline-dir", str(baseline_dir), *extra]
+    return check_bench.main(argv)
+
+
+class TestThresholds:
+    def test_passes_at_or_above_the_floor(self, check_bench, workspace):
+        _, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        artifact = write("BENCH_thing.json", {"speedup": 8.0})
+        assert run_gate(check_bench, baseline_dir, [artifact]) == 0
+
+    def test_fails_below_80_percent_of_baseline(self, check_bench, workspace):
+        _, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        artifact = write("BENCH_thing.json", {"speedup": 7.9})
+        assert run_gate(check_bench, baseline_dir, [artifact]) == 1
+
+    def test_fails_when_field_is_missing(self, check_bench, workspace):
+        _, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        artifact = write("BENCH_thing.json", {"other": 1.0})
+        assert run_gate(check_bench, baseline_dir, [artifact]) == 1
+
+    def test_absolute_floor_and_equality_specs(self, check_bench, workspace):
+        _, baseline_dir, write = workspace
+        write(
+            "thing.json",
+            {
+                "source": "BENCH_thing.json",
+                "fields": {
+                    "serial_rps": {"min": 100.0},
+                    "equivalence": {"equals": "bitwise"},
+                },
+            },
+            kind="baseline",
+        )
+        good = write(
+            "BENCH_thing.json",
+            {"serial_rps": 250.0, "equivalence": "bitwise"},
+        )
+        assert run_gate(check_bench, baseline_dir, [good]) == 0
+        bad = write(
+            "BENCH_thing.json",
+            {"serial_rps": 250.0, "equivalence": "approximate"},
+        )
+        assert run_gate(check_bench, baseline_dir, [bad]) == 1
+
+
+class TestRequirementGates:
+    @pytest.fixture()
+    def gated_baseline(self, workspace):
+        _, baseline_dir, write = workspace
+        write(
+            "thing.json",
+            {
+                "source": "BENCH_thing.json",
+                "require": {"mode": "full", "cpu_cores": {"min": 4}},
+                "fields": {"speedup": {"baseline": 3.0, "min_fraction": 0.8}},
+            },
+            kind="baseline",
+        )
+        return baseline_dir, write
+
+    def test_small_runner_skips_instead_of_failing(
+        self, check_bench, gated_baseline
+    ):
+        baseline_dir, write = gated_baseline
+        # A 2-core quick run whose speedup would fail the threshold...
+        artifact = write(
+            "BENCH_thing.json",
+            {"mode": "quick", "cpu_cores": 2, "speedup": 0.5},
+        )
+        # ...is deterministically skipped, because the artifact records why.
+        assert run_gate(check_bench, baseline_dir, [artifact]) == 0
+
+    def test_eligible_runner_is_enforced(self, check_bench, gated_baseline):
+        baseline_dir, write = gated_baseline
+        artifact = write(
+            "BENCH_thing.json",
+            {"mode": "full", "cpu_cores": 8, "speedup": 0.5},
+        )
+        assert run_gate(check_bench, baseline_dir, [artifact]) == 1
+
+
+class TestMissingArtifacts:
+    def test_missing_artifact_skips_by_default(self, check_bench, workspace):
+        tmp_path, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        missing = tmp_path / "BENCH_thing.json"  # never written
+        assert run_gate(check_bench, baseline_dir, [missing]) == 0
+
+    def test_require_all_fails_on_missing_artifact(
+        self, check_bench, workspace
+    ):
+        tmp_path, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        missing = tmp_path / "BENCH_thing.json"
+        assert (
+            run_gate(
+                check_bench, baseline_dir, [missing], extra=["--require-all"]
+            )
+            == 1
+        )
+
+
+class TestSummary:
+    def test_markdown_summary_is_appended(self, check_bench, workspace):
+        tmp_path, baseline_dir, write = workspace
+        write("thing.json", BASELINE, kind="baseline")
+        artifact = write("BENCH_thing.json", {"speedup": 12.0})
+        summary = tmp_path / "step_summary.md"
+        assert (
+            run_gate(
+                check_bench,
+                baseline_dir,
+                [artifact],
+                extra=["--summary", str(summary)],
+            )
+            == 0
+        )
+        text = summary.read_text()
+        assert "Benchmark perf gate" in text
+        assert "| BENCH_thing.json | speedup | 12 |" in text
+        assert "PASS" in text
+
+
+class TestRepositoryBaselines:
+    """The committed baselines must stay structurally valid."""
+
+    def test_committed_baselines_load(self, check_bench):
+        baseline_dir = _SCRIPT.parents[1] / "benchmarks" / "baselines"
+        baselines = check_bench.load_baselines(baseline_dir)
+        sources = {baseline["source"] for baseline in baselines}
+        assert {
+            "BENCH_bit_pipeline.json",
+            "BENCH_distributed.json",
+            "BENCH_distributed_bench.json",
+            "BENCH_serving.json",
+        } <= sources
+        for baseline in baselines:
+            assert baseline.get("fields"), baseline["source"]
