@@ -59,6 +59,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="root seed (default: fresh entropy, recorded in --json output)",
     )
     parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="numpy|threaded[:N]",
+        help="synthesis backend (default: $REPRO_BACKEND or numpy); "
+        "bit-for-bit equivalent, selects execution speed only",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         type=str,
         default=None,
@@ -170,6 +178,7 @@ def _build_spec(args: argparse.Namespace):
             overlapping=not args.disjoint,
             chunk_periods=args.chunk_periods,
             fit=not args.no_fit,
+            backend=args.backend,
             **noise,
         )
     dividers = tuple(int(d) for d in args.dividers.split(",") if d.strip())
@@ -181,6 +190,7 @@ def _build_spec(args: argparse.Namespace):
         seed=args.seed,
         run_procedure_a=args.procedure_a,
         run_procedure_b=args.procedure_b,
+        backend=args.backend,
         **noise,
     )
 
@@ -209,6 +219,7 @@ def _reference_result(spec):
         include_t0=spec.include_t0,
         run_procedure_b=spec.run_procedure_b,
         min_entropy_block_size=spec.min_entropy_block_size,
+        backend=spec.backend,
     )
 
 
@@ -272,7 +283,13 @@ def main(argv: Optional[list] = None) -> int:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
     _adopt_checkpoint_seed(args)
-    spec = _build_spec(args)
+    try:
+        spec = _build_spec(args)
+    except ValueError as error:
+        # Bad flag combinations (e.g. --backend typos) are usage errors, not
+        # tracebacks.
+        print(str(error), file=sys.stderr)
+        return 2
     executor = (
         SerialExecutor()
         if args.workers == 1

@@ -7,6 +7,10 @@ time to whole ensembles:
   synthesis with one spawned RNG stream per instance
   (:class:`BatchedOscillatorEnsemble`); the scalar oscillator/synthesizer
   classes are thin ``B = 1`` views over it.
+* :mod:`repro.engine.backends` — pluggable executors of the synthesis hot
+  kernel (:class:`NumpyBackend` reference, :class:`ThreadedBackend`), all
+  bit-for-bit equivalent; selected with ``backend=`` / ``--backend`` /
+  ``REPRO_BACKEND``.
 * :mod:`repro.engine.bits` — the batched TRNG bit pipeline: ensemble
   D-flip-flop sampling (:class:`BatchedDFlipFlopSampler`) and whole
   eRO-TRNG ensembles (:class:`BatchedEROTRNG`) producing ``(B, n_bits)``
@@ -32,6 +36,12 @@ package initialisation.
 
 from __future__ import annotations
 
+from .backends import (
+    NumpyBackend,
+    SynthesisBackend,
+    ThreadedBackend,
+    resolve_backend,
+)
 from .batch import (
     BatchedJitterDecomposition,
     BatchedJitterSynthesizer,
@@ -56,10 +66,14 @@ __all__ = [
     "BitCampaignResult",
     "BitCampaignSpec",
     "MultiprocessExecutor",
+    "NumpyBackend",
     "SerialExecutor",
     "ShardPlan",
     "Sigma2NCampaignSpec",
     "StreamingSigma2NEstimator",
+    "SynthesisBackend",
+    "ThreadedBackend",
+    "backends",
     "batched_bit_campaign",
     "batched_relative_jitter_campaign",
     "batched_sigma2_n_campaign",
@@ -67,6 +81,7 @@ __all__ = [
     "campaign",
     "batch",
     "distributed",
+    "resolve_backend",
     "fit_sigma2_n_curves",
     "generate_bits_exact",
     "plan_shards",

@@ -1,0 +1,120 @@
+"""Pluggable synthesis backends for the batched engine's hot kernel.
+
+The draw-and-shape step of
+:meth:`repro.engine.batch.BatchedJitterSynthesizer._components` — per-row
+fused ``standard_normal`` draws, thermal scaling, pink spectral shaping — is
+the single kernel every campaign bottlenecks on.  This package abstracts it
+behind :class:`SynthesisBackend` so accelerated implementations drop in
+underneath every workload at once:
+
+* :class:`NumpyBackend` — the single-threaded reference (a pure refactor of
+  the original inline kernel); the definition of correct output.
+* :class:`ThreadedBackend` — contiguous row blocks on a
+  ``ThreadPoolExecutor``; bit-for-bit identical to the reference at any
+  worker count because each row consumes only its own spawned RNG stream.
+
+Selection is by *backend spec*, a short string that serializes through
+campaign-spec JSON and CLI flags alike: ``"numpy"``, ``"threaded"`` (host
+CPU count) or ``"threaded:N"``.  :func:`resolve_backend` turns a spec (or
+``None``, honouring the ``REPRO_BACKEND`` environment default) into a
+backend instance; passing an instance returns it unchanged.
+
+The equivalence contract (every backend == :class:`NumpyBackend`, bitwise)
+is enforced by ``tests/engine/test_backend_equivalence.py`` and, end to end,
+by ``tests/property/test_backend_streams.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .base import SynthesisBackend
+from .numpy_backend import NumpyBackend
+from .threaded import ThreadedBackend
+
+#: Environment variable consulted when no backend is requested explicitly.
+#: ``REPRO_BACKEND=threaded`` (or ``threaded:N``) switches the default for a
+#: whole process tree — how CI runs the tier-1 suite on the threaded backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Spec names accepted by :func:`resolve_backend` (``threaded`` also takes a
+#: ``:N`` worker-count suffix).
+BACKEND_NAMES = ("numpy", "threaded")
+
+BackendLike = Union[SynthesisBackend, str, None]
+
+
+def parse_backend_spec(spec: str) -> SynthesisBackend:
+    """Build a backend from a spec string (``numpy`` | ``threaded[:N]``)."""
+    name, _, argument = str(spec).strip().partition(":")
+    if name == "numpy":
+        if argument:
+            raise ValueError(
+                f"backend spec {spec!r} invalid: 'numpy' takes no argument"
+            )
+        return NumpyBackend()
+    if name == "threaded":
+        if not argument:
+            return ThreadedBackend()
+        try:
+            workers = int(argument)
+        except ValueError:
+            raise ValueError(
+                f"backend spec {spec!r} invalid: worker count must be an "
+                f"integer, got {argument!r}"
+            ) from None
+        return ThreadedBackend(max_workers=workers)
+    raise ValueError(
+        f"unknown synthesis backend {spec!r}: choose one of "
+        f"{', '.join(BACKEND_NAMES)} (threaded accepts a ':N' worker suffix)"
+    )
+
+
+def resolve_backend(backend: BackendLike = None) -> SynthesisBackend:
+    """Resolve a backend argument to an instance.
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable and falls
+    back to the :class:`NumpyBackend` reference; a string is parsed as a
+    backend spec; an instance passes through unchanged.  Every engine entry
+    point funnels its ``backend=`` parameter through here, which is what
+    makes the environment default reach campaigns, shards and the serving
+    layer without per-call-site wiring.
+    """
+    if isinstance(backend, SynthesisBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    if not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be a SynthesisBackend, a spec string or None, "
+            f"got {type(backend).__name__}"
+        )
+    return parse_backend_spec(backend)
+
+
+def validate_backend_spec(spec: Optional[str]) -> Optional[str]:
+    """Validate a to-be-serialized spec string (``None`` passes through).
+
+    Campaign specs and serving requests store the *string*, not the
+    instance, so shards and remote workers re-create the backend host-side;
+    this validates eagerly at spec construction instead of failing inside a
+    worker process.
+    """
+    if spec is None:
+        return None
+    parse_backend_spec(spec)
+    return str(spec)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "BackendLike",
+    "NumpyBackend",
+    "SynthesisBackend",
+    "ThreadedBackend",
+    "parse_backend_spec",
+    "resolve_backend",
+    "validate_backend_spec",
+]

@@ -1,0 +1,86 @@
+"""The one synthesis row-loop every backend executes.
+
+There is exactly one copy of the draw-and-shape kernel in the tree: both
+:class:`~repro.engine.backends.numpy_backend.NumpyBackend` (one block
+covering all rows) and
+:class:`~repro.engine.backends.threaded.ThreadedBackend` (one block per
+worker) call :func:`run_block` — so the bitwise cross-backend contract can
+only drift if the *partitioning* changes, never the per-row draws.
+
+Per-row stream order (the scalar synthesizer's, exactly): a row's thermal
+variates are drawn before its flicker white noise — fused into one
+``standard_normal`` call when both coefficients are positive, which consumes
+the stream identically — and zero-coefficient rows skip their draw entirely.
+Each row touches only its own generator, so any block partition of the rows
+produces identical output; the spectral shaping is a row-wise FFT, so
+shaping per block equals shaping all rows at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...noise.flicker import (
+    _pink_spectral_shape,
+    _spectral_fft_length,
+    generate_pink_noise,
+)
+
+
+def flicker_offsets(h_minus1: np.ndarray) -> np.ndarray:
+    """Compact ``pink``-row offset of each row: ``offsets[i]`` is the number
+    of flicker rows (``h_minus1 > 0``) before row ``i``; ``offsets[-1]`` is
+    the total flicker-row count."""
+    return np.concatenate(([0], np.cumsum(np.asarray(h_minus1) > 0.0)))
+
+
+def run_block(
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    thermal_std_s: np.ndarray,
+    h_minus1: np.ndarray,
+    flicker_method: str,
+    thermal: np.ndarray,
+    pink: np.ndarray,
+    position: int,
+    start: int,
+    stop: int,
+) -> None:
+    """Draw and shape rows ``start..stop-1`` into the shared output arrays.
+
+    ``thermal`` is written at rows ``start..stop-1``; the block's shaped
+    pink rows land at ``pink[position:...]`` (``position`` = the block's
+    first compact flicker index, from :func:`flicker_offsets`).  Blocks
+    write disjoint slices, so concurrent calls need no synchronization.
+    """
+    sigma = thermal_std_s
+    if flicker_method == "spectral":
+        n_fft = _spectral_fft_length(n)
+        n_flicker = sum(1 for i in range(start, stop) if h_minus1[i] > 0.0)
+        white = np.empty((n_flicker, n_fft))
+        drawn = 0
+        for index in range(start, stop):
+            rng = rngs[index]
+            if sigma[index] > 0.0 and h_minus1[index] > 0.0:
+                draw = rng.standard_normal(n + n_fft)
+                np.multiply(draw[:n], sigma[index], out=thermal[index])
+                white[drawn] = draw[n:]
+                drawn += 1
+            elif sigma[index] > 0.0:
+                np.multiply(rng.standard_normal(n), sigma[index], out=thermal[index])
+            elif h_minus1[index] > 0.0:
+                white[drawn] = rng.standard_normal(n_fft)
+                drawn += 1
+        if n_flicker:
+            pink[position : position + n_flicker] = _pink_spectral_shape(white, n)
+    else:
+        for index in range(start, stop):
+            if sigma[index] > 0.0:
+                thermal[index] = sigma[index] * rngs[index].standard_normal(n)
+            if h_minus1[index] > 0.0:
+                pink[position] = generate_pink_noise(
+                    n, rng=rngs[index], method=flicker_method
+                )
+                position += 1

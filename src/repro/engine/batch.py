@@ -34,12 +34,9 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..noise.flicker import (
-    _pink_spectral_shape,
-    _spectral_fft_length,
-    generate_pink_noise_batch,
-)
+from ..noise.flicker import FLICKER_METHODS
 from ..phase.psd import PhaseNoisePSD
+from .backends import BackendLike, resolve_backend
 
 SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 
@@ -152,6 +149,13 @@ class BatchedJitterSynthesizer:
     flicker_method:
         1/f generator passed to :func:`repro.noise.flicker.generate_pink_noise`;
         ``"spectral"`` uses the batched FFT fast path.
+    backend:
+        Who executes the draw-and-shape kernel: a
+        :class:`~repro.engine.backends.SynthesisBackend` instance, a spec
+        string (``"numpy"`` | ``"threaded[:N]"``) or ``None`` (the
+        ``REPRO_BACKEND`` environment default, falling back to the NumPy
+        reference).  Backend choice never changes output — every backend is
+        bit-for-bit identical to the reference.
     """
 
     def __init__(
@@ -162,7 +166,13 @@ class BatchedJitterSynthesizer:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         seed: SeedLike = None,
         flicker_method: str = "spectral",
+        backend: BackendLike = None,
     ) -> None:
+        if flicker_method not in FLICKER_METHODS:
+            raise ValueError(
+                f"unknown flicker_method {flicker_method!r}: choose one of "
+                f"{', '.join(FLICKER_METHODS)}"
+            )
         if not isinstance(psds, PhaseNoisePSD):
             psds = list(psds)  # materialize once: iterators must survive inference
         inferred = batch_size
@@ -191,6 +201,7 @@ class BatchedJitterSynthesizer:
         else:
             self.rngs = spawn_generators(seed, self._batch_size)
         self.flicker_method = flicker_method
+        self._backend = resolve_backend(backend)
         # Per-instance synthesis coefficients (ground truth, not fitted).
         self._thermal_std_s = np.array(
             [
@@ -222,60 +233,43 @@ class BatchedJitterSynthesizer:
         """Ground-truth thermal per-period jitter std per instance, ``(B,)`` [s]."""
         return self._thermal_std_s.copy()
 
+    @property
+    def backend(self):
+        """The :class:`~repro.engine.backends.SynthesisBackend` in use."""
+        return self._backend
+
+    def use_backend(self, backend: BackendLike) -> None:
+        """Re-bind the synthesis backend (a pure execution-strategy change).
+
+        Safe at any point in the stream: backends are bit-for-bit equivalent,
+        so switching mid-record cannot change a single output value.
+        """
+        self._backend = resolve_backend(backend)
+
     # -- synthesis -----------------------------------------------------------
 
     def _components(self, n_periods: int):
         """Draw the thermal and flicker components, ``(B, n)`` each.
 
-        Per-row stream order matches the scalar synthesizer exactly: a row's
-        thermal variates are drawn before its flicker white noise (fused into
-        one ``standard_normal`` call per row, which consumes the stream
-        identically), and zero-coefficient rows skip their draw entirely.
+        The draw-and-shape step (per-row fused ``standard_normal`` draws,
+        thermal scaling, pink spectral shaping) is delegated to the backend;
+        per-row stream order matches the scalar synthesizer exactly (a row's
+        thermal variates precede its flicker white noise, zero-coefficient
+        rows skip their draw entirely), whatever backend executes it.
         """
         if n_periods < 0:
             raise ValueError(f"n_periods must be >= 0, got {n_periods!r}")
         n = int(n_periods)
         batch = self._batch_size
-        thermal = np.zeros((batch, n))
-        flicker = np.zeros((batch, n))
         if n == 0:
-            return thermal, flicker
-        sigma = self._thermal_std_s
+            return np.zeros((batch, 0)), np.zeros((batch, 0))
         h_minus1 = self._h_minus1
-        flicker_rows = [index for index in range(batch) if h_minus1[index] > 0.0]
-        if self.flicker_method == "spectral":
-            n_fft = _spectral_fft_length(n)
-            white = np.empty((len(flicker_rows), n_fft))
-            position = 0
-            for index in range(batch):
-                rng = self.rngs[index]
-                if sigma[index] > 0.0 and h_minus1[index] > 0.0:
-                    draw = rng.standard_normal(n + n_fft)
-                    np.multiply(draw[:n], sigma[index], out=thermal[index])
-                    white[position] = draw[n:]
-                    position += 1
-                elif sigma[index] > 0.0:
-                    np.multiply(
-                        rng.standard_normal(n), sigma[index], out=thermal[index]
-                    )
-                elif h_minus1[index] > 0.0:
-                    white[position] = rng.standard_normal(n_fft)
-                    position += 1
-            pink = (
-                _pink_spectral_shape(white, n)
-                if flicker_rows
-                else np.empty((0, n))
-            )
-        else:
-            for index in range(batch):
-                if sigma[index] > 0.0:
-                    thermal[index] = sigma[index] * self.rngs[index].standard_normal(n)
-            pink = generate_pink_noise_batch(
-                n,
-                [self.rngs[index] for index in flicker_rows],
-                method=self.flicker_method,
-            )
-        if flicker_rows:
+        thermal, pink = self._backend.synthesize(
+            n, self.rngs, self._thermal_std_s, h_minus1, self.flicker_method
+        )
+        flicker = np.zeros((batch, n))
+        flicker_rows = np.flatnonzero(h_minus1 > 0.0)
+        if flicker_rows.size:
             fractional_frequency = np.sqrt(h_minus1[flicker_rows])[:, None] * pink
             fractional_frequency *= -self.nominal_period_s[flicker_rows, None]
             flicker[flicker_rows] = fractional_frequency
@@ -353,6 +347,7 @@ class BatchedOscillatorEnsemble:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         seed: SeedLike = None,
         flicker_method: str = "spectral",
+        backend: BackendLike = None,
         name: str = "ensemble",
     ) -> None:
         if n_stages < 3:
@@ -366,6 +361,7 @@ class BatchedOscillatorEnsemble:
             rngs=rngs,
             seed=seed,
             flicker_method=flicker_method,
+            backend=backend,
         )
 
     @classmethod
@@ -379,6 +375,7 @@ class BatchedOscillatorEnsemble:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         seed: SeedLike = None,
         flicker_method: str = "spectral",
+        backend: BackendLike = None,
         name: str = "ensemble",
     ) -> "BatchedOscillatorEnsemble":
         """Ensemble from Eq. 10 coefficients (scalars or per-instance arrays)."""
@@ -408,6 +405,7 @@ class BatchedOscillatorEnsemble:
             rngs=rngs,
             seed=seed,
             flicker_method=flicker_method,
+            backend=backend,
             name=name,
         )
 
@@ -442,6 +440,16 @@ class BatchedOscillatorEnsemble:
     def rngs(self) -> List[np.random.Generator]:
         """Per-instance RNG streams (consuming them advances the ensemble)."""
         return self._synthesizer.rngs
+
+    @property
+    def backend(self):
+        """The :class:`~repro.engine.backends.SynthesisBackend` in use."""
+        return self._synthesizer.backend
+
+    def use_backend(self, backend: BackendLike) -> None:
+        """Re-bind the synthesis backend (never changes output — see
+        :meth:`BatchedJitterSynthesizer.use_backend`)."""
+        self._synthesizer.use_backend(backend)
 
     # -- synthesis -----------------------------------------------------------
 

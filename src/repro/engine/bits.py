@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .backends import BackendLike, resolve_backend
 from .batch import BatchedOscillatorEnsemble, SeedLike, spawn_generators
 
 
@@ -214,6 +215,10 @@ class BatchedDFlipFlopSampler:
         ``sample`` calls bit-for-bit identical to monolithic ones; it also
         bounds peak memory at ``O(batch * block)``.  The default
         ``max(8192, 2 * divider)`` guarantees at least two samples per block.
+    backend:
+        Optional synthesis backend re-bound onto both sources (sources that
+        expose ``use_backend``, i.e. the batched ensembles/synthesizers).
+        Backend choice never changes the sampled bits.
     """
 
     def __init__(
@@ -223,6 +228,7 @@ class BatchedDFlipFlopSampler:
         divider: int = 1,
         duty_cycle: float = 0.5,
         synthesis_block_periods: Optional[int] = None,
+        backend: BackendLike = None,
     ) -> None:
         if divider < 1:
             raise ValueError("divider must be >= 1")
@@ -230,6 +236,13 @@ class BatchedDFlipFlopSampler:
             raise ValueError("duty cycle must be in (0, 1)")
         self.sampled_source = _as_rows(sampled_source)
         self.sampling_source = _as_rows(sampling_source)
+        if backend is not None:
+            # Resolve once so both sources share one backend instance (one
+            # thread pool), even when a spec string is passed.
+            backend = resolve_backend(backend)
+            for source in (self.sampled_source, self.sampling_source):
+                if hasattr(source, "use_backend"):
+                    source.use_backend(backend)
         batch = int(self.sampled_source.batch_size)
         if int(self.sampling_source.batch_size) != batch:
             raise ValueError(
@@ -372,6 +385,10 @@ class BatchedEROTRNG:
         synthesized periods.  Bits are a deterministic function of
         (streams, configuration, block size): chunked calls never depend on
         chunking, but changing the block changes the edge-time grid.
+    backend:
+        Synthesis backend for both ring-oscillator ensembles (instance, spec
+        string or ``None`` for the ``REPRO_BACKEND``/NumPy default).  Backend
+        choice never changes the generated bits.
     """
 
     def __init__(
@@ -383,6 +400,7 @@ class BatchedEROTRNG:
         postprocessor=None,
         flicker_method: str = "spectral",
         synthesis_block_periods: Optional[int] = None,
+        backend: BackendLike = None,
     ) -> None:
         self.configuration = configuration
         if batch_size is None:
@@ -397,6 +415,9 @@ class BatchedEROTRNG:
                 )
         else:
             parents = spawn_generators(seed, batch_size)
+        # Resolve the backend once (honouring the REPRO_BACKEND default) so
+        # both ring ensembles share one instance — one thread pool, not two.
+        backend = resolve_backend(backend)
         streams = [parent.spawn(2) for parent in parents]
         mismatch = configuration.frequency_mismatch
         psd = configuration.oscillator_psd
@@ -407,6 +428,7 @@ class BatchedEROTRNG:
             batch_size=batch_size,
             rngs=[pair[0] for pair in streams],
             flicker_method=flicker_method,
+            backend=backend,
             name="sampled",
         )
         self.sampling_ensemble = BatchedOscillatorEnsemble(
@@ -415,6 +437,7 @@ class BatchedEROTRNG:
             batch_size=batch_size,
             rngs=[pair[1] for pair in streams],
             flicker_method=flicker_method,
+            backend=backend,
             name="sampling",
         )
         self._sampler = BatchedDFlipFlopSampler(
@@ -433,6 +456,22 @@ class BatchedEROTRNG:
     def divider(self) -> int:
         """Accumulation length ``D`` (sampling-oscillator periods per bit)."""
         return int(self.configuration.divider)
+
+    @property
+    def backend(self):
+        """The synthesis backend both ring ensembles run on."""
+        return self.sampled_ensemble.backend
+
+    def use_backend(self, backend: BackendLike) -> None:
+        """Re-bind the synthesis backend of both ring ensembles.
+
+        A pure execution-strategy change: the generated bit stream is
+        bit-for-bit unaffected.  Spec strings resolve once, so both
+        ensembles share the resulting instance.
+        """
+        backend = resolve_backend(backend)
+        self.sampled_ensemble.use_backend(backend)
+        self.sampling_ensemble.use_backend(backend)
 
     @property
     def output_bit_rate_hz(self) -> np.ndarray:

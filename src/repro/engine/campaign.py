@@ -39,6 +39,7 @@ from ..core.sigma_n import (
     assemble_variance_curves,
     batched_sigma2_n_sweep,
 )
+from .backends import BackendLike, resolve_backend
 from .batch import BatchedOscillatorEnsemble, SeedLike
 from .bits import BatchedEROTRNG
 from .streaming import streaming_accumulated_variance_curves
@@ -355,6 +356,7 @@ def batched_sigma2_n_campaign(
     fit: bool = True,
     weighted: bool = True,
     exact: bool = False,
+    backend: Optional[BackendLike] = None,
 ) -> BatchedCampaignResult:
     """Run the Fig. 7 experiment for every instance of an ensemble at once.
 
@@ -381,33 +383,47 @@ def batched_sigma2_n_campaign(
         (``False``) uses the fused reduction, which agrees with the scalar
         path to a relative ``~ sqrt(n_periods) * eps`` (orders of magnitude
         below the 1e-12 equivalence budget).
+    backend:
+        When given, re-bind the ensemble's synthesis backend for this
+        campaign only — the ensemble's previous backend is restored on
+        return (see :mod:`repro.engine.backends`).  Backend choice never
+        changes the campaign output.
     """
-    if chunk_periods is not None:
-        if exact:
-            raise ValueError(
-                "exact=True is incompatible with chunk_periods: the streaming "
-                "estimator uses the fused reduction and chunked synthesis"
+    restore = None
+    if backend is not None:
+        restore = ensemble.backend
+        ensemble.use_backend(backend)
+    try:
+        if chunk_periods is not None:
+            if exact:
+                raise ValueError(
+                    "exact=True is incompatible with chunk_periods: the "
+                    "streaming estimator uses the fused reduction and chunked "
+                    "synthesis"
+                )
+            curves = streaming_accumulated_variance_curves(
+                ensemble,
+                n_periods,
+                chunk_periods,
+                n_sweep=n_sweep,
+                overlapping=overlapping,
+                min_realizations=min_realizations,
             )
-        curves = streaming_accumulated_variance_curves(
-            ensemble,
-            n_periods,
-            chunk_periods,
-            n_sweep=n_sweep,
-            overlapping=overlapping,
-            min_realizations=min_realizations,
+            return _campaign_from_curves(curves, fit, weighted)
+        records = ensemble.jitter(n_periods)
+        return _campaign_from_records(
+            records,
+            ensemble.f0_hz,
+            n_sweep,
+            overlapping,
+            min_realizations,
+            fit,
+            weighted,
+            exact,
         )
-        return _campaign_from_curves(curves, fit, weighted)
-    records = ensemble.jitter(n_periods)
-    return _campaign_from_records(
-        records,
-        ensemble.f0_hz,
-        n_sweep,
-        overlapping,
-        min_realizations,
-        fit,
-        weighted,
-        exact,
-    )
+    finally:
+        if restore is not None:
+            ensemble.use_backend(restore)
 
 
 class _RelativeJitterSource:
@@ -446,6 +462,7 @@ def batched_relative_jitter_campaign(
     fit: bool = True,
     weighted: bool = True,
     exact: bool = False,
+    backend: Optional[BackendLike] = None,
 ) -> BatchedCampaignResult:
     """Batched differential (eRO-TRNG pair) campaign: B oscillator pairs.
 
@@ -461,32 +478,46 @@ def batched_relative_jitter_campaign(
             f"ensembles disagree on batch size: "
             f"{ensemble_1.batch_size} vs {ensemble_2.batch_size}"
         )
+    restore = None
+    if backend is not None:
+        # Resolve once so both ensembles share one backend instance; the
+        # previous backends are restored on return (campaign-scoped rebind).
+        restore = (ensemble_1.backend, ensemble_2.backend)
+        backend = resolve_backend(backend)
+        ensemble_1.use_backend(backend)
+        ensemble_2.use_backend(backend)
     source = _RelativeJitterSource(ensemble_1, ensemble_2)
-    if chunk_periods is not None:
-        if exact:
-            raise ValueError(
-                "exact=True is incompatible with chunk_periods: the streaming "
-                "estimator uses the fused reduction and chunked synthesis"
+    try:
+        if chunk_periods is not None:
+            if exact:
+                raise ValueError(
+                    "exact=True is incompatible with chunk_periods: the "
+                    "streaming estimator uses the fused reduction and chunked "
+                    "synthesis"
+                )
+            curves = streaming_accumulated_variance_curves(
+                source,
+                n_periods,
+                chunk_periods,
+                n_sweep=n_sweep,
+                overlapping=overlapping,
+                min_realizations=min_realizations,
             )
-        curves = streaming_accumulated_variance_curves(
-            source,
-            n_periods,
-            chunk_periods,
-            n_sweep=n_sweep,
-            overlapping=overlapping,
-            min_realizations=min_realizations,
+            return _campaign_from_curves(curves, fit, weighted)
+        return _campaign_from_records(
+            source.jitter(n_periods),
+            source.f0_hz,
+            n_sweep,
+            overlapping,
+            min_realizations,
+            fit,
+            weighted,
+            exact,
         )
-        return _campaign_from_curves(curves, fit, weighted)
-    return _campaign_from_records(
-        source.jitter(n_periods),
-        source.f0_hz,
-        n_sweep,
-        overlapping,
-        min_realizations,
-        fit,
-        weighted,
-        exact,
-    )
+    finally:
+        if restore is not None:
+            ensemble_1.use_backend(restore[0])
+            ensemble_2.use_backend(restore[1])
 
 
 _BIT_TABLE_COLUMNS = (
@@ -618,6 +649,7 @@ def batched_bit_campaign(
     run_procedure_b: bool = False,
     min_entropy_block_size: int = 8,
     instance_range: Optional[tuple] = None,
+    backend: Optional[BackendLike] = None,
 ) -> BitCampaignResult:
     """Entropy-vs-divider sweep over a whole eRO-TRNG ensemble at once.
 
@@ -658,6 +690,10 @@ def batched_bit_campaign(
         Requires a *stateless* seed (an int or ``SeedSequence``): only those
         re-derive the same spawn tree on every call, which is what makes
         shard rows belong to one coherent campaign.
+    backend:
+        Synthesis backend for the per-divider TRNG ensembles (instance, spec
+        string or ``None`` for the ``REPRO_BACKEND``/NumPy default).
+        Backend choice never changes the campaign output.
     """
     from ..ais31.procedure_a import procedure_a, rows_passed
     from ..ais31.procedure_b import procedure_b
@@ -669,6 +705,10 @@ def batched_bit_campaign(
     )
     from .batch import spawn_generators
 
+    # Resolve once (including the backend=None REPRO_BACKEND default) so
+    # every divider's ensemble pair shares one backend — one thread pool,
+    # not 2 x dividers of them.
+    backend = resolve_backend(backend)
     divider_grid = np.asarray([int(d) for d in dividers])
     if divider_grid.size == 0:
         raise ValueError("need at least one divider")
@@ -708,6 +748,7 @@ def batched_bit_campaign(
             replace(configuration, divider=int(divider)),
             batch_size=rows,
             rngs=parents,
+            backend=backend,
         )
         bits = trng.generate_raw(n_bits).bits
         bias[index] = bit_bias(bits)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ...paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ
+from ..backends import validate_backend_spec
 from ..batch import BatchedOscillatorEnsemble, spawn_generators
 
 ParamLike = Union[float, Tuple[float, ...]]
@@ -78,6 +79,13 @@ class Sigma2NCampaignSpec:
     or length-``batch_size`` sequences (a heterogeneous corner sweep).  A
     ``seed`` of ``None`` pins fresh root entropy at construction, so one spec
     instance always describes one reproducible campaign.
+
+    ``backend`` is a synthesis-backend *spec string* (``"numpy"`` |
+    ``"threaded[:N]"``; ``None`` defers to the worker's ``REPRO_BACKEND``/
+    NumPy default), stored as a string so every shard re-creates the backend
+    host-side.  Backends are bit-for-bit equivalent, so the field selects
+    execution speed only — results, shard invariance and ``--verify`` are
+    unaffected.
     """
 
     batch_size: int
@@ -94,6 +102,7 @@ class Sigma2NCampaignSpec:
     weighted: bool = True
     exact: bool = False
     flicker_method: str = "spectral"
+    backend: Optional[str] = None
     kind: str = field(default="sigma2n", init=False)
 
     def __post_init__(self) -> None:
@@ -122,6 +131,7 @@ class Sigma2NCampaignSpec:
             if not sweep or min(sweep) < 1:
                 raise ValueError("n_sweep must contain integers >= 1")
             object.__setattr__(self, "n_sweep", sweep)
+        object.__setattr__(self, "backend", validate_backend_spec(self.backend))
 
     def row_generators(
         self, start: Optional[int] = None, stop: Optional[int] = None
@@ -146,13 +156,19 @@ class Sigma2NCampaignSpec:
             batch_size=stop - start,
             rngs=self.row_generators(start, stop),
             flicker_method=self.flicker_method,
+            backend=self.backend,
             name=f"spec[{start}:{stop}]",
         )
 
 
 @dataclass(frozen=True)
 class BitCampaignSpec:
-    """Declarative form of one :func:`batched_bit_campaign` run."""
+    """Declarative form of one :func:`batched_bit_campaign` run.
+
+    ``backend`` is a synthesis-backend spec string (see
+    :class:`Sigma2NCampaignSpec`): a pure execution-speed selection that
+    shards re-create host-side; the generated bits are backend-independent.
+    """
 
     batch_size: int
     n_bits: int
@@ -167,6 +183,7 @@ class BitCampaignSpec:
     include_t0: bool = False
     run_procedure_b: bool = False
     min_entropy_block_size: int = 8
+    backend: Optional[str] = None
     kind: str = field(default="bits", init=False)
 
     def __post_init__(self) -> None:
@@ -182,6 +199,7 @@ class BitCampaignSpec:
             object.__setattr__(self, "seed", fresh_entropy())
         else:
             object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "backend", validate_backend_spec(self.backend))
         self.configuration()  # validate f0/mismatch eagerly
 
     def configuration(self, divider: Optional[int] = None):

@@ -85,6 +85,7 @@ def _run_bit_shard(spec: BitCampaignSpec, shard: Shard) -> Partial:
         run_procedure_b=spec.run_procedure_b,
         min_entropy_block_size=spec.min_entropy_block_size,
         instance_range=(shard.start, shard.stop),
+        backend=spec.backend,
     )
     payload: Partial = {
         "kind": np.array("bits"),

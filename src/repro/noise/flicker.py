@@ -26,6 +26,11 @@ import numpy as np
 
 from ..constants import BOLTZMANN_K, DEFAULT_TEMPERATURE_K
 
+#: The 1/f generator methods :func:`generate_pink_noise` implements.  Callers
+#: that accept a ``flicker_method`` parameter validate against this tuple
+#: eagerly instead of failing deep inside the first synthesis call.
+FLICKER_METHODS = ("spectral", "ar", "hosking")
+
 
 def flicker_current_psd(
     frequency_hz: np.ndarray | float,
@@ -186,7 +191,10 @@ def generate_pink_noise(
         return _pink_ar_cascade(n_samples, rng)
     if method == "hosking":
         return _pink_hosking(n_samples, rng)
-    raise ValueError(f"unknown pink-noise method {method!r}")
+    raise ValueError(
+        f"unknown pink-noise method {method!r}: choose one of "
+        f"{', '.join(FLICKER_METHODS)}"
+    )
 
 
 def generate_pink_noise_batch(

@@ -68,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="full-queue policy: shed load (reject) or suspend submitters",
     )
     parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="numpy|threaded[:N]",
+        help="synthesis backend for engine calls (default: $REPRO_BACKEND or "
+        "numpy); bit-for-bit equivalent, selects execution speed only",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -95,6 +103,7 @@ def _service(args: argparse.Namespace) -> TRNGService:
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         overflow=args.overflow,
+        backend=args.backend,
     )
 
 
@@ -152,6 +161,7 @@ async def _self_test(args: argparse.Namespace) -> int:
         summary = await run_self_test(
             max_batch=args.max_batch,
             max_wait_ms=max(args.max_wait_ms, 100.0),
+            backend=args.backend,
         )
     except AssertionError as error:
         print(f"self-test FAIL: {error}", file=sys.stderr)
@@ -180,6 +190,14 @@ def main(argv: Optional[list] = None) -> int:
     if args.max_wait_ms < 0:
         print("--max-wait-ms must be >= 0", file=sys.stderr)
         return 2
+    if args.backend is not None:
+        from .engine.backends import validate_backend_spec
+
+        try:
+            validate_backend_spec(args.backend)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     runner = _self_test if args.self_test else _serve
     try:
         return asyncio.run(runner(args))

@@ -22,6 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..engine.backends import BackendLike
 from ..engine.batch import BatchedOscillatorEnsemble
 from ..engine.bits import BatchedEROTRNG
 from ..engine.campaign import batched_sigma2_n_campaign
@@ -52,14 +53,21 @@ def serving_synthesis_block(divider: int) -> int:
     return max(SERVING_BLOCK_MIN_PERIODS, 2 * int(divider))
 
 
-def run_bits_batch(requests: Sequence[BitsRequest]) -> List[BitsResult]:
-    """Serve a compatible group of bit requests with one batched TRNG pass."""
+def run_bits_batch(
+    requests: Sequence[BitsRequest], backend: BackendLike = None
+) -> List[BitsResult]:
+    """Serve a compatible group of bit requests with one batched TRNG pass.
+
+    ``backend`` selects the synthesis backend of the engine call (bit-for-bit
+    equivalent across backends, so served bits never depend on it).
+    """
     lead = requests[0]
     trng = BatchedEROTRNG(
         lead.configuration(),
         batch_size=len(requests),
         rngs=[request.generator() for request in requests],
         synthesis_block_periods=serving_synthesis_block(lead.divider),
+        backend=backend,
     )
     bits = trng.generate_exact(max(request.n_bits for request in requests))
     return [
@@ -72,7 +80,9 @@ def run_bits_batch(requests: Sequence[BitsRequest]) -> List[BitsResult]:
     ]
 
 
-def run_sigma2n_batch(requests: Sequence[Sigma2NRequest]) -> List[Sigma2NResult]:
+def run_sigma2n_batch(
+    requests: Sequence[Sigma2NRequest], backend: BackendLike = None
+) -> List[Sigma2NResult]:
     """Serve a compatible group of sigma^2_N requests with one batched campaign."""
     lead = requests[0]
     ensemble = BatchedOscillatorEnsemble.from_phase_noise(
@@ -81,6 +91,7 @@ def run_sigma2n_batch(requests: Sequence[Sigma2NRequest]) -> List[Sigma2NResult]
         np.array([request.b_flicker_hz2 for request in requests]),
         batch_size=len(requests),
         rngs=[request.generator() for request in requests],
+        backend=backend,
         name="serving",
     )
     campaign = batched_sigma2_n_campaign(
@@ -107,13 +118,13 @@ def run_sigma2n_batch(requests: Sequence[Sigma2NRequest]) -> List[Sigma2NResult]
     ]
 
 
-def execute_batch(requests: Sequence[Request]) -> List:
+def execute_batch(requests: Sequence[Request], backend: BackendLike = None) -> List:
     """Run one coalesced batch on the engine (synchronous; worker-thread side)."""
     if not requests:
         return []
     if isinstance(requests[0], BitsRequest):
-        return run_bits_batch(requests)
-    return run_sigma2n_batch(requests)
+        return run_bits_batch(requests, backend=backend)
+    return run_sigma2n_batch(requests, backend=backend)
 
 
 class Scatterer:

@@ -239,6 +239,7 @@ async def run_self_test(
     max_wait_ms: float = 150.0,
     base_seed: int = 20140324,
     host: str = "127.0.0.1",
+    backend=None,
 ) -> Dict:
     """End-to-end smoke: concurrent sockets, coalescing, solo equivalence.
 
@@ -248,6 +249,10 @@ async def run_self_test(
     client's bits are bit-for-bit identical to serving its request **solo**
     (a one-request batch through the same engine bridge).  Returns a summary
     dict; raises ``AssertionError`` on any violation.
+
+    ``backend`` selects the *service's* synthesis backend; the solo
+    reference deliberately runs on the default backend, so a non-default
+    selection also smoke-tests the cross-backend bitwise contract end to end.
     """
     requests = [
         BitsRequest(
@@ -258,7 +263,10 @@ async def run_self_test(
         for index in range(n_clients)
     ]
     service = TRNGService(
-        max_batch=max_batch, max_wait_ms=max_wait_ms, max_pending=4 * n_clients
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        max_pending=4 * n_clients,
+        backend=backend,
     )
     server = TRNGServer(service, host=host, port=0)
     async with service:

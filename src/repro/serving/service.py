@@ -16,6 +16,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..engine.backends import BackendLike, resolve_backend
 from .coalescer import Coalescer
 from .queue import RequestQueue, ServiceStopped
 from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
@@ -88,6 +89,12 @@ class TRNGService:
         ``"reject"`` (load shedding, raises
         :class:`~repro.serving.queue.ServiceOverloaded`) or ``"wait"``
         (suspend the submitter until a slot frees).
+    backend:
+        Synthesis backend every engine call runs on: an instance, a spec
+        string (``"numpy"`` | ``"threaded[:N]"``) or ``None`` (the
+        ``REPRO_BACKEND``/NumPy default).  Resolved once at construction;
+        backends are bit-for-bit equivalent, so served results never depend
+        on the choice.
     """
 
     def __init__(
@@ -96,11 +103,13 @@ class TRNGService:
         max_wait_ms: float = 2.0,
         max_pending: int = 1024,
         overflow: str = "reject",
+        backend: BackendLike = None,
     ) -> None:
         self.queue = RequestQueue(max_pending=max_pending, overflow=overflow)
         self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
         self.scatterer = Scatterer()
         self.stats = ServiceStats()
+        self.backend = resolve_backend(backend)
         self._dispatch_task: Optional[asyncio.Task] = None
 
     @property
@@ -141,7 +150,9 @@ class TRNGService:
             self.stats.record_batch(len(batch))
             requests = [pending.request for pending in batch]
             try:
-                results = await asyncio.to_thread(execute_batch, requests)
+                results = await asyncio.to_thread(
+                    execute_batch, requests, self.backend
+                )
             except asyncio.CancelledError:
                 self.stats.failed += self.scatterer.fail(
                     batch, ServiceStopped("TRNG service stopped")

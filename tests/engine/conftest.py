@@ -1,0 +1,55 @@
+"""Shared fixtures for the engine test-suite.
+
+Campaign-scale objects that several tests (or several parametrizations of
+one test) only *read* are promoted to module/package scope so the suite
+computes them once.  Only read-only results are shared — ensembles and TRNGs
+are stateful (their RNG streams advance), so anything that consumes a stream
+stays function-scoped by construction.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.campaign import batched_bit_campaign
+from repro.paper import PAPER_F0_HZ
+from repro.phase.psd import PhaseNoisePSD
+from repro.trng.ero_trng import EROTRNGConfiguration
+
+#: Thermal-heavy per-oscillator PSD used by the bit-campaign tests: enough
+#: jitter that entropy trends appear at small dividers (fast records).
+THERMAL_HEAVY_PSD = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
+
+
+@pytest.fixture(scope="session")
+def thermal_heavy_configuration() -> EROTRNGConfiguration:
+    """Shared thermal-heavy eRO-TRNG configuration (divider re-bound per use)."""
+    return EROTRNGConfiguration(
+        f0_hz=PAPER_F0_HZ,
+        oscillator_psd=THERMAL_HEAVY_PSD,
+        divider=10,
+        frequency_mismatch=1e-3,
+    )
+
+
+@pytest.fixture(scope="session")
+def paired_bit_campaign(thermal_heavy_configuration) -> SimpleNamespace:
+    """One paired-design bit campaign, shared by every test that reads it.
+
+    Carries its own parameters so comparison tests re-derive the identical
+    RNG streams without duplicating magic numbers.
+    """
+    dividers = (10, 40, 160)
+    batch, n_bits, seed = 3, 2000, 13
+    result = batched_bit_campaign(
+        thermal_heavy_configuration,
+        list(dividers),
+        batch_size=batch,
+        n_bits=n_bits,
+        seed=seed,
+    )
+    return SimpleNamespace(
+        result=result, dividers=dividers, batch=batch, n_bits=n_bits, seed=seed
+    )

@@ -208,25 +208,28 @@ class TestSquareWaveLevelBatch:
 
 
 class TestBatchedBitCampaign:
-    def test_campaign_rows_match_scalar_trngs(self):
+    def test_campaign_table_shape(self, paired_bit_campaign):
+        assert paired_bit_campaign.result.bias.shape == (3, 3)
+        assert paired_bit_campaign.result.n_dividers == 3
+        assert paired_bit_campaign.result.batch_size == 3
+
+    @pytest.mark.slow
+    def test_campaign_rows_match_scalar_trngs(
+        self, paired_bit_campaign, thermal_heavy_configuration
+    ):
         """Campaign cell (divider d, instance i) == scalar TRNG estimates."""
-        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
-        configuration = _configuration(10, psd)
-        dividers = [10, 40, 160]
-        batch, n_bits, seed = 3, 2000, 13
-        result = batched_bit_campaign(
-            configuration, dividers, batch_size=batch, n_bits=n_bits, seed=seed
-        )
-        assert result.bias.shape == (3, 3)
         from dataclasses import replace
 
-        for index, divider in enumerate(dividers):
-            children = spawn_generators(seed, batch)
-            for row in range(batch):
+        campaign = paired_bit_campaign
+        result = campaign.result
+        for index, divider in enumerate(campaign.dividers):
+            children = spawn_generators(campaign.seed, campaign.batch)
+            for row in range(campaign.batch):
                 scalar = EROTRNG(
-                    replace(configuration, divider=divider), rng=children[row]
+                    replace(thermal_heavy_configuration, divider=divider),
+                    rng=children[row],
                 )
-                bits = scalar.generate(n_bits)
+                bits = scalar.generate(campaign.n_bits)
                 assert result.bias[index, row] == bit_bias(bits)
                 assert result.shannon_entropy[index, row] == pytest.approx(
                     shannon_entropy_per_bit(bits), rel=1e-12
@@ -235,21 +238,21 @@ class TestBatchedBitCampaign:
                     min_entropy_per_bit(bits, block_size=8), rel=1e-12
                 )
 
-    def test_entropy_increases_with_divider(self):
+    @pytest.mark.slow
+    def test_entropy_increases_with_divider(self, thermal_heavy_configuration):
         """More accumulation -> more entropy: the paper's design guidance."""
-        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
-        configuration = _configuration(10, psd)
         result = batched_bit_campaign(
-            configuration, [4, 600], batch_size=6, n_bits=4000, seed=2
+            thermal_heavy_configuration, [4, 600], batch_size=6, n_bits=4000, seed=2
         )
         summary = result.entropy_vs_divider()
         assert summary["markov_entropy"][1] > summary["markov_entropy"][0]
 
-    def test_ais31_verdict_arrays(self):
-        psd = PhaseNoisePSD(b_thermal_hz=2.5e4, b_flicker_hz2=0.0)
-        configuration = _configuration(250, psd)
+    @pytest.mark.slow
+    def test_ais31_verdict_arrays(self, thermal_heavy_configuration):
+        from dataclasses import replace
+
         result = batched_bit_campaign(
-            configuration,
+            replace(thermal_heavy_configuration, divider=250),
             [250],
             batch_size=2,
             n_bits=21_000,

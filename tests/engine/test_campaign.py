@@ -106,6 +106,7 @@ class TestResultsTable:
 
 
 class TestCampaignStatistics:
+    @pytest.mark.slow
     def test_thermal_only_campaign_matches_closed_form(self):
         psd = PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0)
         ensemble = BatchedOscillatorEnsemble(F0, psd, batch_size=8, seed=15)
@@ -115,6 +116,7 @@ class TestCampaignStatistics:
             median = float(np.median(result.sigma2_s2[:, column]))
             assert median == pytest.approx(expected, rel=0.1)
 
+    @pytest.mark.slow
     def test_heterogeneous_campaign_separates_instances(self):
         """A corner-sweep ensemble yields clearly distinct fitted b_th."""
         b_thermal = np.array([50.0, 276.0, 1500.0])

@@ -100,19 +100,32 @@ class TestSigma2NShardInvariance:
 
 
 class TestStreamingShardInvariance:
-    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
-    def test_streaming_merge_equals_unsharded(self, n_shards):
-        spec = Sigma2NCampaignSpec(
+    # Spec and unsharded reference are read-only across the shard-count
+    # parametrization; computing the reference once saves three streaming
+    # campaigns per run.
+    @pytest.fixture(scope="class")
+    def streaming_spec(self) -> Sigma2NCampaignSpec:
+        return Sigma2NCampaignSpec(
             batch_size=8,
             n_periods=16_384,
             chunk_periods=4096,
             seed=77,
         )
-        reference = batched_sigma2_n_campaign(
-            spec.ensemble(), spec.n_periods, chunk_periods=spec.chunk_periods
+
+    @pytest.fixture(scope="class")
+    def streaming_reference(self, streaming_spec):
+        return batched_sigma2_n_campaign(
+            streaming_spec.ensemble(),
+            streaming_spec.n_periods,
+            chunk_periods=streaming_spec.chunk_periods,
         )
-        result = run_campaign(spec, n_shards=n_shards)
-        assert_same_campaign(result, reference)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_streaming_merge_equals_unsharded(
+        self, streaming_spec, streaming_reference, n_shards
+    ):
+        result = run_campaign(streaming_spec, n_shards=n_shards)
+        assert_same_campaign(result, streaming_reference)
 
 
 class TestBitShardInvariance:

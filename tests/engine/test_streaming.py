@@ -111,6 +111,7 @@ class TestStreamingEstimatorWindowExactness:
 
 
 class TestStreamingCampaign:
+    @pytest.mark.slow
     def test_million_period_campaign_matches_monolithic(self):
         """Chunked >= 10^6-period campaign agrees with the one-shot campaign.
 
@@ -142,6 +143,7 @@ class TestStreamingCampaign:
         )
         np.testing.assert_allclose(streamed.sigma2_values_s2, expected, rtol=0.08)
 
+    @pytest.mark.slow
     def test_mixed_psd_streaming_fit_recovers_coefficients(self):
         """A chunked mixed-noise campaign recovers b_th (and b_fl's scale)."""
         psd = paper_phase_noise_psd()
