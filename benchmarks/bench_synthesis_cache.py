@@ -1,0 +1,260 @@
+"""Benchmark: the shared synthesis-plan cache vs per-call setup rebuilds.
+
+Every backend call starts by materializing RNG-independent spectral-shaping
+setup — the FFT length and 1/sqrt(f) scaling table (spectral) or the
+Corsini–Saletti cascade tables (ar).  The
+:class:`~repro.engine.backends.SynthesisPlan` cache shares that setup across
+every call with the same ``(n_periods, flicker_method, has_flicker)`` key:
+coalesced serving rows, streaming sessions, and both execution backends.
+
+Two measurements:
+
+* **setup**: plan-cache hit latency vs a full :func:`build_plan` rebuild —
+  exactly the work the cache removes, and what the headline target gates
+  on.  A regression here means the cache has stopped caching (hit path
+  rebuilding tables), which is the failure mode that matters.
+* **serving-shaped workload**: many small same-key ``synthesize`` calls
+  (coalescer-sized batches), cache enabled vs disabled — the end-to-end
+  effect, reported for context.  Synthesis draws dominate this number, so
+  it is informational, not gated.
+
+Because the cached tables must never change a single output bit, the script
+asserts cached == uncached synthesis (``np.array_equal``) across both
+flicker methods before any timing run.
+
+The headline target is a >= 10x setup speedup (cache hit vs rebuild) at the
+serving-sized record length; measured ~20x at n=256 and >1000x at n=65536
+on the development host, so the committed baseline
+(``benchmarks/baselines/synthesis_cache.json``) has wide margin against
+runner noise.
+
+Run ``python benchmarks/bench_synthesis_cache.py`` (add ``--quick`` for a
+smoke run, ``--check`` to gate on the target, ``--json PATH`` for CI
+artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from the repository root.
+sys.path.insert(0, "src")
+
+from repro.engine.backends import (  # noqa: E402
+    NumpyBackend,
+    configure_plan_cache,
+    plan_cache_stats,
+    reset_plan_cache,
+    synthesis_plan,
+)
+from repro.engine.backends.plan import (  # noqa: E402
+    DEFAULT_PLAN_CACHE_SIZE,
+    build_plan,
+)
+from repro.engine.batch import spawn_generators  # noqa: E402
+
+TARGET_SETUP_SPEEDUP = 10.0
+
+SIGMA_S = 1.2e-12
+H_MINUS1 = 3.1e-22
+
+
+def _best_of(function, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _synthesize_calls(batch: int, n: int, method: str, calls: int, seed: int):
+    """Serving-shaped traffic: many small same-group-key backend calls."""
+    backend = NumpyBackend()
+    sigma = np.full(batch, SIGMA_S)
+    h_minus1 = np.full(batch, H_MINUS1)
+    results = []
+    for call in range(calls):
+        results.append(
+            backend.synthesize(
+                n, spawn_generators(seed + call, batch), sigma, h_minus1, method
+            )
+        )
+    return results
+
+
+def verify_equivalence(batch: int, n: int, calls: int, seed: int) -> None:
+    """Assert cached synthesis == uncached synthesis, bitwise, pre-timing."""
+    for method in ("spectral", "ar"):
+        reset_plan_cache()
+        configure_plan_cache(0)
+        uncached = _synthesize_calls(batch, n, method, calls, seed)
+        reset_plan_cache()
+        configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+        cached = _synthesize_calls(batch, n, method, calls, seed)
+        if plan_cache_stats()["hits"] < calls - 1:
+            raise AssertionError(
+                f"plan cache did not serve hits (method={method}): "
+                f"{plan_cache_stats()}"
+            )
+        for left, right in zip(uncached, cached):
+            if not (
+                np.array_equal(left[0], right[0])
+                and np.array_equal(left[1], right[1])
+            ):
+                raise AssertionError(
+                    f"cached synthesis differs from uncached "
+                    f"(method={method}, B={batch}, n={n})"
+                )
+
+
+def time_setup(n: int, method: str, repeats: int, loops: int):
+    """Plan rebuild latency vs cache-hit latency, best-of, per call."""
+
+    def rebuild() -> None:
+        for _ in range(loops):
+            build_plan(n, method, True)
+
+    reset_plan_cache()
+    configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+    synthesis_plan(n, method, True)  # warm the one key
+
+    def hit() -> None:
+        for _ in range(loops):
+            synthesis_plan(n, method, True)
+
+    build_seconds = _best_of(rebuild, repeats) / loops
+    hit_seconds = _best_of(hit, repeats) / loops
+    return build_seconds, hit_seconds
+
+
+def time_workload(batch: int, n: int, calls: int, repeats: int, seed: int):
+    """Cache-off vs cache-on wall time of the serving-shaped workload."""
+
+    def run() -> None:
+        _synthesize_calls(batch, n, "spectral", calls, seed)
+
+    reset_plan_cache()
+    configure_plan_cache(0)
+    uncached = _best_of(run, repeats)
+    reset_plan_cache()
+    configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+    cached = _best_of(run, repeats)
+    return uncached, cached
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--batch", type=int, default=4, help="rows per coalesced call B"
+    )
+    parser.add_argument(
+        "--n-periods",
+        type=int,
+        default=256,
+        help="periods per row (serving-sized records)",
+    )
+    parser.add_argument(
+        "--calls", type=int, default=64, help="same-key backend calls"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repetitions (best-of; raise on a noisy machine)",
+    )
+    parser.add_argument("--seed", type=int, default=20140324)
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the setup-speedup target is missed",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the benchmark results to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.calls = min(args.calls, 16)
+        args.repeats = min(args.repeats, 3)
+
+    verify_equivalence(args.batch, args.n_periods, args.calls, args.seed)
+    print(
+        f"equivalence: cached == uncached synthesis (bitwise) for spectral + "
+        f"ar flicker over {args.calls} same-key calls "
+        f"(B={args.batch}, n={args.n_periods})"
+    )
+
+    loops = 50 if args.quick else 200
+    build_seconds, hit_seconds = time_setup(
+        args.n_periods, "spectral", args.repeats, loops
+    )
+    setup_speedup = build_seconds / hit_seconds
+    workload_uncached, workload_cached = time_workload(
+        args.batch, args.n_periods, args.calls, args.repeats, args.seed
+    )
+    workload_speedup = workload_uncached / workload_cached
+    cores = os.cpu_count() or 1
+
+    print(
+        f"\nworkload: {args.calls} calls x B={args.batch} x "
+        f"n={args.n_periods} periods ({cores} cores available)"
+    )
+    print(f"setup    rebuild : {build_seconds * 1e6:8.2f} us/plan")
+    print(f"setup    hit     : {hit_seconds * 1e6:8.2f} us/plan")
+    print(
+        f"setup    speedup : {setup_speedup:.1f}x "
+        f"(target >= {TARGET_SETUP_SPEEDUP}x)"
+    )
+    print(f"workload cache off: {workload_uncached * 1e3:7.1f} ms")
+    print(f"workload cache on : {workload_cached * 1e3:7.1f} ms")
+    print(
+        f"workload speedup  : {workload_speedup:.2f}x "
+        f"(informational; synthesis draws dominate)"
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "synthesis_cache",
+            "mode": "quick" if args.quick else "full",
+            "batch": args.batch,
+            "n_periods": args.n_periods,
+            "calls": args.calls,
+            "cpu_cores": cores,
+            "setup_build_seconds": build_seconds,
+            "setup_hit_seconds": hit_seconds,
+            "setup_speedup": setup_speedup,
+            "workload_uncached_seconds": workload_uncached,
+            "workload_cached_seconds": workload_cached,
+            "workload_speedup": workload_speedup,
+            "target_setup_speedup": TARGET_SETUP_SPEEDUP,
+            "equivalence": "bitwise",
+            "quick": bool(args.quick),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    if args.check and setup_speedup < TARGET_SETUP_SPEEDUP:
+        print(
+            f"FAIL: setup speedup below {TARGET_SETUP_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from .engine.distributed import (
     MultiprocessExecutor,
     SerialExecutor,
     Sigma2NCampaignSpec,
+    plan_shards_for_backend,
     run_campaign,
     spec_to_json,
 )
@@ -62,9 +63,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         type=str,
         default=None,
-        metavar="numpy|threaded[:N]",
-        help="synthesis backend (default: $REPRO_BACKEND or numpy); "
-        "bit-for-bit equivalent, selects execution speed only",
+        metavar="numpy|threaded[:N]|auto[:N]",
+        help="synthesis backend (default: $REPRO_BACKEND or numpy); auto "
+        "picks per call from a measured cost model; all backends are "
+        "bit-for-bit equivalent, the choice selects execution speed only",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -307,7 +309,14 @@ def main(argv: Optional[list] = None) -> int:
     )
     elapsed = time.perf_counter() - start
 
-    effective_shards = min(n_shards, spec.batch_size)
+    # Mirror run_campaign's backend-aware plan so the report shows the
+    # shard count that actually ran (threaded/auto backends clamp it).
+    effective_shards = plan_shards_for_backend(
+        spec.batch_size,
+        n_shards,
+        backend=spec.backend,
+        n_periods=getattr(spec, "n_periods", None),
+    ).n_shards
     print(
         f"{args.command} campaign: B={spec.batch_size}, "
         f"{effective_shards} shard(s), {args.workers} worker(s), "

@@ -20,6 +20,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from ..phase.psd import PhaseNoisePSD
+from ..scalars import scalar_like
 
 ArrayLike = Union[float, Sequence[float], np.ndarray]
 
@@ -47,9 +48,7 @@ def thermal_ratio(psd: PhaseNoisePSD, f0_hz: float, n: ArrayLike) -> ArrayLike:
         result = np.ones_like(n_array)
     else:
         result = constant / (constant + n_array)
-    if np.isscalar(n):
-        return float(result)
-    return result
+    return scalar_like(result, n)
 
 
 def independence_threshold(

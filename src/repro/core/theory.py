@@ -24,6 +24,7 @@ import numpy as np
 from scipy import integrate
 
 from ..phase.psd import PhaseNoisePSD
+from ..scalars import scalar_like
 
 ArrayLike = Union[float, Sequence[float], np.ndarray]
 
@@ -200,11 +201,7 @@ def _as_n_array(n: ArrayLike) -> np.ndarray:
 
 
 def _match_shape(result: np.ndarray, original: ArrayLike) -> ArrayLike:
-    if np.isscalar(original) or (
-        isinstance(original, np.ndarray) and original.ndim == 0
-    ):
-        return float(np.asarray(result))
-    return np.asarray(result)
+    return scalar_like(result, original)
 
 
 def _validate(coefficient: float, f0_hz: float) -> None:

@@ -12,12 +12,21 @@ underneath every workload at once:
 * :class:`ThreadedBackend` — contiguous row blocks on a
   ``ThreadPoolExecutor``; bit-for-bit identical to the reference at any
   worker count because each row consumes only its own spawned RNG stream.
+* :class:`AutoBackend` — a measured cost model (``B x n_periods``
+  row-sample threshold, core count) picks one of the above per call; see
+  :mod:`repro.engine.backends.auto`.
+
+All backends share the RNG-independent per-group setup (FFT scaling table,
+AR corner/pole tables) through the :mod:`repro.engine.backends.plan` cache;
+cached plans are bit-for-bit identical to the inline computation by
+construction.
 
 Selection is by *backend spec*, a short string that serializes through
 campaign-spec JSON and CLI flags alike: ``"numpy"``, ``"threaded"`` (host
-CPU count) or ``"threaded:N"``.  :func:`resolve_backend` turns a spec (or
-``None``, honouring the ``REPRO_BACKEND`` environment default) into a
-backend instance; passing an instance returns it unchanged.
+CPU count), ``"threaded:N"``, ``"auto"`` or ``"auto:N"``.
+:func:`resolve_backend` turns a spec (or ``None``, honouring the
+``REPRO_BACKEND`` environment default) into a backend instance; passing an
+instance returns it unchanged.
 
 The equivalence contract (every backend == :class:`NumpyBackend`, bitwise)
 is enforced by ``tests/engine/test_backend_equivalence.py`` and, end to end,
@@ -29,8 +38,16 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
+from .auto import AUTO_THRESHOLD_ENV_VAR, AutoBackend, measure_auto_threshold
 from .base import SynthesisBackend
 from .numpy_backend import NumpyBackend
+from .plan import (
+    SynthesisPlan,
+    configure_plan_cache,
+    plan_cache_stats,
+    reset_plan_cache,
+    synthesis_plan,
+)
 from .threaded import ThreadedBackend
 
 #: Environment variable consulted when no backend is requested explicitly.
@@ -38,15 +55,16 @@ from .threaded import ThreadedBackend
 #: whole process tree — how CI runs the tier-1 suite on the threaded backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-#: Spec names accepted by :func:`resolve_backend` (``threaded`` also takes a
-#: ``:N`` worker-count suffix).
-BACKEND_NAMES = ("numpy", "threaded")
+#: Spec names accepted by :func:`resolve_backend` (``threaded`` and ``auto``
+#: also take a ``:N`` worker-count suffix).
+BACKEND_NAMES = ("numpy", "threaded", "auto")
 
 BackendLike = Union[SynthesisBackend, str, None]
 
 
 def parse_backend_spec(spec: str) -> SynthesisBackend:
-    """Build a backend from a spec string (``numpy`` | ``threaded[:N]``)."""
+    """Build a backend from a spec string (``numpy`` | ``threaded[:N]`` |
+    ``auto[:N]``)."""
     name, _, argument = str(spec).strip().partition(":")
     if name == "numpy":
         if argument:
@@ -54,20 +72,23 @@ def parse_backend_spec(spec: str) -> SynthesisBackend:
                 f"backend spec {spec!r} invalid: 'numpy' takes no argument"
             )
         return NumpyBackend()
-    if name == "threaded":
-        if not argument:
-            return ThreadedBackend()
-        try:
-            workers = int(argument)
-        except ValueError:
-            raise ValueError(
-                f"backend spec {spec!r} invalid: worker count must be an "
-                f"integer, got {argument!r}"
-            ) from None
-        return ThreadedBackend(max_workers=workers)
+    if name in ("threaded", "auto"):
+        workers: Optional[int] = None
+        if argument:
+            try:
+                workers = int(argument)
+            except ValueError:
+                raise ValueError(
+                    f"backend spec {spec!r} invalid: worker count must be an "
+                    f"integer, got {argument!r}"
+                ) from None
+        if name == "threaded":
+            return ThreadedBackend(max_workers=workers)
+        return AutoBackend(max_workers=workers)
     raise ValueError(
         f"unknown synthesis backend {spec!r}: choose one of "
-        f"{', '.join(BACKEND_NAMES)} (threaded accepts a ':N' worker suffix)"
+        f"{', '.join(BACKEND_NAMES)} (threaded and auto accept a ':N' "
+        f"worker suffix)"
     )
 
 
@@ -108,13 +129,21 @@ def validate_backend_spec(spec: Optional[str]) -> Optional[str]:
 
 
 __all__ = [
+    "AUTO_THRESHOLD_ENV_VAR",
+    "AutoBackend",
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
     "BackendLike",
     "NumpyBackend",
     "SynthesisBackend",
+    "SynthesisPlan",
     "ThreadedBackend",
+    "configure_plan_cache",
+    "measure_auto_threshold",
     "parse_backend_spec",
+    "plan_cache_stats",
+    "reset_plan_cache",
     "resolve_backend",
+    "synthesis_plan",
     "validate_backend_spec",
 ]

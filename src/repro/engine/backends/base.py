@@ -33,7 +33,7 @@ enforces the contract for every shipped backend.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,17 @@ class SynthesisBackend(ABC):
     def spec(self) -> str:
         """The backend-spec string that recreates this backend."""
         return self.name
+
+    def min_shard_rows(self, n_periods: Optional[int] = None) -> int:
+        """Rows a shard should keep to exploit this backend's parallelism.
+
+        The distributed planner uses this to avoid slicing a batch into
+        shards so thin that an intra-shard parallel backend runs starved
+        (e.g. a ``threaded:8`` backend inside a 1-row shard parallelises
+        nothing).  Sequential backends return 1 — any shard size is fine.
+        ``n_periods`` lets cost-model backends answer per workload.
+        """
+        return 1
 
     @abstractmethod
     def synthesize(

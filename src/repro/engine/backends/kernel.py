@@ -18,15 +18,17 @@ shaping per block equals shaping all rows at once.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ...noise.flicker import (
+    _pink_ar_cascade,
     _pink_spectral_shape,
     _spectral_fft_length,
     generate_pink_noise,
 )
+from .plan import SynthesisPlan
 
 
 def flicker_offsets(h_minus1: np.ndarray) -> np.ndarray:
@@ -47,6 +49,7 @@ def run_block(
     position: int,
     start: int,
     stop: int,
+    plan: Optional[SynthesisPlan] = None,
 ) -> None:
     """Draw and shape rows ``start..stop-1`` into the shared output arrays.
 
@@ -54,10 +57,23 @@ def run_block(
     pink rows land at ``pink[position:...]`` (``position`` = the block's
     first compact flicker index, from :func:`flicker_offsets`).  Blocks
     write disjoint slices, so concurrent calls need no synchronization.
+
+    ``plan``, when given, must be the
+    :class:`~repro.engine.backends.plan.SynthesisPlan` of this block's group
+    key ``(n, flicker_method, any flicker rows)``; its precomputed tables
+    replace the inline FFT-scaling / AR-cascade setup with values that are
+    bit-for-bit identical (both come from the same builders in
+    :mod:`repro.noise.flicker`).  ``None`` computes everything inline — the
+    uncached reference path the equivalence tests compare against.
     """
     sigma = thermal_std_s
+    scaling = plan.spectral_scaling if plan is not None else None
+    ar_tables = plan.ar_tables if plan is not None else None
     if flicker_method == "spectral":
-        n_fft = _spectral_fft_length(n)
+        if plan is not None and plan.n_fft is not None:
+            n_fft = plan.n_fft
+        else:
+            n_fft = _spectral_fft_length(n)
         n_flicker = sum(1 for i in range(start, stop) if h_minus1[i] > 0.0)
         white = np.empty((n_flicker, n_fft))
         drawn = 0
@@ -74,13 +90,20 @@ def run_block(
                 white[drawn] = rng.standard_normal(n_fft)
                 drawn += 1
         if n_flicker:
-            pink[position : position + n_flicker] = _pink_spectral_shape(white, n)
+            pink[position : position + n_flicker] = _pink_spectral_shape(
+                white, n, scaling=scaling
+            )
     else:
         for index in range(start, stop):
             if sigma[index] > 0.0:
                 thermal[index] = sigma[index] * rngs[index].standard_normal(n)
             if h_minus1[index] > 0.0:
-                pink[position] = generate_pink_noise(
-                    n, rng=rngs[index], method=flicker_method
-                )
+                if flicker_method == "ar" and ar_tables is not None:
+                    pink[position] = _pink_ar_cascade(
+                        n, rngs[index], tables=ar_tables
+                    )
+                else:
+                    pink[position] = generate_pink_noise(
+                        n, rng=rngs[index], method=flicker_method
+                    )
                 position += 1

@@ -15,6 +15,7 @@ import numpy as np
 
 from .base import SynthesisBackend
 from .kernel import flicker_offsets, run_block
+from .plan import synthesis_plan
 
 
 class NumpyBackend(SynthesisBackend):
@@ -39,8 +40,20 @@ class NumpyBackend(SynthesisBackend):
         batch = len(rngs)
         thermal = np.zeros((batch, n))
         offsets = flicker_offsets(h_minus1)
-        pink = np.empty((int(offsets[-1]), n))
+        n_flicker = int(offsets[-1])
+        pink = np.empty((n_flicker, n))
+        plan = synthesis_plan(n, flicker_method, n_flicker > 0)
         run_block(
-            n, rngs, thermal_std_s, h_minus1, flicker_method, thermal, pink, 0, 0, batch
+            n,
+            rngs,
+            thermal_std_s,
+            h_minus1,
+            flicker_method,
+            thermal,
+            pink,
+            0,
+            0,
+            batch,
+            plan=plan,
         )
         return thermal, pink

@@ -33,6 +33,7 @@ import numpy as np
 
 from .base import SynthesisBackend
 from .kernel import flicker_offsets, run_block
+from .plan import synthesis_plan
 
 
 def _row_blocks(batch: int, n_blocks: int) -> List[Tuple[int, int]]:
@@ -72,6 +73,10 @@ class ThreadedBackend(SynthesisBackend):
     def spec(self) -> str:
         return f"threaded:{self.max_workers}"
 
+    def min_shard_rows(self, n_periods: Optional[int] = None) -> int:
+        # A shard thinner than the worker count leaves threads idle.
+        return self.max_workers
+
     def _executor(self) -> ThreadPoolExecutor:
         # Lazy: a backend constructed only to be serialized (spec strings in
         # campaign specs) never starts threads.  Guarded by a lock — one
@@ -99,8 +104,12 @@ class ThreadedBackend(SynthesisBackend):
         # Compact destination row of each flicker row: blocks write disjoint
         # slices of `pink`, offset by the flicker-row count before them.
         offsets = flicker_offsets(h_minus1)
-        pink = np.empty((int(offsets[-1]), n))
+        n_flicker = int(offsets[-1])
+        pink = np.empty((n_flicker, n))
         blocks = _row_blocks(batch, self.max_workers)
+        # One plan lookup for the whole batch: every worker block shares the
+        # same immutable tables (they only read them).
+        plan = synthesis_plan(n, flicker_method, n_flicker > 0)
 
         def block_task(start: int, stop: int) -> None:
             run_block(
@@ -114,6 +123,7 @@ class ThreadedBackend(SynthesisBackend):
                 int(offsets[start]),
                 start,
                 stop,
+                plan=plan,
             )
 
         if len(blocks) == 1:

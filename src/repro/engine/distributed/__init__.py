@@ -19,7 +19,7 @@ from __future__ import annotations
 from .checkpoint import CampaignCheckpoint
 from .executor import MultiprocessExecutor, SerialExecutor
 from .merge import merge_bit_partials, merge_sigma2n_partials
-from .plan import Shard, ShardPlan, plan_shards
+from .plan import Shard, ShardPlan, plan_shards, plan_shards_for_backend
 from .runner import run_campaign
 from .spec import (
     BitCampaignSpec,
@@ -42,6 +42,7 @@ __all__ = [
     "merge_bit_partials",
     "merge_sigma2n_partials",
     "plan_shards",
+    "plan_shards_for_backend",
     "run_campaign",
     "run_shard",
     "spec_from_json",

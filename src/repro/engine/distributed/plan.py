@@ -12,7 +12,9 @@ regardless of the shard count (see ``tests/engine/test_distributed_invariance``)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
+
+from ..backends import BackendLike, resolve_backend
 
 
 @dataclass(frozen=True)
@@ -99,3 +101,27 @@ def plan_shards(batch_size: int, n_shards: int) -> ShardPlan:
         shards.append(Shard(index=index, start=start, stop=stop))
         start = stop
     return ShardPlan(batch_size=int(batch_size), shards=tuple(shards))
+
+
+def plan_shards_for_backend(
+    batch_size: int,
+    n_shards: int,
+    backend: BackendLike = None,
+    n_periods: Optional[int] = None,
+) -> ShardPlan:
+    """Balanced plan whose shard count respects the backend's parallelism.
+
+    An intra-shard parallel backend (``threaded:N``, ``auto``) wants at
+    least :meth:`~repro.engine.backends.SynthesisBackend.min_shard_rows`
+    rows per shard — thinner shards leave its workers starved, so slicing a
+    batch into many 1-row shards can make a multiprocess campaign *slower*
+    than fewer fat shards.  This clamps ``n_shards`` so every shard meets
+    the backend's floor (falling back to a single shard when the whole
+    batch is below it) and delegates to :func:`plan_shards`.  Shard
+    partitioning never changes results — only wall-clock — so the clamp is
+    always safe.
+    """
+    min_rows = resolve_backend(backend).min_shard_rows(n_periods)
+    if min_rows > 1:
+        n_shards = max(1, min(int(n_shards), int(batch_size) // int(min_rows)))
+    return plan_shards(batch_size, n_shards)

@@ -27,7 +27,7 @@ from ..campaign import BatchedCampaignResult, BitCampaignResult
 from .checkpoint import CampaignCheckpoint
 from .executor import SerialExecutor
 from .merge import merge_bit_partials, merge_sigma2n_partials
-from .plan import ShardPlan, plan_shards
+from .plan import ShardPlan, plan_shards_for_backend
 from .spec import BitCampaignSpec, CampaignSpec, Sigma2NCampaignSpec
 from .worker import run_shard
 
@@ -71,7 +71,16 @@ def run_campaign(
     if plan is None:
         if n_shards is None:
             n_shards = getattr(executor, "max_workers", 1)
-        plan = plan_shards(spec.batch_size, n_shards)
+        # Backend-aware sizing: an intra-shard parallel backend (threaded,
+        # auto) gets shards at least as fat as its worker pool.  Explicit
+        # plans are honoured verbatim — checkpointed runs must resume on
+        # the exact plan they were started with.
+        plan = plan_shards_for_backend(
+            spec.batch_size,
+            n_shards,
+            backend=spec.backend,
+            n_periods=getattr(spec, "n_periods", None),
+        )
     elif plan.batch_size != spec.batch_size:
         raise ValueError(
             f"plan covers {plan.batch_size} rows but the spec has "

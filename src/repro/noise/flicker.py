@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..constants import BOLTZMANN_K, DEFAULT_TEMPERATURE_K
+from ..scalars import scalar_like
 
 #: The 1/f generator methods :func:`generate_pink_noise` implements.  Callers
 #: that accept a ``flicker_method`` parameter validate against this tuple
@@ -77,10 +78,7 @@ def flicker_current_psd(
         * drain_current_a**2
         / (width_m * length_m**2)
     )
-    result = coefficient / frequency
-    if np.isscalar(frequency_hz):
-        return float(result)
-    return result
+    return scalar_like(coefficient / frequency, frequency_hz)
 
 
 def flicker_corner_frequency(
@@ -135,10 +133,7 @@ class FlickerNoiseSource:
         frequency = np.asarray(frequency_hz, dtype=float)
         if np.any(frequency <= 0.0):
             raise ValueError("flicker PSD is only defined for f > 0")
-        result = self.coefficient_a2 / frequency
-        if np.isscalar(frequency_hz):
-            return float(result)
-        return result
+        return scalar_like(self.coefficient_a2 / frequency, frequency_hz)
 
     def sample(
         self,
@@ -147,13 +142,20 @@ class FlickerNoiseSource:
         rng: Optional[np.random.Generator] = None,
         method: str = "spectral",
     ) -> np.ndarray:
-        """Draw a 1/f-noise current sample path [A] with this source's PSD."""
+        """Draw a 1/f-noise current sample path [A] with this source's PSD.
+
+        ``sampling_rate_hz`` must be > 0 but does **not** scale the
+        amplitude: a discrete sequence with unit-coefficient 1/f PSD in
+        cycles/sample, re-interpreted at rate ``fs``, has one-sided PSD
+        ``(1/(f/fs))/fs = 1/f`` in real frequency — the ``fs`` factors
+        cancel because a 1/f spectrum is scale free.  Only
+        ``sqrt(coefficient_a2)`` scales the amplitude.
+        """
+        if sampling_rate_hz <= 0.0:
+            raise ValueError(
+                f"sampling rate must be > 0 Hz, got {sampling_rate_hz!r}"
+            )
         pink = generate_pink_noise(n_samples, rng=rng, method=method)
-        # generate_pink_noise returns unit-coefficient one-sided PSD 1/f when
-        # sampled at 1 Hz; rescaling for fs and the coefficient:
-        # a discrete sequence x[k] sampled at fs with one-sided PSD c/f has the
-        # same shape for any fs (1/f is scale free); only the amplitude must be
-        # scaled by sqrt(coefficient).
         return np.sqrt(self.coefficient_a2) * pink
 
 
@@ -236,15 +238,42 @@ def _spectral_fft_length(n_samples: int) -> int:
     return int(2 ** np.ceil(np.log2(max(n_samples * 2, 16))))
 
 
-def _pink_spectral_shape(white: np.ndarray, n_samples: int) -> np.ndarray:
-    """Shape white noise (last axis = time, length ``n_fft``) to a 1/f PSD."""
-    n_fft = white.shape[-1]
-    spectrum = np.fft.rfft(white, axis=-1)
+def spectral_scaling_table(n_fft: int) -> np.ndarray:
+    """The ``1/sqrt(f)`` rFFT amplitude-shaping table of the spectral method.
+
+    Depends only on ``n_fft`` (hence only on ``n_samples``), which makes it a
+    natural member of a precomputed :class:`~repro.engine.backends.plan.\
+SynthesisPlan`; :func:`_pink_spectral_shape` recomputes it inline when no
+    table is supplied, so the cached and uncached paths share this single
+    definition.
+    """
     freqs = np.fft.rfftfreq(n_fft, d=1.0)
     scaling = np.ones_like(freqs)
     nonzero = freqs > 0
     scaling[nonzero] = 1.0 / np.sqrt(freqs[nonzero])
     scaling[0] = 0.0  # remove the DC component: 1/f noise has no defined mean.
+    return scaling
+
+
+def _pink_spectral_shape(
+    white: np.ndarray, n_samples: int, scaling: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Shape white noise (last axis = time, length ``n_fft``) to a 1/f PSD.
+
+    ``scaling``, when given, must be ``spectral_scaling_table(n_fft)`` for the
+    matching FFT length (precomputed by the synthesis-plan cache); ``None``
+    computes it inline.  Both paths multiply the identical table, so the
+    results are bit-for-bit equal.
+    """
+    n_fft = white.shape[-1]
+    spectrum = np.fft.rfft(white, axis=-1)
+    if scaling is None:
+        scaling = spectral_scaling_table(n_fft)
+    elif scaling.shape != (n_fft // 2 + 1,):
+        raise ValueError(
+            f"scaling table has shape {scaling.shape}, expected "
+            f"{(n_fft // 2 + 1,)} for n_fft={n_fft}"
+        )
     shaped = np.fft.irfft(spectrum * scaling, n=n_fft, axis=-1)
     # White noise of unit variance has one-sided PSD 2/fs = 2 (fs = 1), so the
     # shaped sequence has PSD 2/f; divide the amplitude by sqrt(2) to obtain
@@ -259,8 +288,47 @@ def _pink_spectral(n_samples: int, rng: np.random.Generator) -> np.ndarray:
     return _pink_spectral_shape(white, n_samples)
 
 
+@dataclass(frozen=True)
+class ArCascadeTables:
+    """RNG-independent setup of the AR-cascade 1/f generator for one ``n``.
+
+    ``corners`` are the log-spaced Lorentzian corner frequencies,
+    ``poles = exp(-2*pi*corner)`` the matching one-pole coefficients,
+    ``weights = sqrt(corner)`` the per-section output weights, and
+    ``target_variance = ln(f_high/f_low)`` the empirical normalisation
+    target.  All four depend only on ``n_samples`` (and the section density),
+    never on the random stream, so they can be computed once per group key
+    and shared across every row and session synthesising that length.
+    """
+
+    corners: np.ndarray
+    poles: np.ndarray
+    weights: np.ndarray
+    target_variance: float
+
+
+def ar_cascade_tables(
+    n_samples: int, sections_per_decade: float = 1.5
+) -> ArCascadeTables:
+    """Build the corner/pole/weight tables used by :func:`_pink_ar_cascade`."""
+    f_high = 0.5
+    f_low = max(1.0 / (4.0 * n_samples), 1e-12)
+    n_decades = np.log10(f_high / f_low)
+    n_sections = max(int(np.ceil(n_decades * sections_per_decade)), 3)
+    corners = np.logspace(np.log10(f_low), np.log10(f_high), n_sections)
+    return ArCascadeTables(
+        corners=corners,
+        poles=np.exp(-2.0 * np.pi * corners),
+        weights=np.sqrt(corners),
+        target_variance=float(np.log(f_high / f_low)),
+    )
+
+
 def _pink_ar_cascade(
-    n_samples: int, rng: np.random.Generator, sections_per_decade: float = 1.5
+    n_samples: int,
+    rng: np.random.Generator,
+    sections_per_decade: float = 1.5,
+    tables: Optional[ArCascadeTables] = None,
 ) -> np.ndarray:
     """Pink noise as a sum of first-order AR (Lorentzian) processes.
 
@@ -269,15 +337,16 @@ def _pink_ar_cascade(
     classical Corsini-Saletti / Voss construction and also mirrors the
     physical McWhorter picture of flicker noise as a superposition of
     carrier-trapping processes with a wide distribution of time constants.
+
+    ``tables``, when given, must be ``ar_cascade_tables(n_samples,
+    sections_per_decade)`` (precomputed by the synthesis-plan cache); ``None``
+    computes the identical tables inline, so both paths are bit-for-bit equal.
     """
-    f_high = 0.5
-    f_low = max(1.0 / (4.0 * n_samples), 1e-12)
-    n_decades = np.log10(f_high / f_low)
-    n_sections = max(int(np.ceil(n_decades * sections_per_decade)), 3)
-    corners = np.logspace(np.log10(f_low), np.log10(f_high), n_sections)
+    if tables is None:
+        tables = ar_cascade_tables(n_samples, sections_per_decade)
     output = np.zeros(n_samples)
-    for corner in corners:
-        pole = np.exp(-2.0 * np.pi * corner)
+    for section_index in range(len(tables.corners)):
+        pole = tables.poles[section_index]
         drive = rng.normal(0.0, 1.0, size=n_samples)
         section = np.empty(n_samples)
         state = drive[0] / np.sqrt(max(1.0 - pole**2, 1e-12))
@@ -286,13 +355,12 @@ def _pink_ar_cascade(
             section[index] = state
         # Each Lorentzian contributes PSD ~ 1/(1 + (f/corner)^2); weight so the
         # log-spaced sum approximates 1/f.
-        output += section * np.sqrt(corner)
+        output += section * tables.weights[section_index]
     # Normalise empirically to a unit-coefficient 1/f PSD using the variance
     # relation var = integral of PSD = ln(f_high/f_low) for PSD 1/f.
-    target_variance = np.log(f_high / f_low)
     current_variance = np.var(output)
     if current_variance > 0.0:
-        output *= np.sqrt(target_variance / current_variance)
+        output *= np.sqrt(tables.target_variance / current_variance)
     return output
 
 
@@ -312,8 +380,12 @@ def _pink_hosking(n_samples: int, rng: np.random.Generator) -> np.ndarray:
     output[0] = white[0]
     for t in range(1, n_samples):
         phi[t - 1] = d / t
-        for j in range(t - 1):
-            phi[j] = phi[j] - phi[t - 1] * phi[t - 2 - j]
+        # Durbin update phi_{t,j} = phi_{t-1,j} - phi_{t,t} * phi_{t-1,t-1-j}
+        # on a copy of the previous-order coefficients: updating phi in place
+        # while reading phi[t-2-j] consumed already-overwritten values for
+        # j > (t-2)/2, corrupting the predictor for every order above 2.
+        previous = phi[: t - 1].copy()
+        phi[: t - 1] = previous - phi[t - 1] * previous[::-1]
         variance *= 1.0 - phi[t - 1] ** 2
         mean = np.dot(phi[:t], output[t - 1 :: -1][:t])
         output[t] = mean + np.sqrt(max(variance, 0.0)) * white[t]

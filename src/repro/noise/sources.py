@@ -17,6 +17,7 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
+from ..scalars import scalar_like
 from .flicker import FlickerNoiseSource
 from .thermal import ThermalNoiseSource
 
@@ -60,9 +61,7 @@ class CompositeNoiseSource:
         total = np.zeros_like(np.asarray(frequency_hz, dtype=float))
         for source in self.sources:
             total = total + np.asarray(source.psd(frequency_hz), dtype=float)
-        if np.isscalar(frequency_hz):
-            return float(total)
-        return total
+        return scalar_like(total, frequency_hz)
 
     def sample(
         self,

@@ -15,6 +15,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..scalars import scalar_like
+
 
 @dataclass(frozen=True)
 class PhaseNoisePSD:
@@ -45,29 +47,21 @@ class PhaseNoisePSD:
         result = (
             self.b_flicker_hz2 / frequency**3 + self.b_thermal_hz / frequency**2
         )
-        if np.isscalar(frequency_hz):
-            return float(result)
-        return result
+        return scalar_like(result, frequency_hz)
 
     def thermal_part(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
         """The ``b_th/f^2`` component alone [rad^2/Hz]."""
         frequency = np.asarray(frequency_hz, dtype=float)
         if np.any(frequency <= 0.0):
             raise ValueError("S_phi(f) is only defined for f > 0")
-        result = self.b_thermal_hz / frequency**2
-        if np.isscalar(frequency_hz):
-            return float(result)
-        return result
+        return scalar_like(self.b_thermal_hz / frequency**2, frequency_hz)
 
     def flicker_part(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
         """The ``b_fl/f^3`` component alone [rad^2/Hz]."""
         frequency = np.asarray(frequency_hz, dtype=float)
         if np.any(frequency <= 0.0):
             raise ValueError("S_phi(f) is only defined for f > 0")
-        result = self.b_flicker_hz2 / frequency**3
-        if np.isscalar(frequency_hz):
-            return float(result)
-        return result
+        return scalar_like(self.b_flicker_hz2 / frequency**3, frequency_hz)
 
     def corner_frequency_hz(self) -> float:
         """Flicker corner of the phase noise: frequency where both terms are equal.
@@ -87,10 +81,7 @@ class PhaseNoisePSD:
     ) -> np.ndarray | float:
         """Single-sideband phase noise L(f) = S_phi(f)/2 expressed in dBc/Hz."""
         spectrum = np.asarray(self(offset_hz), dtype=float) / 2.0
-        result = 10.0 * np.log10(spectrum)
-        if np.isscalar(offset_hz):
-            return float(result)
-        return result
+        return scalar_like(10.0 * np.log10(spectrum), offset_hz)
 
     # -- Per-period jitter parameters used by the time-domain synthesiser ---
 

@@ -1,0 +1,38 @@
+"""Scalar-in, scalar-out return-shape discipline for array-or-scalar APIs.
+
+Many functions in this reproduction accept ``np.ndarray | float`` and promise
+to return a plain Python scalar when the input was scalar.  The historical
+idiom — ``if np.isscalar(x): return float(result)`` — has a hole:
+``np.isscalar`` is ``False`` for 0-d arrays (``np.asarray(3.0)``,
+``np.float64(3.0).reshape(())``), so those inputs leaked a 0-d ``ndarray``
+back to the caller instead of a ``float``.  :func:`scalar_like` is the one
+shared implementation of the pattern, closing that hole everywhere at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_scalar_input(value) -> bool:
+    """True when ``value`` is scalar for return-shape purposes.
+
+    Python numbers and numpy scalar types count (``np.isscalar``), and so do
+    0-d arrays — a caller passing ``np.asarray(3.0)`` asked a scalar
+    question and gets a scalar answer.
+    """
+    return bool(np.isscalar(value)) or (
+        isinstance(value, np.ndarray) and value.ndim == 0
+    )
+
+
+def scalar_like(result, reference, cast=float):
+    """Match ``result``'s shape to the scalar-ness of ``reference``.
+
+    Returns ``cast(result)`` (a plain Python scalar, ``float`` by default)
+    when ``reference`` was a scalar or a 0-d array, and ``result`` as an
+    ``ndarray`` otherwise.
+    """
+    if is_scalar_input(reference):
+        return cast(np.asarray(result)[()])
+    return np.asarray(result)

@@ -71,9 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default=None,
-        metavar="numpy|threaded[:N]",
+        metavar="numpy|threaded[:N]|auto[:N]",
         help="synthesis backend for engine calls (default: $REPRO_BACKEND or "
-        "numpy); bit-for-bit equivalent, selects execution speed only",
+        "numpy); auto picks per call from a measured cost model; all "
+        "backends are bit-for-bit equivalent, the choice selects execution "
+        "speed only",
     )
     parser.add_argument(
         "--seed",

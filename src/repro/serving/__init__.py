@@ -19,6 +19,7 @@ Run a server with ``python -m repro.serve`` (see :mod:`repro.serve`).
 """
 
 from .coalescer import Coalescer
+from .fast_tier import FastTierCache, FittedCampaignEntry
 from .queue import (
     PendingRequest,
     RequestQueue,
@@ -39,6 +40,8 @@ __all__ = [
     "BitsRequest",
     "BitsResult",
     "Coalescer",
+    "FastTierCache",
+    "FittedCampaignEntry",
     "PendingRequest",
     "RequestQueue",
     "Scatterer",

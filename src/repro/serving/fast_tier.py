@@ -1,0 +1,191 @@
+"""The fast tier: sigma^2_N aggregate queries served from fitted campaigns.
+
+A ``sigma2n`` request is an *aggregate* query — the client wants the
+variance curve and its Eq. 11 fit, not any particular realization of the
+underlying jitter.  Two requests that agree on every physical and sweep
+parameter and differ only in their seed are therefore asking for two noisy
+estimates of the **same** underlying curve.  The exact tier honours the
+per-seed contract (every seed gets its own campaign, bit-for-bit
+reproducible); the fast tier trades that for latency: the first request
+with a given parameter key pays for one exact campaign, and subsequent
+requests are answered immediately with the Eq. 11 theory curve
+
+    sigma^2_N = 2 b_th N / f0^3  +  8 ln2 b_fl N^2 / f0^4
+
+evaluated at that campaign's *fitted* coefficients over the same ``N``
+sweep (paper Eq. 11 — the curve the exact estimate converges to).
+
+Accuracy contract
+-----------------
+A campaign is only admitted to the cache when its Eq. 11 fit explains the
+measured curve well (``r_squared >= min_r_squared``, default 0.95); poorly
+fitted campaigns — too few realizations, degenerate sweeps — are served but
+never cached, so a fast answer is always backed by a statistically
+consistent fit.  Responses are explicitly labeled: ``tier="fast"`` marks a
+cache-backed interpolation, while a cold miss returns the exact computation
+it seeded the cache with (labeled ``tier="exact"``), so clients can always
+tell what they received.
+
+Requests opt in per call (``Sigma2NRequest(tier="fast")``); the default
+tier is exact and its served bytes are unchanged by this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.theory import sigma2_n_flicker, sigma2_n_thermal
+from .requests import Sigma2NRequest, Sigma2NResult
+
+#: Default admission gate: minimum Eq. 11 fit quality of a cached campaign.
+DEFAULT_MIN_R_SQUARED = 0.95
+
+#: Default maximum number of cached fitted campaigns.
+DEFAULT_FAST_CACHE_SIZE = 256
+
+#: The request tiers a :class:`Sigma2NRequest` may ask for.
+SIGMA2N_TIERS = ("exact", "fast")
+
+
+@dataclass(frozen=True)
+class FittedCampaignEntry:
+    """One cached exact campaign: its sweep, fit and provenance."""
+
+    n_values: np.ndarray
+    realization_counts: np.ndarray
+    f0_hz: float
+    b_thermal_hz: float
+    b_flicker_hz2: float
+    r_squared: float
+    thermal_jitter_std_s: float
+    source_seed: int
+
+
+def _request_key(request: Sigma2NRequest) -> Tuple:
+    """Every parameter that shapes the underlying curve — all but the seed."""
+    return (
+        int(request.n_periods),
+        float(request.f0_hz),
+        float(request.b_thermal_hz),
+        float(request.b_flicker_hz2),
+        request.n_sweep,
+        bool(request.overlapping),
+        int(request.min_realizations),
+    )
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array).copy()
+    array.setflags(write=False)
+    return array
+
+
+class FastTierCache:
+    """LRU cache of fitted exact campaigns keyed on curve parameters.
+
+    Thread-safe (entries are looked up from serving worker threads);
+    counters mirror the plan cache's and surface through ``ServiceStats``.
+    """
+
+    def __init__(
+        self,
+        min_r_squared: float = DEFAULT_MIN_R_SQUARED,
+        maxsize: int = DEFAULT_FAST_CACHE_SIZE,
+    ) -> None:
+        if not 0.0 <= min_r_squared <= 1.0:
+            raise ValueError(
+                f"min_r_squared must be in [0, 1], got {min_r_squared!r}"
+            )
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize!r}")
+        self.min_r_squared = float(min_r_squared)
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, FittedCampaignEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    def lookup(self, request: Sigma2NRequest) -> Optional[FittedCampaignEntry]:
+        """The cached fitted campaign for this request's curve, if any."""
+        key = _request_key(request)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def store(self, request: Sigma2NRequest, result: Sigma2NResult) -> bool:
+        """Admit an exact result's fit; returns False when the gate rejects it."""
+        if not (result.r_squared >= self.min_r_squared):
+            with self._lock:
+                self._rejected += 1
+            return False
+        entry = FittedCampaignEntry(
+            n_values=_frozen(result.n_values),
+            realization_counts=_frozen(result.realization_counts),
+            f0_hz=float(result.f0_hz),
+            b_thermal_hz=float(result.b_thermal_hz),
+            b_flicker_hz2=float(result.b_flicker_hz2),
+            r_squared=float(result.r_squared),
+            thermal_jitter_std_s=float(result.thermal_jitter_std_s),
+            source_seed=int(result.seed),
+        )
+        key = _request_key(request)
+        with self._lock:
+            if self.maxsize == 0:
+                return False
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return True
+
+    def serve(
+        self, request: Sigma2NRequest, entry: FittedCampaignEntry
+    ) -> Sigma2NResult:
+        """Answer a hit: the Eq. 11 theory curve at the entry's fitted fit."""
+        n_values = np.asarray(entry.n_values, dtype=float)
+        sigma2 = np.asarray(
+            sigma2_n_thermal(entry.b_thermal_hz, entry.f0_hz, n_values)
+        ) + np.asarray(sigma2_n_flicker(entry.b_flicker_hz2, entry.f0_hz, n_values))
+        return Sigma2NResult(
+            n_values=entry.n_values.copy(),
+            sigma2_s2=sigma2,
+            realization_counts=entry.realization_counts.copy(),
+            f0_hz=entry.f0_hz,
+            b_thermal_hz=entry.b_thermal_hz,
+            b_flicker_hz2=entry.b_flicker_hz2,
+            r_squared=entry.r_squared,
+            thermal_jitter_std_s=entry.thermal_jitter_std_s,
+            seed=request.seed,
+            tier="fast",
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (surfaced in ``ServiceStats.snapshot()``)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "rejected": self._rejected,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = self._rejected = 0

@@ -48,6 +48,7 @@ _REQUEST_FIELDS = {
         "n_sweep",
         "overlapping",
         "min_realizations",
+        "tier",
     ),
 }
 
@@ -160,6 +161,7 @@ def result_to_payload(result) -> Dict:
             "r_squared": result.r_squared,
             "thermal_jitter_std_s": result.thermal_jitter_std_s,
             "seed": result.seed,
+            "tier": result.tier,
         }
     raise TypeError(f"cannot serialize result of type {type(result)!r}")
 

@@ -125,6 +125,12 @@ class Sigma2NRequest:
     The record length and sweep parameters shape the shared batched campaign
     (one ``N`` sweep per engine call), so they form the group key; the noise
     coefficients are per-row — a coalesced batch may mix technology corners.
+
+    ``tier`` selects the latency tier: ``"exact"`` (default) always runs a
+    fresh per-seed campaign; ``"fast"`` may be answered from the serving
+    layer's fitted-campaign cache with the Eq. 11 theory curve (see
+    :mod:`repro.serving.fast_tier` for the accuracy contract).  The tier is
+    part of the group key so fast and exact traffic never coalesce.
     """
 
     n_periods: int
@@ -136,6 +142,7 @@ class Sigma2NRequest:
     n_sweep: Optional[Tuple[int, ...]] = None
     overlapping: bool = True
     min_realizations: int = 8
+    tier: str = "exact"
     kind: str = field(default="sigma2n", init=False)
 
     def __post_init__(self) -> None:
@@ -145,6 +152,10 @@ class Sigma2NRequest:
             raise ValueError(f"n_periods must be >= 1, got {self.n_periods!r}")
         if self.min_realizations < 1:
             raise ValueError("min_realizations must be >= 1")
+        if self.tier not in ("exact", "fast"):
+            raise ValueError(
+                f"tier must be 'exact' or 'fast', got {self.tier!r}"
+            )
         _pin_seed(self)
         if self.n_sweep is not None:
             sweep = tuple(int(n) for n in self.n_sweep)
@@ -156,6 +167,7 @@ class Sigma2NRequest:
         """Parameters that must match for two requests to share an engine call."""
         return (
             self.kind,
+            self.tier,
             self.n_periods,
             self.n_sweep,
             self.overlapping,
@@ -185,7 +197,13 @@ class BitsResult:
 
 @dataclass(frozen=True)
 class Sigma2NResult:
-    """Served curve and fit of one :class:`Sigma2NRequest`."""
+    """Served curve and fit of one :class:`Sigma2NRequest`.
+
+    ``tier`` labels what was actually served: ``"exact"`` is a freshly run
+    per-seed campaign (including the cold-miss fill of a fast request);
+    ``"fast"`` is an Eq. 11 theory-curve interpolation from the
+    fitted-campaign cache.
+    """
 
     n_values: np.ndarray
     sigma2_s2: np.ndarray
@@ -196,3 +214,4 @@ class Sigma2NResult:
     r_squared: float
     thermal_jitter_std_s: float
     seed: int
+    tier: str = "exact"

@@ -16,8 +16,9 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..engine.backends import BackendLike, resolve_backend
+from ..engine.backends import BackendLike, plan_cache_stats, resolve_backend
 from .coalescer import Coalescer
+from .fast_tier import FastTierCache
 from .queue import RequestQueue, ServiceStopped
 from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
 from .scatter import Scatterer, execute_batch
@@ -37,6 +38,9 @@ class ServiceStats:
     coalesced_requests: int = 0
     max_batch_size: int = 0
     requests_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: The service's fast-tier cache, attached by :class:`TRNGService` so the
+    #: snapshot can surface its counters alongside the request counters.
+    fast_cache: Optional[FastTierCache] = None
 
     def record_submit(self, request: Request) -> None:
         self.submitted += 1
@@ -56,8 +60,13 @@ class ServiceStats:
         return self.batched_requests / self.batches if self.batches else 0.0
 
     def snapshot(self) -> Dict:
-        """Plain-JSON view of the counters (the ``stats`` protocol reply)."""
-        return {
+        """Plain-JSON view of the counters (the ``stats`` protocol reply).
+
+        Includes the process-wide synthesis plan-cache counters
+        (:func:`repro.engine.backends.plan_cache_stats`) and, when the
+        service has one, the fast-tier cache counters.
+        """
+        snapshot = {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -68,7 +77,11 @@ class ServiceStats:
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": self.mean_batch_size,
             "requests_by_kind": dict(self.requests_by_kind),
+            "plan_cache": plan_cache_stats(),
         }
+        if self.fast_cache is not None:
+            snapshot["fast_tier"] = self.fast_cache.stats()
+        return snapshot
 
 
 class TRNGService:
@@ -95,6 +108,11 @@ class TRNGService:
         ``REPRO_BACKEND``/NumPy default).  Resolved once at construction;
         backends are bit-for-bit equivalent, so served results never depend
         on the choice.
+    fast_cache:
+        The fitted-campaign cache behind ``tier="fast"`` sigma^2_N requests
+        (see :mod:`repro.serving.fast_tier`); pass an instance to tune the
+        r^2 admission gate or share a cache across services.  Defaults to a
+        fresh cache with the standard gate.
     """
 
     def __init__(
@@ -104,11 +122,13 @@ class TRNGService:
         max_pending: int = 1024,
         overflow: str = "reject",
         backend: BackendLike = None,
+        fast_cache: Optional[FastTierCache] = None,
     ) -> None:
         self.queue = RequestQueue(max_pending=max_pending, overflow=overflow)
         self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
         self.scatterer = Scatterer()
-        self.stats = ServiceStats()
+        self.fast_cache = fast_cache if fast_cache is not None else FastTierCache()
+        self.stats = ServiceStats(fast_cache=self.fast_cache)
         self.backend = resolve_backend(backend)
         self._dispatch_task: Optional[asyncio.Task] = None
 
@@ -151,7 +171,7 @@ class TRNGService:
             requests = [pending.request for pending in batch]
             try:
                 results = await asyncio.to_thread(
-                    execute_batch, requests, self.backend
+                    execute_batch, requests, self.backend, self.fast_cache
                 )
             except asyncio.CancelledError:
                 self.stats.failed += self.scatterer.fail(

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...scalars import is_scalar_input, scalar_like
 from ..entropy import binary_entropy
 
 
@@ -103,8 +104,8 @@ class AmakiMarkovModel:
         """Output bit associated with a phase bin (1 in the first ``duty_cycle``)."""
         centers = (np.asarray(bin_index) + 0.5) / self.n_bins
         bits = (centers % 1.0) < self.duty_cycle
-        if np.isscalar(bin_index):
-            return int(bits)
+        if is_scalar_input(bin_index):
+            return scalar_like(bits, bin_index, cast=int)
         return bits.astype(np.int8)
 
     def probability_of_one(self) -> float:

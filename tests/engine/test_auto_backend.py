@@ -1,0 +1,152 @@
+"""AutoBackend: cost-model selection, spec plumbing, backend-aware sharding.
+
+Selection never changes output (both candidates are bitwise-equal by the
+backend contract, re-checked here with the threshold forced both ways); what
+these tests pin is *which* executor the cost model picks and how the
+distributed planner sizes shards around it.  Worker counts are always
+injected explicitly — the host running the suite may have any core count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import (
+    AUTO_THRESHOLD_ENV_VAR,
+    AutoBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    parse_backend_spec,
+    resolve_backend,
+    validate_backend_spec,
+)
+from repro.engine.backends.auto import DEFAULT_AUTO_THRESHOLD
+from repro.engine.batch import spawn_generators
+from repro.engine.distributed import plan_shards_for_backend
+
+
+def _run(backend, batch: int, n: int, seed: int = 5):
+    sigma = np.full(batch, 1.2e-12)
+    h_minus1 = np.full(batch, 3.1e-22)
+    return backend.synthesize(
+        n, spawn_generators(seed, batch), sigma, h_minus1, "spectral"
+    )
+
+
+class TestSelection:
+    def test_small_workload_picks_reference(self):
+        backend = AutoBackend(max_workers=4, threshold=1000)
+        assert isinstance(backend.select(4, 100), NumpyBackend)
+
+    def test_large_workload_picks_threaded(self):
+        backend = AutoBackend(max_workers=4, threshold=1000)
+        selected = backend.select(4, 250)
+        assert isinstance(selected, ThreadedBackend)
+        assert selected.max_workers == 4
+
+    def test_single_row_batches_never_thread(self):
+        backend = AutoBackend(max_workers=4, threshold=0)
+        assert isinstance(backend.select(1, 10**9), NumpyBackend)
+
+    def test_single_worker_never_threads(self):
+        backend = AutoBackend(max_workers=1, threshold=0)
+        assert isinstance(backend.select(64, 10**9), NumpyBackend)
+
+    def test_threshold_boundary_is_inclusive(self):
+        backend = AutoBackend(max_workers=2, threshold=1000)
+        assert isinstance(backend.select(10, 100), ThreadedBackend)
+        assert isinstance(backend.select(10, 99), NumpyBackend)
+
+    def test_thread_pool_is_lazy(self):
+        backend = AutoBackend(max_workers=4, threshold=10**9)
+        _run(backend, 2, 64)
+        assert backend._threaded is None
+
+    def test_output_identical_whichever_side_wins(self):
+        reference = _run(NumpyBackend(), 4, 128)
+        forced_numpy = _run(AutoBackend(max_workers=2, threshold=10**9), 4, 128)
+        forced_threaded = _run(AutoBackend(max_workers=2, threshold=0), 4, 128)
+        for got in (forced_numpy, forced_threaded):
+            np.testing.assert_array_equal(reference[0], got[0])
+            np.testing.assert_array_equal(reference[1], got[1])
+
+
+class TestConfiguration:
+    def test_env_threshold_override(self, monkeypatch):
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV_VAR, "123")
+        assert AutoBackend(max_workers=2).threshold == 123
+
+    def test_env_threshold_invalid(self, monkeypatch):
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            AutoBackend(max_workers=2)
+
+    def test_default_threshold(self, monkeypatch):
+        monkeypatch.delenv(AUTO_THRESHOLD_ENV_VAR, raising=False)
+        assert AutoBackend(max_workers=2).threshold == DEFAULT_AUTO_THRESHOLD
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV_VAR, "123")
+        assert AutoBackend(max_workers=2, threshold=7).threshold == 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AutoBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            AutoBackend(max_workers=2, threshold=-1)
+
+
+class TestSpecPlumbing:
+    def test_parse_auto_specs(self):
+        default = parse_backend_spec("auto")
+        assert isinstance(default, AutoBackend)
+        assert default.spec == "auto"
+        explicit = parse_backend_spec("auto:3")
+        assert explicit.max_workers == 3
+        assert explicit.spec == "auto:3"
+
+    @pytest.mark.parametrize("spec", ["auto:x", "auto:0"])
+    def test_invalid_auto_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_backend_spec(spec)
+
+    def test_validate_and_resolve(self, monkeypatch):
+        assert validate_backend_spec("auto:2") == "auto:2"
+        monkeypatch.setenv("REPRO_BACKEND", "auto:2")
+        resolved = resolve_backend(None)
+        assert isinstance(resolved, AutoBackend)
+        assert resolved.max_workers == 2
+
+
+class TestShardSizing:
+    def test_min_shard_rows_by_backend(self):
+        assert NumpyBackend().min_shard_rows() == 1
+        assert ThreadedBackend(max_workers=4).min_shard_rows() == 4
+        auto = AutoBackend(max_workers=4, threshold=1024)
+        assert auto.min_shard_rows(1024) == 4  # 4 x 1024 crosses the threshold
+        assert auto.min_shard_rows(16) == 1  # cost model would pick numpy
+        assert auto.min_shard_rows(None) == 1
+        assert AutoBackend(max_workers=1, threshold=0).min_shard_rows(1024) == 1
+
+    def test_plan_clamped_for_threaded_backend(self):
+        plan = plan_shards_for_backend(16, 16, backend="threaded:4")
+        assert plan.n_shards == 4
+        assert all(shard.size == 4 for shard in plan)
+
+    def test_plan_falls_back_to_single_fat_shard(self):
+        plan = plan_shards_for_backend(2, 8, backend="threaded:4")
+        assert plan.n_shards == 1
+        assert plan.shards[0].size == 2
+
+    def test_sequential_backend_unclamped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert plan_shards_for_backend(16, 16, backend="numpy").n_shards == 16
+        assert plan_shards_for_backend(16, 16).n_shards == 16
+
+    def test_auto_backend_clamps_only_above_threshold(self):
+        backend = AutoBackend(max_workers=4, threshold=1024)
+        fat = plan_shards_for_backend(16, 16, backend=backend, n_periods=1024)
+        thin = plan_shards_for_backend(16, 16, backend=backend, n_periods=16)
+        assert fat.n_shards == 4
+        assert thin.n_shards == 16

@@ -32,7 +32,9 @@ from repro.trng.ero_trng import EROTRNGConfiguration
 F0 = PAPER_F0_HZ
 
 #: Candidate backends, every one required to match the reference bitwise.
-BACKENDS = ("numpy", "threaded:1", "threaded:4")
+#: ``auto:4`` exercises the cost-model dispatcher (whichever side it picks
+#: must still be bit-for-bit the reference).
+BACKENDS = ("numpy", "threaded:1", "threaded:4", "auto:4")
 
 #: The spectral FFT fast path and the non-spectral per-row fallback.
 FLICKER_METHODS_UNDER_TEST = ("spectral", "ar")

@@ -1,0 +1,224 @@
+"""Synthesis-plan cache: cached setup == inline setup, bit for bit.
+
+The tentpole contract (ISSUE 6): a cached
+:class:`~repro.engine.backends.plan.SynthesisPlan` must never change a
+single output bit.  The matrix here runs every backend x flicker method x
+batch size with the cache enabled and disabled and demands
+``np.array_equal``, including a group-key collision (two groups differing
+only in ``n``) and a cache-eviction storm (capacity 1, alternating keys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import (
+    configure_plan_cache,
+    plan_cache_stats,
+    reset_plan_cache,
+    resolve_backend,
+    synthesis_plan,
+)
+from repro.engine.backends.kernel import flicker_offsets, run_block
+from repro.engine.backends.plan import DEFAULT_PLAN_CACHE_SIZE, build_plan
+from repro.engine.batch import spawn_generators
+
+BACKENDS = ("numpy", "threaded:2", "auto:2")
+METHODS = ("spectral", "ar", "hosking")
+BATCHES = (1, 3)
+
+SIGMA = 1.4e-12
+H_MINUS1 = 2.5e-22
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    """Each test starts from an empty cache and leaves a clean default one."""
+    reset_plan_cache()
+    configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+    yield
+    reset_plan_cache()
+    configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+
+
+def _synthesize(backend_spec: str, batch: int, n: int, method: str, seed: int = 11):
+    """One backend call on freshly respawned per-row streams."""
+    backend = resolve_backend(backend_spec)
+    rngs = spawn_generators(seed, batch)
+    sigma = np.full(batch, SIGMA)
+    h_minus1 = np.full(batch, H_MINUS1)
+    if batch >= 3:
+        h_minus1[1] = 0.0  # a thermal-only row keeps the compact pink packing honest
+        sigma[2] = 0.0
+    return backend.synthesize(n, rngs, sigma, h_minus1, method)
+
+
+class TestPlanContents:
+    def test_spectral_plan_tables(self):
+        plan = synthesis_plan(100, "spectral", True)
+        assert plan.n_fft == 256
+        assert plan.spectral_scaling.shape == (129,)
+        assert plan.spectral_scaling[0] == 0.0
+        assert not plan.spectral_scaling.flags.writeable
+        assert plan.ar_tables is None
+
+    def test_ar_plan_tables(self):
+        plan = synthesis_plan(128, "ar", True)
+        assert plan.spectral_scaling is None
+        tables = plan.ar_tables
+        assert tables is not None
+        assert tables.corners.shape == tables.poles.shape == tables.weights.shape
+        assert not tables.poles.flags.writeable
+        np.testing.assert_array_equal(
+            tables.poles, np.exp(-2.0 * np.pi * tables.corners)
+        )
+
+    def test_hosking_and_flickerless_plans_carry_no_tables(self):
+        for plan in (
+            synthesis_plan(64, "hosking", True),
+            synthesis_plan(64, "spectral", False),
+        ):
+            assert plan.n_fft is None
+            assert plan.spectral_scaling is None
+            assert plan.ar_tables is None
+
+    def test_build_plan_validation(self):
+        with pytest.raises(ValueError):
+            build_plan(0, "spectral", True)
+        with pytest.raises(ValueError):
+            build_plan(16, "nope", True)
+
+
+class TestCacheMechanics:
+    def test_hit_returns_the_shared_instance(self):
+        first = synthesis_plan(256, "spectral", True)
+        second = synthesis_plan(256, "spectral", True)
+        assert second is first
+        stats = plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_distinct_keys_get_distinct_plans(self):
+        by_n = synthesis_plan(64, "spectral", True)
+        collision = synthesis_plan(96, "spectral", True)
+        assert collision is not by_n
+        assert by_n.n_fft != collision.n_fft or by_n.n_periods != collision.n_periods
+        assert synthesis_plan(64, "ar", True) is not by_n
+        assert synthesis_plan(64, "spectral", False) is not by_n
+        assert plan_cache_stats()["size"] == 4
+
+    def test_disabled_cache_builds_fresh_but_equal_plans(self):
+        configure_plan_cache(0)
+        first = synthesis_plan(128, "spectral", True)
+        second = synthesis_plan(128, "spectral", True)
+        assert second is not first
+        np.testing.assert_array_equal(first.spectral_scaling, second.spectral_scaling)
+        assert plan_cache_stats()["size"] == 0
+
+    def test_eviction_counts_and_capacity(self):
+        configure_plan_cache(1)
+        synthesis_plan(64, "spectral", True)
+        synthesis_plan(96, "spectral", True)  # evicts the 64-plan
+        synthesis_plan(64, "spectral", True)  # rebuilt: a miss, not a hit
+        stats = plan_cache_stats()
+        assert stats["evictions"] == 2
+        assert stats["misses"] == 3 and stats["hits"] == 0
+        assert stats["size"] == 1
+
+    def test_configure_shrink_evicts_immediately(self):
+        synthesis_plan(64, "spectral", True)
+        synthesis_plan(96, "spectral", True)
+        configure_plan_cache(1)
+        assert plan_cache_stats()["size"] == 1
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            configure_plan_cache(-1)
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCachedEqualsUncached:
+    """The acceptance matrix: cache on == cache off, backend x method x B."""
+
+    def test_bitwise_equal(self, backend, method, batch):
+        n = 200 if method != "hosking" else 48
+        reset_plan_cache()
+        configure_plan_cache(0)
+        uncached = _synthesize(backend, batch, n, method)
+        reset_plan_cache()
+        configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+        cold = _synthesize(backend, batch, n, method)
+        warm = _synthesize(backend, batch, n, method)  # served from cache
+        assert plan_cache_stats()["hits"] >= 1
+        for left, right in ((uncached, cold), (uncached, warm)):
+            np.testing.assert_array_equal(left[0], right[0])
+            np.testing.assert_array_equal(left[1], right[1])
+
+
+class TestPlanlessKernelReference:
+    """run_block(plan=None) is the inline reference the cache must match."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_backend_matches_inline_kernel(self, method):
+        n = 96 if method != "hosking" else 40
+        batch = 3
+        sigma = np.full(batch, SIGMA)
+        h_minus1 = np.array([H_MINUS1, 0.0, H_MINUS1])
+        offsets = flicker_offsets(h_minus1)
+        thermal = np.zeros((batch, n))
+        pink = np.empty((int(offsets[-1]), n))
+        run_block(
+            n,
+            spawn_generators(3, batch),
+            sigma,
+            h_minus1,
+            method,
+            thermal,
+            pink,
+            0,
+            0,
+            batch,
+            plan=None,
+        )
+        backend = resolve_backend("numpy")
+        got_thermal, got_pink = backend.synthesize(
+            n, spawn_generators(3, batch), sigma, h_minus1, method
+        )
+        np.testing.assert_array_equal(thermal, got_thermal)
+        np.testing.assert_array_equal(pink, got_pink)
+
+
+class TestCollisionAndEvictionEquivalence:
+    def test_group_key_collision_interleaved(self):
+        """Two groups differing only in ``n`` share the cache without mixing."""
+        configure_plan_cache(0)
+        expect_small = _synthesize("numpy", 2, 64, "spectral")
+        expect_large = _synthesize("numpy", 2, 96, "spectral")
+        reset_plan_cache()
+        configure_plan_cache(DEFAULT_PLAN_CACHE_SIZE)
+        for _ in range(3):  # interleave so both keys stay live
+            got_small = _synthesize("numpy", 2, 64, "spectral")
+            got_large = _synthesize("numpy", 2, 96, "spectral")
+            np.testing.assert_array_equal(expect_small[0], got_small[0])
+            np.testing.assert_array_equal(expect_small[1], got_small[1])
+            np.testing.assert_array_equal(expect_large[0], got_large[0])
+            np.testing.assert_array_equal(expect_large[1], got_large[1])
+        stats = plan_cache_stats()
+        assert stats["size"] == 2 and stats["hits"] >= 4
+
+    def test_eviction_storm_stays_bitwise_correct(self):
+        """Capacity 1 with alternating keys: every rebuild must be identical."""
+        configure_plan_cache(0)
+        expect_a = _synthesize("numpy", 1, 64, "ar")
+        expect_b = _synthesize("numpy", 1, 96, "ar")
+        reset_plan_cache()
+        configure_plan_cache(1)
+        for _ in range(3):
+            got_a = _synthesize("numpy", 1, 64, "ar")
+            got_b = _synthesize("numpy", 1, 96, "ar")
+            np.testing.assert_array_equal(expect_a[1], got_a[1])
+            np.testing.assert_array_equal(expect_b[1], got_b[1])
+        assert plan_cache_stats()["evictions"] >= 5

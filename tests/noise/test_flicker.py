@@ -75,9 +75,26 @@ class TestFlickerNoiseSource:
             FlickerNoiseSource(-1.0)
 
     def test_sample_scales_with_coefficient(self):
-        small = FlickerNoiseSource(1e-24).sample(4096, 1e6, rng=np.random.default_rng(4))
-        large = FlickerNoiseSource(4e-24).sample(4096, 1e6, rng=np.random.default_rng(4))
+        small = FlickerNoiseSource(1e-24).sample(
+            4096, 1e6, rng=np.random.default_rng(4)
+        )
+        large = FlickerNoiseSource(4e-24).sample(
+            4096, 1e6, rng=np.random.default_rng(4)
+        )
         assert np.std(large) == pytest.approx(2.0 * np.std(small), rel=1e-9)
+
+    @pytest.mark.parametrize("sampling_rate_hz", [0.0, -1.0])
+    def test_sample_rejects_non_positive_sampling_rate(self, sampling_rate_hz):
+        source = FlickerNoiseSource(1e-24)
+        with pytest.raises(ValueError, match="sampling rate"):
+            source.sample(64, sampling_rate_hz, rng=np.random.default_rng(0))
+
+    def test_sample_amplitude_is_sampling_rate_invariant(self):
+        """1/f is scale free: the same seed gives the same path at any fs."""
+        source = FlickerNoiseSource(1e-24)
+        at_1hz = source.sample(512, 1.0, rng=np.random.default_rng(9))
+        at_1mhz = source.sample(512, 1e6, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(at_1hz, at_1mhz)
 
 
 class TestPinkNoiseGenerators:
@@ -129,6 +146,49 @@ class TestPinkNoiseGenerators:
     def test_zero_mean(self):
         samples = generate_pink_noise(32768, rng=np.random.default_rng(31))
         assert abs(np.mean(samples)) < 0.5
+
+    def test_hosking_spectral_slope_is_minus_one(self):
+        """Regression for the in-place Durbin aliasing bug: with the update
+        reading already-overwritten coefficients, the predictor was corrupted
+        for every order above 2 and the spectrum drifted off the 1/f law."""
+        samples = generate_pink_noise(
+            4096, rng=np.random.default_rng(17), method="hosking"
+        )
+        estimate = welch_psd(samples, sampling_rate_hz=1.0, segment_length=1024)
+        band = estimate.restrict(4e-3, 1e-1)
+        _amplitude, exponent = fit_power_law(band)
+        assert -1.4 < exponent < -0.6
+
+    def test_hosking_matches_explicit_durbin_reference(self):
+        """The vectorised Durbin update must equal the textbook double loop
+        that reads all previous-order coefficients before writing any."""
+
+        def reference(n_samples, rng):
+            d = 0.4999
+            white = rng.normal(0.0, 1.0, size=n_samples)
+            output = np.empty(n_samples)
+            phi = np.empty(n_samples)
+            variance = 1.0
+            output[0] = white[0]
+            for t in range(1, n_samples):
+                phi[t - 1] = d / t
+                previous = [phi[j] for j in range(t - 1)]
+                for j in range(t - 1):
+                    phi[j] = previous[j] - phi[t - 1] * previous[t - 2 - j]
+                variance *= 1.0 - phi[t - 1] ** 2
+                mean = np.dot(phi[:t], output[t - 1 :: -1][:t])
+                output[t] = mean + np.sqrt(max(variance, 0.0)) * white[t]
+            scale = np.sqrt(np.log(max(n_samples, 2)) / 2.0)
+            std = np.std(output)
+            if std > 0.0:
+                output = output / std * scale
+            return output
+
+        actual = generate_pink_noise(
+            128, rng=np.random.default_rng(23), method="hosking"
+        )
+        expected = reference(128, np.random.default_rng(23))
+        np.testing.assert_array_equal(actual, expected)
 
 
 class TestPinkNoiseBatch:

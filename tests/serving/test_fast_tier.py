@@ -1,0 +1,220 @@
+"""Fast-tier sigma^2_N serving: cache semantics, labeling, accuracy gate.
+
+The fast tier trades the per-seed exactness contract for latency, so these
+tests pin (a) that exact-tier traffic is completely untouched, (b) that a
+fast answer is the Eq. 11 theory curve at a gated fitted campaign's
+coefficients, explicitly labeled, and (c) that the r^2 admission gate keeps
+statistically inconsistent fits out of the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.theory import sigma2_n_flicker, sigma2_n_thermal
+from repro.serving import FastTierCache, Sigma2NRequest, TRNGService
+from repro.serving.protocol import build_request, parse_request_line, result_to_payload
+from repro.serving.scatter import execute_batch, run_sigma2n_batch
+
+N_PERIODS = 4096
+
+
+def _request(seed: int, tier: str = "fast", **overrides) -> Sigma2NRequest:
+    parameters = dict(n_periods=N_PERIODS, seed=seed, tier=tier)
+    parameters.update(overrides)
+    return Sigma2NRequest(**parameters)
+
+
+class TestRequestTier:
+    def test_default_is_exact(self):
+        assert Sigma2NRequest(n_periods=64, seed=1).tier == "exact"
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier"):
+            Sigma2NRequest(n_periods=64, seed=1, tier="warp")
+
+    def test_tier_separates_coalescing_groups(self):
+        exact = Sigma2NRequest(n_periods=64, seed=1)
+        fast = Sigma2NRequest(n_periods=64, seed=2, tier="fast")
+        assert exact.group_key() != fast.group_key()
+
+    def test_same_tier_groups_coalesce(self):
+        assert _request(1).group_key() == _request(2).group_key()
+
+
+class TestCacheUnit:
+    def test_store_gated_on_r_squared(self):
+        cache = FastTierCache(min_r_squared=0.95)
+        request = _request(1)
+        (result,) = run_sigma2n_batch([request])
+        poor = dataclasses.replace(result, r_squared=0.5)
+        assert not cache.store(request, poor)
+        assert cache.stats()["rejected"] == 1
+        assert cache.lookup(request) is None
+
+    def test_store_and_serve_hit(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        request = _request(1)
+        (result,) = run_sigma2n_batch([request])
+        assert cache.store(request, result)
+        follower = _request(2)
+        entry = cache.lookup(follower)
+        assert entry is not None
+        served = cache.serve(follower, entry)
+        assert served.tier == "fast"
+        assert served.seed == follower.seed
+        expected = np.asarray(
+            sigma2_n_thermal(entry.b_thermal_hz, entry.f0_hz, entry.n_values)
+        ) + np.asarray(
+            sigma2_n_flicker(entry.b_flicker_hz2, entry.f0_hz, entry.n_values)
+        )
+        np.testing.assert_array_equal(served.sigma2_s2, expected)
+        np.testing.assert_array_equal(served.n_values, result.n_values)
+
+    def test_key_covers_every_curve_parameter(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        request = _request(1)
+        (result,) = run_sigma2n_batch([request])
+        cache.store(request, result)
+        assert cache.lookup(_request(9, b_thermal_hz=123.0)) is None
+        assert cache.lookup(_request(9, n_periods=N_PERIODS * 2)) is None
+        assert cache.lookup(_request(9, min_realizations=16)) is None
+        assert cache.lookup(_request(9)) is not None
+
+    def test_eviction_and_counters(self):
+        cache = FastTierCache(min_r_squared=0.0, maxsize=1)
+        first = _request(1)
+        (result,) = run_sigma2n_batch([first])
+        cache.store(first, result)
+        other = _request(2, b_thermal_hz=50.0)
+        (other_result,) = run_sigma2n_batch([other])
+        cache.store(other, other_result)
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["size"] == 1
+        assert cache.lookup(first) is None
+
+    def test_zero_capacity_never_stores(self):
+        cache = FastTierCache(min_r_squared=0.0, maxsize=0)
+        request = _request(1)
+        (result,) = run_sigma2n_batch([request])
+        assert not cache.store(request, result)
+        assert cache.stats()["size"] == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FastTierCache(min_r_squared=1.5)
+        with pytest.raises(ValueError):
+            FastTierCache(maxsize=-1)
+
+
+class TestBatchRouting:
+    def test_exact_tier_is_bitwise_untouched_by_the_cache(self):
+        requests = [_request(seed, tier="exact") for seed in (1, 2)]
+        cache = FastTierCache(min_r_squared=0.0)
+        plain = run_sigma2n_batch(requests)
+        routed = run_sigma2n_batch(requests, fast_cache=cache)
+        for left, right in zip(plain, routed):
+            np.testing.assert_array_equal(left.sigma2_s2, right.sigma2_s2)
+            assert left.tier == right.tier == "exact"
+        assert cache.stats()["hits"] == cache.stats()["misses"] == 0
+
+    def test_cold_miss_computes_exactly_and_seeds_cache(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        request = _request(1)
+        (served,) = run_sigma2n_batch([request], fast_cache=cache)
+        (reference,) = run_sigma2n_batch([_request(1, tier="exact")])
+        assert served.tier == "exact"
+        np.testing.assert_array_equal(served.sigma2_s2, reference.sigma2_s2)
+        assert cache.stats()["size"] == 1
+
+    def test_warm_hit_serves_theory_curve(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        (seeded,) = run_sigma2n_batch([_request(1)], fast_cache=cache)
+        (hit,) = run_sigma2n_batch([_request(2)], fast_cache=cache)
+        assert hit.tier == "fast"
+        assert hit.seed == _request(2).seed
+        assert hit.b_thermal_hz == seeded.b_thermal_hz  # fitted, shared
+        expected = np.asarray(
+            sigma2_n_thermal(seeded.b_thermal_hz, seeded.f0_hz, seeded.n_values)
+        ) + np.asarray(
+            sigma2_n_flicker(seeded.b_flicker_hz2, seeded.f0_hz, seeded.n_values)
+        )
+        np.testing.assert_array_equal(hit.sigma2_s2, expected)
+
+    def test_mixed_hits_and_misses_preserve_order(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        run_sigma2n_batch([_request(1)], fast_cache=cache)  # warm one key
+        group = [
+            _request(10),  # hit
+            _request(11, b_thermal_hz=70.0),  # miss
+            _request(12),  # hit
+        ]
+        results = run_sigma2n_batch(group, fast_cache=cache)
+        assert [result.tier for result in results] == ["fast", "exact", "fast"]
+        assert [result.seed for result in results] == [r.seed for r in group]
+        assert cache.stats()["size"] == 2
+
+    def test_execute_batch_routes_the_cache(self):
+        cache = FastTierCache(min_r_squared=0.0)
+        execute_batch([_request(1)], fast_cache=cache)
+        (hit,) = execute_batch([_request(2)], fast_cache=cache)
+        assert hit.tier == "fast"
+
+
+class TestAccuracyGate:
+    def test_well_conditioned_campaign_passes_the_default_gate(self):
+        """The standard serving workload must actually be cacheable: its
+        Eq. 11 fit explains the measured curve (r^2 >= 0.95), and the fast
+        interpolation stays close to the exact curve it replaces."""
+        cache = FastTierCache()  # default gate 0.95
+        (exact,) = run_sigma2n_batch([_request(1)], fast_cache=cache)
+        assert exact.r_squared >= 0.95
+        assert cache.stats()["size"] == 1
+        (fast,) = run_sigma2n_batch([_request(2)], fast_cache=cache)
+        assert fast.tier == "fast"
+        ratio = fast.sigma2_s2 / exact.sigma2_s2
+        assert np.all(np.abs(np.log10(ratio)) < 0.35)
+
+
+class TestServiceIntegration:
+    def test_service_serves_and_counts_the_fast_tier(self):
+        async def scenario():
+            async with TRNGService(max_batch=4, max_wait_ms=1.0) as service:
+                first = await service.get_sigma2n(_request(1))
+                second = await service.get_sigma2n(_request(2))
+                return first, second, service.stats.snapshot()
+
+        first, second, stats = asyncio.run(scenario())
+        assert first.tier == "exact"
+        assert second.tier == "fast"
+        fast_stats = stats["fast_tier"]
+        assert fast_stats["hits"] == 1 and fast_stats["misses"] == 1
+        assert "plan_cache" in stats
+
+    def test_exact_requests_still_exact_through_the_service(self):
+        async def scenario():
+            async with TRNGService(max_batch=4, max_wait_ms=1.0) as service:
+                request = Sigma2NRequest(n_periods=N_PERIODS, seed=3)
+                return await service.get_sigma2n(request)
+
+        served = asyncio.run(scenario())
+        (reference,) = run_sigma2n_batch([Sigma2NRequest(n_periods=N_PERIODS, seed=3)])
+        assert served.tier == "exact"
+        np.testing.assert_array_equal(served.sigma2_s2, reference.sigma2_s2)
+
+
+class TestProtocol:
+    def test_tier_round_trips_the_wire(self):
+        _id, kind, fields = parse_request_line(
+            '{"id": 1, "kind": "sigma2n", "n_periods": 64, "seed": 5, '
+            '"tier": "fast"}'
+        )
+        request = build_request(kind, fields)
+        assert request.tier == "fast"
+        (result,) = run_sigma2n_batch([_request(1)])
+        payload = result_to_payload(result)
+        assert payload["tier"] == "exact"

@@ -1,0 +1,105 @@
+"""Return-shape discipline: scalar-in (including 0-d arrays) means scalar-out.
+
+Regression for the ``np.isscalar`` hole: 0-d ndarray inputs used to leak 0-d
+ndarrays out of every array-or-scalar API because ``np.isscalar`` is False
+for them.  All those sites now share :func:`repro.scalars.scalar_like`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ratio import thermal_ratio
+from repro.core.theory import (
+    sigma2_n_closed_form,
+    sigma2_n_flicker,
+    sigma2_n_thermal,
+)
+from repro.noise.flicker import FlickerNoiseSource, flicker_current_psd
+from repro.noise.sources import CompositeNoiseSource
+from repro.noise.thermal import ThermalNoiseSource
+from repro.phase.psd import PhaseNoisePSD
+from repro.scalars import is_scalar_input, scalar_like
+from repro.trng.models.amaki import AmakiMarkovModel
+
+PSD = PhaseNoisePSD(b_thermal_hz=5.5e-9, b_flicker_hz2=5.42)
+
+
+class TestHelper:
+    @pytest.mark.parametrize(
+        "value", [3.0, 3, np.float64(3.0), np.asarray(3.0), np.array(7)]
+    )
+    def test_scalar_inputs_detected(self, value):
+        assert is_scalar_input(value)
+
+    @pytest.mark.parametrize("value", [np.array([3.0]), [3.0], np.zeros((2, 2))])
+    def test_array_inputs_detected(self, value):
+        assert not is_scalar_input(value)
+
+    def test_scalar_like_casts(self):
+        out = scalar_like(np.asarray(2.5), np.asarray(1.0))
+        assert type(out) is float and out == 2.5
+        out = scalar_like(np.asarray(True), 1, cast=int)
+        assert type(out) is int and out == 1
+
+    def test_scalar_like_array_passthrough(self):
+        out = scalar_like(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert isinstance(out, np.ndarray) and out.shape == (2,)
+
+
+FREQUENCY_SITES = [
+    pytest.param(lambda f: flicker_current_psd(f, 1e-4, 1e-6, 100e-9, 1e-5),
+                 id="flicker_current_psd"),
+    pytest.param(lambda f: FlickerNoiseSource(1e-24).psd(f),
+                 id="FlickerNoiseSource.psd"),
+    pytest.param(
+        lambda f: CompositeNoiseSource(
+            [ThermalNoiseSource(1e-22), FlickerNoiseSource(1e-24)]
+        ).psd(f),
+        id="CompositeNoiseSource.psd",
+    ),
+    pytest.param(lambda f: PSD(f), id="PhaseNoisePSD.__call__"),
+    pytest.param(lambda f: PSD.thermal_part(f), id="PhaseNoisePSD.thermal_part"),
+    pytest.param(lambda f: PSD.flicker_part(f), id="PhaseNoisePSD.flicker_part"),
+    pytest.param(lambda f: PSD.phase_noise_dbc_per_hz(f),
+                 id="PhaseNoisePSD.phase_noise_dbc_per_hz"),
+    pytest.param(lambda n: thermal_ratio(PSD, 500e6, n), id="thermal_ratio"),
+    pytest.param(lambda n: sigma2_n_thermal(5.5e-9, 500e6, n),
+                 id="sigma2_n_thermal"),
+    pytest.param(lambda n: sigma2_n_flicker(5.42, 500e6, n),
+                 id="sigma2_n_flicker"),
+    pytest.param(lambda n: sigma2_n_closed_form(PSD, 500e6, n),
+                 id="sigma2_n_closed_form"),
+]
+
+
+class TestCallSites:
+    @pytest.mark.parametrize("site", FREQUENCY_SITES)
+    def test_plain_scalar_returns_float(self, site):
+        assert type(site(2.0)) is float
+
+    @pytest.mark.parametrize("site", FREQUENCY_SITES)
+    def test_zero_d_array_returns_float(self, site):
+        """The historical bug: 0-d ndarray inputs leaked 0-d ndarrays."""
+        result = site(np.asarray(2.0))
+        assert type(result) is float
+
+    @pytest.mark.parametrize("site", FREQUENCY_SITES)
+    def test_one_d_array_returns_array(self, site):
+        result = site(np.array([2.0, 4.0]))
+        assert isinstance(result, np.ndarray) and result.shape == (2,)
+
+    @pytest.mark.parametrize("site", FREQUENCY_SITES)
+    def test_zero_d_value_matches_scalar_value(self, site):
+        assert site(np.asarray(2.0)) == site(2.0)
+
+    def test_amaki_bit_for_bin(self):
+        model = AmakiMarkovModel(
+            phase_step_fraction=0.1, jitter_std_fraction=0.05, n_bins=8
+        )
+        assert type(model.bit_for_bin(1)) is int
+        zero_d = model.bit_for_bin(np.asarray(1))
+        assert type(zero_d) is int and zero_d == model.bit_for_bin(1)
+        array = model.bit_for_bin(np.array([0, 4]))
+        assert array.dtype == np.int8 and array.shape == (2,)
