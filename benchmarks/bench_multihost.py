@@ -1,0 +1,253 @@
+"""Benchmark: multi-host fabric campaign scaling over localhost worker fleets.
+
+Measures the paper's Fig. 7 sigma^2_N campaign through the
+:class:`~repro.engine.distributed.fabric.coordinator.FabricCoordinator` two
+ways:
+
+* **single worker**: the whole campaign through a 1-worker fabric — same
+  wire protocol, serialization and scheduling overhead, no parallelism;
+* **multi worker**: the same spec fanned out over ``--workers`` spawned
+  localhost ``python -m repro.worker`` processes.
+
+The ratio isolates what the fabric is for — horizontal scaling — while
+charging both sides the full coordinator/worker round-trip (JSON-lines
+protocol, base64-``.npz`` partials).  Worker fleets are spawned *before* the
+timed region: the benchmark measures steady-state campaign throughput, not
+process startup.
+
+Because every shard re-derives its rows' RNG streams from the root
+``SeedSequence`` spawn tree, the fabric result must be **bit-for-bit
+identical** to the unsharded single-host campaign; the script asserts
+exactly that before any timing runs.
+
+The headline target is a >= 2x wall-clock speedup at 4 workers for B >= 256
+campaigns.  The speedup is hardware-bound: ``--check`` enforces the target
+only on eligible configurations (full mode, >= 4 cores), and the JSON
+artifact records eligibility so ``scripts/check_bench.py`` skips small
+runners deterministically.
+
+Run ``python benchmarks/bench_multihost.py`` (add ``--quick`` for a smoke
+run, ``--check`` to gate on the target, ``--json PATH`` for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+# Allow running as a plain script from the repository root.
+sys.path.insert(0, "src")
+
+from repro.engine.campaign import batched_sigma2_n_campaign  # noqa: E402
+from repro.engine.distributed import (  # noqa: E402
+    FabricCoordinator,
+    Sigma2NCampaignSpec,
+    run_campaign,
+)
+
+TARGET_SPEEDUP = 2.0
+TARGET_WORKERS = 4
+TARGET_BATCH = 256
+
+
+def _best_of(function, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _spec(batch: int, n_periods: int, seed: int) -> Sigma2NCampaignSpec:
+    return Sigma2NCampaignSpec(
+        batch_size=batch, n_periods=n_periods, seed=seed
+    )
+
+
+def verify_equivalence(spec: Sigma2NCampaignSpec, workers: int, shards: int):
+    """Assert fabric output == the unsharded batched campaign, bitwise."""
+    reference = batched_sigma2_n_campaign(spec.ensemble(), spec.n_periods)
+    with FabricCoordinator(spawn=workers) as fabric:
+        result = run_campaign(spec, executor=fabric, n_shards=shards)
+    for name, expected in (
+        ("n_values", reference.n_values),
+        ("sigma2_s2", reference.sigma2_s2),
+        ("realization_counts", reference.realization_counts),
+        ("f0_hz", reference.f0_hz),
+    ):
+        if not np.array_equal(getattr(result, name), expected):
+            raise AssertionError(f"fabric: {name} differs from unsharded")
+    table = result.table()
+    for name, expected in reference.table().items():
+        if not np.array_equal(table[name], expected):
+            raise AssertionError(
+                f"fabric: table column {name!r} differs from unsharded"
+            )
+
+
+def run(
+    batch: int,
+    n_periods: int,
+    workers: int,
+    shards: int,
+    repeats: int,
+    seed: int,
+):
+    def timed_fleet(n_workers: int) -> float:
+        with FabricCoordinator(spawn=n_workers) as fabric:
+            # Fleet spawn and connect happen here, outside the timed calls.
+            return _best_of(
+                lambda: run_campaign(
+                    _spec(batch, n_periods, seed),
+                    executor=fabric,
+                    n_shards=shards,
+                ),
+                repeats,
+            )
+
+    single_seconds = timed_fleet(1)
+    multi_seconds = timed_fleet(workers)
+    return single_seconds, multi_seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--batch", type=int, default=TARGET_BATCH, help="instances B"
+    )
+    parser.add_argument(
+        "--n-periods", type=int, default=65_536, help="periods per instance"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=TARGET_WORKERS,
+        help="spawned localhost fabric workers",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: 4x workers, for load balance)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions (best-of; raise on a noisy machine)",
+    )
+    parser.add_argument("--seed", type=int, default=20140324)
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the speedup target is missed",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the benchmark results to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.batch = min(args.batch, 16)
+        args.n_periods = min(args.n_periods, 8192)
+        args.workers = min(args.workers, 2)
+        args.repeats = 1
+    if args.shards is None:
+        args.shards = 4 * args.workers
+
+    spec = _spec(args.batch, min(args.n_periods, 16_384), args.seed)
+    verify_equivalence(spec, args.workers, args.shards)
+    print(
+        f"equivalence: {args.workers}-worker fabric == unsharded batched "
+        f"campaign (bitwise) at {args.shards} shards"
+    )
+
+    single_seconds, multi_seconds = run(
+        args.batch,
+        args.n_periods,
+        args.workers,
+        args.shards,
+        args.repeats,
+        args.seed,
+    )
+    speedup = single_seconds / multi_seconds
+    cores = os.cpu_count() or 1
+    print(
+        f"\nworkload: B={args.batch} instances x {args.n_periods} periods, "
+        f"sigma^2_N sweep + Eq. 11 fit ({cores} cores available)"
+    )
+    print(f"1-worker fabric : {single_seconds * 1e3:8.1f} ms")
+    print(
+        f"{args.workers}-worker fabric : {multi_seconds * 1e3:8.1f} ms "
+        f"({args.shards} shards)"
+    )
+    print(
+        f"speedup         : {speedup:.2f}x "
+        f"(target >= {TARGET_SPEEDUP}x at {TARGET_WORKERS} workers, "
+        f"B >= {TARGET_BATCH})"
+    )
+
+    # Eligibility recorded in the JSON artifact so the perf gate
+    # (scripts/check_bench.py) skips small runners deterministically.
+    skip_reasons = []
+    if args.quick:
+        skip_reasons.append("quick mode")
+    if args.batch < TARGET_BATCH:
+        skip_reasons.append(f"batch {args.batch} < {TARGET_BATCH}")
+    if args.workers < TARGET_WORKERS:
+        skip_reasons.append(f"workers {args.workers} < {TARGET_WORKERS}")
+    if cores < TARGET_WORKERS:
+        skip_reasons.append(f"only {cores} CPU cores (need {TARGET_WORKERS})")
+    eligible = not skip_reasons
+
+    if args.json:
+        payload = {
+            "benchmark": "multihost",
+            "mode": "quick" if args.quick else "full",
+            "batch": args.batch,
+            "n_periods": args.n_periods,
+            "workers": args.workers,
+            "shards": args.shards,
+            "cpu_cores": cores,
+            "single_worker_seconds": single_seconds,
+            "multi_worker_seconds": multi_seconds,
+            "speedup": speedup,
+            "target_speedup": TARGET_SPEEDUP,
+            "check_eligible": eligible,
+            "check_skip_reason": None if eligible else "; ".join(skip_reasons),
+            "equivalence": "bitwise",
+            "quick": bool(args.quick),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    if args.check:
+        if not eligible:
+            print(
+                "note: --check skipped on this configuration: "
+                f"{'; '.join(skip_reasons)} (it requires a full run with "
+                f"--batch >= {TARGET_BATCH}, --workers >= {TARGET_WORKERS} "
+                f"and >= {TARGET_WORKERS} CPU cores)",
+                file=sys.stderr,
+            )
+        elif speedup < TARGET_SPEEDUP:
+            print(f"FAIL: speedup below {TARGET_SPEEDUP}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

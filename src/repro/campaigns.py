@@ -12,6 +12,12 @@ optionally checkpointed campaigns::
         --dividers 500,1000,2000 --shards 8 --workers 4 \
         --checkpoint-dir runs/bits --resume
 
+    # Multi-host fabric: 4 spawned localhost workers (or --workers-remote
+    # host:port,... for real remote fleets); merged output is bit-for-bit
+    # identical to the single-host run
+    python -m repro.campaigns sigma2n --batch 64 --n-periods 32768 \
+        --shards 8 --spawn-workers 4 --seed 7 --verify
+
 ``--verify`` additionally runs the unsharded batched campaign on the same
 spec and asserts the merged tables are bit-for-bit identical (exit code 1 on
 any mismatch) — the shard-invariance contract, checkable from the shell.
@@ -30,6 +36,7 @@ import numpy as np
 from .engine.campaign import batched_bit_campaign, batched_sigma2_n_campaign
 from .engine.distributed import (
     BitCampaignSpec,
+    FabricCoordinator,
     MultiprocessExecutor,
     SerialExecutor,
     Sigma2NCampaignSpec,
@@ -52,6 +59,37 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes; 1 runs serially in-process",
+    )
+    parser.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N localhost fabric worker processes and run the "
+        "campaign on them (multi-host fabric, merged bit-for-bit "
+        "identically to a single-host run)",
+    )
+    parser.add_argument(
+        "--workers-remote",
+        type=str,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated endpoints of running 'python -m repro.worker' "
+        "processes (combinable with --spawn-workers)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        help="seconds of worker silence before it is declared dead and its "
+        "shard reassigned (fabric runs only)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard wall-clock bound; exceeding it retires the worker "
+        "and reassigns the shard (fabric runs only)",
     )
     parser.add_argument(
         "--seed",
@@ -276,6 +314,14 @@ def _adopt_checkpoint_seed(args: argparse.Namespace) -> None:
         args.seed = int(recorded["seed"])
 
 
+def _fabric_endpoints(args: argparse.Namespace) -> list:
+    return [
+        endpoint.strip()
+        for endpoint in (args.workers_remote or "").split(",")
+        if endpoint.strip()
+    ]
+
+
 def main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
@@ -283,6 +329,16 @@ def main(argv: Optional[list] = None) -> int:
         return 2
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    remote = _fabric_endpoints(args)
+    use_fabric = bool(remote) or args.spawn_workers > 0
+    if use_fabric and args.workers != 1:
+        print(
+            "--workers (local processes) cannot be combined with the fabric "
+            "flags --spawn-workers/--workers-remote; pick one execution "
+            "substrate",
+            file=sys.stderr,
+        )
         return 2
     _adopt_checkpoint_seed(args)
     try:
@@ -292,21 +348,45 @@ def main(argv: Optional[list] = None) -> int:
         # tracebacks.
         print(str(error), file=sys.stderr)
         return 2
-    executor = (
-        SerialExecutor()
-        if args.workers == 1
-        else MultiprocessExecutor(max_workers=args.workers)
-    )
-    n_shards = args.shards if args.shards is not None else args.workers
+
+    def _progress(event) -> None:
+        print(event.describe(), file=sys.stderr)
+
+    if use_fabric:
+        try:
+            executor = FabricCoordinator(
+                remote=remote,
+                spawn=max(args.spawn_workers, 0),
+                backend=args.backend,
+                heartbeat_timeout=args.heartbeat_timeout,
+                shard_timeout=args.shard_timeout,
+                on_event=_progress,
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        fleet_size = executor.max_workers
+    else:
+        executor = (
+            SerialExecutor()
+            if args.workers == 1
+            else MultiprocessExecutor(max_workers=args.workers)
+        )
+        fleet_size = args.workers
+    n_shards = args.shards if args.shards is not None else fleet_size
 
     start = time.perf_counter()
-    result = run_campaign(
-        spec,
-        executor=executor,
-        n_shards=n_shards,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-    )
+    try:
+        result = run_campaign(
+            spec,
+            executor=executor,
+            n_shards=n_shards,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    finally:
+        if use_fabric:
+            executor.close()
     elapsed = time.perf_counter() - start
 
     # Mirror run_campaign's backend-aware plan so the report shows the
@@ -317,11 +397,21 @@ def main(argv: Optional[list] = None) -> int:
         backend=spec.backend,
         n_periods=getattr(spec, "n_periods", None),
     ).n_shards
+    substrate = "fabric" if use_fabric else "local"
     print(
         f"{args.command} campaign: B={spec.batch_size}, "
-        f"{effective_shards} shard(s), {args.workers} worker(s), "
+        f"{effective_shards} shard(s), {fleet_size} {substrate} worker(s), "
         f"seed={spec.seed}, {elapsed:.3f} s"
     )
+    fabric_summary: Optional[Dict] = None
+    if use_fabric:
+        fabric_summary = executor.telemetry.summary()
+        print(
+            f"fabric: {len(fabric_summary['shards'])} shard(s) served, "
+            f"{fabric_summary['reassignments']} reassignment(s), "
+            f"{len(fabric_summary['worker_failures'])} worker failure(s), "
+            f"{fabric_summary['shard_seconds_total']:.3f} worker-seconds"
+        )
     if isinstance(spec, Sigma2NCampaignSpec) and not spec.fit:
         print(f"{len(result.curves)} curves estimated (fit skipped)")
     else:
@@ -343,10 +433,13 @@ def main(argv: Optional[list] = None) -> int:
             "command": args.command,
             "spec": spec_to_json(spec),
             "n_shards": effective_shards,
-            "workers": args.workers,
+            "workers": fleet_size,
+            "substrate": substrate,
             "elapsed_seconds": elapsed,
             "verified": verified,
         }
+        if fabric_summary is not None:
+            payload["fabric"] = fabric_summary
         if not (isinstance(spec, Sigma2NCampaignSpec) and not spec.fit):
             payload["table"] = _json_table(result)
         with open(args.json, "w") as handle:

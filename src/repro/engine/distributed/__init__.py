@@ -16,7 +16,7 @@ Entry points: :func:`run_campaign` (programmatic) and the
 
 from __future__ import annotations
 
-from .checkpoint import CampaignCheckpoint
+from .checkpoint import CampaignCheckpoint, CheckpointLeaseError
 from .executor import MultiprocessExecutor, SerialExecutor
 from .merge import merge_bit_partials, merge_sigma2n_partials
 from .plan import Shard, ShardPlan, plan_shards, plan_shards_for_backend
@@ -30,15 +30,51 @@ from .spec import (
 )
 from .worker import run_shard
 
+#: Fabric names are imported lazily: :mod:`.fabric.coordinator` pulls in the
+#: serving wire protocol, whose request types import this package in turn —
+#: an eager import here would make ``import repro.serving`` circular.
+_FABRIC_NAMES = (
+    "FabricCoordinator",
+    "FabricError",
+    "FabricTelemetry",
+    "ShardEvent",
+    "WorkerLink",
+    "WorkerServer",
+    "WorkerUnavailable",
+    "connect_workers",
+    "parse_endpoint",
+    "spawn_worker",
+)
+
+
+def __getattr__(name: str):
+    if name in _FABRIC_NAMES:
+        from . import fabric
+
+        return getattr(fabric, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BitCampaignSpec",
     "CampaignCheckpoint",
     "CampaignSpec",
+    "CheckpointLeaseError",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricTelemetry",
     "MultiprocessExecutor",
     "SerialExecutor",
     "Shard",
+    "ShardEvent",
     "ShardPlan",
     "Sigma2NCampaignSpec",
+    "WorkerLink",
+    "WorkerServer",
+    "WorkerUnavailable",
+    "connect_workers",
+    "parse_endpoint",
+    "spawn_worker",
     "merge_bit_partials",
     "merge_sigma2n_partials",
     "plan_shards",

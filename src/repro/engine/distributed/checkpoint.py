@@ -13,12 +13,22 @@ never a silent re-seed.  Partials are written first and the manifest updated
 after (both via atomic rename), so a run killed mid-write never records a
 shard it cannot reload.  Because shard output is deterministic given (spec,
 shard), re-running an interrupted shard from scratch is always safe.
+
+**Single-writer lease.**  Two live coordinators writing one checkpoint
+directory would interleave manifest rewrites and lose completed shards, so
+:meth:`CampaignCheckpoint.initialize` takes a ``coordinator.lock`` lease
+(owner token + pid) and every :meth:`~CampaignCheckpoint.save_partial`
+re-validates it — a second coordinator is refused with a clear
+:class:`CheckpointLeaseError` instead of corrupting the manifest.  A lease
+whose owner process is dead is *stale* and is taken over silently, which is
+what makes ``resume=True`` work after a coordinator crash.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Dict, Set
 
@@ -31,17 +41,97 @@ from .worker import Partial
 _MANIFEST_VERSION = 1
 
 
+class CheckpointLeaseError(RuntimeError):
+    """Another live coordinator owns this checkpoint directory."""
+
+
+def _pid_is_alive(pid: int) -> bool:
+    """Best-effort liveness: signal 0 probes without touching the process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
 class CampaignCheckpoint:
     """Checkpoint state of one sharded campaign in one directory."""
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
         self.manifest_path = self.directory / "manifest.json"
+        self.lock_path = self.directory / "coordinator.lock"
+        self._token = uuid.uuid4().hex
         self._completed: Set[int] = set()
 
     def shard_path(self, index: int) -> Path:
         """Path of the partial payload of shard ``index``."""
         return self.directory / f"shard_{index:04d}.npz"
+
+    # -- single-writer lease -------------------------------------------------
+
+    def _read_lock(self) -> Dict:
+        try:
+            return json.loads(self.lock_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _acquire_lease(self) -> None:
+        """Take the coordinator lease, refusing a live foreign owner."""
+        payload = json.dumps(
+            {"token": self._token, "pid": os.getpid()}
+        )
+        while True:
+            try:
+                descriptor = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                existing = self._read_lock()
+                if existing.get("token") == self._token:
+                    return  # re-initialization by the same coordinator
+                owner_pid = int(existing.get("pid", -1))
+                if owner_pid != os.getpid() and _pid_is_alive(owner_pid):
+                    raise CheckpointLeaseError(
+                        f"checkpoint directory {self.directory} is owned by a "
+                        f"live coordinator (pid {owner_pid}, lock "
+                        f"{self.lock_path}); refusing to write — a second "
+                        f"coordinator would corrupt the manifest.  Use a "
+                        f"fresh --checkpoint-dir, or stop the other run "
+                        f"first."
+                    )
+                # Stale lease (dead process) or a same-process predecessor
+                # that never released: take it over atomically.
+                temporary = self.lock_path.with_suffix(".lock.tmp")
+                temporary.write_text(payload)
+                os.replace(temporary, self.lock_path)
+                return
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(payload)
+            return
+
+    def _check_lease(self) -> None:
+        """Refuse to write unless this coordinator still holds the lease."""
+        existing = self._read_lock()
+        if existing.get("token") != self._token:
+            owner = existing.get("pid", "unknown")
+            raise CheckpointLeaseError(
+                f"lost the coordinator lease on {self.directory} (now held "
+                f"by pid {owner}); refusing to write shard data over another "
+                f"coordinator's checkpoint"
+            )
+
+    def release(self) -> None:
+        """Give up the lease (idempotent; only removes our own lock)."""
+        if self._read_lock().get("token") == self._token:
+            try:
+                self.lock_path.unlink()
+            except OSError:
+                pass
 
     # -- manifest ------------------------------------------------------------
 
@@ -72,6 +162,7 @@ class CampaignCheckpoint:
         long campaign can always be launched with resume enabled.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._acquire_lease()
         if resume and self.manifest_path.exists():
             manifest = json.loads(self.manifest_path.read_text())
             if manifest.get("version") != _MANIFEST_VERSION:
@@ -108,7 +199,13 @@ class CampaignCheckpoint:
     # -- partials ------------------------------------------------------------
 
     def save_partial(self, index: int, partial: Partial) -> None:
-        """Persist one shard's payload and record it as completed."""
+        """Persist one shard's payload and record it as completed.
+
+        Validates the coordinator lease first: if another coordinator has
+        taken over the directory since :meth:`initialize`, this raises
+        :class:`CheckpointLeaseError` *before* touching any file.
+        """
+        self._check_lease()
         path = self.shard_path(index)
         temporary = path.with_suffix(".npz.tmp")
         with open(temporary, "wb") as handle:

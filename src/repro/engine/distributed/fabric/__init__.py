@@ -1,0 +1,37 @@
+"""Multi-host fabric: coordinator + worker fleets over the serving protocol.
+
+One cluster story for campaigns and serving: the
+:class:`~repro.engine.distributed.fabric.coordinator.FabricCoordinator`
+drives remote ``python -m repro.worker`` processes as a campaign executor
+(shard assignment, heartbeats, retry/reassignment on worker death), and the
+serving layer's :class:`~repro.serving.fabric_dispatch.FabricDispatcher`
+forwards coalesced batches to the same workers.  Both paths ride the
+JSON-lines protocol and the engine's seed-closure discipline, so fabric
+results are bit-for-bit identical to single-host runs.
+"""
+
+from __future__ import annotations
+
+from .connection import (
+    WorkerLink,
+    WorkerUnavailable,
+    connect_workers,
+    parse_endpoint,
+    spawn_worker,
+)
+from .coordinator import FabricCoordinator, FabricError
+from .telemetry import FabricTelemetry, ShardEvent
+from .worker_loop import WorkerServer
+
+__all__ = [
+    "FabricCoordinator",
+    "FabricError",
+    "FabricTelemetry",
+    "ShardEvent",
+    "WorkerLink",
+    "WorkerServer",
+    "WorkerUnavailable",
+    "connect_workers",
+    "parse_endpoint",
+    "spawn_worker",
+]

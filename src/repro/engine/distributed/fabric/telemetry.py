@@ -1,0 +1,105 @@
+"""Per-shard fabric telemetry: events, timings, retries, worker health.
+
+Every state change in a fabric run emits a :class:`ShardEvent` — to the
+coordinator's event log (:class:`FabricTelemetry`) and to the optional
+``on_event`` callback that powers the live progress view in
+``python -m repro.campaigns``.  The summary is plain JSON, so campaign
+``--json`` artifacts record exactly which worker ran which shard, how long
+it took, and what was retried — the forensic trail for a flaky fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Event kinds, in lifecycle order.
+ASSIGNED = "assigned"
+COMPLETED = "completed"
+WORKER_DEAD = "worker_dead"
+REASSIGNED = "reassigned"
+
+
+@dataclass(frozen=True)
+class ShardEvent:
+    """One fabric state change."""
+
+    kind: str
+    shard_index: int
+    worker: str
+    attempt: int
+    seconds: Optional[float] = None
+    error: Optional[str] = None
+    completed: int = 0
+    total: int = 0
+
+    def describe(self) -> str:
+        """One human line (the live progress view's format)."""
+        progress = f"{self.completed}/{self.total}"
+        if self.kind == ASSIGNED:
+            return (
+                f"[fabric] shard {self.shard_index} -> {self.worker} "
+                f"(attempt {self.attempt}, {progress} done)"
+            )
+        if self.kind == COMPLETED:
+            return (
+                f"[fabric] shard {self.shard_index} done on {self.worker} "
+                f"({self.seconds:.2f}s, {progress} done)"
+            )
+        if self.kind == WORKER_DEAD:
+            return f"[fabric] worker {self.worker} died: {self.error}"
+        if self.kind == REASSIGNED:
+            return (
+                f"[fabric] shard {self.shard_index} reassigned after "
+                f"{self.worker} failed (attempt {self.attempt}: {self.error})"
+            )
+        return f"[fabric] {self.kind}: shard {self.shard_index}"
+
+
+@dataclass
+class FabricTelemetry:
+    """Thread-safe event log of one fabric run + JSON summary."""
+
+    events: List[ShardEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, event: ShardEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[ShardEvent]:
+        with self._lock:
+            return [event for event in self.events if event.kind == kind]
+
+    def summary(self) -> Dict:
+        """Plain-JSON digest: per-shard timing/placement, failures, retries."""
+        with self._lock:
+            events = list(self.events)
+        shards: Dict[int, Dict] = {}
+        for event in events:
+            if event.kind == ASSIGNED:
+                shards.setdefault(
+                    event.shard_index, {"attempts": 0}
+                )["attempts"] = event.attempt
+            elif event.kind == COMPLETED:
+                entry = shards.setdefault(event.shard_index, {"attempts": 1})
+                entry["worker"] = event.worker
+                entry["seconds"] = event.seconds
+        dead = sorted(
+            {event.worker for event in events if event.kind == WORKER_DEAD}
+        )
+        return {
+            "shards": {str(index): shards[index] for index in sorted(shards)},
+            "reassignments": sum(
+                1 for event in events if event.kind == REASSIGNED
+            ),
+            "worker_failures": dead,
+            "shard_seconds_total": sum(
+                event.seconds or 0.0
+                for event in events
+                if event.kind == COMPLETED
+            ),
+        }

@@ -1,0 +1,238 @@
+"""The fabric worker's serve loop: shard assignments over JSON lines.
+
+A worker is the remote half of the fabric: it accepts coordinator
+connections and executes two kinds of work behind the same wire protocol the
+serving layer already speaks (:mod:`repro.serving.protocol`):
+
+* ``shard`` — one campaign shard: the message carries the full campaign
+  spec (seed closure included) plus a row range, so the worker re-derives
+  exactly the same per-row RNG streams the single-host run uses and the
+  partial it returns is bit-for-bit a row slice of the unsharded campaign;
+* ``batch`` — one coalesced serving batch forwarded by a
+  :class:`~repro.serving.fabric_dispatch.FabricDispatcher`.
+
+Shards and batches run on worker threads (``asyncio.to_thread``), so the
+event loop keeps answering ``ping`` heartbeats while numpy computes — which
+is what lets a coordinator distinguish *busy* from *dead*.  ``shutdown``
+answers, then stops the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional, Set
+
+from ....serving.protocol import (
+    ProtocolError,
+    build_request,
+    encode_partial,
+    error_line,
+    parse_batch_payloads,
+    parse_request_line,
+    response_line,
+    result_to_payload,
+)
+from ..plan import Shard
+from ..spec import spec_from_json
+from ..worker import run_shard
+
+#: Per-line stream buffer limit [bytes] — sized for campaign specs and
+#: coalesced batches; a sigma^2_N shard partial travels the *other* way.
+MAX_LINE_BYTES = 8 << 20
+
+
+class WorkerServer:
+    """Asyncio JSON-lines server executing fabric work on localhost threads."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = int(port)
+        self.backend = backend
+        self.shards_served = 0
+        self.batches_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clients: Set[asyncio.StreamWriter] = set()
+        self._stopping = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                self.host,
+                self._requested_port,
+                limit=MAX_LINE_BYTES,
+            )
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        # Closing client connections hands every handler an EOF, so the
+        # handler tasks finish on their own instead of being cancelled at
+        # loop teardown (a cancelled client task logs a spurious traceback
+        # on 3.11).  The wait is bounded; stragglers only risk that noise.
+        for writer in list(self._clients):
+            writer.close()
+        for _ in range(100):
+            if not self._clients:
+                break
+            await asyncio.sleep(0.01)
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` message arrives (or cancellation)."""
+        await self.start()
+        await self._stopping.wait()
+        await self.stop()
+
+    async def _execute_shard(self, fields: Dict) -> Dict:
+        try:
+            spec = spec_from_json(fields["spec"])
+            shard = Shard(
+                index=int(fields.get("index", 0)),
+                start=int(fields["start"]),
+                stop=int(fields["stop"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"invalid shard assignment: {error}") from None
+        started = time.perf_counter()
+        partial = await asyncio.to_thread(run_shard, (spec, shard))
+        self.shards_served += 1
+        return {
+            "kind": "shard",
+            "index": shard.index,
+            "partial": encode_partial(partial),
+            "seconds": time.perf_counter() - started,
+        }
+
+    async def _execute_batch(self, fields: Dict) -> Dict:
+        from ....serving.scatter import execute_batch
+
+        requests = [
+            build_request(kind, entry)
+            for kind, entry in parse_batch_payloads(fields)
+        ]
+        kinds = {request.kind for request in requests}
+        if len(kinds) != 1:
+            raise ProtocolError(
+                f"a batch must be one coalesced group of a single kind, "
+                f"got {sorted(kinds)}"
+            )
+        results = await asyncio.to_thread(
+            execute_batch, requests, self.backend
+        )
+        self.batches_served += 1
+        return {
+            "kind": "batch",
+            "results": [result_to_payload(result) for result in results],
+        }
+
+    async def handle_line(self, line: str) -> str:
+        """Serve one wire line; always returns a response line."""
+        request_id = None
+        try:
+            request_id, kind, fields = parse_request_line(line)
+            if kind == "ping":
+                return response_line(
+                    request_id,
+                    {"kind": "ping", "pong": True, "role": "worker"},
+                )
+            if kind == "stats":
+                return response_line(
+                    request_id,
+                    {
+                        "kind": "stats",
+                        "role": "worker",
+                        "shards_served": self.shards_served,
+                        "batches_served": self.batches_served,
+                    },
+                )
+            if kind == "shutdown":
+                self._stopping.set()
+                return response_line(
+                    request_id, {"kind": "shutdown", "stopping": True}
+                )
+            if kind == "shard":
+                return response_line(
+                    request_id, await self._execute_shard(fields)
+                )
+            if kind == "batch":
+                return response_line(
+                    request_id, await self._execute_batch(fields)
+                )
+            return error_line(
+                request_id,
+                f"request kind {kind!r} is not served by fabric workers "
+                f"(use python -m repro.serve for bits/sigma2n traffic)",
+            )
+        except ProtocolError as error:
+            if error.request_id is not None:
+                request_id = error.request_id
+            return error_line(request_id, str(error))
+        except Exception as error:  # shard/batch failures stay on this line
+            return error_line(request_id, f"worker error: {error}")
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+        self._clients.add(writer)
+
+        async def respond(line: str) -> None:
+            response = await self.handle_line(line)
+            try:
+                async with write_lock:
+                    writer.write(response.encode())
+                    await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass  # coordinator went away; it will reassign the shard
+
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    async with write_lock:
+                        writer.write(
+                            error_line(
+                                None,
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            ).encode()
+                        )
+                        await writer.drain()
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                # One task per line: pings pipeline past an in-flight shard,
+                # which is what makes heartbeats meaningful.
+                task = asyncio.create_task(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self._clients.discard(writer)

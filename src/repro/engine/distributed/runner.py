@@ -89,18 +89,27 @@ def run_campaign(
 
     partials = {}
     checkpoint = None
-    if checkpoint_dir is not None:
-        checkpoint = CampaignCheckpoint(checkpoint_dir)
-        for index in checkpoint.initialize(spec, plan, resume=resume):
-            partials[index] = checkpoint.load_partial(index)
+    try:
+        if checkpoint_dir is not None:
+            checkpoint = CampaignCheckpoint(checkpoint_dir)
+            for index in checkpoint.initialize(spec, plan, resume=resume):
+                partials[index] = checkpoint.load_partial(index)
 
-    pending = [shard for shard in plan if shard.index not in partials]
-    tasks = [(spec, shard) for shard in pending]
-    for position, partial in executor.run(run_shard, tasks):
-        shard = pending[position]
-        partials[shard.index] = partial
+        # Already-checkpointed shards never re-enter the task list: a fabric
+        # reassignment or a coordinator restart reuses their partials
+        # verbatim instead of recomputing (zero-recomputation contract).
+        pending = [shard for shard in plan if shard.index not in partials]
+        tasks = [(spec, shard) for shard in pending]
+        for position, partial in executor.run(run_shard, tasks):
+            shard = pending[position]
+            partials[shard.index] = partial
+            if checkpoint is not None:
+                checkpoint.save_partial(shard.index, partial)
+    finally:
+        # Release the single-writer lease even on failure, so a follow-up
+        # resume (same or another process) can take over immediately.
         if checkpoint is not None:
-            checkpoint.save_partial(shard.index, partial)
+            checkpoint.release()
 
     ordered = [partials[shard.index] for shard in plan]
     if isinstance(spec, Sigma2NCampaignSpec):

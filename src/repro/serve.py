@@ -84,6 +84,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="root seed assigned (in arrival order) to unseeded requests",
     )
     parser.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N localhost fabric workers and dispatch coalesced "
+        "batches to them (results stay bit-identical to local serving)",
+    )
+    parser.add_argument(
+        "--workers-remote",
+        type=str,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated endpoints of running 'python -m repro.worker' "
+        "processes to dispatch batches to (combinable with --spawn-workers)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print a stats snapshot to stderr every --stats-interval seconds",
@@ -99,13 +115,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _service(args: argparse.Namespace) -> TRNGService:
+def _fabric(args: argparse.Namespace):
+    """Build the FabricDispatcher for --spawn-workers/--workers-remote."""
+    remote = [
+        endpoint.strip()
+        for endpoint in (args.workers_remote or "").split(",")
+        if endpoint.strip()
+    ]
+    if not remote and args.spawn_workers <= 0:
+        return None
+    from .serving.fabric_dispatch import FabricDispatcher
+
+    return FabricDispatcher.from_endpoints(
+        remote=remote, spawn=max(args.spawn_workers, 0), backend=args.backend
+    )
+
+
+def _service(args: argparse.Namespace, fabric=None) -> TRNGService:
     return TRNGService(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         overflow=args.overflow,
         backend=args.backend,
+        fabric=fabric,
     )
 
 
@@ -116,45 +149,56 @@ async def _stats_loop(service: TRNGService, interval: float) -> None:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    service = _service(args)
+    fabric = _fabric(args)
+    if fabric is not None:
+        print(
+            f"fabric dispatch: {len(fabric.workers)} worker(s) "
+            f"({', '.join(worker.name for worker in fabric.workers)})",
+            file=sys.stderr,
+        )
+    service = _service(args, fabric=fabric)
     default_seed = seed_stream(args.seed)
     stats_task: Optional[asyncio.Task] = None
-    async with service:
-        if args.stats:
-            stats_task = asyncio.create_task(
-                _stats_loop(service, max(args.stats_interval, 0.1))
-            )
-        try:
-            if args.stdio:
-                await serve_stdio(service, default_seed=default_seed)
-            else:
-                server = TRNGServer(
-                    service,
-                    host=args.host,
-                    port=args.port,
-                    default_seed=default_seed,
+    try:
+        async with service:
+            if args.stats:
+                stats_task = asyncio.create_task(
+                    _stats_loop(service, max(args.stats_interval, 0.1))
                 )
-                await server.start()
+            try:
+                if args.stdio:
+                    await serve_stdio(service, default_seed=default_seed)
+                else:
+                    server = TRNGServer(
+                        service,
+                        host=args.host,
+                        port=args.port,
+                        default_seed=default_seed,
+                    )
+                    await server.start()
+                    print(
+                        f"serving on {args.host}:{server.port} "
+                        f"(max_batch={args.max_batch}, "
+                        f"max_wait_ms={args.max_wait_ms})",
+                        file=sys.stderr,
+                    )
+                    try:
+                        await server.serve_forever()
+                    finally:
+                        await server.stop()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                if stats_task is not None:
+                    stats_task.cancel()
+            if args.stats:
                 print(
-                    f"serving on {args.host}:{server.port} "
-                    f"(max_batch={args.max_batch}, "
-                    f"max_wait_ms={args.max_wait_ms})",
+                    f"final stats: {json.dumps(service.stats.snapshot())}",
                     file=sys.stderr,
                 )
-                try:
-                    await server.serve_forever()
-                finally:
-                    await server.stop()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            if stats_task is not None:
-                stats_task.cancel()
-        if args.stats:
-            print(
-                f"final stats: {json.dumps(service.stats.snapshot())}",
-                file=sys.stderr,
-            )
+    finally:
+        if fabric is not None:
+            fabric.close()
     return 0
 
 
@@ -200,6 +244,17 @@ def main(argv: Optional[list] = None) -> int:
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
+    if args.workers_remote:
+        from .engine.distributed.fabric.connection import parse_endpoint
+
+        for endpoint in args.workers_remote.split(","):
+            if not endpoint.strip():
+                continue
+            try:
+                parse_endpoint(endpoint.strip())
+            except ValueError as error:
+                print(str(error), file=sys.stderr)
+                return 2
     runner = _self_test if args.self_test else _serve
     try:
         return asyncio.run(runner(args))

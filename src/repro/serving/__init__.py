@@ -19,6 +19,7 @@ Run a server with ``python -m repro.serve`` (see :mod:`repro.serve`).
 """
 
 from .coalescer import Coalescer
+from .fabric_dispatch import FabricDispatcher
 from .fast_tier import FastTierCache, FittedCampaignEntry
 from .queue import (
     PendingRequest,
@@ -40,6 +41,7 @@ __all__ = [
     "BitsRequest",
     "BitsResult",
     "Coalescer",
+    "FabricDispatcher",
     "FastTierCache",
     "FittedCampaignEntry",
     "PendingRequest",

@@ -1,0 +1,207 @@
+"""Fabric-backed serving dispatch: coalesced batches on remote workers.
+
+:class:`FabricDispatcher` is the serving half of the multi-host fabric: a
+:class:`~repro.serving.service.TRNGService` built with one forwards each
+coalesced batch as a single ``batch`` protocol message to a fabric worker
+(``python -m repro.worker``) instead of running the engine call on a local
+thread.  Round-robin spreads groups across the fleet; a dead worker is
+retired and its batch retried on the next one; when the whole fleet is gone
+the dispatcher falls back to local execution — requests never fail because
+the fabric did.
+
+Determinism: the wire payload carries every request's pinned seed, the
+worker rebuilds the identical typed requests and runs the same
+``execute_batch`` bridge, so served results are **bit-for-bit identical** to
+local dispatch (enforced by ``tests/serving/test_fabric_dispatch.py``).
+
+Fast-tier sigma^2_N groups are served locally: the fitted-campaign cache
+lives in the coordinator process, and a cache hit is already cheaper than a
+network round-trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..engine.distributed.fabric.connection import (
+    WorkerLink,
+    WorkerUnavailable,
+    connect_workers,
+)
+from .fast_tier import FastTierCache
+from .protocol import payload_to_result, request_to_payload
+from .requests import Request, Sigma2NRequest
+from .scatter import execute_batch
+
+
+class FabricDispatcher:
+    """Round-robin batch forwarding to fabric workers, with local fallback.
+
+    Parameters
+    ----------
+    workers:
+        Connected :class:`WorkerLink` instances (the dispatcher takes
+        ownership: :meth:`close` closes them and terminates spawned ones).
+    request_timeout:
+        Wall-clock bound for one forwarded batch; exceeding it retires the
+        worker and retries elsewhere.
+    fallback_local:
+        Serve locally when no worker is left (default).  ``False`` raises
+        :class:`WorkerUnavailable` instead — for tests and strict setups.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerLink],
+        request_timeout: float = 120.0,
+        fallback_local: bool = True,
+    ) -> None:
+        if not workers:
+            raise ValueError("FabricDispatcher needs at least one worker")
+        self.workers: List[WorkerLink] = list(workers)
+        self.request_timeout = float(request_timeout)
+        self.fallback_local = bool(fallback_local)
+        self._lock = threading.Lock()
+        self._cursor = 0
+        self._sequence = 0
+        self.remote_batches = 0
+        self.local_batches = 0
+        self.failovers = 0
+        self.retired: List[str] = []
+
+    @classmethod
+    def from_endpoints(
+        cls,
+        remote: Sequence[str] = (),
+        spawn: int = 0,
+        backend: Optional[str] = None,
+        connect_timeout: float = 10.0,
+        **kwargs,
+    ) -> "FabricDispatcher":
+        """Build a dispatcher from ``host:port`` endpoints + spawn count."""
+        links = connect_workers(
+            remote, spawn, backend=backend, connect_timeout=connect_timeout
+        )
+        return cls(links, **kwargs)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _next_worker(self) -> Optional[WorkerLink]:
+        with self._lock:
+            if not self.workers:
+                return None
+            self._cursor %= len(self.workers)
+            worker = self.workers[self._cursor]
+            self._cursor += 1
+            return worker
+
+    def _retire(self, worker: WorkerLink, error: Exception) -> None:
+        with self._lock:
+            if worker in self.workers:
+                self.workers.remove(worker)
+                self.retired.append(f"{worker.name}: {error}")
+        worker.close(kill=True)
+
+    def _forward(self, worker: WorkerLink, payloads: List[Dict]) -> List:
+        with self._lock:
+            self._sequence += 1
+            wire_id = self._sequence
+        worker.send(
+            {"id": wire_id, "kind": "batch", "requests": payloads}
+        )
+        reply = worker.receive(timeout=self.request_timeout)
+        if reply is None:
+            raise WorkerUnavailable(
+                f"worker {worker.name} did not answer a batch within "
+                f"{self.request_timeout:.0f}s"
+            )
+        if not reply.get("ok"):
+            # A worker-side engine failure is a *request* problem, not a
+            # connection problem: surface it to the callers rather than
+            # burning through the fleet retrying a poisoned batch.
+            raise RuntimeError(
+                f"fabric worker {worker.name} failed the batch: "
+                f"{reply.get('error')}"
+            )
+        result = reply.get("result") or {}
+        if result.get("kind") != "batch":
+            raise WorkerUnavailable(
+                f"worker {worker.name} sent an unexpected reply "
+                f"({result.get('kind')!r}) to a batch"
+            )
+        return [payload_to_result(item) for item in result["results"]]
+
+    def execute_batch(
+        self,
+        requests: Sequence[Request],
+        backend=None,
+        fast_cache: Optional[FastTierCache] = None,
+    ) -> List:
+        """Serve one coalesced group — remote when possible, local otherwise.
+
+        Drop-in signature-compatible with
+        :func:`repro.serving.scatter.execute_batch`, which is also the
+        fallback path (same engine bridge, bit-identical results).
+        """
+        if not requests:
+            return []
+        lead = requests[0]
+        if (
+            isinstance(lead, Sigma2NRequest)
+            and lead.tier == "fast"
+            and fast_cache is not None
+        ):
+            # The fast-tier cache is coordinator-local state.
+            self.local_batches += 1
+            return execute_batch(requests, backend=backend, fast_cache=fast_cache)
+        payloads = [request_to_payload(request) for request in requests]
+        attempts = len(self.workers)
+        for _ in range(attempts):
+            worker = self._next_worker()
+            if worker is None:
+                break
+            try:
+                results = self._forward(worker, payloads)
+            except WorkerUnavailable as error:
+                self._retire(worker, error)
+                with self._lock:
+                    self.failovers += 1
+                continue
+            self.remote_batches += 1
+            return results
+        if not self.fallback_local:
+            raise WorkerUnavailable("no live fabric workers for this batch")
+        self.local_batches += 1
+        return execute_batch(requests, backend=backend, fast_cache=fast_cache)
+
+    # -- lifecycle / stats ---------------------------------------------------
+
+    def close(self) -> None:
+        """Close every link; spawned workers are terminated."""
+        with self._lock:
+            workers, self.workers = self.workers, []
+        for worker in workers:
+            try:
+                if worker.connected:
+                    worker.send({"id": "shutdown", "kind": "shutdown"})
+            except WorkerUnavailable:
+                pass
+            worker.close(kill=True)
+
+    def __enter__(self) -> "FabricDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> Dict:
+        """Plain-JSON dispatch counters (surfaced in ``ServiceStats``)."""
+        with self._lock:
+            return {
+                "workers": [worker.name for worker in self.workers],
+                "remote_batches": self.remote_batches,
+                "local_batches": self.local_batches,
+                "failovers": self.failovers,
+                "retired": list(self.retired),
+            }

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from .protocol import (
+    WORKER_ONLY_KINDS,
     ProtocolError,
     build_request,
     error_line,
@@ -64,6 +65,12 @@ async def handle_request_line(
     request_id = None
     try:
         request_id, kind, fields = parse_request_line(line)
+        if kind in WORKER_ONLY_KINDS:
+            return error_line(
+                request_id,
+                f"request kind {kind!r} is only served by fabric workers "
+                f"(python -m repro.worker), not the public serving front end",
+            )
         if kind == "ping":
             return response_line(request_id, {"kind": "ping", "pong": True})
         if kind == "stats":

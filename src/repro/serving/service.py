@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..engine.backends import BackendLike, plan_cache_stats, resolve_backend
 from .coalescer import Coalescer
@@ -22,6 +22,9 @@ from .fast_tier import FastTierCache
 from .queue import RequestQueue, ServiceStopped
 from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
 from .scatter import Scatterer, execute_batch
+
+if TYPE_CHECKING:
+    from .fabric_dispatch import FabricDispatcher
 
 
 @dataclass
@@ -41,6 +44,9 @@ class ServiceStats:
     #: The service's fast-tier cache, attached by :class:`TRNGService` so the
     #: snapshot can surface its counters alongside the request counters.
     fast_cache: Optional[FastTierCache] = None
+    #: The service's fabric dispatcher (when serving through remote workers),
+    #: attached so the snapshot includes a ``fabric`` section.
+    fabric: Optional["FabricDispatcher"] = None
 
     def record_submit(self, request: Request) -> None:
         self.submitted += 1
@@ -81,6 +87,8 @@ class ServiceStats:
         }
         if self.fast_cache is not None:
             snapshot["fast_tier"] = self.fast_cache.stats()
+        if self.fabric is not None:
+            snapshot["fabric"] = self.fabric.stats()
         return snapshot
 
 
@@ -113,6 +121,11 @@ class TRNGService:
         (see :mod:`repro.serving.fast_tier`); pass an instance to tune the
         r^2 admission gate or share a cache across services.  Defaults to a
         fresh cache with the standard gate.
+    fabric:
+        A :class:`~repro.serving.fabric_dispatch.FabricDispatcher` to run
+        coalesced batches on remote workers instead of a local thread.
+        Results are bit-for-bit identical either way; the service does not
+        own the dispatcher (close it yourself after :meth:`stop`).
     """
 
     def __init__(
@@ -123,12 +136,14 @@ class TRNGService:
         overflow: str = "reject",
         backend: BackendLike = None,
         fast_cache: Optional[FastTierCache] = None,
+        fabric: Optional["FabricDispatcher"] = None,
     ) -> None:
         self.queue = RequestQueue(max_pending=max_pending, overflow=overflow)
         self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
         self.scatterer = Scatterer()
         self.fast_cache = fast_cache if fast_cache is not None else FastTierCache()
-        self.stats = ServiceStats(fast_cache=self.fast_cache)
+        self.fabric = fabric
+        self.stats = ServiceStats(fast_cache=self.fast_cache, fabric=fabric)
         self.backend = resolve_backend(backend)
         self._dispatch_task: Optional[asyncio.Task] = None
 
@@ -169,9 +184,12 @@ class TRNGService:
             batch = await self.coalescer.next_batch(self.queue)
             self.stats.record_batch(len(batch))
             requests = [pending.request for pending in batch]
+            run_batch = (
+                self.fabric.execute_batch if self.fabric is not None else execute_batch
+            )
             try:
                 results = await asyncio.to_thread(
-                    execute_batch, requests, self.backend, self.fast_cache
+                    run_batch, requests, self.backend, self.fast_cache
                 )
             except asyncio.CancelledError:
                 self.stats.failed += self.scatterer.fail(

@@ -1,0 +1,95 @@
+"""``python -m repro.worker`` — a fabric worker process.
+
+Listens for a coordinator (``FabricCoordinator`` for campaigns,
+``FabricDispatcher`` for serving) and executes ``shard`` / ``batch``
+assignments over the JSON-lines protocol, answering ``ping`` heartbeats
+while it computes::
+
+    # Ephemeral port, announced on stdout (what --spawn-workers parses)
+    python -m repro.worker --listen 127.0.0.1:0
+
+    # Fixed endpoint for --workers-remote
+    python -m repro.worker --listen 0.0.0.0:9900 --backend threaded:4
+
+The worker exits on a ``shutdown`` message, SIGTERM, or Ctrl-C.  Campaign
+shards carry their own backend spec; ``--backend`` selects the synthesis
+backend of forwarded *serving* batches only (all backends are bit-for-bit
+equivalent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional
+
+from .engine.distributed.fabric.connection import ANNOUNCE_PREFIX, parse_endpoint
+from .engine.distributed.fabric.worker_loop import WorkerServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--listen",
+        type=str,
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port "
+        "(announced on stdout)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="numpy|threaded[:N]|auto[:N]",
+        help="synthesis backend for forwarded serving batches (campaign "
+        "shards carry their own); default: $REPRO_BACKEND or numpy",
+    )
+    return parser
+
+
+async def _serve(host: str, port: int, backend: Optional[str]) -> int:
+    server = WorkerServer(host=host, port=port, backend=backend)
+    await server.start()
+    # The announce line is the spawn contract: exactly this prefix, stdout,
+    # flushed before any work — spawn_worker() blocks on it.
+    print(f"{ANNOUNCE_PREFIX}{server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.stop()
+    print(
+        f"repro-worker exiting ({server.shards_served} shards, "
+        f"{server.batches_served} batches served)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        host, port = parse_endpoint(args.listen)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        from .engine.backends import validate_backend_spec
+
+        try:
+            validate_backend_spec(args.backend)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    try:
+        return asyncio.run(_serve(host, port, args.backend))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Single-writer checkpoint lease tests: concurrent coordinators must not
+interleave manifest writes.  A second live coordinator is refused with
+:class:`CheckpointLeaseError`; stale leases (dead owner) are taken over."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine.distributed import (
+    CampaignCheckpoint,
+    CheckpointLeaseError,
+    Sigma2NCampaignSpec,
+    plan_shards,
+    run_campaign,
+    run_shard,
+)
+
+
+@pytest.fixture()
+def spec():
+    return Sigma2NCampaignSpec(batch_size=4, n_periods=2048, seed=9)
+
+
+@pytest.fixture()
+def plan(spec):
+    return plan_shards(spec.batch_size, 2)
+
+
+def _write_lock(tmp_path, pid: int) -> None:
+    (tmp_path / "coordinator.lock").write_text(
+        json.dumps({"token": "someone-else", "pid": pid})
+    )
+
+
+def test_live_foreign_coordinator_is_refused(spec, plan, tmp_path):
+    """A lock held by a live *other* process blocks initialization with a
+    clear error instead of silently corrupting the manifest."""
+    other = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(60)"]
+    )
+    try:
+        _write_lock(tmp_path, other.pid)
+        checkpoint = CampaignCheckpoint(tmp_path)
+        with pytest.raises(CheckpointLeaseError, match="live coordinator"):
+            checkpoint.initialize(spec, plan, resume=False)
+    finally:
+        other.kill()
+        other.wait()
+
+
+def test_dead_owner_lease_is_taken_over(spec, plan, tmp_path):
+    """A lease whose owner process is gone is stale: resume takes it over."""
+    dead = subprocess.Popen([sys.executable, "-c", "pass"])
+    dead.wait()
+    _write_lock(tmp_path, dead.pid)
+    checkpoint = CampaignCheckpoint(tmp_path)
+    completed = checkpoint.initialize(spec, plan, resume=False)
+    assert completed == set()
+    lock = json.loads((tmp_path / "coordinator.lock").read_text())
+    assert lock["token"] != "someone-else"
+
+
+def test_superseded_coordinator_cannot_write(spec, plan, tmp_path):
+    """Same-process takeover (restart in one process) invalidates the first
+    coordinator's lease: its next save_partial is refused."""
+    first = CampaignCheckpoint(tmp_path)
+    first.initialize(spec, plan, resume=False)
+    second = CampaignCheckpoint(tmp_path)
+    second.initialize(spec, plan, resume=True)
+
+    partial = run_shard((spec, plan.shards[0]))
+    with pytest.raises(CheckpointLeaseError, match="lost the coordinator"):
+        first.save_partial(0, partial)
+    # The usurper writes fine, and the partial is intact on disk.
+    second.save_partial(0, partial)
+    for name, values in second.load_partial(0).items():
+        np.testing.assert_array_equal(values, partial[name])
+
+
+def test_released_lease_admits_a_successor(spec, plan, tmp_path):
+    first = CampaignCheckpoint(tmp_path)
+    first.initialize(spec, plan, resume=False)
+    first.release()
+    assert not (tmp_path / "coordinator.lock").exists()
+    second = CampaignCheckpoint(tmp_path)
+    second.initialize(spec, plan, resume=True)
+    second.save_partial(0, run_shard((spec, plan.shards[0])))
+
+
+def test_run_campaign_releases_the_lease(spec, tmp_path):
+    run_campaign(spec, n_shards=2, checkpoint_dir=tmp_path)
+    assert not (tmp_path / "coordinator.lock").exists()
+    # ... so an immediate resume in the same process works.
+    run_campaign(spec, n_shards=2, checkpoint_dir=tmp_path, resume=True)
+    assert not (tmp_path / "coordinator.lock").exists()

@@ -1,0 +1,240 @@
+"""Fabric failure-path tests: death detection, reassignment, zero recompute.
+
+Every scenario asserts two things: the run *survives* (or fails with a clear
+:class:`FabricError` when it cannot), and the merged output stays
+**bit-for-bit identical** to the single-host run — a worker death must never
+change a single bit of the result.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.distributed import (
+    FabricCoordinator,
+    FabricError,
+    Sigma2NCampaignSpec,
+    run_campaign,
+)
+from repro.engine.distributed.fabric.telemetry import (
+    ASSIGNED,
+    COMPLETED,
+    WORKER_DEAD,
+)
+
+
+class FakeWorker(threading.Thread):
+    """A TCP endpoint that misbehaves in a configurable way.
+
+    ``mode="silent"`` accepts and reads but never replies (a wedged worker —
+    exercises the heartbeat timeout); ``mode="slam"`` accepts and closes
+    immediately (a worker dying between accept and first result).
+    """
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(daemon=True)
+        self.mode = mode
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self.start()
+
+    @property
+    def endpoint(self) -> str:
+        return f"127.0.0.1:{self.port}"
+
+    def run(self) -> None:
+        try:
+            while True:
+                client, _ = self._listener.accept()
+                if self.mode == "slam":
+                    client.close()
+                    continue
+                try:
+                    while client.recv(65536):
+                        pass  # silent: consume traffic, never answer
+                except OSError:
+                    pass
+                finally:
+                    client.close()
+        except OSError:
+            return  # listener closed
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+@pytest.fixture()
+def spec():
+    return Sigma2NCampaignSpec(batch_size=8, n_periods=8192, seed=21)
+
+
+@pytest.fixture()
+def reference(spec):
+    return run_campaign(spec, n_shards=8)
+
+
+def _assert_bitwise(result, reference):
+    np.testing.assert_array_equal(result.sigma2_s2, reference.sigma2_s2)
+    for name, column in reference.table().items():
+        np.testing.assert_array_equal(result.table()[name], column)
+
+
+def test_killed_worker_shards_are_reassigned(spec, reference):
+    """SIGKILL one of two workers mid-campaign; the run must still merge
+    bit-identically, with at least one reassignment recorded."""
+    killed = []
+    trigger = threading.Lock()
+
+    coordinator = FabricCoordinator(
+        spawn=2, heartbeat_interval=0.2, heartbeat_timeout=5.0
+    )
+
+    def assassin(event) -> None:
+        if event.kind != COMPLETED:
+            return
+        # Locked: two workers completing simultaneously must not each kill
+        # "the other" — exactly one worker dies in this scenario.
+        with trigger:
+            if killed:
+                return
+            for link in coordinator.workers:
+                if link.name != event.worker and link.process is not None:
+                    link.process.kill()
+                    killed.append(link.name)
+                    return
+
+    coordinator.on_event = assassin
+    with coordinator:
+        result = run_campaign(spec, executor=coordinator, n_shards=8)
+        summary = coordinator.telemetry.summary()
+    assert killed, "the fault injector never fired"
+    assert summary["reassignments"] >= 1
+    assert killed[0] in summary["worker_failures"]
+    _assert_bitwise(result, reference)
+
+
+def test_heartbeat_timeout_retires_silent_worker(spec, reference):
+    """A wedged (accepting, never answering) worker is declared dead after
+    the heartbeat timeout and its shard completes elsewhere."""
+    fake = FakeWorker("silent")
+    try:
+        coordinator = FabricCoordinator(
+            remote=[fake.endpoint],
+            spawn=1,
+            heartbeat_interval=0.2,
+            heartbeat_timeout=1.0,
+        )
+        with coordinator:
+            result = run_campaign(spec, executor=coordinator, n_shards=4)
+            summary = coordinator.telemetry.summary()
+        assert summary["reassignments"] >= 1
+        assert any(
+            "heartbeat timeout" in (event.error or "")
+            for event in coordinator.telemetry.of_kind(WORKER_DEAD)
+        )
+        _assert_bitwise(result, reference)
+    finally:
+        fake.close()
+
+
+def test_all_workers_dead_raises_fabric_error(spec):
+    fake = FakeWorker("silent")
+    try:
+        coordinator = FabricCoordinator(
+            remote=[fake.endpoint],
+            heartbeat_interval=0.2,
+            heartbeat_timeout=1.0,
+            max_attempts=1,
+        )
+        with coordinator:
+            with pytest.raises(FabricError):
+                run_campaign(spec, executor=coordinator, n_shards=2)
+    finally:
+        fake.close()
+
+
+def test_worker_dying_before_first_result_is_survivable(spec, reference):
+    """A worker that drops the connection right after accept (death between
+    accept and first result) gets its shard reassigned."""
+    fake = FakeWorker("slam")
+    try:
+        coordinator = FabricCoordinator(
+            remote=[fake.endpoint],
+            spawn=1,
+            heartbeat_interval=0.2,
+            heartbeat_timeout=2.0,
+        )
+        with coordinator:
+            result = run_campaign(spec, executor=coordinator, n_shards=4)
+            summary = coordinator.telemetry.summary()
+        assert len(summary["worker_failures"]) >= 1
+        _assert_bitwise(result, reference)
+    finally:
+        fake.close()
+
+
+class _CrashAfter:
+    """Executor wrapper simulating a coordinator crash after N results."""
+
+    def __init__(self, inner, yield_before_crash: int) -> None:
+        self.inner = inner
+        self.yield_before_crash = yield_before_crash
+        self.max_workers = inner.max_workers
+
+    def run(self, function, tasks):
+        for count, item in enumerate(self.inner.run(function, tasks)):
+            if count >= self.yield_before_crash:
+                raise RuntimeError("simulated coordinator crash")
+            yield item
+
+
+def test_coordinator_restart_recomputes_only_missing_shards(
+    spec, reference, tmp_path
+):
+    """Crash the coordinator after 2 checkpointed shards; a fresh coordinator
+    resuming the manifest must assign only the missing shards, and a third
+    resume of the complete checkpoint must assign none (zero recompute)."""
+    first = FabricCoordinator(spawn=1, heartbeat_interval=0.5)
+    with first:
+        with pytest.raises(RuntimeError, match="simulated coordinator crash"):
+            run_campaign(
+                spec,
+                executor=_CrashAfter(first, 2),
+                n_shards=4,
+                checkpoint_dir=tmp_path,
+            )
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    completed_before = set(manifest["completed"])
+    assert len(completed_before) == 2
+
+    events = []
+    second = FabricCoordinator(
+        spawn=1, heartbeat_interval=0.5, on_event=events.append
+    )
+    with second:
+        result = run_campaign(
+            spec,
+            executor=second,
+            n_shards=4,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+    assigned = {e.shard_index for e in events if e.kind == ASSIGNED}
+    assert assigned.isdisjoint(completed_before)
+    assert len(assigned) == 4 - len(completed_before)
+    _assert_bitwise(result, reference)
+
+    # Fully-checkpointed resume: nothing is assigned, nothing is spawned.
+    events.clear()
+    third = FabricCoordinator(spawn=1, on_event=events.append)
+    cached = run_campaign(
+        spec, executor=third, n_shards=4, checkpoint_dir=tmp_path, resume=True
+    )
+    assert events == []
+    assert third.workers == []  # empty task list never even connected
+    _assert_bitwise(cached, reference)

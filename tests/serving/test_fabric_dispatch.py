@@ -1,0 +1,172 @@
+"""Serving-side fabric tests: dispatched batches are bitwise-identical to
+local serving, dead workers fail over, and the wire helpers round-trip."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
+from repro.serving.fabric_dispatch import FabricDispatcher
+from repro.serving.fast_tier import FastTierCache
+from repro.serving.protocol import (
+    ProtocolError,
+    build_request,
+    decode_partial,
+    encode_partial,
+    payload_to_result,
+    request_to_payload,
+    result_to_payload,
+)
+from repro.serving.scatter import execute_batch
+from repro.serving.server import handle_request_line
+
+
+class TestWireHelpers:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            BitsRequest(n_bits=32, divider=256, seed=7),
+            Sigma2NRequest(n_periods=2048, seed=9, n_sweep=(1, 2, 4)),
+        ],
+    )
+    def test_request_payload_rebuilds_the_same_request(self, request_):
+        payload = request_to_payload(request_)
+        kind = payload.pop("kind")
+        rebuilt = build_request(
+            kind, {k: v for k, v in payload.items() if v is not None}
+        )
+        assert rebuilt == request_
+
+    def test_result_payload_round_trip(self):
+        results = execute_batch([BitsRequest(n_bits=16, divider=128, seed=3)])
+        restored = payload_to_result(result_to_payload(results[0]))
+        np.testing.assert_array_equal(restored.bits, results[0].bits)
+        assert (restored.seed, restored.divider) == (3, 128)
+
+    def test_partial_encoding_round_trips_bitwise(self):
+        partial = {
+            "floats": np.linspace(0.0, 1.0, 7),
+            "ints": np.arange(5, dtype=np.int64),
+        }
+        restored = decode_partial(encode_partial(partial))
+        for name, values in partial.items():
+            np.testing.assert_array_equal(restored[name], values)
+            assert restored[name].dtype == values.dtype
+
+    def test_decode_partial_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="invalid partial encoding"):
+            decode_partial("not base64!!")
+
+
+def _serve_all(service, requests):
+    async def runner():
+        async with service:
+            results = []
+            for request in requests:
+                if isinstance(request, BitsRequest):
+                    results.append(await service.get_bits(request))
+                else:
+                    results.append(await service.get_sigma2n(request))
+            return results
+
+    return asyncio.run(runner())
+
+
+REQUESTS = [
+    BitsRequest(n_bits=64, divider=512, seed=7),
+    BitsRequest(n_bits=96, divider=1000, seed=8),
+    Sigma2NRequest(n_periods=2048, seed=9),
+]
+
+
+class TestFabricServing:
+    def test_fabric_served_equals_local_served_bitwise(self):
+        local = _serve_all(TRNGService(max_batch=1), list(REQUESTS))
+        fabric = FabricDispatcher.from_endpoints(spawn=1)
+        try:
+            remote = _serve_all(
+                TRNGService(max_batch=1, fabric=fabric), list(REQUESTS)
+            )
+            stats = fabric.stats()
+        finally:
+            fabric.close()
+        assert stats["remote_batches"] == len(REQUESTS)
+        for mine, theirs in zip(local, remote):
+            if hasattr(mine, "bits"):
+                np.testing.assert_array_equal(theirs.bits, mine.bits)
+            else:
+                np.testing.assert_array_equal(theirs.sigma2_s2, mine.sigma2_s2)
+                np.testing.assert_array_equal(theirs.n_values, mine.n_values)
+
+    def test_stats_snapshot_includes_fabric_section(self):
+        fabric = FabricDispatcher.from_endpoints(spawn=1)
+        try:
+            service = TRNGService(max_batch=1, fabric=fabric)
+            _serve_all(service, [REQUESTS[0]])
+            snapshot = service.stats.snapshot()
+        finally:
+            fabric.close()
+        assert snapshot["fabric"]["remote_batches"] == 1
+        assert snapshot["fabric"]["failovers"] == 0
+
+    def test_dead_fleet_fails_over_to_local(self):
+        reference = execute_batch([REQUESTS[0]])
+        fabric = FabricDispatcher.from_endpoints(spawn=1)
+        try:
+            for link in fabric.workers:
+                link.process.kill()
+                link.process.wait()
+            served = fabric.execute_batch([REQUESTS[0]])
+            stats = fabric.stats()
+        finally:
+            fabric.close()
+        np.testing.assert_array_equal(served[0].bits, reference[0].bits)
+        assert stats["failovers"] >= 1
+        assert stats["local_batches"] >= 1
+        assert stats["workers"] == []
+
+    def test_strict_mode_raises_without_workers(self):
+        fabric = FabricDispatcher.from_endpoints(spawn=1, fallback_local=False)
+        try:
+            for link in fabric.workers:
+                link.process.kill()
+                link.process.wait()
+            from repro.engine.distributed import WorkerUnavailable
+
+            with pytest.raises(WorkerUnavailable):
+                fabric.execute_batch([REQUESTS[0]])
+        finally:
+            fabric.close()
+
+    def test_fast_tier_groups_are_served_locally(self):
+        fabric = FabricDispatcher.from_endpoints(spawn=1)
+        try:
+            cache = FastTierCache()
+            request = Sigma2NRequest(n_periods=2048, seed=9, tier="fast")
+            fabric.execute_batch([request], fast_cache=cache)
+            stats = fabric.stats()
+        finally:
+            fabric.close()
+        assert stats["local_batches"] == 1
+        assert stats["remote_batches"] == 0
+
+    def test_empty_dispatcher_is_refused(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            FabricDispatcher([])
+
+
+class TestWorkerOnlyKinds:
+    @pytest.mark.parametrize("kind", ["shard", "batch", "shutdown"])
+    def test_public_server_rejects_worker_kinds(self, kind):
+        async def runner():
+            async with TRNGService() as service:
+                return await handle_request_line(
+                    service, f'{{"id": 1, "kind": "{kind}"}}'
+                )
+
+        line = asyncio.run(runner())
+        assert '"ok": false' in line
+        assert "fabric workers" in line
