@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from typing import Dict, Optional
 
@@ -119,6 +120,28 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--json", type=str, default=None, help="write results to this JSON file"
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the merged metrics registries (process + fabric) as JSON "
+        "to PATH when the campaign finishes",
+    )
+    parser.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print a one-line metrics summary to stderr every SECS seconds "
+        "while the campaign runs",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the merged span tree (coordinator + workers) to stderr "
+        "after a fabric run",
     )
     parser.add_argument(
         "--verify",
@@ -375,6 +398,24 @@ def main(argv: Optional[list] = None) -> int:
         fleet_size = args.workers
     n_shards = args.shards if args.shards is not None else fleet_size
 
+    from .obs import format_tree, global_registry, summary_line, write_metrics_json
+
+    registries = [global_registry()]
+    if use_fabric:
+        registries.insert(0, executor.telemetry.registry)
+    stats_stop: Optional[threading.Event] = None
+    if args.stats_interval is not None and args.stats_interval > 0:
+        stats_stop = threading.Event()
+        interval = max(args.stats_interval, 0.1)
+
+        def _stats_main() -> None:
+            while not stats_stop.wait(interval):
+                print(summary_line(*registries), file=sys.stderr)
+
+        threading.Thread(
+            target=_stats_main, name="campaign-stats", daemon=True
+        ).start()
+
     start = time.perf_counter()
     try:
         result = run_campaign(
@@ -387,6 +428,8 @@ def main(argv: Optional[list] = None) -> int:
     finally:
         if use_fabric:
             executor.close()
+        if stats_stop is not None:
+            stats_stop.set()
     elapsed = time.perf_counter() - start
 
     # Mirror run_campaign's backend-aware plan so the report shows the
@@ -412,6 +455,16 @@ def main(argv: Optional[list] = None) -> int:
             f"{len(fabric_summary['worker_failures'])} worker failure(s), "
             f"{fabric_summary['shard_seconds_total']:.3f} worker-seconds"
         )
+        if args.trace:
+            rendered = format_tree(executor.trace_tree())
+            if rendered:
+                print(f"trace:\n{rendered}", file=sys.stderr)
+    if args.metrics_json:
+        extra: Dict = {"command": args.command, "elapsed_seconds": elapsed}
+        if use_fabric:
+            extra["trace"] = executor.trace_tree()
+        write_metrics_json(args.metrics_json, *registries, extra=extra)
+        print(f"metrics written to {args.metrics_json}")
     if isinstance(spec, Sigma2NCampaignSpec) and not spec.fit:
         print(f"{len(result.curves)} curves estimated (fit skipped)")
     else:

@@ -18,6 +18,7 @@ shaping per block equals shaping all rows at once.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -28,7 +29,22 @@ from ...noise.flicker import (
     _spectral_fft_length,
     generate_pink_noise,
 )
+from ...obs import metrics as _obs
 from .plan import SynthesisPlan
+
+#: Kernel block timing (process-wide).  The histogram observe costs well
+#: under a microsecond per *block* (not per row), and the kill switch
+#: (``configure_metrics(enabled=False)``) skips even the clock reads — so
+#: the instrumentation never touches an RNG stream and enabled/disabled
+#: runs are bit-for-bit identical.
+_BLOCK_SECONDS = _obs.global_registry().histogram(
+    "engine_kernel_block_seconds",
+    "Wall-clock seconds per synthesis kernel block (draw + shape)",
+)
+_BLOCK_ROWS = _obs.global_registry().counter(
+    "engine_kernel_rows_total",
+    "Rows synthesized by the kernel (across all blocks)",
+)
 
 
 def flicker_offsets(h_minus1: np.ndarray) -> np.ndarray:
@@ -66,6 +82,34 @@ def run_block(
     :mod:`repro.noise.flicker`).  ``None`` computes everything inline — the
     uncached reference path the equivalence tests compare against.
     """
+    if not _obs.metrics_enabled():
+        _run_block_rows(
+            n, rngs, thermal_std_s, h_minus1, flicker_method,
+            thermal, pink, position, start, stop, plan,
+        )
+        return
+    began = time.perf_counter()
+    _run_block_rows(
+        n, rngs, thermal_std_s, h_minus1, flicker_method,
+        thermal, pink, position, start, stop, plan,
+    )
+    _BLOCK_SECONDS.observe(time.perf_counter() - began)
+    _BLOCK_ROWS.inc(stop - start)
+
+
+def _run_block_rows(
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    thermal_std_s: np.ndarray,
+    h_minus1: np.ndarray,
+    flicker_method: str,
+    thermal: np.ndarray,
+    pink: np.ndarray,
+    position: int,
+    start: int,
+    stop: int,
+    plan: Optional[SynthesisPlan],
+) -> None:
     sigma = thermal_std_s
     scaling = plan.spectral_scaling if plan is not None else None
     ar_tables = plan.ar_tables if plan is not None else None

@@ -40,6 +40,7 @@ from ...noise.flicker import (
     ar_cascade_tables,
     spectral_scaling_table,
 )
+from ...obs import metrics as _obs
 
 #: Default maximum number of cached plans.  Spectral tables are the large
 #: ones (``n_fft/2 + 1`` floats, with ``n_fft`` ~ 2-4x ``n``); 64 plans of
@@ -118,9 +119,21 @@ _PlanKey = Tuple[int, str, bool]
 _lock = threading.Lock()
 _cache: "OrderedDict[_PlanKey, SynthesisPlan]" = OrderedDict()
 _maxsize = DEFAULT_PLAN_CACHE_SIZE
-_hits = 0
-_misses = 0
-_evictions = 0
+
+# The hit/miss/eviction counters live in the process-wide observability
+# registry — plan_cache_stats(), ServiceStats.snapshot() and the Prometheus
+# exposition all read the *same* counters, so there is exactly one source of
+# truth.  Cache bookkeeping itself (entries, LRU order) is unaffected by the
+# metrics kill switch; only the counters pause while metrics are disabled.
+_HITS = _obs.global_registry().counter(
+    "plan_cache_hits_total", "Synthesis-plan cache hits"
+)
+_MISSES = _obs.global_registry().counter(
+    "plan_cache_misses_total", "Synthesis-plan cache misses"
+)
+_EVICTIONS = _obs.global_registry().counter(
+    "plan_cache_evictions_total", "Synthesis-plan cache LRU evictions"
+)
 
 
 def synthesis_plan(
@@ -132,54 +145,68 @@ def synthesis_plan(
     (``configure_plan_cache(0)``) it still returns a correct plan, just a
     freshly built one on every call.
     """
-    global _hits, _misses, _evictions
     key: _PlanKey = (int(n_periods), str(flicker_method), bool(has_flicker))
     with _lock:
         plan = _cache.get(key)
         if plan is not None:
-            _hits += 1
             _cache.move_to_end(key)
-            return plan
-        _misses += 1
+    if plan is not None:
+        _HITS.inc()
+        return plan
+    _MISSES.inc()
     # Build outside the lock: plans are immutable and building twice under a
     # race is merely wasted work, never wrong output.
     plan = build_plan(*key)
+    evicted = 0
     with _lock:
         if _maxsize > 0 and key not in _cache:
             _cache[key] = plan
             while len(_cache) > _maxsize:
                 _cache.popitem(last=False)
-                _evictions += 1
+                evicted += 1
+    if evicted:
+        _EVICTIONS.inc(evicted)
     return plan
 
 
 def plan_cache_stats() -> Dict[str, int]:
-    """A snapshot of the cache counters (surfaced in ``ServiceStats``)."""
+    """A snapshot of the cache counters (surfaced in ``ServiceStats``).
+
+    The hit/miss/eviction values are read from the shared observability
+    registry (:func:`repro.obs.global_registry`) — the same counters the
+    ``metrics`` protocol kind and the Prometheus exposition export.
+    """
     with _lock:
-        return {
-            "hits": _hits,
-            "misses": _misses,
-            "evictions": _evictions,
-            "size": len(_cache),
-            "maxsize": _maxsize,
-        }
+        size = len(_cache)
+        maxsize = _maxsize
+    return {
+        "hits": int(_HITS.value()),
+        "misses": int(_MISSES.value()),
+        "evictions": int(_EVICTIONS.value()),
+        "size": size,
+        "maxsize": maxsize,
+    }
 
 
 def reset_plan_cache() -> None:
     """Drop every cached plan and zero the counters (test isolation)."""
-    global _hits, _misses, _evictions
     with _lock:
         _cache.clear()
-        _hits = _misses = _evictions = 0
+    _HITS.reset()
+    _MISSES.reset()
+    _EVICTIONS.reset()
 
 
 def configure_plan_cache(maxsize: int) -> None:
     """Set the cache capacity; ``0`` disables caching (fresh plan per call)."""
-    global _maxsize, _evictions
+    global _maxsize
     if maxsize < 0:
         raise ValueError(f"maxsize must be >= 0, got {maxsize!r}")
+    evicted = 0
     with _lock:
         _maxsize = int(maxsize)
         while len(_cache) > _maxsize:
             _cache.popitem(last=False)
-            _evictions += 1
+            evicted += 1
+    if evicted:
+        _EVICTIONS.inc(evicted)

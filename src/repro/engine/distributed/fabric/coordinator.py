@@ -37,6 +37,7 @@ from collections import deque
 from queue import Empty, Queue
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ....obs import SpanCollector, context_to_wire, span
 from ....serving.protocol import decode_partial
 from ..spec import spec_to_json
 from ..worker import run_shard
@@ -118,6 +119,11 @@ class FabricCoordinator:
         self.connect_timeout = float(connect_timeout)
         self.on_event = on_event
         self.telemetry = FabricTelemetry()
+        #: Span store of this coordinator: its own campaign/shard spans plus
+        #: every span the workers ship back — ``trace_tree()`` renders the
+        #: merged cross-host view.
+        self.spans = SpanCollector()
+        self._root_context = None
         self.workers: List[WorkerLink] = []
         self._started = False
         # One shard per worker is the natural default plan granularity —
@@ -189,6 +195,17 @@ class FabricCoordinator:
         self.start()
 
         state = _RunState(tasks, self.max_attempts)
+        # Root of the campaign's span tree; worker threads parent their
+        # per-shard spans under it explicitly (threads start with a fresh
+        # contextvars context, so the ambient parent would not be visible).
+        root = span(
+            "fabric.campaign",
+            collector=self.spans,
+            shards=len(tasks),
+            workers=len(self.workers),
+        )
+        root.__enter__()
+        self._root_context = root.context
         threads = [
             threading.Thread(
                 target=self._worker_main,
@@ -220,6 +237,18 @@ class FabricCoordinator:
             state.abort()
             for thread in threads:
                 thread.join(timeout=5.0)
+            root.__exit__(None, None, None)
+            self._root_context = None
+
+    def trace_tree(self) -> List[Dict]:
+        """Merged span forest of the run: coordinator + every worker's spans.
+
+        Worker records arrive in the shard reply envelopes (``spans`` field)
+        and land in the same collector as the coordinator's own
+        ``fabric.campaign``/``fabric.shard`` spans, so the tree covers every
+        host that touched the campaign (each node carries a ``host`` tag).
+        """
+        return self.spans.tree()
 
     # -- worker thread -------------------------------------------------------
 
@@ -240,8 +269,22 @@ class FabricCoordinator:
                     completed=state.completed_count(), total=state.total,
                 )
             )
+            attempt_span = span(
+                "fabric.shard",
+                collector=self.spans,
+                parent=self._root_context,
+                shard=shard.index,
+                worker=link.name,
+                attempt=attempt,
+            )
             try:
-                partial, seconds = self._execute_shard(link, spec, shard)
+                with attempt_span:
+                    partial, seconds = self._execute_shard(
+                        link,
+                        spec,
+                        shard,
+                        trace=context_to_wire(attempt_span.context),
+                    )
             except (WorkerFailure, WorkerUnavailable) as error:
                 link.close(kill=True)
                 self._emit(
@@ -273,22 +316,24 @@ class FabricCoordinator:
                 )
             )
 
-    def _execute_shard(self, link: WorkerLink, spec, shard):
+    def _execute_shard(self, link: WorkerLink, spec, shard, trace=None):
         """Run one assignment on one worker, probing liveness throughout."""
         wire_id = f"shard-{shard.index}"
         started = time.monotonic()
         last_traffic = started
         heartbeats = 0
-        link.send(
-            {
-                "id": wire_id,
-                "kind": "shard",
-                "spec": spec_to_json(spec),
-                "index": shard.index,
-                "start": shard.start,
-                "stop": shard.stop,
-            }
-        )
+        ping_sent: Dict[str, float] = {}
+        message = {
+            "id": wire_id,
+            "kind": "shard",
+            "spec": spec_to_json(spec),
+            "index": shard.index,
+            "start": shard.start,
+            "stop": shard.stop,
+        }
+        if trace is not None:
+            message["trace"] = trace
+        link.send(message)
         while True:
             now = time.monotonic()
             if self.shard_timeout is not None:
@@ -305,7 +350,9 @@ class FabricCoordinator:
                 )
             reply = link.receive(timeout=self.heartbeat_interval)
             if reply is None:
-                link.send({"id": f"hb-{heartbeats}", "kind": "ping"})
+                ping_id = f"hb-{heartbeats}"
+                ping_sent[ping_id] = time.monotonic()
+                link.send({"id": ping_id, "kind": "ping"})
                 heartbeats += 1
                 continue
             last_traffic = time.monotonic()
@@ -316,12 +363,18 @@ class FabricCoordinator:
                 )
             result = reply.get("result") or {}
             if result.get("kind") == "ping":
-                continue  # heartbeat answer: alive, still computing
+                # Heartbeat answer: alive, still computing.  Matching the
+                # echoed id against the send time gives the RTT.
+                sent = ping_sent.pop(reply.get("id"), None)
+                if sent is not None:
+                    self.telemetry.heartbeat_rtt.observe(last_traffic - sent)
+                continue
             if result.get("kind") != "shard":
                 raise WorkerFailure(
                     f"worker {link.name} sent an unexpected reply "
                     f"({result.get('kind')!r}) to shard {shard.index}"
                 )
+            self.spans.ingest(result.get("spans"))
             partial = decode_partial(result["partial"])
             return partial, time.monotonic() - started
 

@@ -14,6 +14,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ....obs import MetricsRegistry
+
 #: Event kinds, in lifecycle order.
 ASSIGNED = "assigned"
 COMPLETED = "completed"
@@ -59,16 +61,62 @@ class ShardEvent:
 
 @dataclass
 class FabricTelemetry:
-    """Thread-safe event log of one fabric run + JSON summary."""
+    """Thread-safe event log of one fabric run + JSON summary.
+
+    Scalar accounting (shards assigned/completed, reassignments, worker
+    deaths, per-shard seconds) is funnelled into a per-run
+    :class:`~repro.obs.MetricsRegistry` as :meth:`record` is called; the
+    :meth:`summary` aggregates read those instruments back, so the JSON
+    artifact, the ``metrics`` scrape and the Prometheus exposition all
+    report the same numbers.  The structured views (per-shard placement,
+    the dead-worker list) still come from the event log — a registry holds
+    numbers, not placements.
+    """
 
     events: List[ShardEvent] = field(default_factory=list)
+    registry: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry("fabric")
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        self._assigned = self.registry.counter(
+            "fabric_shards_assigned_total", "Shard assignments handed to workers"
+        )
+        self._completed = self.registry.counter(
+            "fabric_shards_completed_total", "Shards completed by workers"
+        )
+        self._reassigned = self.registry.counter(
+            "fabric_reassignments_total", "Shards reassigned after a failure"
+        )
+        self._deaths = self.registry.counter(
+            "fabric_worker_deaths_total", "Worker-dead events observed"
+        )
+        self._shard_seconds = self.registry.histogram(
+            "fabric_shard_seconds", "Wall-clock seconds per completed shard attempt"
+        )
+        # Registered here (not in the coordinator) so every scrape of the
+        # fabric registry carries the heartbeat health signal too.
+        self.heartbeat_rtt = self.registry.histogram(
+            "fabric_heartbeat_rtt_seconds",
+            "Round-trip seconds of coordinator heartbeat pings",
+        )
+
     def record(self, event: ShardEvent) -> None:
         with self._lock:
             self.events.append(event)
+        if event.kind == ASSIGNED:
+            self._assigned.inc()
+        elif event.kind == COMPLETED:
+            self._completed.inc()
+            if event.seconds is not None:
+                self._shard_seconds.observe(event.seconds)
+        elif event.kind == REASSIGNED:
+            self._reassigned.inc()
+        elif event.kind == WORKER_DEAD:
+            self._deaths.inc()
 
     def of_kind(self, kind: str) -> List[ShardEvent]:
         with self._lock:
@@ -93,13 +141,11 @@ class FabricTelemetry:
         )
         return {
             "shards": {str(index): shards[index] for index in sorted(shards)},
-            "reassignments": sum(
-                1 for event in events if event.kind == REASSIGNED
-            ),
+            "reassignments": int(self._reassigned.value()),
             "worker_failures": dead,
-            "shard_seconds_total": sum(
-                event.seconds or 0.0
-                for event in events
-                if event.kind == COMPLETED
-            ),
+            "shard_seconds_total": self._shard_seconds.sum,
+            "shards_assigned": int(self._assigned.value()),
+            "shards_completed": int(self._completed.value()),
+            "worker_deaths": int(self._deaths.value()),
+            "heartbeat_rtt_seconds": self.heartbeat_rtt.snapshot(),
         }

@@ -23,6 +23,15 @@ import asyncio
 import time
 from typing import Dict, Optional, Set
 
+from ....obs import (
+    MetricsRegistry,
+    SpanCollector,
+    global_registry,
+    json_snapshot,
+    render_prometheus,
+    span,
+    wire_to_parent,
+)
 from ....serving.protocol import (
     ProtocolError,
     build_request,
@@ -50,15 +59,38 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         backend: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.host = host
         self._requested_port = int(port)
         self.backend = backend
-        self.shards_served = 0
-        self.batches_served = 0
+        #: Per-worker metrics registry; the ``metrics`` kind merges it with
+        #: the process-wide one (kernel timings, plan-cache counters).
+        self.registry = registry if registry is not None else MetricsRegistry("worker")
+        self._shards = self.registry.counter(
+            "worker_shards_served_total", "Campaign shards executed"
+        )
+        self._batches = self.registry.counter(
+            "worker_batches_served_total", "Forwarded serving batches executed"
+        )
+        self._shard_seconds = self.registry.histogram(
+            "worker_shard_seconds", "Wall-clock seconds per shard execution"
+        )
+        #: Spans of local shard/batch executions; finished records are also
+        #: shipped back in each reply's ``spans`` field so the coordinator
+        #: can merge them into the cross-host tree.
+        self.spans = SpanCollector()
         self._server: Optional[asyncio.AbstractServer] = None
         self._clients: Set[asyncio.StreamWriter] = set()
         self._stopping = asyncio.Event()
+
+    @property
+    def shards_served(self) -> int:
+        return int(self._shards.value())
+
+    @property
+    def batches_served(self) -> int:
+        return int(self._batches.value())
 
     @property
     def port(self) -> int:
@@ -98,6 +130,13 @@ class WorkerServer:
         await self._stopping.wait()
         await self.stop()
 
+    def _finish_spans(self, local: SpanCollector) -> list:
+        """Mirror one execution's spans into the worker store; wire payloads."""
+        records = local.records()
+        for record in records:
+            self.spans.record(record)
+        return [record.to_dict() for record in records]
+
     async def _execute_shard(self, fields: Dict) -> Dict:
         try:
             spec = spec_from_json(fields["spec"])
@@ -109,13 +148,27 @@ class WorkerServer:
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"invalid shard assignment: {error}") from None
         started = time.perf_counter()
-        partial = await asyncio.to_thread(run_shard, (spec, shard))
-        self.shards_served += 1
+        # The span continues the coordinator's trace (the optional ``trace``
+        # envelope); its finished record rides back in the reply so the
+        # coordinator's tree covers this host too.
+        local = SpanCollector()
+        with span(
+            "worker.shard",
+            collector=local,
+            parent=wire_to_parent(fields.get("trace")),
+            shard=shard.index,
+            rows=shard.stop - shard.start,
+        ):
+            partial = await asyncio.to_thread(run_shard, (spec, shard))
+        seconds = time.perf_counter() - started
+        self._shards.inc()
+        self._shard_seconds.observe(seconds)
         return {
             "kind": "shard",
             "index": shard.index,
             "partial": encode_partial(partial),
-            "seconds": time.perf_counter() - started,
+            "seconds": seconds,
+            "spans": self._finish_spans(local),
         }
 
     async def _execute_batch(self, fields: Dict) -> Dict:
@@ -131,13 +184,21 @@ class WorkerServer:
                 f"a batch must be one coalesced group of a single kind, "
                 f"got {sorted(kinds)}"
             )
-        results = await asyncio.to_thread(
-            execute_batch, requests, self.backend
-        )
-        self.batches_served += 1
+        local = SpanCollector()
+        with span(
+            "worker.batch",
+            collector=local,
+            parent=wire_to_parent(fields.get("trace")),
+            requests=len(requests),
+        ):
+            results = await asyncio.to_thread(
+                execute_batch, requests, self.backend
+            )
+        self._batches.inc()
         return {
             "kind": "batch",
             "results": [result_to_payload(result) for result in results],
+            "spans": self._finish_spans(local),
         }
 
     async def handle_line(self, line: str) -> str:
@@ -160,6 +221,30 @@ class WorkerServer:
                         "batches_served": self.batches_served,
                     },
                 )
+            if kind == "metrics":
+                registries = (self.registry, global_registry())
+                fmt = fields.get("format", "json")
+                if fmt == "prometheus":
+                    payload = {
+                        "kind": "metrics",
+                        "format": "prometheus",
+                        "role": "worker",
+                        "text": render_prometheus(*registries),
+                    }
+                elif fmt == "json":
+                    payload = {
+                        "kind": "metrics",
+                        "format": "json",
+                        "role": "worker",
+                        "metrics": json_snapshot(*registries),
+                    }
+                else:
+                    raise ProtocolError(
+                        f"unknown metrics format {fmt!r} "
+                        f"(expected 'json' or 'prometheus')",
+                        request_id=request_id,
+                    )
+                return response_line(request_id, payload)
             if kind == "shutdown":
                 self._stopping.set()
                 return response_line(

@@ -1,0 +1,298 @@
+"""Trace spans with IDs that propagate across the fabric wire protocol.
+
+A *span* is one timed operation (``with span("synthesize", rows=64): ...``);
+spans nest through a :mod:`contextvars` variable, so a span opened inside
+another becomes its child without explicit plumbing.  Every finished span
+becomes a :class:`SpanRecord` in a :class:`SpanCollector` — a bounded,
+thread-safe ring of plain records that serialize to JSON, travel over the
+fabric protocol, and reassemble into a tree with :func:`span_tree`.
+
+Cross-host propagation is deliberately minimal: the coordinator side calls
+:func:`context_to_wire` on its current span and stamps the result into the
+``shard``/``batch`` payload (a ``{"trace_id", "parent_span_id"}`` object);
+the worker side rebuilds the parent with :func:`wire_to_parent`, opens its
+own spans under it, and ships the finished records back in the result
+envelope (``SpanRecord.to_dict``).  Ingesting those into the coordinator's
+collector yields one span tree covering every host that touched the
+campaign — each record carries a ``host`` tag (``hostname:pid``) so the
+placement is visible in the tree.
+
+Span recording honours the :func:`repro.obs.metrics.configure_metrics` kill
+switch: with metrics disabled, ``span(...)`` is a no-op context manager
+(no IDs generated, nothing recorded, nothing propagated).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import secrets
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from . import metrics as _metrics
+
+#: ``hostname:pid`` tag stamped on every record (computed once per process).
+HOST = f"{socket.gethostname()}:{os.getpid()}"
+
+#: Default bound of a collector: old records roll off, a runaway workload
+#: cannot grow memory without bound.
+DEFAULT_COLLECTOR_CAPACITY = 4096
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex trace/span ID."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The identity of one span: which trace, which span, which parent."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (plain data; JSON-safe via :meth:`to_dict`)."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start_s: float
+    duration_s: float
+    host: str = HOST
+    attributes: Dict = field(default_factory=dict)
+    status: str = "ok"
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "host": self.host,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            start_s=float(payload.get("start_s", 0.0)),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            host=str(payload.get("host", "?")),
+            attributes=dict(payload.get("attributes") or {}),
+            status=str(payload.get("status", "ok")),
+        )
+
+
+class SpanCollector:
+    """Bounded, thread-safe store of finished spans."""
+
+    def __init__(self, capacity: int = DEFAULT_COLLECTOR_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self._lock = threading.Lock()
+        self._records: Deque[SpanRecord] = deque(maxlen=int(capacity))
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def ingest(self, payloads: List[Dict]) -> int:
+        """Add remote records (``SpanRecord.to_dict`` payloads); returns count."""
+        added = 0
+        for payload in payloads or []:
+            self.record(SpanRecord.from_dict(payload))
+            added += 1
+        return added
+
+    def records(self, trace_id: Optional[str] = None) -> List[SpanRecord]:
+        with self._lock:
+            records = list(self._records)
+        if trace_id is not None:
+            records = [r for r in records if r.trace_id == trace_id]
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def tree(self, trace_id: Optional[str] = None) -> List[Dict]:
+        """Nested span tree (see :func:`span_tree`)."""
+        return span_tree(self.records(trace_id=trace_id))
+
+
+def span_tree(records: List[SpanRecord]) -> List[Dict]:
+    """Assemble flat records into a forest of nested dicts.
+
+    Children are attached under their ``parent_id`` and sorted by start
+    time; records whose parent is absent from the set (the campaign roots,
+    or orphans whose parent rolled off a bounded collector) become roots.
+    """
+    nodes = {
+        record.span_id: {**record.to_dict(), "children": []}
+        for record in records
+    }
+    roots: List[Dict] = []
+    for record in sorted(records, key=lambda r: r.start_s):
+        node = nodes[record.span_id]
+        parent = nodes.get(record.parent_id) if record.parent_id else None
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+_global_collector = SpanCollector()
+
+
+def global_collector() -> SpanCollector:
+    """The process-wide default collector."""
+    return _global_collector
+
+
+_current_span: "contextvars.ContextVar[Optional[SpanContext]]" = (
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+)
+
+
+def current_span() -> Optional[SpanContext]:
+    """The active span's context in this thread/task (``None`` outside)."""
+    return _current_span.get()
+
+
+def context_to_wire(context: Optional[SpanContext]) -> Optional[Dict]:
+    """The propagation payload stamped into fabric messages.
+
+    ``None`` in (no active span, or metrics disabled) is ``None`` out, so
+    call sites can stamp unconditionally.
+    """
+    if context is None:
+        return None
+    return {"trace_id": context.trace_id, "parent_span_id": context.span_id}
+
+
+def wire_to_parent(payload: Optional[Dict]) -> Optional[SpanContext]:
+    """Rebuild the remote parent from a :func:`context_to_wire` payload."""
+    if not payload or not payload.get("trace_id"):
+        return None
+    return SpanContext(
+        trace_id=str(payload["trace_id"]),
+        span_id=str(payload.get("parent_span_id") or new_id()),
+        parent_id=None,
+    )
+
+
+class span:
+    """Context manager timing one operation into a collector.
+
+    Parameters
+    ----------
+    name:
+        Span name (``"serve.execute"``, ``"worker.shard"``, ...).
+    collector:
+        Where the finished record goes; defaults to the global collector.
+    parent:
+        Explicit parent :class:`SpanContext` (e.g. rebuilt from the wire);
+        defaults to the ambient span from the context variable.
+    attributes:
+        JSON-safe tags (``rows=64, shard=3``) recorded on the span.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        collector: Optional[SpanCollector] = None,
+        parent: Optional[SpanContext] = None,
+        **attributes,
+    ) -> None:
+        self.name = name
+        self.collector = collector
+        self.attributes = attributes
+        self._parent = parent
+        self.context: Optional[SpanContext] = None
+        self._token: Optional[contextvars.Token] = None
+        self._start_clock = 0.0
+        self._start_wall = 0.0
+
+    def __enter__(self) -> "span":
+        if not _metrics.metrics_enabled():
+            return self
+        parent = self._parent if self._parent is not None else _current_span.get()
+        self.context = SpanContext(
+            trace_id=parent.trace_id if parent else new_id(),
+            span_id=new_id(),
+            parent_id=parent.span_id if parent else None,
+        )
+        self._token = _current_span.set(self.context)
+        self._start_wall = time.time()
+        self._start_clock = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.context is None:
+            return
+        duration = time.perf_counter() - self._start_clock
+        if self._token is not None:
+            try:
+                _current_span.reset(self._token)
+            except ValueError:
+                # A span opened inside a generator may be closed from a
+                # different context (generator finalization); the record
+                # still matters even when the ambient variable cannot be
+                # restored from here.
+                pass
+            self._token = None
+        collector = self.collector if self.collector is not None else _global_collector
+        collector.record(
+            SpanRecord(
+                name=self.name,
+                trace_id=self.context.trace_id,
+                span_id=self.context.span_id,
+                parent_id=self.context.parent_id,
+                start_s=self._start_wall,
+                duration_s=duration,
+                attributes=dict(self.attributes),
+                status="error" if exc_type is not None else "ok",
+            )
+        )
+
+
+def format_tree(tree: List[Dict], indent: str = "") -> str:
+    """Human-readable rendering of a :func:`span_tree` forest."""
+    lines: List[str] = []
+    for node in tree:
+        attributes = node.get("attributes") or {}
+        tags = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(attributes.items()))
+            if attributes
+            else ""
+        )
+        lines.append(
+            f"{indent}{node['name']} [{node['host']}] "
+            f"{node['duration_s'] * 1e3:.2f} ms{tags}"
+        )
+        child_text = format_tree(node.get("children") or [], indent + "  ")
+        if child_text:
+            lines.append(child_text)
+    return "\n".join(lines)

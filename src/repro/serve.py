@@ -25,6 +25,7 @@ import json
 import sys
 from typing import Optional
 
+from .obs import global_registry, summary_line, write_metrics_json
 from .serving.server import TRNGServer, run_self_test, seed_stream, serve_stdio
 from .serving.service import TRNGService
 
@@ -102,10 +103,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print a stats snapshot to stderr every --stats-interval seconds",
+        help="print a one-line metrics summary to stderr every "
+        "--stats-interval seconds (full JSON snapshot on exit)",
     )
     parser.add_argument(
         "--stats-interval", type=float, default=10.0, help="seconds between stats"
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the merged metrics registries (service + process) as JSON "
+        "to PATH on exit",
     )
     parser.add_argument(
         "--self-test",
@@ -145,7 +155,7 @@ def _service(args: argparse.Namespace, fabric=None) -> TRNGService:
 async def _stats_loop(service: TRNGService, interval: float) -> None:
     while True:
         await asyncio.sleep(interval)
-        print(f"stats: {json.dumps(service.stats.snapshot())}", file=sys.stderr)
+        print(summary_line(service.registry, global_registry()), file=sys.stderr)
 
 
 async def _serve(args: argparse.Namespace) -> int:
@@ -199,6 +209,11 @@ async def _serve(args: argparse.Namespace) -> int:
     finally:
         if fabric is not None:
             fabric.close()
+        if args.metrics_json:
+            write_metrics_json(
+                args.metrics_json, service.registry, global_registry()
+            )
+            print(f"metrics written to {args.metrics_json}", file=sys.stderr)
     return 0
 
 

@@ -29,6 +29,7 @@ from ..engine.distributed.fabric.connection import (
     WorkerUnavailable,
     connect_workers,
 )
+from ..obs import SpanCollector, context_to_wire, current_span, global_collector
 from .fast_tier import FastTierCache
 from .protocol import payload_to_result, request_to_payload
 from .requests import Request, Sigma2NRequest
@@ -56,12 +57,18 @@ class FabricDispatcher:
         workers: Sequence[WorkerLink],
         request_timeout: float = 120.0,
         fallback_local: bool = True,
+        spans: Optional[SpanCollector] = None,
     ) -> None:
         if not workers:
             raise ValueError("FabricDispatcher needs at least one worker")
         self.workers: List[WorkerLink] = list(workers)
         self.request_timeout = float(request_timeout)
         self.fallback_local = bool(fallback_local)
+        #: Where worker-side ``worker.batch`` spans (shipped back in the
+        #: reply envelopes) are merged; defaults to the process collector —
+        #: the same place the service's ``serve.execute`` spans land, so the
+        #: combined tree shows which host ran each forwarded batch.
+        self.spans = spans if spans is not None else global_collector()
         self._lock = threading.Lock()
         self._cursor = 0
         self._sequence = 0
@@ -107,9 +114,14 @@ class FabricDispatcher:
         with self._lock:
             self._sequence += 1
             wire_id = self._sequence
-        worker.send(
-            {"id": wire_id, "kind": "batch", "requests": payloads}
-        )
+        message = {"id": wire_id, "kind": "batch", "requests": payloads}
+        # execute_batch runs on the service's dispatch thread, inside its
+        # ``serve.execute`` span (asyncio.to_thread copies the context), so
+        # the worker's spans parent under the request that caused them.
+        trace = context_to_wire(current_span())
+        if trace is not None:
+            message["trace"] = trace
+        worker.send(message)
         reply = worker.receive(timeout=self.request_timeout)
         if reply is None:
             raise WorkerUnavailable(
@@ -130,6 +142,7 @@ class FabricDispatcher:
                 f"worker {worker.name} sent an unexpected reply "
                 f"({result.get('kind')!r}) to a batch"
             )
+        self.spans.ingest(result.get("spans"))
         return [payload_to_result(item) for item in result["results"]]
 
     def execute_batch(

@@ -12,6 +12,8 @@ One request per line, one response per line, both UTF-8 JSON objects::
 
     -> {"id": 3, "kind": "stats"}        # service counters
     -> {"id": 4, "kind": "ping"}         # liveness
+    -> {"id": 5, "kind": "metrics"}      # registry snapshot (JSON)
+    -> {"id": 6, "kind": "metrics", "format": "prometheus"}
 
 ``id`` is echoed verbatim so clients may pipeline requests on one
 connection; it is optional (``null`` when omitted).  Errors come back as
@@ -55,8 +57,15 @@ _REQUEST_FIELDS = {
     # Fabric (worker-only) kinds: campaign shard assignment and coalesced
     # serving batches forwarded by a coordinator.  The public serving front
     # door rejects these — only ``python -m repro.worker`` executes them.
-    "shard": ("spec", "index", "start", "stop"),
-    "batch": ("requests",),
+    # ``trace`` is the optional span-propagation envelope
+    # ({"trace_id", "parent_span_id"}, see :mod:`repro.obs.trace`): workers
+    # parent their execution spans under it and ship the recorded spans back
+    # in the reply's ``spans`` field, producing one merged cross-host tree.
+    "shard": ("spec", "index", "start", "stop", "trace"),
+    "batch": ("requests", "trace"),
+    # Observability scrape: a JSON metrics snapshot by default, Prometheus
+    # text exposition with {"format": "prometheus"}.
+    "metrics": ("format",),
 }
 
 _REQUEST_CLASSES = {"bits": BitsRequest, "sigma2n": Sigma2NRequest}
@@ -123,7 +132,7 @@ def parse_request_line(line: str) -> Tuple[Optional[object], str, Dict]:
     if kind not in _REQUEST_FIELDS:
         raise ProtocolError(
             f"unknown request kind {kind!r} "
-            f"(expected one of: bits, sigma2n, stats, ping)",
+            f"(expected one of: bits, sigma2n, stats, metrics, ping)",
             request_id=request_id,
         )
     unknown = sorted(set(payload) - set(_REQUEST_FIELDS[kind]))

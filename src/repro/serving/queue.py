@@ -15,9 +15,11 @@ the queue is full, the ``overflow`` policy decides what happens:
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import MetricsRegistry
 from .requests import Request
 
 OVERFLOW_POLICIES = ("reject", "wait")
@@ -37,6 +39,9 @@ class PendingRequest:
 
     request: Request
     future: asyncio.Future = field(repr=False)
+    #: Enqueue timestamp (``time.monotonic``); the queue-wait histogram and
+    #: the batch wait-time accounting measure from here.
+    enqueued_at: float = field(default=0.0, repr=False, compare=False)
 
     def resolve(self, result) -> bool:
         """Fulfil the future; False when the caller already went away."""
@@ -56,7 +61,12 @@ class PendingRequest:
 class RequestQueue:
     """Bounded FIFO of :class:`PendingRequest` with an overflow policy."""
 
-    def __init__(self, max_pending: int = 1024, overflow: str = "reject") -> None:
+    def __init__(
+        self,
+        max_pending: int = 1024,
+        overflow: str = "reject",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
         if overflow not in OVERFLOW_POLICIES:
@@ -69,6 +79,17 @@ class RequestQueue:
             maxsize=self.max_pending
         )
         self._closed: Optional[BaseException] = None
+        # Queue depth and wait time are the queue's own metrics: the service
+        # passes its registry in so the scrape surface sees them; a bare
+        # RequestQueue keeps them in a private registry (tests, direct use).
+        registry = metrics if metrics is not None else MetricsRegistry("queue")
+        self._depth = registry.gauge(
+            "serve_queue_depth", "Requests waiting in the bounded queue"
+        )
+        self._wait_seconds = registry.histogram(
+            "serve_queue_wait_seconds",
+            "Seconds a request spent queued before the coalescer claimed it",
+        )
 
     def __len__(self) -> int:
         return self._queue.qsize()
@@ -83,7 +104,9 @@ class RequestQueue:
         if self._closed is not None:
             raise self._closed
         future = asyncio.get_running_loop().create_future()
-        pending = PendingRequest(request=request, future=future)
+        pending = PendingRequest(
+            request=request, future=future, enqueued_at=time.monotonic()
+        )
         if self.overflow == "reject":
             try:
                 self._queue.put_nowait(pending)
@@ -100,11 +123,15 @@ class RequestQueue:
             # instead of letting the caller await it forever.
             if self._closed is not None:
                 pending.fail(self._closed)
+        self._depth.set(self._queue.qsize())
         return future
 
     async def get(self) -> PendingRequest:
         """Next pending request (FIFO); suspends while the queue is empty."""
-        return await self._queue.get()
+        pending = await self._queue.get()
+        self._depth.set(self._queue.qsize())
+        self._wait_seconds.observe(time.monotonic() - pending.enqueued_at)
+        return pending
 
     def drain(self, error: BaseException) -> int:
         """Close the queue and fail every queued request; returns the count.
@@ -118,6 +145,7 @@ class RequestQueue:
             try:
                 pending = self._queue.get_nowait()
             except asyncio.QueueEmpty:
+                self._depth.set(0)
                 return failed
             if pending.fail(error):
                 failed += 1

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..obs import global_registry, json_snapshot, render_prometheus
 from .protocol import (
     WORKER_ONLY_KINDS,
     ProtocolError,
@@ -76,6 +77,30 @@ async def handle_request_line(
         if kind == "stats":
             payload = dict(service.stats.snapshot())
             payload["kind"] = "stats"
+            return response_line(request_id, payload)
+        if kind == "metrics":
+            # Scrape surface: the service's own registry merged with the
+            # process-wide one (kernel timings, plan-cache counters).
+            registries = (service.registry, global_registry())
+            fmt = fields.get("format", "json")
+            if fmt == "prometheus":
+                payload = {
+                    "kind": "metrics",
+                    "format": "prometheus",
+                    "text": render_prometheus(*registries),
+                }
+            elif fmt == "json":
+                payload = {
+                    "kind": "metrics",
+                    "format": "json",
+                    "metrics": json_snapshot(*registries),
+                }
+            else:
+                raise ProtocolError(
+                    f"unknown metrics format {fmt!r} "
+                    f"(expected 'json' or 'prometheus')",
+                    request_id=request_id,
+                )
             return response_line(request_id, payload)
         request = build_request(kind, fields, default_seed=default_seed)
         result = await (await service.submit(request))

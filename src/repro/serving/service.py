@@ -13,10 +13,11 @@ and the self-test assert on (batches, coalesced sizes, rejections).
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import time
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..engine.backends import BackendLike, plan_cache_stats, resolve_backend
+from ..obs import SIZE_BUCKETS, MetricsRegistry, SpanCollector, global_collector, span
 from .coalescer import Coalescer
 from .fast_tier import FastTierCache
 from .queue import RequestQueue, ServiceStopped
@@ -27,51 +28,155 @@ if TYPE_CHECKING:
     from .fabric_dispatch import FabricDispatcher
 
 
-@dataclass
 class ServiceStats:
-    """Counters of one service lifetime (read with :meth:`snapshot`)."""
+    """One service lifetime's counters — a thin view over a metrics registry.
 
-    submitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    rejected: int = 0
-    batches: int = 0
-    batched_requests: int = 0
-    coalesced_batches: int = 0
-    coalesced_requests: int = 0
-    max_batch_size: int = 0
-    requests_by_kind: Dict[str, int] = field(default_factory=dict)
-    #: The service's fast-tier cache, attached by :class:`TRNGService` so the
-    #: snapshot can surface its counters alongside the request counters.
-    fast_cache: Optional[FastTierCache] = None
-    #: The service's fabric dispatcher (when serving through remote workers),
-    #: attached so the snapshot includes a ``fabric`` section.
-    fabric: Optional["FabricDispatcher"] = None
+    Every number lives in the :class:`~repro.obs.MetricsRegistry` (one per
+    service, shared with the request queue and the ``metrics`` protocol
+    kind), so the ``stats`` reply, the Prometheus exposition and these
+    attributes can never drift apart: they all read the same instruments.
+    The attribute surface of the old dataclass is preserved as read-only
+    properties (``stats.submitted``, ``stats.rejected``, ...).
+    """
+
+    def __init__(
+        self,
+        fast_cache: Optional[FastTierCache] = None,
+        fabric: Optional["FabricDispatcher"] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        #: The service's fast-tier cache, attached by :class:`TRNGService` so
+        #: the snapshot can surface its counters alongside the request counters.
+        self.fast_cache = fast_cache
+        #: The service's fabric dispatcher (when serving through remote
+        #: workers), attached so the snapshot includes a ``fabric`` section.
+        self.fabric = fabric
+        self.registry = registry if registry is not None else MetricsRegistry("serving")
+        self._submitted = self.registry.counter(
+            "serve_requests_total", "Requests submitted", labelnames=("kind",)
+        )
+        self._completed = self.registry.counter(
+            "serve_completed_total", "Requests completed successfully"
+        )
+        self._failed = self.registry.counter(
+            "serve_failed_total", "Requests failed (engine error or shutdown)"
+        )
+        self._rejected = self.registry.counter(
+            "serve_rejected_total", "Requests rejected by the bounded queue"
+        )
+        self._batches = self.registry.counter(
+            "serve_batches_total", "Engine calls dispatched (coalesced batches)"
+        )
+        self._batched_requests = self.registry.counter(
+            "serve_batched_requests_total", "Requests carried by engine calls"
+        )
+        self._coalesced_batches = self.registry.counter(
+            "serve_coalesced_batches_total", "Batches that served > 1 request"
+        )
+        self._coalesced_requests = self.registry.counter(
+            "serve_coalesced_requests_total",
+            "Requests served by a coalesced (> 1 request) batch",
+        )
+        self._max_batch = self.registry.gauge(
+            "serve_max_batch_size", "Largest batch dispatched so far"
+        )
+        self._batch_size = self.registry.histogram(
+            "serve_batch_size", "Requests per dispatched batch", SIZE_BUCKETS
+        )
+        self._execute_seconds = self.registry.histogram(
+            "serve_execute_seconds",
+            "Wall-clock seconds per batch execution (scatter latency)",
+        )
 
     def record_submit(self, request: Request) -> None:
-        self.submitted += 1
-        kind = request.kind
-        self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
+        self._submitted.inc(kind=request.kind)
 
     def record_batch(self, size: int) -> None:
-        self.batches += 1
-        self.batched_requests += size
-        self.max_batch_size = max(self.max_batch_size, size)
+        self._batches.inc()
+        self._batched_requests.inc(size)
+        self._batch_size.observe(size)
+        self._max_batch.set_max(size)
         if size > 1:
-            self.coalesced_batches += 1
-            self.coalesced_requests += size
+            self._coalesced_batches.inc()
+            self._coalesced_requests.inc(size)
+
+    def record_completed(self, count: int = 1) -> None:
+        self._completed.inc(count)
+
+    def record_failed(self, count: int = 1) -> None:
+        if count:
+            self._failed.inc(count)
+
+    def record_rejected(self, count: int = 1) -> None:
+        self._rejected.inc(count)
+
+    def observe_execute(self, seconds: float) -> None:
+        self._execute_seconds.observe(seconds)
+
+    # -- read-only attribute surface (the pre-registry dataclass fields) -----
+
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.total())
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value())
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value())
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value())
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value())
+
+    @property
+    def batched_requests(self) -> int:
+        return int(self._batched_requests.value())
+
+    @property
+    def coalesced_batches(self) -> int:
+        return int(self._coalesced_batches.value())
+
+    @property
+    def coalesced_requests(self) -> int:
+        return int(self._coalesced_requests.value())
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._max_batch.value())
+
+    @property
+    def requests_by_kind(self) -> Dict[str, int]:
+        return {key[0]: int(value) for key, value in self._submitted.items()}
 
     @property
     def mean_batch_size(self) -> float:
-        return self.batched_requests / self.batches if self.batches else 0.0
+        batches = self.batches
+        return self.batched_requests / batches if batches else 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of batched requests that shared their engine call."""
+        batched = self.batched_requests
+        return self.coalesced_requests / batched if batched else 0.0
 
     def snapshot(self) -> Dict:
         """Plain-JSON view of the counters (the ``stats`` protocol reply).
 
-        Includes the process-wide synthesis plan-cache counters
-        (:func:`repro.engine.backends.plan_cache_stats`) and, when the
-        service has one, the fast-tier cache counters.
+        Everything is read live from the shared registry; includes the
+        process-wide synthesis plan-cache counters
+        (:func:`repro.engine.backends.plan_cache_stats`), queue depth,
+        the coalesce ratio, the latency histograms and, when the service
+        has them, the fast-tier cache and fabric dispatch counters.
         """
+        queue_depth = self.registry.get("serve_queue_depth")
+        queue_wait = self.registry.get("serve_queue_wait_seconds")
         snapshot = {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -82,7 +187,14 @@ class ServiceStats:
             "coalesced_requests": self.coalesced_requests,
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": self.mean_batch_size,
+            "coalesce_ratio": self.coalesce_ratio,
+            "queue_depth": int(queue_depth.value()) if queue_depth else 0,
             "requests_by_kind": dict(self.requests_by_kind),
+            "batch_size": self._batch_size.snapshot(),
+            "queue_wait_seconds": (
+                queue_wait.snapshot() if queue_wait is not None else None
+            ),
+            "execute_seconds": self._execute_seconds.snapshot(),
             "plan_cache": plan_cache_stats(),
         }
         if self.fast_cache is not None:
@@ -137,13 +249,25 @@ class TRNGService:
         backend: BackendLike = None,
         fast_cache: Optional[FastTierCache] = None,
         fabric: Optional["FabricDispatcher"] = None,
+        registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanCollector] = None,
     ) -> None:
-        self.queue = RequestQueue(max_pending=max_pending, overflow=overflow)
+        #: Per-service metrics registry — the queue, the stats view and the
+        #: ``metrics`` protocol kind all read/write this one instance.
+        self.registry = registry if registry is not None else MetricsRegistry("serving")
+        #: Span collector the dispatch loop records ``serve.execute`` spans
+        #: into (and fabric dispatch merges worker spans into).
+        self.spans = spans if spans is not None else global_collector()
+        self.queue = RequestQueue(
+            max_pending=max_pending, overflow=overflow, metrics=self.registry
+        )
         self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
         self.scatterer = Scatterer()
         self.fast_cache = fast_cache if fast_cache is not None else FastTierCache()
         self.fabric = fabric
-        self.stats = ServiceStats(fast_cache=self.fast_cache, fabric=fabric)
+        self.stats = ServiceStats(
+            fast_cache=self.fast_cache, fabric=fabric, registry=self.registry
+        )
         self.backend = resolve_backend(backend)
         self._dispatch_task: Optional[asyncio.Task] = None
 
@@ -169,8 +293,8 @@ class TRNGService:
             except asyncio.CancelledError:
                 pass
         stopped = ServiceStopped("TRNG service stopped")
-        self.stats.failed += self.queue.drain(stopped)
-        self.stats.failed += self.coalescer.drain(stopped)
+        self.stats.record_failed(self.queue.drain(stopped))
+        self.stats.record_failed(self.coalescer.drain(stopped))
 
     async def __aenter__(self) -> "TRNGService":
         await self.start()
@@ -187,19 +311,31 @@ class TRNGService:
             run_batch = (
                 self.fabric.execute_batch if self.fabric is not None else execute_batch
             )
+            began = time.perf_counter()
             try:
-                results = await asyncio.to_thread(
-                    run_batch, requests, self.backend, self.fast_cache
-                )
+                # The span is entered here (event loop context) and inherited
+                # by the worker thread — asyncio.to_thread copies the calling
+                # context, so fabric dispatch sees it as current_span() and
+                # stamps its IDs into the wire messages.
+                with span(
+                    "serve.execute",
+                    collector=self.spans,
+                    requests=len(batch),
+                    fabric=self.fabric is not None,
+                ):
+                    results = await asyncio.to_thread(
+                        run_batch, requests, self.backend, self.fast_cache
+                    )
             except asyncio.CancelledError:
-                self.stats.failed += self.scatterer.fail(
-                    batch, ServiceStopped("TRNG service stopped")
+                self.stats.record_failed(
+                    self.scatterer.fail(batch, ServiceStopped("TRNG service stopped"))
                 )
                 raise
             except Exception as error:
-                self.stats.failed += self.scatterer.fail(batch, error)
+                self.stats.record_failed(self.scatterer.fail(batch, error))
                 continue
-            self.stats.completed += self.scatterer.scatter(batch, results)
+            self.stats.observe_execute(time.perf_counter() - began)
+            self.stats.record_completed(self.scatterer.scatter(batch, results))
 
     async def submit(self, request: Request) -> asyncio.Future:
         """Low-level enqueue; prefer :meth:`get_bits` / :meth:`get_sigma2n`."""
@@ -208,7 +344,7 @@ class TRNGService:
         try:
             future = await self.queue.submit(request)
         except Exception:
-            self.stats.rejected += 1
+            self.stats.record_rejected()
             raise
         self.stats.record_submit(request)
         return future

@@ -81,6 +81,44 @@ def test_unseeded_resume_adopts_the_recorded_seed(tmp_path):
     assert second["table"] == first["table"]
 
 
+def test_metrics_json_artifact_is_schema_valid(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    arguments = ["sigma2n", "--batch", "8", "--n-periods", "16384"]
+    arguments += ["--shards", "2", "--seed", "13"]
+    arguments += ["--metrics-json", str(out), "--stats-interval", "0.1"]
+    assert main(arguments) == 0
+    payload = json.loads(out.read_text())
+    assert payload["command"] == "sigma2n"
+    assert payload["elapsed_seconds"] >= 0.0
+    metrics = payload["metrics"]
+    for name, record in metrics.items():
+        assert record["type"] in ("counter", "gauge", "histogram"), name
+        assert "help" in record and "value" in record, name
+    kernel = metrics["engine_kernel_block_seconds"]["value"]
+    assert kernel["count"] >= 1
+    assert kernel["buckets"][-1][0] == "+Inf"
+    assert metrics["plan_cache_misses_total"]["value"] >= 1
+    # --stats-interval is accepted alongside --metrics-json; the campaign can
+    # finish before the first tick, so the line content is asserted in
+    # tests/obs/test_export.py rather than here.
+    assert "metrics written to" in capsys.readouterr().out
+
+
+def test_fabric_metrics_json_includes_the_trace_tree(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    arguments = ["sigma2n", "--batch", "4", "--n-periods", "2048"]
+    arguments += ["--shards", "2", "--spawn-workers", "2", "--seed", "13"]
+    arguments += ["--metrics-json", str(out), "--trace"]
+    assert main(arguments) == 0
+    assert "fabric.campaign [" in capsys.readouterr().err
+    payload = json.loads(out.read_text())
+    assert "fabric_shards_completed_total" in payload["metrics"]
+    roots = payload["trace"]
+    assert roots[0]["name"] == "fabric.campaign"
+    shard_names = {child["name"] for child in roots[0]["children"]}
+    assert shard_names == {"fabric.shard"}
+
+
 def test_resume_requires_checkpoint_dir():
     arguments = ["sigma2n", "--batch", "2", "--n-periods", "128", "--resume"]
     assert main(arguments) == 2

@@ -1,0 +1,84 @@
+"""Cross-host trace assembly: spans from real spawned workers merge into
+one campaign tree on the coordinator.
+
+This is the distributed half of the tracing contract (the in-process half
+lives in ``tests/obs/test_trace.py``): trace context rides the shard/batch
+wire messages out, worker-side span records ride the reply envelopes back,
+and the coordinator's tree covers every host that touched the campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.distributed import FabricCoordinator, Sigma2NCampaignSpec, run_campaign
+from repro.obs import HOST, SpanCollector, format_tree
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    coordinator = FabricCoordinator(spawn=2, heartbeat_interval=0.5)
+    with coordinator:
+        yield coordinator
+
+
+def _run_traced_campaign(fabric, n_shards=4, seed=19):
+    fabric.spans = SpanCollector()  # fresh tree for this run
+    spec = Sigma2NCampaignSpec(batch_size=8, n_periods=2048, seed=seed)
+    run_campaign(spec, executor=fabric, n_shards=n_shards)
+    return fabric.trace_tree()
+
+
+class TestMergedSpanTree:
+    def test_tree_covers_coordinator_and_both_workers(self, fabric):
+        tree = _run_traced_campaign(fabric, n_shards=4)
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "fabric.campaign"
+        assert root["host"] == HOST
+        assert root["status"] == "ok"
+        assert root["attributes"] == {"shards": 4, "workers": 2}
+
+        shard_spans = root["children"]
+        assert [node["name"] for node in shard_spans] == ["fabric.shard"] * 4
+        assert sorted(node["attributes"]["shard"] for node in shard_spans) == [
+            0, 1, 2, 3,
+        ]
+        worker_hosts = set()
+        for shard_span in shard_spans:
+            assert shard_span["host"] == HOST
+            assert shard_span["trace_id"] == root["trace_id"]
+            assert shard_span["parent_id"] == root["span_id"]
+            # Each coordinator-side shard span contains the remote execution
+            # span shipped back by the worker that ran it.
+            (remote,) = shard_span["children"]
+            assert remote["name"] == "worker.shard"
+            assert remote["trace_id"] == root["trace_id"]
+            assert remote["parent_id"] == shard_span["span_id"]
+            assert remote["status"] == "ok"
+            assert remote["duration_s"] <= shard_span["duration_s"]
+            assert remote["host"] != HOST  # different pid = different host tag
+            worker_hosts.add(remote["host"])
+        # With four shards round-robined over two workers, both appear.
+        assert len(worker_hosts) == 2
+
+    def test_tree_renders_without_error(self, fabric):
+        tree = _run_traced_campaign(fabric, n_shards=2, seed=23)
+        rendered = format_tree(tree)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("fabric.campaign [")
+        assert any(line.lstrip().startswith("worker.shard [") for line in lines)
+
+    def test_heartbeat_rtt_lands_in_telemetry(self):
+        # Pings only fire while a shard outlasts the heartbeat interval, so
+        # use a short interval and one chunky shard to guarantee samples.
+        spec = Sigma2NCampaignSpec(batch_size=16, n_periods=65536, seed=31)
+        with FabricCoordinator(
+            spawn=1, heartbeat_interval=0.05, heartbeat_timeout=30.0
+        ) as coordinator:
+            run_campaign(spec, executor=coordinator, n_shards=1)
+            summary = coordinator.telemetry.summary()
+        rtt = summary["heartbeat_rtt_seconds"]
+        assert rtt["count"] >= 1
+        # Localhost round trips: non-negative and well under a second each.
+        assert 0.0 <= rtt["sum"] / rtt["count"] < 1.0

@@ -1,0 +1,181 @@
+"""Stats views vs. raw registry: the one-source-of-truth regression tests.
+
+``ServiceStats`` and ``FabricTelemetry`` are thin views over their metrics
+registries; these tests drive a mixed workload and then assert the
+human-facing snapshots agree exactly with the raw instrument values — the
+drift the shared registry was introduced to make impossible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.backends import plan_cache_stats
+from repro.engine.distributed.fabric.telemetry import (
+    ASSIGNED,
+    COMPLETED,
+    REASSIGNED,
+    WORKER_DEAD,
+    FabricTelemetry,
+    ShardEvent,
+)
+from repro.obs import global_registry
+from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
+from repro.serving.queue import ServiceOverloaded
+
+
+async def _mixed_workload(service: TRNGService) -> None:
+    bits = [
+        service.get_bits(n_bits=24, divider=8, seed=100 + index)
+        for index in range(6)
+    ]
+    sigma = [
+        service.get_sigma2n(
+            n_periods=1024, seed=200 + index, n_sweep=(4, 16), min_realizations=2
+        )
+        for index in range(2)
+    ]
+    await asyncio.gather(*bits, *sigma)
+
+
+class TestServiceStatsAgreesWithRegistry:
+    def test_snapshot_matches_raw_instruments(self):
+        service = TRNGService(max_batch=4, max_wait_ms=20.0)
+
+        async def scenario():
+            async with service:
+                await _mixed_workload(service)
+                # Count one rejection deterministically (overloading a tiny
+                # queue is racy) — the counter is what is under test.
+                service.stats.record_rejected()
+                return service.stats.snapshot()
+
+        snapshot = asyncio.run(scenario())
+
+        registry = service.registry
+        assert snapshot["submitted"] == registry.counter(
+            "serve_requests_total", labelnames=("kind",)
+        ).total()
+        assert snapshot["completed"] == registry.counter(
+            "serve_completed_total"
+        ).value()
+        assert snapshot["failed"] == registry.counter("serve_failed_total").value()
+        assert snapshot["rejected"] == 1
+        assert snapshot["rejected"] == registry.counter(
+            "serve_rejected_total"
+        ).value()
+        assert snapshot["batches"] == registry.counter(
+            "serve_batches_total"
+        ).value()
+        assert snapshot["coalesced_requests"] == registry.counter(
+            "serve_coalesced_requests_total"
+        ).value()
+        assert snapshot["max_batch_size"] == registry.gauge(
+            "serve_max_batch_size"
+        ).value()
+        assert snapshot["queue_depth"] == registry.gauge(
+            "serve_queue_depth"
+        ).value()
+        batch_hist = registry.histogram("serve_batch_size")
+        assert snapshot["batch_size"] == batch_hist.snapshot()
+        assert snapshot["batches"] == batch_hist.count
+        execute_hist = registry.histogram("serve_execute_seconds")
+        assert snapshot["execute_seconds"]["count"] == execute_hist.count
+        assert snapshot["execute_seconds"]["count"] == snapshot["batches"]
+        wait_hist = registry.histogram("serve_queue_wait_seconds")
+        assert snapshot["queue_wait_seconds"]["count"] == wait_hist.count
+        # Every submitted request passed through the queue exactly once.
+        assert wait_hist.count == snapshot["submitted"]
+        # Derived ratios reduce to the registry counters they claim to.
+        batched = registry.counter("serve_batched_requests_total").value()
+        expected_ratio = (
+            snapshot["coalesced_requests"] / batched if batched else 0.0
+        )
+        assert snapshot["coalesce_ratio"] == expected_ratio
+        assert snapshot["requests_by_kind"] == {"bits": 6, "sigma2n": 2}
+        # The snapshot's plan-cache section is the global registry's counters.
+        assert snapshot["plan_cache"]["hits"] == int(
+            global_registry().counter("plan_cache_hits_total").value()
+        )
+        assert snapshot["plan_cache"] == plan_cache_stats()
+
+    def test_rejected_requests_hit_both_surfaces(self):
+        service = TRNGService(max_batch=1, max_wait_ms=0.0, max_pending=1)
+
+        async def scenario():
+            async with service:
+                submits = [
+                    service.get_bits(n_bits=8, divider=4, seed=index)
+                    for index in range(16)
+                ]
+                return await asyncio.gather(*submits, return_exceptions=True)
+
+        results = asyncio.run(scenario())
+        rejected = sum(
+            1 for result in results if isinstance(result, ServiceOverloaded)
+        )
+        assert service.stats.rejected == rejected
+        assert (
+            service.registry.counter("serve_rejected_total").value() == rejected
+        )
+
+    def test_two_services_do_not_share_counters(self):
+        first, second = TRNGService(), TRNGService()
+        first.stats.record_submit(BitsRequest(n_bits=8, divider=4, seed=1))
+        second.stats.record_submit(
+            Sigma2NRequest(n_periods=1024, seed=2)
+        )
+        assert first.stats.submitted == 1
+        assert second.stats.submitted == 1
+        assert first.stats.requests_by_kind == {"bits": 1}
+        assert second.stats.requests_by_kind == {"sigma2n": 1}
+
+
+class TestFabricTelemetryAgreesWithRegistry:
+    def test_summary_reads_the_registry(self):
+        telemetry = FabricTelemetry()
+        for index in range(3):
+            telemetry.record(
+                ShardEvent(ASSIGNED, index, "w0", 1, completed=0, total=3)
+            )
+            telemetry.record(
+                ShardEvent(
+                    COMPLETED, index, "w0", 1,
+                    seconds=0.25, completed=index + 1, total=3,
+                )
+            )
+        telemetry.record(
+            ShardEvent(WORKER_DEAD, 9, "w1", 1, error="gone", total=3)
+        )
+        telemetry.record(
+            ShardEvent(REASSIGNED, 9, "w1", 1, error="gone", total=3)
+        )
+        summary = telemetry.summary()
+        registry = telemetry.registry
+        assert summary["shards_assigned"] == 3
+        assert summary["shards_assigned"] == registry.counter(
+            "fabric_shards_assigned_total"
+        ).value()
+        assert summary["shards_completed"] == registry.counter(
+            "fabric_shards_completed_total"
+        ).value()
+        assert summary["reassignments"] == registry.counter(
+            "fabric_reassignments_total"
+        ).value()
+        assert summary["worker_deaths"] == registry.counter(
+            "fabric_worker_deaths_total"
+        ).value()
+        shard_seconds = registry.histogram("fabric_shard_seconds")
+        assert summary["shard_seconds_total"] == shard_seconds.sum
+        assert shard_seconds.count == 3
+        assert summary["shard_seconds_total"] == pytest.approx(0.75)
+        # The event log and the registry describe the same history.
+        assert len(telemetry.of_kind(COMPLETED)) == summary["shards_completed"]
+
+    def test_fresh_telemetry_has_fresh_counters(self):
+        first, second = FabricTelemetry(), FabricTelemetry()
+        first.record(ShardEvent(ASSIGNED, 0, "w0", 1, total=1))
+        assert first.summary()["shards_assigned"] == 1
+        assert second.summary()["shards_assigned"] == 0

@@ -1,0 +1,165 @@
+"""Trace span tests: nesting, wire propagation, tree assembly, kill switch."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    SpanCollector,
+    SpanContext,
+    SpanRecord,
+    configure_metrics,
+    context_to_wire,
+    current_span,
+    format_tree,
+    span,
+    span_tree,
+    wire_to_parent,
+)
+
+
+@pytest.fixture
+def collector():
+    return SpanCollector()
+
+
+class TestSpanBasics:
+    def test_span_records_on_exit(self, collector):
+        with span("work", collector=collector, rows=4):
+            assert len(collector.records()) == 0
+        records = collector.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "work"
+        assert record.attributes == {"rows": 4}
+        assert record.status == "ok"
+        assert record.duration_s >= 0.0
+        assert record.parent_id is None
+
+    def test_exception_marks_the_span_as_error(self, collector):
+        with pytest.raises(RuntimeError):
+            with span("doomed", collector=collector):
+                raise RuntimeError("boom")
+        assert collector.records()[0].status == "error"
+
+    def test_nesting_through_the_context_variable(self, collector):
+        with span("outer", collector=collector) as outer:
+            assert current_span() is outer.context
+            with span("inner", collector=collector) as inner:
+                assert inner.context.parent_id == outer.context.span_id
+                assert inner.context.trace_id == outer.context.trace_id
+            assert current_span() is outer.context
+        assert current_span() is None
+
+    def test_threads_do_not_inherit_the_ambient_span(self, collector):
+        seen = {}
+
+        def probe():
+            seen["ambient"] = current_span()
+
+        with span("outer", collector=collector):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["ambient"] is None
+
+    def test_explicit_parent_overrides_the_ambient_span(self, collector):
+        parent = SpanContext(trace_id="t" * 16, span_id="s" * 16)
+        with span("child", collector=collector, parent=parent) as child:
+            assert child.context.trace_id == parent.trace_id
+            assert child.context.parent_id == parent.span_id
+
+
+class TestWirePropagation:
+    def test_round_trip(self, collector):
+        with span("coordinator", collector=collector) as parent:
+            wire = context_to_wire(parent.context)
+        assert wire == {
+            "trace_id": parent.context.trace_id,
+            "parent_span_id": parent.context.span_id,
+        }
+        rebuilt = wire_to_parent(wire)
+        with span("worker", collector=collector, parent=rebuilt):
+            pass
+        coordinator, worker = collector.records()
+        assert worker.trace_id == coordinator.trace_id
+        assert worker.parent_id == coordinator.span_id
+
+    def test_none_and_empty_payloads(self):
+        assert context_to_wire(None) is None
+        assert wire_to_parent(None) is None
+        assert wire_to_parent({}) is None
+
+    def test_record_payload_round_trip(self, collector):
+        with span("shipped", collector=collector, shard=2):
+            pass
+        record = collector.records()[0]
+        clone = SpanRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_ingest_merges_remote_records(self, collector):
+        remote = SpanCollector()
+        with span("remote-side", collector=remote):
+            pass
+        payloads = [record.to_dict() for record in remote.records()]
+        assert collector.ingest(payloads) == 1
+        assert collector.records()[0].name == "remote-side"
+
+
+class TestSpanTree:
+    def test_forest_assembly(self):
+        records = [
+            SpanRecord("root", "t1", "a", None, 1.0, 3.0),
+            SpanRecord("child-late", "t1", "c", "a", 2.5, 0.5),
+            SpanRecord("child-early", "t1", "b", "a", 1.5, 0.5),
+            SpanRecord("orphan", "t1", "d", "missing", 4.0, 0.1),
+        ]
+        forest = span_tree(records)
+        assert [node["name"] for node in forest] == ["root", "orphan"]
+        children = forest[0]["children"]
+        assert [node["name"] for node in children] == [
+            "child-early", "child-late",
+        ]
+
+    def test_collector_tree_filters_by_trace(self, collector):
+        with span("one", collector=collector):
+            pass
+        with span("two", collector=collector):
+            pass
+        records = collector.records()
+        tree = collector.tree(trace_id=records[0].trace_id)
+        assert len(tree) == 1
+        assert tree[0]["name"] == "one"
+
+    def test_format_tree_renders_hosts_and_attributes(self, collector):
+        with span("outer", collector=collector, rows=8):
+            with span("inner", collector=collector):
+                pass
+        rendered = format_tree(collector.tree())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer [")
+        assert "rows=8" in lines[0]
+        assert lines[1].startswith("  inner [")
+
+    def test_collector_capacity_bounds_memory(self):
+        collector = SpanCollector(capacity=2)
+        for index in range(5):
+            with span(f"s{index}", collector=collector):
+                pass
+        names = [record.name for record in collector.records()]
+        assert names == ["s3", "s4"]
+
+
+class TestKillSwitch:
+    def test_disabled_spans_are_noops(self, collector):
+        configure_metrics(enabled=False)
+        try:
+            with span("ghost", collector=collector) as ghost:
+                assert ghost.context is None
+                assert current_span() is None
+                assert context_to_wire(current_span()) is None
+        finally:
+            configure_metrics(enabled=True)
+        assert len(collector.records()) == 0

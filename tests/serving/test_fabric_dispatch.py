@@ -8,6 +8,7 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.obs import SpanCollector
 from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
 from repro.serving.fabric_dispatch import FabricDispatcher
 from repro.serving.fast_tier import FastTierCache
@@ -156,6 +157,28 @@ class TestFabricServing:
     def test_empty_dispatcher_is_refused(self):
         with pytest.raises(ValueError, match="at least one worker"):
             FabricDispatcher([])
+
+
+class TestServeTracePropagation:
+    def test_worker_batch_spans_join_the_service_trace(self):
+        collector = SpanCollector()
+        fabric = FabricDispatcher.from_endpoints(spawn=1, spans=collector)
+        try:
+            service = TRNGService(max_batch=1, fabric=fabric, spans=collector)
+            _serve_all(service, [REQUESTS[0]])
+        finally:
+            fabric.close()
+        by_name = {record.name: record for record in collector.records()}
+        execute = by_name["serve.execute"]
+        remote = by_name["worker.batch"]
+        # The worker continued the trace the dispatcher stamped on the wire:
+        # same trace, parented under this request's serve.execute span, and
+        # executed in a different process.
+        assert remote.trace_id == execute.trace_id
+        assert remote.parent_id == execute.span_id
+        assert remote.host != execute.host
+        assert remote.status == "ok"
+        assert remote.attributes["requests"] == 1
 
 
 class TestWorkerOnlyKinds:
