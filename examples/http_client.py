@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""HTTP front-door tour: REST one-shots, a streaming session, WebSocket.
+
+Drives the three ways to consume the gateway (`repro.serving.http`):
+
+1. one-shot ``POST /v1/bits`` / ``POST /v1/sigma2n`` — the coalescing path,
+   bit-for-bit identical to the JSON-lines TCP server;
+2. a REST streaming session — open once, read chunks; the concatenated
+   chunks equal the one-shot answer for the same seed, bitwise;
+3. the ``/v1/stream`` WebSocket — the same session ops as JSON text frames
+   over one connection.
+
+By default the script spawns an ephemeral in-process gateway so it runs
+self-contained; point it at a live server (e.g. started with
+``python -m repro.serve --http 0.0.0.0:8080``) instead::
+
+    python examples/http_client.py [--connect HOST:PORT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.serving import ServiceConfig, TRNGService  # noqa: E402
+from repro.serving.http import HTTPGateway, http_request  # noqa: E402
+from repro.serving.http.wire import (  # noqa: E402
+    OP_CLOSE,
+    OP_TEXT,
+    encode_client_frame,
+)
+
+
+async def call(host: str, port: int, method: str, path: str, payload=None):
+    status, body = await http_request(host, port, method, path, payload)
+    return status, json.loads(body) if body else None
+
+
+async def rest_tour(host: str, port: int) -> None:
+    print("--- REST one-shots ---")
+    status, reply = await call(
+        host, port, "POST", "/v1/bits",
+        {"n_bits": 64, "divider": 512, "seed": 7},
+    )
+    bits = reply["result"]["bits"]
+    print(f"POST /v1/bits        -> {status}, 64 bits: {bits[:32]}...")
+
+    status, reply = await call(
+        host, port, "POST", "/v1/sigma2n",
+        {"n_periods": 4096, "seed": 11},
+    )
+    fit = reply["result"]
+    print(
+        f"POST /v1/sigma2n     -> {status}, "
+        f"b_thermal = {fit['b_thermal_hz']:.3g} Hz"
+    )
+
+    status, health = await call(host, port, "GET", "/healthz")
+    print(f"GET  /healthz        -> {status}, status={health['status']}")
+
+    print("\n--- REST streaming session ---")
+    status, opened = await call(
+        host, port, "POST", "/v1/sessions", {"divider": 512, "seed": 7}
+    )
+    session = opened["result"]["session"]
+    print(f"POST /v1/sessions    -> {status}, id={session}")
+    streamed = ""
+    for n_bits in (24, 8, 32):
+        _, chunk = await call(
+            host, port, "POST", f"/v1/sessions/{session}/bits",
+            {"n_bits": n_bits},
+        )
+        streamed += chunk["result"]["bits"]
+        print(f"  read {n_bits:2d} bits at offset {chunk['result']['offset']}")
+    status, _ = await call(host, port, "DELETE", f"/v1/sessions/{session}")
+    print(f"DELETE session       -> {status}")
+
+    # The session contract: chunks concatenate to the one-shot answer.
+    _, one_shot = await call(
+        host, port, "POST", "/v1/bits",
+        {"n_bits": 64, "divider": 512, "seed": 7},
+    )
+    assert streamed == one_shot["result"]["bits"]
+    print("session chunks == one-shot bits (bitwise) ✓")
+
+
+async def websocket_tour(host: str, port: int) -> None:
+    print("\n--- WebSocket stream ---")
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            "GET /v1/stream HTTP/1.1\r\n"
+            f"host: {host}\r\n"
+            "upgrade: websocket\r\nconnection: Upgrade\r\n"
+            "sec-websocket-key: ZXhhbXBsZS1ub25jZS0xMjM=\r\n"
+            "sec-websocket-version: 13\r\n\r\n"
+        ).encode()
+    )
+    await writer.drain()
+    handshake = await reader.readuntil(b"\r\n\r\n")
+    print(f"handshake            -> {handshake.splitlines()[0].decode()}")
+
+    async def ws_call(message: dict) -> dict:
+        writer.write(
+            encode_client_frame(
+                OP_TEXT, json.dumps(message).encode(), b"\xde\xad\xbe\xef"
+            )
+        )
+        await writer.drain()
+        header = await reader.readexactly(2)
+        length = header[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        return json.loads(await reader.readexactly(length))
+
+    opened = await ws_call({"op": "open", "divider": 512, "seed": 21, "id": 1})
+    session = opened["result"]["session"]
+    print(f"op=open              -> session {session}")
+    for n_bits in (16, 48):
+        reply = await ws_call(
+            {"op": "read", "session": session, "n_bits": n_bits}
+        )
+        print(
+            f"op=read {n_bits:2d}           -> offset "
+            f"{reply['result']['offset']}, bits {reply['result']['bits'][:16]}..."
+        )
+    writer.write(encode_client_frame(OP_CLOSE, b"", b"\x00\x00\x00\x00"))
+    await writer.drain()
+    writer.close()
+    await writer.wait_closed()
+    print("closed (server reaps the WebSocket-scoped session)")
+
+
+async def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="use a running gateway instead of spawning an ephemeral one",
+    )
+    args = parser.parse_args()
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        await rest_tour(host, int(port_text))
+        await websocket_tour(host, int(port_text))
+        return
+
+    config = ServiceConfig(max_batch=16, max_wait_ms=2.0)
+    async with TRNGService(config) as service:
+        gateway = HTTPGateway(service, port=0)
+        await gateway.start()
+        print(f"ephemeral gateway on 127.0.0.1:{gateway.port}\n")
+        try:
+            await rest_tour("127.0.0.1", gateway.port)
+            await websocket_tour("127.0.0.1", gateway.port)
+        finally:
+            await gateway.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

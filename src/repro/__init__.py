@@ -37,9 +37,27 @@ Quickstart
 True
 """
 
-from . import ais31, attacks, core, measurement, noise, oscillator, paper, phase, stats, trng
-from . import engine
+from . import (
+    ais31,
+    attacks,
+    core,
+    measurement,
+    noise,
+    oscillator,
+    paper,
+    phase,
+    stats,
+    trng,
+)
+from . import engine, obs, serving
 from .engine import BatchedOscillatorEnsemble
+from .obs import MetricsRegistry, global_registry, render_prometheus
+from .serving import (
+    BitsRequest,
+    ServiceConfig,
+    Sigma2NRequest,
+    TRNGService,
+)
 from .core import (
     MultilevelModel,
     ThermalNoiseReport,
@@ -59,11 +77,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchedOscillatorEnsemble",
+    "BitsRequest",
+    "MetricsRegistry",
     "MultilevelModel",
     "PAPER_CYCLONE_III",
     "PAPER_REFERENCE",
     "PhaseNoisePSD",
     "RingOscillator",
+    "ServiceConfig",
+    "Sigma2NRequest",
+    "TRNGService",
     "ThermalNoiseReport",
     "VirtualEvaristePlatform",
     "__version__",
@@ -76,11 +99,15 @@ __all__ = [
     "extract_thermal_noise",
     "extract_thermal_noise_from_curve",
     "fit_sigma2_n_curve",
+    "global_registry",
     "measurement",
     "noise",
+    "obs",
     "oscillator",
     "paper",
     "phase",
+    "render_prometheus",
+    "serving",
     "sigma2_n_closed_form",
     "stats",
     "trng",

@@ -1,20 +1,26 @@
 """``python -m repro.serve`` — the async TRNG serving front-end.
 
-Starts a JSON-lines server (TCP by default, ``--stdio`` for pipes) over one
-coalescing :class:`~repro.serving.service.TRNGService`::
+Starts a JSON-lines server (TCP by default, ``--stdio`` for pipes) and
+optionally an HTTP/WebSocket gateway over one coalescing
+:class:`~repro.serving.service.TRNGService`::
 
     # TCP server with a 64-request coalescing window
     python -m repro.serve --port 8765 --max-batch 64 --max-wait-ms 5
+
+    # HTTP/WebSocket gateway (REST + streaming sessions + /metrics)
+    python -m repro.serve --http 0.0.0.0:8080
 
     # One-shot request over stdio
     echo '{"kind": "bits", "n_bits": 64, "divider": 512, "seed": 7}' | \
         python -m repro.serve --stdio
 
-    # CI smoke: real sockets, coalescing + solo-equivalence assertions
+    # CI smokes: real sockets, coalescing + solo-equivalence assertions
     python -m repro.serve --self-test
+    python -m repro.serve --self-test --http 127.0.0.1:0
 
-See :mod:`repro.serving.protocol` for the wire format and
-:mod:`repro.serving` for the pipeline and its determinism contract.
+All flags funnel into one :class:`~repro.serving.config.ServiceConfig`; see
+:mod:`repro.serving.protocol` for the wire format and :mod:`repro.serving`
+for the pipeline and its determinism contract.
 """
 
 from __future__ import annotations
@@ -23,9 +29,10 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import Optional
+from typing import Optional, Tuple
 
 from .obs import global_registry, summary_line, write_metrics_json
+from .serving.config import ServiceConfig
 from .serving.server import TRNGServer, run_self_test, seed_stream, serve_stdio
 from .serving.service import TRNGService
 
@@ -45,6 +52,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve stdin/stdout instead of TCP (exits at EOF)",
     )
     parser.add_argument(
+        "--http",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="also serve the HTTP/WebSocket gateway (REST requests, "
+        "streaming sessions, GET /metrics + /healthz) on this endpoint; "
+        "with --self-test, runs the HTTP smoke instead of the TCP one",
+    )
+    parser.add_argument(
         "--max-batch",
         type=int,
         default=32,
@@ -54,7 +70,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="coalescing window: how long a batch leader waits for companions",
+        help="base coalescing window of a normal-priority batch leader",
+    )
+    parser.add_argument(
+        "--class-wait-ms",
+        type=str,
+        default=None,
+        dest="class_wait_ms",
+        metavar="CLASS=MS,...",
+        help="absolute per-priority coalescing windows, e.g. "
+        "'interactive=0.5,batch=20' (classes not named scale --max-wait-ms "
+        "by the default factors)",
     )
     parser.add_argument(
         "--max-pending",
@@ -77,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "numpy); auto picks per call from a measured cost model; all "
         "backends are bit-for-bit equivalent, the choice selects execution "
         "speed only",
+    )
+    parser.add_argument(
+        "--no-fast-tier",
+        action="store_false",
+        dest="fast_tier",
+        help="disable the fitted-campaign cache behind tier='fast' sigma2n "
+        "requests (every request runs the exact campaign)",
     )
     parser.add_argument(
         "--seed",
@@ -120,36 +153,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--self-test",
         action="store_true",
-        help="run the end-to-end smoke (server + 32 concurrent clients) and exit",
+        help="run the end-to-end smoke (server + concurrent clients) and exit",
     )
     return parser
 
 
-def _fabric(args: argparse.Namespace):
-    """Build the FabricDispatcher for --spawn-workers/--workers-remote."""
-    remote = [
-        endpoint.strip()
-        for endpoint in (args.workers_remote or "").split(",")
-        if endpoint.strip()
-    ]
-    if not remote and args.spawn_workers <= 0:
-        return None
-    from .serving.fabric_dispatch import FabricDispatcher
-
-    return FabricDispatcher.from_endpoints(
-        remote=remote, spawn=max(args.spawn_workers, 0), backend=args.backend
-    )
-
-
-def _service(args: argparse.Namespace, fabric=None) -> TRNGService:
-    return TRNGService(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_pending=args.max_pending,
-        overflow=args.overflow,
-        backend=args.backend,
-        fabric=fabric,
-    )
+def _parse_http_endpoint(text: str) -> Tuple[str, int]:
+    host, colon, port = text.rpartition(":")
+    if not colon or not host:
+        raise ValueError(
+            f"--http expects HOST:PORT, got {text!r} (use :0 for ephemeral)"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"--http port must be an integer, got {port!r}") from None
 
 
 async def _stats_loop(service: TRNGService, interval: float) -> None:
@@ -158,17 +176,18 @@ async def _stats_loop(service: TRNGService, interval: float) -> None:
         print(summary_line(service.registry, global_registry()), file=sys.stderr)
 
 
-async def _serve(args: argparse.Namespace) -> int:
-    fabric = _fabric(args)
+async def _serve(args: argparse.Namespace, config: ServiceConfig) -> int:
+    fabric = config.build_fabric()
     if fabric is not None:
         print(
             f"fabric dispatch: {len(fabric.workers)} worker(s) "
             f"({', '.join(worker.name for worker in fabric.workers)})",
             file=sys.stderr,
         )
-    service = _service(args, fabric=fabric)
-    default_seed = seed_stream(args.seed)
+    service = TRNGService(config, fabric=fabric)
+    default_seed = seed_stream(config.seed)
     stats_task: Optional[asyncio.Task] = None
+    gateway = None
     try:
         async with service:
             if args.stats:
@@ -176,6 +195,22 @@ async def _serve(args: argparse.Namespace) -> int:
                     _stats_loop(service, max(args.stats_interval, 0.1))
                 )
             try:
+                if args.http is not None:
+                    from .serving.http import HTTPGateway
+
+                    http_host, http_port = _parse_http_endpoint(args.http)
+                    gateway = HTTPGateway(
+                        service,
+                        host=http_host,
+                        port=http_port,
+                        default_seed=default_seed,
+                    )
+                    await gateway.start()
+                    print(
+                        f"http gateway on {http_host}:{gateway.port} "
+                        f"(POST /v1/bits, /v1/sigma2n; sessions; GET /metrics)",
+                        file=sys.stderr,
+                    )
                 if args.stdio:
                     await serve_stdio(service, default_seed=default_seed)
                 else:
@@ -188,8 +223,8 @@ async def _serve(args: argparse.Namespace) -> int:
                     await server.start()
                     print(
                         f"serving on {args.host}:{server.port} "
-                        f"(max_batch={args.max_batch}, "
-                        f"max_wait_ms={args.max_wait_ms})",
+                        f"(max_batch={config.max_batch}, "
+                        f"max_wait_ms={config.max_wait_ms})",
                         file=sys.stderr,
                     )
                     try:
@@ -199,6 +234,8 @@ async def _serve(args: argparse.Namespace) -> int:
             except asyncio.CancelledError:
                 pass
             finally:
+                if gateway is not None:
+                    await gateway.stop()
                 if stats_task is not None:
                     stats_task.cancel()
             if args.stats:
@@ -217,19 +254,30 @@ async def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
-async def _self_test(args: argparse.Namespace) -> int:
+async def _self_test(args: argparse.Namespace, config: ServiceConfig) -> int:
+    over_http = args.http is not None
     try:
-        summary = await run_self_test(
-            max_batch=args.max_batch,
-            max_wait_ms=max(args.max_wait_ms, 100.0),
-            backend=args.backend,
-        )
+        if over_http:
+            from .serving.http import run_http_self_test
+
+            http_host, _ = _parse_http_endpoint(args.http)
+            summary = await run_http_self_test(
+                max_batch=config.max_batch,
+                max_wait_ms=max(config.max_wait_ms, 100.0),
+                host=http_host or "127.0.0.1",
+                backend=config.backend,
+            )
+        else:
+            summary = await run_self_test(
+                config=config.replace(max_wait_ms=max(config.max_wait_ms, 100.0))
+            )
     except AssertionError as error:
         print(f"self-test FAIL: {error}", file=sys.stderr)
         return 1
     stats = summary["stats"]
+    edge = "HTTP" if over_http else "TCP"
     print(
-        f"self-test: {summary['clients']} concurrent clients over TCP, "
+        f"self-test: {summary['clients']} concurrent clients over {edge}, "
         f"dividers {summary['dividers']}"
     )
     print(
@@ -238,6 +286,8 @@ async def _self_test(args: argparse.Namespace) -> int:
         f"{stats['batches']} batches for {stats['completed']} requests)"
     )
     print("self-test: served bits == solo-served bits (bitwise) for all clients")
+    if over_http:
+        print("self-test: session chunks == one-shot stream (bitwise)")
     if args.stats:
         print(f"stats: {json.dumps(stats)}", file=sys.stderr)
     return 0
@@ -245,34 +295,37 @@ async def _self_test(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.max_batch < 1:
-        print("--max-batch must be >= 1", file=sys.stderr)
+    try:
+        config = ServiceConfig.from_args(args)
+        if args.http is not None:
+            _parse_http_endpoint(args.http)
+    except ValueError as error:
+        # Config fields validate under their dataclass names; report them
+        # under the flag spellings the user typed.
+        message = str(error)
+        for name in (
+            "max_batch",
+            "max_wait_ms",
+            "max_pending",
+            "class_wait_ms",
+            "spawn_workers",
+            "workers_remote",
+        ):
+            message = message.replace(name, "--" + name.replace("_", "-"))
+        print(message, file=sys.stderr)
         return 2
-    if args.max_wait_ms < 0:
-        print("--max-wait-ms must be >= 0", file=sys.stderr)
-        return 2
-    if args.backend is not None:
-        from .engine.backends import validate_backend_spec
-
-        try:
-            validate_backend_spec(args.backend)
-        except ValueError as error:
-            print(str(error), file=sys.stderr)
-            return 2
-    if args.workers_remote:
+    if config.workers_remote:
         from .engine.distributed.fabric.connection import parse_endpoint
 
-        for endpoint in args.workers_remote.split(","):
-            if not endpoint.strip():
-                continue
+        for endpoint in config.workers_remote:
             try:
-                parse_endpoint(endpoint.strip())
+                parse_endpoint(endpoint)
             except ValueError as error:
                 print(str(error), file=sys.stderr)
                 return 2
     runner = _self_test if args.self_test else _serve
     try:
-        return asyncio.run(runner(args))
+        return asyncio.run(runner(args, config))
     except KeyboardInterrupt:
         return 0
 

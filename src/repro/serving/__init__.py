@@ -18,16 +18,26 @@ contract.
 Run a server with ``python -m repro.serve`` (see :mod:`repro.serve`).
 """
 
-from .coalescer import Coalescer
+from .coalescer import DEFAULT_CLASS_WAIT_FACTORS, Coalescer
+from .config import ServiceConfig
 from .fabric_dispatch import FabricDispatcher
 from .fast_tier import FastTierCache, FittedCampaignEntry
+from .http import (
+    HTTPGateway,
+    SessionManager,
+    StreamSession,
+    run_http_self_test,
+)
+from .protocol import ERROR_CODES, PROTOCOL_VERSION, ProtocolError
 from .queue import (
+    DeadlineExceeded,
     PendingRequest,
     RequestQueue,
     ServiceOverloaded,
     ServiceStopped,
 )
 from .requests import (
+    PRIORITIES,
     BitsRequest,
     BitsResult,
     Sigma2NRequest,
@@ -41,20 +51,31 @@ __all__ = [
     "BitsRequest",
     "BitsResult",
     "Coalescer",
+    "DEFAULT_CLASS_WAIT_FACTORS",
+    "DeadlineExceeded",
+    "ERROR_CODES",
     "FabricDispatcher",
     "FastTierCache",
     "FittedCampaignEntry",
+    "HTTPGateway",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
     "PendingRequest",
+    "ProtocolError",
     "RequestQueue",
     "Scatterer",
+    "ServiceConfig",
     "ServiceOverloaded",
     "ServiceStats",
     "ServiceStopped",
+    "SessionManager",
     "Sigma2NRequest",
     "Sigma2NResult",
+    "StreamSession",
     "TRNGServer",
     "TRNGService",
     "execute_batch",
+    "run_http_self_test",
     "run_self_test",
     "serve_stdio",
 ]

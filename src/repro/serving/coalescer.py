@@ -1,13 +1,35 @@
-"""Request coalescing: group compatible pending requests into one batch.
+"""Priority/deadline-aware coalescing: group pending requests into batches.
 
-The coalescer turns a stream of small requests into full engine batches.  It
-takes the oldest pending request as the batch *leader*, then keeps admitting
-requests whose :meth:`group_key` matches the leader's until either
-``max_batch`` requests are aboard or ``max_wait_ms`` has elapsed since the
-leader arrived.  Incompatible requests observed during the window are
-*deferred* — parked in arrival order and reconsidered first for the next
-batch, so a minority group is never starved, only delayed by at most one
-window.
+The coalescer turns a stream of small requests into full engine batches.
+Scheduling is no longer plain FIFO: every request carries a scheduling class
+(:data:`~repro.serving.requests.PRIORITIES`) and an optional latency budget
+(``deadline_ms``), and the coalescer trades the ``max_wait_ms`` window
+against them:
+
+* **Leader selection** — all already-arrived requests are drained into a
+  pending pool and the most urgent one (priority class first, arrival order
+  within a class) leads the next batch, so an ``interactive`` request never
+  queues behind a backlog of ``batch`` work.
+* **Per-class windows** — how long a batch waits for companions is the
+  *smallest* class window among its members: ``interactive`` requests shrink
+  the window they ride in (low latency), ``batch`` requests stretch their
+  own (better amortization).  The per-class window is ``max_wait_ms`` scaled
+  by :data:`DEFAULT_CLASS_WAIT_FACTORS`, or an absolute override per class.
+* **Deadline fast-fail** — a request whose ``deadline_ms`` budget expired
+  before dispatch is failed with
+  :class:`~repro.serving.queue.DeadlineExceeded` and **never consumes a row
+  of an engine call**; a live deadline caps the window of the batch carrying
+  the request so it is dispatched in time.
+
+Batch *membership* still requires matching :meth:`group_key` values, and
+scheduling fields are deliberately not part of the group key: priorities
+decide *when* an engine call happens, never *what* it computes, so the
+solo/coalesced bitwise contract is untouched.
+
+Within one priority class, requests are served in arrival order; across
+classes, urgency wins (a sustained flood of ``interactive`` traffic can
+starve ``batch`` requests — bound that risk with ``deadline_ms``, which
+converts unbounded waiting into a fast, explicit failure).
 
 With ``max_batch=1`` the window is skipped entirely: every request is its
 own batch (the serial reference mode the determinism tests and the serving
@@ -17,80 +39,233 @@ benchmark compare against).
 from __future__ import annotations
 
 import asyncio
-from collections import deque
-from typing import Deque, List
+import time
+from typing import Dict, List, Mapping, Optional
 
-from .queue import PendingRequest, RequestQueue
+from ..obs import MetricsRegistry
+from .queue import DeadlineExceeded, PendingRequest, RequestQueue
+from .requests import PRIORITIES
+
+#: Per-class coalescing-window factors applied to ``max_wait_ms``.
+DEFAULT_CLASS_WAIT_FACTORS: Dict[str, float] = {
+    "interactive": 0.25,
+    "normal": 1.0,
+    "batch": 4.0,
+}
+
+_RANK = {priority: rank for rank, priority in enumerate(PRIORITIES)}
+
+#: A deadline caps the coalescing window this far *before* it lapses, so the
+#: batch dispatches while the request is still live (dispatching exactly at
+#: ``deadline_at`` would expire the request in the pre-dispatch recheck).
+_DISPATCH_GUARD_S = 2e-3
 
 
 class Coalescer:
-    """Groups compatible pending requests within a bounded time window."""
+    """Groups compatible pending requests within a priority-scaled window.
 
-    def __init__(self, max_batch: int = 32, max_wait_ms: float = 2.0) -> None:
+    Parameters
+    ----------
+    max_batch:
+        Most requests one engine call may serve; ``1`` disables coalescing.
+    max_wait_ms:
+        Base coalescing window of a ``normal``-priority batch leader.
+    class_wait_ms:
+        Optional absolute per-class window overrides, e.g.
+        ``{"interactive": 0.5, "batch": 20.0}``; classes not named fall back
+        to ``max_wait_ms`` x :data:`DEFAULT_CLASS_WAIT_FACTORS`.
+    metrics:
+        Registry for the ``serving_coalesce_wait_seconds`` histogram (time
+        from leader claim to batch dispatch) and the
+        ``serve_deadline_expired_total`` counter.  A private registry is
+        used when omitted (direct/test use).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        class_wait_ms: Optional[Mapping[str, float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
         if max_wait_ms < 0.0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
-        self._deferred: Deque[PendingRequest] = deque()
+        self.class_wait_ms: Dict[str, float] = {}
+        overrides = dict(class_wait_ms) if class_wait_ms else {}
+        unknown = sorted(set(overrides) - set(PRIORITIES))
+        if unknown:
+            raise ValueError(
+                f"unknown priority classes in class_wait_ms: {unknown} "
+                f"(expected a subset of {PRIORITIES})"
+            )
+        for priority in PRIORITIES:
+            if priority in overrides:
+                wait = float(overrides[priority])
+                if wait < 0.0:
+                    raise ValueError(
+                        f"class_wait_ms[{priority!r}] must be >= 0, got {wait!r}"
+                    )
+            else:
+                wait = self.max_wait_ms * DEFAULT_CLASS_WAIT_FACTORS[priority]
+            self.class_wait_ms[priority] = wait
+        #: Requests drained from the queue but not yet dispatched, in no
+        #: particular order (selection sorts by priority rank, then arrival).
+        self._pool: List[PendingRequest] = []
+        registry = metrics if metrics is not None else MetricsRegistry("coalescer")
+        self._wait_seconds = registry.histogram(
+            "serving_coalesce_wait_seconds",
+            "Seconds from batch-leader claim to batch dispatch (the realized "
+            "coalescing window per engine call)",
+        )
+        self._expired = registry.counter(
+            "serve_deadline_expired_total",
+            "Requests failed fast because deadline_ms expired before dispatch",
+        )
 
     def __len__(self) -> int:
-        """Requests currently parked for a later batch."""
-        return len(self._deferred)
+        """Requests currently pooled for a later batch."""
+        return len(self._pool)
 
     def drain(self, error: BaseException) -> int:
-        """Fail every deferred request (service shutdown); returns the count."""
+        """Fail every pooled request (service shutdown); returns the count."""
         failed = 0
-        while self._deferred:
-            if self._deferred.popleft().fail(error):
+        while self._pool:
+            if self._pool.pop().fail(error):
                 failed += 1
         return failed
+
+    def _window_s(self, pending: PendingRequest) -> float:
+        return self.class_wait_ms.get(pending.priority, self.max_wait_ms) / 1e3
+
+    def _fail_expired(self, now: float) -> None:
+        """Fail-fast every pooled request whose deadline has passed."""
+        live: List[PendingRequest] = []
+        for pending in self._pool:
+            if pending.expired(now):
+                self._expire(pending, now)
+            else:
+                live.append(pending)
+        self._pool = live
+
+    def _expire(self, pending: PendingRequest, now: float) -> None:
+        waited_ms = (now - pending.enqueued_at) * 1e3
+        if pending.fail(
+            DeadlineExceeded(
+                f"deadline_ms={pending.request.deadline_ms:g} expired before "
+                f"dispatch (waited {waited_ms:.1f} ms); no engine work was "
+                f"consumed"
+            )
+        ):
+            self._expired.inc()
+
+    def _take_leader(self) -> PendingRequest:
+        """Most urgent pooled request: lowest priority rank, then arrival."""
+        index = min(
+            range(len(self._pool)),
+            key=lambda i: (
+                _RANK.get(self._pool[i].priority, len(_RANK)),
+                self._pool[i].arrival,
+            ),
+        )
+        return self._pool.pop(index)
 
     async def next_batch(self, queue: RequestQueue) -> List[PendingRequest]:
         """The next coalesced batch (>= 1 compatible pending requests).
 
-        Suspends until at least one request is available; then collects
+        Suspends until at least one live request is available; then collects
         compatible requests (same :meth:`group_key` as the leader) from the
-        deferred pool and the queue until ``max_batch`` or the window closes.
+        pool and the queue until ``max_batch`` is reached or the batch's
+        window — the smallest class window among its members, capped by the
+        earliest live deadline — closes.
         """
-        leader = self._deferred.popleft() if self._deferred else await queue.get()
+        while True:
+            batch = await self._collect(queue)
+            # Requests may expire between admission and dispatch (a long
+            # window, a stampede of companions): re-check so an expired
+            # request never occupies an engine row.
+            now = time.monotonic()
+            live = [pending for pending in batch if not pending.expired(now)]
+            for pending in batch:
+                if pending.expired(now):
+                    self._expire(pending, now)
+            if live:
+                return live
+
+    async def _collect(self, queue: RequestQueue) -> List[PendingRequest]:
+        # Drain everything already queued so leader selection sees the whole
+        # backlog; block only when there is no pending work at all.
+        while True:
+            pending = queue.get_nowait()
+            if pending is None:
+                break
+            self._pool.append(pending)
+        self._fail_expired(time.monotonic())
+        if not self._pool:
+            pending = await queue.get()
+            if pending.expired():
+                self._expire(pending, time.monotonic())
+                return []
+            self._pool.append(pending)
+
+        leader = self._take_leader()
         batch = [leader]
+        opened = time.monotonic()
         try:
             if self.max_batch == 1:
+                self._wait_seconds.observe(0.0)
                 return batch
             key = leader.request.group_key()
+            window_end = opened + self._window_s(leader)
+            if leader.deadline_at is not None:
+                window_end = min(window_end, leader.deadline_at - _DISPATCH_GUARD_S)
 
-            # Deferred requests are reconsidered first, in arrival order.
-            still_deferred: Deque[PendingRequest] = deque()
-            while self._deferred and len(batch) < self.max_batch:
-                candidate = self._deferred.popleft()
-                if candidate.request.group_key() == key:
+            # Pooled requests are reconsidered first, in arrival order.
+            remaining: List[PendingRequest] = []
+            for candidate in sorted(self._pool, key=lambda p: p.arrival):
+                if (
+                    len(batch) < self.max_batch
+                    and candidate.request.group_key() == key
+                ):
                     batch.append(candidate)
+                    window_end = min(window_end, opened + self._window_s(candidate))
+                    if candidate.deadline_at is not None:
+                        window_end = min(
+                            window_end, candidate.deadline_at - _DISPATCH_GUARD_S
+                        )
                 else:
-                    still_deferred.append(candidate)
-            still_deferred.extend(self._deferred)
-            self._deferred = still_deferred
+                    remaining.append(candidate)
+            self._pool = remaining
 
             loop = asyncio.get_running_loop()
-            deadline = loop.time() + self.max_wait_ms / 1000.0
             while len(batch) < self.max_batch:
-                timeout = deadline - loop.time()
+                timeout = window_end - time.monotonic()
                 if timeout <= 0.0:
                     break
                 try:
                     candidate = await asyncio.wait_for(queue.get(), timeout)
                 except TimeoutError:
                     break
-                if candidate.request.group_key() == key:
+                if candidate.expired():
+                    self._expire(candidate, time.monotonic())
+                elif candidate.request.group_key() == key:
                     batch.append(candidate)
+                    window_end = min(window_end, opened + self._window_s(candidate))
+                    if candidate.deadline_at is not None:
+                        window_end = min(
+                            window_end, candidate.deadline_at - _DISPATCH_GUARD_S
+                        )
                 else:
-                    self._deferred.append(candidate)
+                    self._pool.append(candidate)
+            self._wait_seconds.observe(time.monotonic() - opened)
             return batch
         except asyncio.CancelledError:
             # Service shutdown mid-window: the requests captured so far are
-            # in neither the queue nor the deferred pool, so park them back
-            # where drain() (or a restarted dispatcher) can see them —
-            # otherwise their futures would hang forever.
-            self._deferred.extendleft(reversed(batch))
+            # in neither the queue nor the pool, so park them back where
+            # drain() (or a restarted dispatcher) can see them — otherwise
+            # their futures would hang forever.
+            self._pool.extend(batch)
             raise

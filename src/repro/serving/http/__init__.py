@@ -1,0 +1,39 @@
+"""HTTP/WebSocket front door for the TRNG serving layer.
+
+The gateway (:class:`HTTPGateway`) speaks the same versioned envelopes as
+the TCP/stdio servers over plain HTTP/1.1 — responses are bit-for-bit
+identical across transports — and adds stateful streaming sessions
+(:mod:`repro.serving.http.sessions`) over REST or WebSocket.  Everything is
+stdlib-only; see :mod:`repro.serving.http.gateway` for the route table.
+"""
+
+from .gateway import (
+    CODE_STATUS,
+    HTTPGateway,
+    http_request,
+    run_http_self_test,
+)
+from .sessions import (
+    SessionError,
+    SessionExpired,
+    SessionManager,
+    SessionNotFound,
+    StreamSession,
+)
+from .wire import MAX_BODY_BYTES, HTTPError, HTTPRequest, WebSocketError
+
+__all__ = [
+    "CODE_STATUS",
+    "HTTPError",
+    "HTTPGateway",
+    "HTTPRequest",
+    "MAX_BODY_BYTES",
+    "SessionError",
+    "SessionExpired",
+    "SessionManager",
+    "SessionNotFound",
+    "StreamSession",
+    "WebSocketError",
+    "http_request",
+    "run_http_self_test",
+]

@@ -1,0 +1,230 @@
+"""Stateful streaming sessions: a live TRNG sampler kept between requests.
+
+A :class:`StreamSession` owns one single-row
+:class:`~repro.engine.bits.BatchedEROTRNG` built **exactly** the way the
+one-shot serving path builds it for a solo :class:`BitsRequest` — same
+configuration, same per-request spawned generator, same
+:func:`~repro.serving.scatter.serving_synthesis_block` — so the engine's
+streaming contract (consecutive calls continue the clock timelines on a
+fixed synthesis-block grid) turns directly into the session guarantee:
+
+    the concatenation of a session's chunked reads is **bit-for-bit** the
+    one-shot result of serving ``BitsRequest(n_bits=total, seed=...)``,
+    for any chunking.
+
+:class:`SessionManager` is the lifecycle layer the gateway talks to: opaque
+ids, an idle TTL (a session untouched for ``idle_ttl_s`` is expired) and an
+LRU cap (opening past ``max_sessions`` evicts the least recently used).
+Closed-by-TTL/eviction ids are remembered for a while so a late request
+gets the distinct ``session_expired`` error (HTTP ``410``) instead of a
+generic ``not_found``.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...obs import MetricsRegistry
+from ..requests import BitsRequest
+from ..scatter import serving_synthesis_block
+
+#: How many expired/evicted session ids are remembered for ``410`` answers.
+_EXPIRED_MEMORY = 1024
+
+
+class SessionError(Exception):
+    """A session lookup failure; ``code`` is the protocol error token."""
+
+    code = "not_found"
+
+
+class SessionNotFound(SessionError):
+    """No session with that id was ever known (or it aged out of memory)."""
+
+    code = "not_found"
+
+
+class SessionExpired(SessionError):
+    """The session existed but was expired (idle TTL) or evicted (LRU cap)."""
+
+    code = "session_expired"
+
+
+class StreamSession:
+    """One client's live bit stream over a persistent single-row TRNG.
+
+    Reads are serialized by a per-session lock (the sampler is stateful);
+    the gateway runs them on worker threads so a long read never blocks the
+    event loop.  ``request.n_bits`` is irrelevant here — the request object
+    is the carrier of the *generator-defining* fields (seed, divider, design
+    parameters), which is all the sampler construction consumes.
+    """
+
+    def __init__(self, request: BitsRequest, backend=None) -> None:
+        from ...engine.bits import BatchedEROTRNG
+
+        self.request = request
+        self._trng = BatchedEROTRNG(
+            request.configuration(),
+            batch_size=1,
+            rngs=[request.generator()],
+            synthesis_block_periods=serving_synthesis_block(request.divider),
+            backend=backend,
+        )
+        self._lock = threading.Lock()
+        self.bits_served = 0
+        self.created_at = time.monotonic()
+        self.last_used = self.created_at
+
+    def read(self, n_bits: int) -> Tuple[int, np.ndarray]:
+        """The next ``n_bits`` of the stream as ``(start_offset, bits)``.
+
+        Streaming semantics: the bits continue exactly where the previous
+        read stopped, regardless of how the stream is chunked.
+        """
+        n_bits = int(n_bits)
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits!r}")
+        with self._lock:
+            offset = self.bits_served
+            bits = self._trng.generate_exact(n_bits)[0]
+            self.bits_served += int(bits.size)
+            self.last_used = time.monotonic()
+            return offset, bits
+
+    def info(self) -> Dict:
+        """Plain-JSON description (the session-status reply)."""
+        return {
+            "seed": self.request.seed,
+            "divider": self.request.divider,
+            "f0_hz": self.request.f0_hz,
+            "bits_served": self.bits_served,
+            "idle_s": max(time.monotonic() - self.last_used, 0.0),
+        }
+
+
+class SessionManager:
+    """Id-keyed session registry with an idle TTL and an LRU capacity cap."""
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        idle_ttl_s: float = 300.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions!r}")
+        if idle_ttl_s <= 0.0:
+            raise ValueError(f"idle_ttl_s must be > 0, got {idle_ttl_s!r}")
+        self.max_sessions = int(max_sessions)
+        self.idle_ttl_s = float(idle_ttl_s)
+        self._lock = threading.Lock()
+        # Insertion/recency order: least recently used first.
+        self._sessions: "OrderedDict[str, StreamSession]" = OrderedDict()
+        self._gone: "OrderedDict[str, None]" = OrderedDict()
+        registry = metrics if metrics is not None else MetricsRegistry("sessions")
+        self._active = registry.gauge(
+            "serving_sessions_active", "Streaming sessions currently open"
+        )
+        self._opened = registry.counter(
+            "serving_sessions_opened_total", "Streaming sessions opened"
+        )
+        self._expired = registry.counter(
+            "serving_sessions_expired_total",
+            "Streaming sessions closed by the idle TTL",
+        )
+        self._evicted = registry.counter(
+            "serving_sessions_evicted_total",
+            "Streaming sessions evicted by the LRU capacity cap",
+        )
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def _forget(self, session_id: str) -> None:
+        self._gone[session_id] = None
+        while len(self._gone) > _EXPIRED_MEMORY:
+            self._gone.popitem(last=False)
+
+    def open(self, request: BitsRequest, backend=None) -> Tuple[str, StreamSession]:
+        """Create a session; returns ``(id, session)``, evicting LRU overflow."""
+        session = StreamSession(request, backend=backend)
+        with self._lock:
+            session_id = secrets.token_hex(8)
+            self._sessions[session_id] = session
+            self._opened.inc()
+            while len(self._sessions) > self.max_sessions:
+                victim, _ = self._sessions.popitem(last=False)
+                self._forget(victim)
+                self._evicted.inc()
+            self._active.set(len(self._sessions))
+        return session_id, session
+
+    def get(self, session_id: str) -> StreamSession:
+        """The live session, touched for LRU; raises a typed lookup error."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                if session_id in self._gone:
+                    raise SessionExpired(
+                        f"session {session_id!r} expired or was evicted"
+                    )
+                raise SessionNotFound(f"unknown session {session_id!r}")
+            if time.monotonic() - session.last_used > self.idle_ttl_s:
+                del self._sessions[session_id]
+                self._forget(session_id)
+                self._expired.inc()
+                self._active.set(len(self._sessions))
+                raise SessionExpired(
+                    f"session {session_id!r} expired after "
+                    f"{self.idle_ttl_s:g} s idle"
+                )
+            self._sessions.move_to_end(session_id)
+            return session
+
+    def close(self, session_id: str) -> bool:
+        """Explicitly close a session; ``False`` if it was already gone.
+
+        Unknown ids raise :class:`SessionNotFound`; already-expired ids are
+        a successful no-op (the client wanted it gone and it is).
+        """
+        with self._lock:
+            if session_id in self._sessions:
+                del self._sessions[session_id]
+                self._forget(session_id)
+                self._active.set(len(self._sessions))
+                return True
+            if session_id in self._gone:
+                return False
+            raise SessionNotFound(f"unknown session {session_id!r}")
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Expire every session idle past the TTL; returns the count."""
+        now = time.monotonic() if now is None else now
+        expired = 0
+        with self._lock:
+            for session_id in list(self._sessions):
+                if now - self._sessions[session_id].last_used > self.idle_ttl_s:
+                    del self._sessions[session_id]
+                    self._forget(session_id)
+                    self._expired.inc()
+                    expired += 1
+            if expired:
+                self._active.set(len(self._sessions))
+        return expired
+
+    def close_all(self) -> int:
+        """Close every session (gateway shutdown); returns the count."""
+        with self._lock:
+            closed = len(self._sessions)
+            for session_id in list(self._sessions):
+                self._forget(session_id)
+            self._sessions.clear()
+            self._active.set(0)
+        return closed

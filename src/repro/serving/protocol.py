@@ -1,24 +1,34 @@
-"""JSON-lines wire protocol of the TRNG serving layer.
+"""Versioned JSON wire envelopes of the TRNG serving layer.
 
-One request per line, one response per line, both UTF-8 JSON objects::
+One envelope schema is shared by **every** edge — the JSON-lines TCP and
+stdio servers, the fabric worker links, and the HTTP/WebSocket gateway
+(:mod:`repro.serving.http`, where the same object travels as a request
+body instead of a line)::
 
-    -> {"id": 1, "kind": "bits", "n_bits": 64, "divider": 512, "seed": 7}
-    <- {"id": 1, "ok": true, "result": {"kind": "bits", "bits": "0110...",
-        "n_bits": 64, "divider": 512, "seed": 7}}
+    -> {"v": 1, "id": 1, "kind": "bits", "n_bits": 64, "divider": 512,
+        "seed": 7}
+    <- {"v": 1, "id": 1, "ok": true, "result": {"kind": "bits",
+        "bits": "0110...", "n_bits": 64, "divider": 512, "seed": 7}}
 
     -> {"id": 2, "kind": "sigma2n", "n_periods": 16384, "seed": 11}
-    <- {"id": 2, "ok": true, "result": {"kind": "sigma2n", "n_values": [...],
-        "sigma2_s2": [...], "b_thermal_hz": ..., ...}}
+    <- {"v": 1, "id": 2, "ok": true, "result": {"kind": "sigma2n",
+        "n_values": [...], "sigma2_s2": [...], "b_thermal_hz": ..., ...}}
 
     -> {"id": 3, "kind": "stats"}        # service counters
     -> {"id": 4, "kind": "ping"}         # liveness
     -> {"id": 5, "kind": "metrics"}      # registry snapshot (JSON)
     -> {"id": 6, "kind": "metrics", "format": "prometheus"}
 
-``id`` is echoed verbatim so clients may pipeline requests on one
-connection; it is optional (``null`` when omitted).  Errors come back as
-``{"id": ..., "ok": false, "error": "..."}`` — a malformed line never kills
-the connection.  Bits travel as a compact ``"0"``/``"1"`` string.
+``v`` is the protocol version (:data:`PROTOCOL_VERSION`); a request without
+one is treated as version 1 (every pre-versioning client), and an unknown
+version is rejected with a structured error (``code:
+"unsupported_version"``) without touching the rest of the payload.  ``id``
+is echoed verbatim so clients may pipeline requests on one connection; it
+is optional (``null`` when omitted).  Errors come back as ``{"v": 1,
+"id": ..., "ok": false, "error": "...", "code": "..."}`` — a malformed
+line never kills the connection, and ``code`` is a stable
+machine-matchable token (the HTTP gateway maps it onto status codes).
+Bits travel as a compact ``"0"``/``"1"`` string.
 """
 
 from __future__ import annotations
@@ -32,7 +42,26 @@ import numpy as np
 
 from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
 
+#: Version of the wire envelope this build speaks.  Bump only on an
+#: incompatible envelope change; additive fields do not need a bump.
+PROTOCOL_VERSION = 1
+
+#: Stable error codes carried in the ``code`` field of error envelopes.
+ERROR_CODES = (
+    "bad_request",
+    "unsupported_version",
+    "worker_only",
+    "overloaded",
+    "deadline_exceeded",
+    "stopped",
+    "not_found",
+    "session_expired",
+    "internal",
+)
+
 #: Wire fields accepted per request kind (everything else is rejected).
+#: ``priority`` and ``deadline_ms`` are scheduling fields: they steer the
+#: coalescer, never the result, and are accepted on every public kind.
 _REQUEST_FIELDS = {
     "bits": (
         "n_bits",
@@ -42,6 +71,8 @@ _REQUEST_FIELDS = {
         "b_thermal_hz",
         "b_flicker_hz2",
         "frequency_mismatch",
+        "priority",
+        "deadline_ms",
     ),
     "sigma2n": (
         "n_periods",
@@ -53,6 +84,8 @@ _REQUEST_FIELDS = {
         "overlapping",
         "min_realizations",
         "tier",
+        "priority",
+        "deadline_ms",
     ),
     # Fabric (worker-only) kinds: campaign shard assignment and coalesced
     # serving batches forwarded by a coordinator.  The public serving front
@@ -81,12 +114,17 @@ class ProtocolError(ValueError):
     """A syntactically or semantically invalid protocol message.
 
     Carries the offending message's ``id`` when it could be extracted, so
-    error responses still reach the right pipelined request.
+    error responses still reach the right pipelined request, and a stable
+    ``code`` token (one of :data:`ERROR_CODES`) that the HTTP gateway maps
+    onto status codes.
     """
 
-    def __init__(self, message: str, request_id=None) -> None:
+    def __init__(
+        self, message: str, request_id=None, code: str = "bad_request"
+    ) -> None:
         super().__init__(message)
         self.request_id = request_id
+        self.code = code
 
 
 def bits_to_string(bits: np.ndarray) -> str:
@@ -118,9 +156,36 @@ def parse_request_line(line: str) -> Tuple[Optional[object], str, Dict]:
         payload = json.loads(line)
     except json.JSONDecodeError as error:
         raise ProtocolError(f"invalid JSON: {error}") from None
+    return parse_request_payload(payload)
+
+
+def parse_request_payload(payload) -> Tuple[Optional[object], str, Dict]:
+    """Split one decoded request envelope into ``(id, kind, fields)``.
+
+    The dict form of :func:`parse_request_line` — the HTTP gateway calls
+    this directly with a parsed request body, so TCP lines and HTTP bodies
+    go through the identical envelope validation (version check included).
+    The input dict is not mutated.
+    """
     if not isinstance(payload, dict):
-        raise ProtocolError("each request line must be a JSON object")
+        raise ProtocolError("each request envelope must be a JSON object")
+    payload = dict(payload)
     request_id = payload.pop("id", None)
+    version = payload.pop("v", PROTOCOL_VERSION)
+    if version is not True and version is not False and isinstance(version, int):
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(this server speaks version {PROTOCOL_VERSION})",
+                request_id=request_id,
+                code="unsupported_version",
+            )
+    else:
+        raise ProtocolError(
+            f"protocol version must be an integer, got {version!r}",
+            request_id=request_id,
+            code="unsupported_version",
+        )
     kind = payload.pop("kind", None)
     if kind in _BARE_KINDS:
         if payload:
@@ -194,6 +259,9 @@ def request_to_payload(request: Request) -> Dict:
     Seeds are always pinned by construction, so the payload describes the
     exact same computation on whichever host rebuilds it — the property the
     fabric dispatch path relies on for coordinator/worker bit-equality.
+    The scheduling fields (``priority``, ``deadline_ms``) are deliberately
+    omitted: a request forwarded to a fabric worker has already been
+    scheduled, and a relative deadline must not restart its clock remotely.
     """
     if isinstance(request, BitsRequest):
         return {
@@ -297,13 +365,32 @@ def parse_batch_payloads(fields: Dict) -> List[Tuple[str, Dict]]:
     return parsed
 
 
+def response_envelope(request_id, result_payload: Dict) -> Dict:
+    """Success response envelope (shared by every edge)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result_payload,
+    }
+
+
+def error_envelope(request_id, message: str, code: str = "bad_request") -> Dict:
+    """Error response envelope with a stable machine-matchable ``code``."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": message,
+        "code": code,
+    }
+
+
 def response_line(request_id, result_payload: Dict) -> str:
     """Success response wire line (newline-terminated)."""
-    return (
-        json.dumps({"id": request_id, "ok": True, "result": result_payload}) + "\n"
-    )
+    return json.dumps(response_envelope(request_id, result_payload)) + "\n"
 
 
-def error_line(request_id, message: str) -> str:
+def error_line(request_id, message: str, code: str = "bad_request") -> str:
     """Error response wire line (newline-terminated)."""
-    return json.dumps({"id": request_id, "ok": False, "error": message}) + "\n"
+    return json.dumps(error_envelope(request_id, message, code)) + "\n"

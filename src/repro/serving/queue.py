@@ -15,6 +15,7 @@ the queue is full, the ``overflow`` policy decides what happens:
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -33,6 +34,19 @@ class ServiceStopped(RuntimeError):
     """The service stopped before this request could be served."""
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's ``deadline_ms`` budget expired before dispatch.
+
+    Raised *instead of* running the engine: an expired request is failed
+    fast by the coalescer and never consumes a row of a batched call.
+    """
+
+
+#: Process-wide arrival counter: a total order over pending requests that is
+#: stable across queues (the coalescer uses it for FIFO-within-priority).
+_ARRIVALS = itertools.count()
+
+
 @dataclass
 class PendingRequest:
     """One queued request and the future its result will resolve."""
@@ -42,6 +56,22 @@ class PendingRequest:
     #: Enqueue timestamp (``time.monotonic``); the queue-wait histogram and
     #: the batch wait-time accounting measure from here.
     enqueued_at: float = field(default=0.0, repr=False, compare=False)
+    #: Absolute dispatch deadline (``time.monotonic``) derived from the
+    #: request's ``deadline_ms``; ``None`` means no deadline.
+    deadline_at: Optional[float] = field(default=None, repr=False, compare=False)
+    #: Arrival sequence number (FIFO tiebreak within a priority class).
+    arrival: int = field(default=0, repr=False, compare=False)
+
+    @property
+    def priority(self) -> str:
+        """The request's scheduling class (``"normal"`` when absent)."""
+        return getattr(self.request, "priority", "normal")
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the dispatch deadline has passed."""
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
 
     def resolve(self, result) -> bool:
         """Fulfil the future; False when the caller already went away."""
@@ -104,8 +134,14 @@ class RequestQueue:
         if self._closed is not None:
             raise self._closed
         future = asyncio.get_running_loop().create_future()
+        now = time.monotonic()
+        deadline_ms = getattr(request, "deadline_ms", None)
         pending = PendingRequest(
-            request=request, future=future, enqueued_at=time.monotonic()
+            request=request,
+            future=future,
+            enqueued_at=now,
+            deadline_at=None if deadline_ms is None else now + deadline_ms / 1e3,
+            arrival=next(_ARRIVALS),
         )
         if self.overflow == "reject":
             try:
@@ -129,6 +165,21 @@ class RequestQueue:
     async def get(self) -> PendingRequest:
         """Next pending request (FIFO); suspends while the queue is empty."""
         pending = await self._queue.get()
+        self._depth.set(self._queue.qsize())
+        self._wait_seconds.observe(time.monotonic() - pending.enqueued_at)
+        return pending
+
+    def get_nowait(self) -> Optional[PendingRequest]:
+        """Next pending request, or ``None`` when the queue is empty.
+
+        The coalescer drains every already-arrived request into its pending
+        pool before choosing a batch leader, so priority selection sees the
+        whole backlog, not just the FIFO head.
+        """
+        try:
+            pending = self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
         self._depth.set(self._queue.qsize())
         self._wait_seconds.observe(time.monotonic() - pending.enqueued_at)
         return pending

@@ -39,6 +39,32 @@ from ..paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ
 
 GroupKey = Tuple
 
+#: Scheduling classes, most urgent first.  ``interactive`` requests shrink
+#: the coalescing window they ride in, ``batch`` requests stretch it (see
+#: :class:`repro.serving.coalescer.Coalescer`); the class never changes the
+#: served result, only when its engine call is dispatched.
+PRIORITIES = ("interactive", "normal", "batch")
+
+
+def _check_scheduling(request) -> None:
+    """Validate the scheduling fields shared by every request kind.
+
+    ``priority`` and ``deadline_ms`` steer *when* a request is dispatched,
+    never *what* it computes, so they are deliberately excluded from
+    :meth:`group_key` — requests of different classes still coalesce.
+    """
+    if request.priority not in PRIORITIES:
+        raise ValueError(
+            f"priority must be one of {PRIORITIES}, got {request.priority!r}"
+        )
+    if request.deadline_ms is not None:
+        deadline = float(request.deadline_ms)
+        if not deadline > 0.0:
+            raise ValueError(
+                f"deadline_ms must be > 0 (or None), got {request.deadline_ms!r}"
+            )
+        object.__setattr__(request, "deadline_ms", deadline)
+
 
 def _pin_seed(request) -> None:
     if request.seed is None:
@@ -75,6 +101,11 @@ class BitsRequest:
     b_thermal_hz: float = PAPER_B_THERMAL_HZ / 2.0
     b_flicker_hz2: float = DEFAULT_B_FLICKER_HZ2 / 2.0
     frequency_mismatch: float = 1e-3
+    #: Scheduling class (see :data:`PRIORITIES`); never part of the group key.
+    priority: str = "normal"
+    #: Latency budget [ms] from submission; expired requests fail fast with
+    #: :class:`~repro.serving.queue.DeadlineExceeded` instead of running.
+    deadline_ms: Optional[float] = None
     kind: str = field(default="bits", init=False)
 
     def __post_init__(self) -> None:
@@ -84,6 +115,7 @@ class BitsRequest:
             raise ValueError(f"n_bits must be >= 1, got {self.n_bits!r}")
         if self.divider < 1:
             raise ValueError(f"divider must be >= 1, got {self.divider!r}")
+        _check_scheduling(self)
         _pin_seed(self)
         self.configuration()  # validate f0/mismatch eagerly
 
@@ -143,6 +175,11 @@ class Sigma2NRequest:
     overlapping: bool = True
     min_realizations: int = 8
     tier: str = "exact"
+    #: Scheduling class (see :data:`PRIORITIES`); never part of the group key.
+    priority: str = "normal"
+    #: Latency budget [ms] from submission; expired requests fail fast with
+    #: :class:`~repro.serving.queue.DeadlineExceeded` instead of running.
+    deadline_ms: Optional[float] = None
     kind: str = field(default="sigma2n", init=False)
 
     def __post_init__(self) -> None:
@@ -156,6 +193,7 @@ class Sigma2NRequest:
             raise ValueError(
                 f"tier must be 'exact' or 'fast', got {self.tier!r}"
             )
+        _check_scheduling(self)
         _pin_seed(self)
         if self.n_sweep is not None:
             sweep = tuple(int(n) for n in self.n_sweep)

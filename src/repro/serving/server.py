@@ -23,17 +23,18 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..obs import global_registry, json_snapshot, render_prometheus
+from .config import ServiceConfig
 from .protocol import (
     WORKER_ONLY_KINDS,
     ProtocolError,
     build_request,
-    error_line,
-    parse_request_line,
-    response_line,
+    error_envelope,
+    parse_request_payload,
+    response_envelope,
     result_to_payload,
     string_to_bits,
 )
-from .queue import ServiceOverloaded, ServiceStopped
+from .queue import DeadlineExceeded, ServiceOverloaded, ServiceStopped
 from .requests import BitsRequest
 from .scatter import run_bits_batch
 from .service import TRNGService
@@ -59,38 +60,53 @@ def seed_stream(root_seed: Optional[int]) -> SeedFactory:
     return lambda: int(rng.integers(0, 2**63))
 
 
-async def handle_request_line(
-    service: TRNGService, line: str, default_seed: SeedFactory = None
-) -> str:
-    """Serve one wire line; always returns a response line (never raises)."""
+async def serve_envelope(
+    service: TRNGService, payload, default_seed: SeedFactory = None
+) -> tuple:
+    """Serve one request envelope; returns ``(request_id, response_dict)``.
+
+    This is the transport-independent core every edge shares: the TCP and
+    stdio servers pass a decoded line, the HTTP gateway passes a parsed
+    request body, and all of them get back the identical versioned response
+    envelope (never raises — failures become error envelopes with a stable
+    ``code``).
+    """
     request_id = None
     try:
-        request_id, kind, fields = parse_request_line(line)
+        if isinstance(payload, str):
+            request_id, kind, fields = parse_request_payload(
+                _decode_line(payload)
+            )
+        else:
+            request_id, kind, fields = parse_request_payload(payload)
         if kind in WORKER_ONLY_KINDS:
-            return error_line(
+            return request_id, error_envelope(
                 request_id,
                 f"request kind {kind!r} is only served by fabric workers "
                 f"(python -m repro.worker), not the public serving front end",
+                code="worker_only",
             )
         if kind == "ping":
-            return response_line(request_id, {"kind": "ping", "pong": True})
+            return request_id, response_envelope(
+                request_id, {"kind": "ping", "pong": True}
+            )
         if kind == "stats":
-            payload = dict(service.stats.snapshot())
-            payload["kind"] = "stats"
-            return response_line(request_id, payload)
+            stats = dict(service.stats.snapshot())
+            stats["kind"] = "stats"
+            return request_id, response_envelope(request_id, stats)
         if kind == "metrics":
             # Scrape surface: the service's own registry merged with the
             # process-wide one (kernel timings, plan-cache counters).
             registries = (service.registry, global_registry())
             fmt = fields.get("format", "json")
             if fmt == "prometheus":
-                payload = {
+                result = {
                     "kind": "metrics",
                     "format": "prometheus",
                     "text": render_prometheus(*registries),
                 }
             elif fmt == "json":
-                payload = {
+                result = {
                     "kind": "metrics",
                     "format": "json",
                     "metrics": json_snapshot(*registries),
@@ -101,20 +117,45 @@ async def handle_request_line(
                     f"(expected 'json' or 'prometheus')",
                     request_id=request_id,
                 )
-            return response_line(request_id, payload)
+            return request_id, response_envelope(request_id, result)
         request = build_request(kind, fields, default_seed=default_seed)
         result = await (await service.submit(request))
-        return response_line(request_id, result_to_payload(result))
+        return request_id, response_envelope(request_id, result_to_payload(result))
     except ProtocolError as error:
         if error.request_id is not None:
             request_id = error.request_id
-        return error_line(request_id, str(error))
+        return request_id, error_envelope(request_id, str(error), code=error.code)
     except ServiceOverloaded as error:
-        return error_line(request_id, f"overloaded: {error}")
+        return request_id, error_envelope(
+            request_id, f"overloaded: {error}", code="overloaded"
+        )
+    except DeadlineExceeded as error:
+        return request_id, error_envelope(
+            request_id, f"deadline exceeded: {error}", code="deadline_exceeded"
+        )
     except ServiceStopped as error:
-        return error_line(request_id, f"stopped: {error}")
-    except Exception as error:  # engine-side failures stay on this line
-        return error_line(request_id, f"internal error: {error}")
+        return request_id, error_envelope(
+            request_id, f"stopped: {error}", code="stopped"
+        )
+    except Exception as error:  # engine-side failures stay on this envelope
+        return request_id, error_envelope(
+            request_id, f"internal error: {error}", code="internal"
+        )
+
+
+def _decode_line(line: str):
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from None
+
+
+async def handle_request_line(
+    service: TRNGService, line: str, default_seed: SeedFactory = None
+) -> str:
+    """Serve one wire line; always returns a response line (never raises)."""
+    _, response = await serve_envelope(service, line, default_seed)
+    return json.dumps(response) + "\n"
 
 
 class TRNGServer:
@@ -187,12 +228,11 @@ class TRNGServer:
                     # longer line-aligned, so answer and close cleanly
                     # rather than serving from a desynchronized stream.
                     async with write_lock:
-                        writer.write(
-                            error_line(
-                                None,
-                                f"request line exceeds {MAX_LINE_BYTES} bytes",
-                            ).encode()
+                        envelope = error_envelope(
+                            None,
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
                         )
+                        writer.write((json.dumps(envelope) + "\n").encode())
                         await writer.drain()
                     break
                 if not raw:
@@ -272,6 +312,7 @@ async def run_self_test(
     base_seed: int = 20140324,
     host: str = "127.0.0.1",
     backend=None,
+    config: Optional[ServiceConfig] = None,
 ) -> Dict:
     """End-to-end smoke: concurrent sockets, coalescing, solo equivalence.
 
@@ -294,12 +335,14 @@ async def run_self_test(
         )
         for index in range(n_clients)
     ]
-    service = TRNGService(
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        max_pending=4 * n_clients,
-        backend=backend,
-    )
+    if config is None:
+        config = ServiceConfig(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=4 * n_clients,
+            backend=backend,
+        )
+    service = TRNGService(config)
     server = TRNGServer(service, host=host, port=0)
     async with service:
         await server.start()

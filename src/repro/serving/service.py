@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from typing import TYPE_CHECKING, Dict, Optional
 
-from ..engine.backends import BackendLike, plan_cache_stats, resolve_backend
+from ..engine.backends import plan_cache_stats, resolve_backend
 from ..obs import SIZE_BUCKETS, MetricsRegistry, SpanCollector, global_collector, span
 from .coalescer import Coalescer
+from .config import ServiceConfig
 from .fast_tier import FastTierCache
 from .queue import RequestQueue, ServiceStopped
 from .requests import BitsRequest, BitsResult, Request, Sigma2NRequest, Sigma2NResult
@@ -26,6 +28,15 @@ from .scatter import Scatterer, execute_batch
 
 if TYPE_CHECKING:
     from .fabric_dispatch import FabricDispatcher
+
+#: TRNGService keyword arguments superseded by :class:`ServiceConfig`.
+_LEGACY_SERVICE_KWARGS = (
+    "max_batch",
+    "max_wait_ms",
+    "max_pending",
+    "overflow",
+    "backend",
+)
 
 
 class ServiceStats:
@@ -86,6 +97,12 @@ class ServiceStats:
         self._execute_seconds = self.registry.histogram(
             "serve_execute_seconds",
             "Wall-clock seconds per batch execution (scatter latency)",
+        )
+        # Owned by the coalescer (which increments it); registered here so
+        # the property/snapshot surface works before the first batch.
+        self._deadline_expired = self.registry.counter(
+            "serve_deadline_expired_total",
+            "Requests failed fast because deadline_ms expired before dispatch",
         )
 
     def record_submit(self, request: Request) -> None:
@@ -152,6 +169,10 @@ class ServiceStats:
         return int(self._max_batch.value())
 
     @property
+    def deadline_expired(self) -> int:
+        return int(self._deadline_expired.value())
+
+    @property
     def requests_by_kind(self) -> Dict[str, int]:
         return {key[0]: int(value) for key, value in self._submitted.items()}
 
@@ -177,11 +198,13 @@ class ServiceStats:
         """
         queue_depth = self.registry.get("serve_queue_depth")
         queue_wait = self.registry.get("serve_queue_wait_seconds")
+        coalesce_wait = self.registry.get("serving_coalesce_wait_seconds")
         snapshot = {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "deadline_expired": self.deadline_expired,
             "batches": self.batches,
             "coalesced_batches": self.coalesced_batches,
             "coalesced_requests": self.coalesced_requests,
@@ -193,6 +216,9 @@ class ServiceStats:
             "batch_size": self._batch_size.snapshot(),
             "queue_wait_seconds": (
                 queue_wait.snapshot() if queue_wait is not None else None
+            ),
+            "coalesce_wait_seconds": (
+                coalesce_wait.snapshot() if coalesce_wait is not None else None
             ),
             "execute_seconds": self._execute_seconds.snapshot(),
             "plan_cache": plan_cache_stats(),
@@ -209,49 +235,63 @@ class TRNGService:
 
     Parameters
     ----------
-    max_batch:
-        Most requests one engine call may serve; ``1`` disables coalescing
-        (the serial reference mode).
-    max_wait_ms:
-        How long a batch leader waits for companions.  The window is pure
-        latency budget: a request is never delayed longer than this before
-        its engine call starts (plus queueing behind earlier batches).
-    max_pending:
-        Bound of the request queue — the backpressure knob.
-    overflow:
-        ``"reject"`` (load shedding, raises
-        :class:`~repro.serving.queue.ServiceOverloaded`) or ``"wait"``
-        (suspend the submitter until a slot frees).
-    backend:
-        Synthesis backend every engine call runs on: an instance, a spec
-        string (``"numpy"`` | ``"threaded[:N]"``) or ``None`` (the
-        ``REPRO_BACKEND``/NumPy default).  Resolved once at construction;
-        backends are bit-for-bit equivalent, so served results never depend
-        on the choice.
+    config:
+        The :class:`~repro.serving.config.ServiceConfig` naming every
+        tunable (batching window, queue bound, overflow policy, backend,
+        per-priority windows, fast tier).  ``None`` uses the defaults.
+
+        The pre-config keyword form — ``TRNGService(max_batch=...,
+        max_wait_ms=..., max_pending=..., overflow=..., backend=...)`` —
+        still works through a shim that builds the equivalent config and
+        emits a :class:`DeprecationWarning`.
     fast_cache:
         The fitted-campaign cache behind ``tier="fast"`` sigma^2_N requests
         (see :mod:`repro.serving.fast_tier`); pass an instance to tune the
         r^2 admission gate or share a cache across services.  Defaults to a
-        fresh cache with the standard gate.
+        fresh cache with the standard gate (``config.fast_tier=False``
+        disables the tier entirely).
     fabric:
         A :class:`~repro.serving.fabric_dispatch.FabricDispatcher` to run
         coalesced batches on remote workers instead of a local thread.
         Results are bit-for-bit identical either way; the service does not
         own the dispatcher (close it yourself after :meth:`stop`).
+    registry / spans:
+        Observability injection points (a per-service
+        :class:`~repro.obs.MetricsRegistry` and span collector by default).
     """
 
     def __init__(
         self,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
-        max_pending: int = 1024,
-        overflow: str = "reject",
-        backend: BackendLike = None,
+        config: Optional[ServiceConfig] = None,
+        *,
         fast_cache: Optional[FastTierCache] = None,
         fabric: Optional["FabricDispatcher"] = None,
         registry: Optional[MetricsRegistry] = None,
         spans: Optional[SpanCollector] = None,
+        **legacy,
     ) -> None:
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_SERVICE_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"TRNGService() got unexpected keyword arguments {unknown}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServiceConfig or the legacy keyword "
+                    f"arguments, not both (got {sorted(legacy)})"
+                )
+            warnings.warn(
+                f"TRNGService({', '.join(sorted(legacy))}=...) keyword "
+                f"arguments are deprecated; build a "
+                f"repro.serving.ServiceConfig and pass it as the first "
+                f"argument instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServiceConfig(**legacy)
+        #: The immutable configuration this service was built from.
+        self.config = config if config is not None else ServiceConfig()
         #: Per-service metrics registry — the queue, the stats view and the
         #: ``metrics`` protocol kind all read/write this one instance.
         self.registry = registry if registry is not None else MetricsRegistry("serving")
@@ -259,16 +299,28 @@ class TRNGService:
         #: into (and fabric dispatch merges worker spans into).
         self.spans = spans if spans is not None else global_collector()
         self.queue = RequestQueue(
-            max_pending=max_pending, overflow=overflow, metrics=self.registry
+            max_pending=self.config.max_pending,
+            overflow=self.config.overflow,
+            metrics=self.registry,
         )
-        self.coalescer = Coalescer(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self.coalescer = Coalescer(
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            class_wait_ms=self.config.class_waits or None,
+            metrics=self.registry,
+        )
         self.scatterer = Scatterer()
-        self.fast_cache = fast_cache if fast_cache is not None else FastTierCache()
+        if fast_cache is not None:
+            self.fast_cache: Optional[FastTierCache] = fast_cache
+        elif self.config.fast_tier:
+            self.fast_cache = FastTierCache()
+        else:
+            self.fast_cache = None
         self.fabric = fabric
         self.stats = ServiceStats(
             fast_cache=self.fast_cache, fabric=fabric, registry=self.registry
         )
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend(self.config.backend)
         self._dispatch_task: Optional[asyncio.Task] = None
 
     @property

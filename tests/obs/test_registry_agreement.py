@@ -22,7 +22,7 @@ from repro.engine.distributed.fabric.telemetry import (
     ShardEvent,
 )
 from repro.obs import global_registry
-from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
+from repro.serving import BitsRequest, ServiceConfig, Sigma2NRequest, TRNGService
 from repro.serving.queue import ServiceOverloaded
 
 
@@ -42,7 +42,7 @@ async def _mixed_workload(service: TRNGService) -> None:
 
 class TestServiceStatsAgreesWithRegistry:
     def test_snapshot_matches_raw_instruments(self):
-        service = TRNGService(max_batch=4, max_wait_ms=20.0)
+        service = TRNGService(ServiceConfig(max_batch=4, max_wait_ms=20.0))
 
         async def scenario():
             async with service:
@@ -102,7 +102,9 @@ class TestServiceStatsAgreesWithRegistry:
         assert snapshot["plan_cache"] == plan_cache_stats()
 
     def test_rejected_requests_hit_both_surfaces(self):
-        service = TRNGService(max_batch=1, max_wait_ms=0.0, max_pending=1)
+        service = TRNGService(
+                ServiceConfig(max_batch=1, max_wait_ms=0.0, max_pending=1)
+            )
 
         async def scenario():
             async with service:

@@ -21,7 +21,7 @@ from repro.engine.distributed import (
     Sigma2NCampaignSpec,
     run_campaign,
 )
-from repro.serving import BitsRequest, TRNGService
+from repro.serving import BitsRequest, ServiceConfig, TRNGService
 from repro.serving.scatter import run_bits_batch
 
 #: ~50 root seeds, derived deterministically so failures replay exactly.
@@ -100,9 +100,10 @@ def test_service_coalesced_equals_solo_end_to_end(seed, backend):
     requests = _bit_requests(seed)
 
     async def serve_all(max_batch: int, service_backend) -> list:
-        async with TRNGService(
+        config = ServiceConfig(
             max_batch=max_batch, max_wait_ms=50.0, backend=service_backend
-        ) as service:
+        )
+        async with TRNGService(config) as service:
             results = await asyncio.gather(
                 *(service.get_bits(request) for request in requests)
             )

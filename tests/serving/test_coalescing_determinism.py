@@ -20,7 +20,7 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
+from repro.serving import BitsRequest, ServiceConfig, Sigma2NRequest, TRNGService
 from repro.serving.scatter import run_bits_batch, run_sigma2n_batch
 
 MAX_BATCHES = (1, 4, 32)
@@ -62,9 +62,10 @@ def serve_all(requests, max_batch: int, arrival: str):
     """Serve the request list through one service with the given arrival."""
 
     async def scenario():
-        async with TRNGService(
+        config = ServiceConfig(
             max_batch=max_batch, max_wait_ms=40.0, max_pending=len(requests)
-        ) as service:
+        )
+        async with TRNGService(config) as service:
 
             async def submit(request, delay: float):
                 if delay:

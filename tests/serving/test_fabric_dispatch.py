@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.obs import SpanCollector
-from repro.serving import BitsRequest, Sigma2NRequest, TRNGService
+from repro.serving import BitsRequest, ServiceConfig, Sigma2NRequest, TRNGService
 from repro.serving.fabric_dispatch import FabricDispatcher
 from repro.serving.fast_tier import FastTierCache
 from repro.serving.protocol import (
@@ -85,11 +85,11 @@ REQUESTS = [
 
 class TestFabricServing:
     def test_fabric_served_equals_local_served_bitwise(self):
-        local = _serve_all(TRNGService(max_batch=1), list(REQUESTS))
+        local = _serve_all(TRNGService(ServiceConfig(max_batch=1)), list(REQUESTS))
         fabric = FabricDispatcher.from_endpoints(spawn=1)
         try:
             remote = _serve_all(
-                TRNGService(max_batch=1, fabric=fabric), list(REQUESTS)
+                TRNGService(ServiceConfig(max_batch=1), fabric=fabric), list(REQUESTS)
             )
             stats = fabric.stats()
         finally:
@@ -105,7 +105,7 @@ class TestFabricServing:
     def test_stats_snapshot_includes_fabric_section(self):
         fabric = FabricDispatcher.from_endpoints(spawn=1)
         try:
-            service = TRNGService(max_batch=1, fabric=fabric)
+            service = TRNGService(ServiceConfig(max_batch=1), fabric=fabric)
             _serve_all(service, [REQUESTS[0]])
             snapshot = service.stats.snapshot()
         finally:
@@ -164,7 +164,9 @@ class TestServeTracePropagation:
         collector = SpanCollector()
         fabric = FabricDispatcher.from_endpoints(spawn=1, spans=collector)
         try:
-            service = TRNGService(max_batch=1, fabric=fabric, spans=collector)
+            service = TRNGService(
+                ServiceConfig(max_batch=1), fabric=fabric, spans=collector
+            )
             _serve_all(service, [REQUESTS[0]])
         finally:
             fabric.close()

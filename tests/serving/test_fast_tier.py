@@ -16,7 +16,12 @@ import numpy as np
 import pytest
 
 from repro.core.theory import sigma2_n_flicker, sigma2_n_thermal
-from repro.serving import FastTierCache, Sigma2NRequest, TRNGService
+from repro.serving import (
+    FastTierCache,
+    ServiceConfig,
+    Sigma2NRequest,
+    TRNGService,
+)
 from repro.serving.protocol import build_request, parse_request_line, result_to_payload
 from repro.serving.scatter import execute_batch, run_sigma2n_batch
 
@@ -183,7 +188,8 @@ class TestAccuracyGate:
 class TestServiceIntegration:
     def test_service_serves_and_counts_the_fast_tier(self):
         async def scenario():
-            async with TRNGService(max_batch=4, max_wait_ms=1.0) as service:
+            config = ServiceConfig(max_batch=4, max_wait_ms=1.0)
+            async with TRNGService(config) as service:
                 first = await service.get_sigma2n(_request(1))
                 second = await service.get_sigma2n(_request(2))
                 return first, second, service.stats.snapshot()
@@ -197,7 +203,8 @@ class TestServiceIntegration:
 
     def test_exact_requests_still_exact_through_the_service(self):
         async def scenario():
-            async with TRNGService(max_batch=4, max_wait_ms=1.0) as service:
+            config = ServiceConfig(max_batch=4, max_wait_ms=1.0)
+            async with TRNGService(config) as service:
                 request = Sigma2NRequest(n_periods=N_PERIODS, seed=3)
                 return await service.get_sigma2n(request)
 

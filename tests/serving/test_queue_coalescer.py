@@ -10,6 +10,7 @@ from repro.serving import (
     BitsRequest,
     Coalescer,
     RequestQueue,
+    ServiceConfig,
     ServiceOverloaded,
     ServiceStopped,
     TRNGService,
@@ -165,7 +166,7 @@ class TestServiceLifecycle:
         async def scenario():
             # A service that never dispatches (not started) but has queued
             # work when stopped must fail those futures, not hang them.
-            service = TRNGService(max_batch=4)
+            service = TRNGService(ServiceConfig(max_batch=4))
             await service.start()
             await service.stop()
             assert not service.running
@@ -174,7 +175,7 @@ class TestServiceLifecycle:
 
     def test_service_sheds_load_and_counts_rejections(self):
         async def scenario():
-            service = TRNGService(max_pending=1, overflow="reject")
+            service = TRNGService(ServiceConfig(max_pending=1, overflow="reject"))
             await service.start()
             # Submitting without suspending never yields to the event loop,
             # so the dispatcher cannot drain between these calls: the queue
@@ -195,7 +196,7 @@ class TestServiceLifecycle:
             # Regression: stop() during an open coalescing window used to
             # lose the batch leader (popped from the queue, not yet
             # dispatched), hanging its caller forever.
-            service = TRNGService(max_batch=8, max_wait_ms=10_000.0)
+            service = TRNGService(ServiceConfig(max_batch=8, max_wait_ms=10_000.0))
             await service.start()
             future = await service.submit(_request(1))
             await asyncio.sleep(0.05)  # dispatcher pops the leader, waits

@@ -8,7 +8,13 @@ import json
 import numpy as np
 import pytest
 
-from repro.serving import BitsRequest, TRNGServer, TRNGService, run_self_test
+from repro.serving import (
+    BitsRequest,
+    ServiceConfig,
+    TRNGServer,
+    TRNGService,
+    run_self_test,
+)
 from repro.serving.protocol import (
     ProtocolError,
     bits_to_string,
@@ -115,7 +121,8 @@ class TestTCPServer:
         ]
 
         async def scenario():
-            async with TRNGService(max_batch=8, max_wait_ms=40.0) as service:
+            config = ServiceConfig(max_batch=8, max_wait_ms=40.0)
+            async with TRNGService(config) as service:
                 server = TRNGServer(service, port=0)
                 await server.start()
                 try:
@@ -148,7 +155,8 @@ class TestTCPServer:
 
     def test_stats_ping_and_errors_on_one_connection(self):
         async def scenario():
-            async with TRNGService(max_batch=4, max_wait_ms=5.0) as service:
+            config = ServiceConfig(max_batch=4, max_wait_ms=5.0)
+            async with TRNGService(config) as service:
                 server = TRNGServer(service, port=0)
                 await server.start()
                 try:
@@ -177,7 +185,8 @@ class TestTCPServer:
 
     def test_oversized_line_gets_an_error_response_not_a_dead_socket(self):
         async def scenario():
-            async with TRNGService(max_batch=2, max_wait_ms=5.0) as service:
+            config = ServiceConfig(max_batch=2, max_wait_ms=5.0)
+            async with TRNGService(config) as service:
                 server = TRNGServer(service, port=0)
                 await server.start()
                 try:

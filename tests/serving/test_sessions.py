@@ -1,0 +1,124 @@
+"""Streaming sessions: chunk invariance, idle expiry, LRU eviction."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serving import BitsRequest, SessionManager, StreamSession
+from repro.serving.http.sessions import SessionExpired, SessionNotFound
+from repro.serving.scatter import run_bits_batch
+
+
+def _request(seed: int = 11, divider: int = 8) -> BitsRequest:
+    return BitsRequest(n_bits=1, divider=divider, seed=seed)
+
+
+class TestStreamSession:
+    def test_chunked_reads_match_the_one_shot_serving_path(self):
+        total = 48
+        session = StreamSession(_request(seed=11))
+        chunks = []
+        for n_bits in (5, 1, 17, total - 23):
+            offset, bits = session.read(n_bits)
+            assert offset == sum(len(chunk) for chunk in chunks)
+            chunks.append(bits)
+        streamed = np.concatenate(chunks)
+        one_shot = run_bits_batch(
+            [BitsRequest(n_bits=total, divider=8, seed=11)]
+        )[0].bits
+        assert np.array_equal(streamed, one_shot)
+        assert session.bits_served == total
+
+    def test_chunking_choice_never_changes_the_stream(self):
+        reference = StreamSession(_request(seed=7)).read(32)[1]
+        chunked = StreamSession(_request(seed=7))
+        resumed = np.concatenate(
+            [chunked.read(n)[1] for n in (1, 2, 3, 26)]
+        )
+        assert np.array_equal(reference, resumed)
+
+    def test_rejects_nonpositive_reads(self):
+        with pytest.raises(ValueError, match="n_bits"):
+            StreamSession(_request()).read(0)
+
+
+class TestSessionManager:
+    def test_open_get_close_round_trip(self):
+        manager = SessionManager(max_sessions=4, idle_ttl_s=60.0)
+        session_id, session = manager.open(_request())
+        assert manager.get(session_id) is session
+        assert len(manager) == 1
+        assert manager.close(session_id) is True
+        assert len(manager) == 0
+        # Closed ids answer "expired/gone", and closing again is a no-op.
+        with pytest.raises(SessionExpired):
+            manager.get(session_id)
+        assert manager.close(session_id) is False
+
+    def test_unknown_id_is_not_found(self):
+        manager = SessionManager()
+        with pytest.raises(SessionNotFound):
+            manager.get("deadbeef")
+        with pytest.raises(SessionNotFound):
+            manager.close("deadbeef")
+
+    def test_idle_sessions_expire(self):
+        registry = MetricsRegistry("test")
+        manager = SessionManager(idle_ttl_s=0.01, metrics=registry)
+        session_id, _ = manager.open(_request())
+        time.sleep(0.03)
+        with pytest.raises(SessionExpired):
+            manager.get(session_id)
+        assert registry.get("serving_sessions_expired_total").value() == 1
+        assert registry.get("serving_sessions_active").value() == 0
+
+    def test_sweep_expires_idle_sessions_in_bulk(self):
+        manager = SessionManager(idle_ttl_s=0.01)
+        for seed in range(3):
+            manager.open(_request(seed=seed))
+        time.sleep(0.03)
+        assert manager.sweep() == 3
+        assert len(manager) == 0
+
+    def test_capacity_evicts_least_recently_used(self):
+        registry = MetricsRegistry("test")
+        manager = SessionManager(
+            max_sessions=2, idle_ttl_s=60.0, metrics=registry
+        )
+        first, _ = manager.open(_request(seed=1))
+        second, _ = manager.open(_request(seed=2))
+        manager.get(first)  # touch: now `second` is least recently used
+        third, _ = manager.open(_request(seed=3))
+        with pytest.raises(SessionExpired):
+            manager.get(second)
+        assert manager.get(first) is not None
+        assert manager.get(third) is not None
+        assert registry.get("serving_sessions_evicted_total").value() == 1
+        assert registry.get("serving_sessions_active").value() == 2
+
+    def test_eviction_does_not_disturb_survivor_streams(self):
+        # A session's bits depend only on its own seed — eviction of a
+        # neighbour must not shift the survivor's stream.
+        manager = SessionManager(max_sessions=2, idle_ttl_s=60.0)
+        keeper_id, keeper = manager.open(_request(seed=5))
+        head = keeper.read(16)[1]
+        manager.open(_request(seed=6))
+        manager.get(keeper_id)  # touch: the neighbour is now the LRU
+        manager.open(_request(seed=7))  # evicts the LRU neighbour
+        tail = manager.get(keeper_id).read(16)[1]
+        one_shot = run_bits_batch(
+            [BitsRequest(n_bits=32, divider=8, seed=5)]
+        )[0].bits
+        assert np.array_equal(np.concatenate([head, tail]), one_shot)
+
+    def test_close_all_empties_the_manager(self):
+        manager = SessionManager()
+        ids = [manager.open(_request(seed=seed))[0] for seed in range(3)]
+        assert manager.close_all() == 3
+        for session_id in ids:
+            with pytest.raises(SessionExpired):
+                manager.get(session_id)
