@@ -41,7 +41,11 @@ import numpy as np
 # Allow running as a plain script from the repository root.
 sys.path.insert(0, "src")
 
-from repro.engine.backends import NumpyBackend, ThreadedBackend  # noqa: E402
+from repro.engine.backends import (  # noqa: E402
+    NumpyBackend,
+    PhiloxBackend,
+    ThreadedBackend,
+)
 from repro.engine.batch import BatchedOscillatorEnsemble  # noqa: E402
 from repro.engine.bits import BatchedEROTRNG  # noqa: E402
 from repro.engine.campaign import batched_sigma2_n_campaign  # noqa: E402
@@ -65,13 +69,16 @@ def _best_of(function, repeats: int) -> float:
     return best
 
 
-def _ensemble(batch: int, seed: int, backend) -> BatchedOscillatorEnsemble:
+def _ensemble(
+    batch: int, seed: int, backend, rng_contract=None
+) -> BatchedOscillatorEnsemble:
     return BatchedOscillatorEnsemble.from_phase_noise(
         PAPER_F0_HZ,
         PAPER_B_THERMAL_HZ,
         B_FLICKER_HZ2,
         batch_size=batch,
         seed=seed,
+        rng_contract=rng_contract,
         backend=backend,
     )
 
@@ -127,15 +134,35 @@ def verify_equivalence(workers: int, seed: int) -> None:
     if not np.array_equal(reference_bits, threaded_bits):
         raise AssertionError("bit pipeline differs between backends")
 
+    # The philox backend selects *execution* only: on the default spawn
+    # streams it must be bitwise identical to the NumPy reference, and on
+    # philox-contract streams it must agree with NumPy executing the same
+    # counter-based draws.
+    for max_workers in {1, workers}:
+        for rng_contract in (None, "philox"):
+            reference = _ensemble(8, seed, NumpyBackend(), rng_contract)
+            philox = _ensemble(
+                8, seed, PhiloxBackend(max_workers=max_workers), rng_contract
+            )
+            if not np.array_equal(
+                reference.periods(1024), philox.periods(1024)
+            ):
+                raise AssertionError(
+                    f"philox:{max_workers} differs from numpy "
+                    f"(rng_contract={rng_contract or 'spawn'})"
+                )
+
 
 def run(batch: int, n_periods: int, workers: int, repeats: int, seed: int):
     numpy_backend = NumpyBackend()
     threaded_backend = ThreadedBackend(max_workers=workers)
 
+    philox_backend = PhiloxBackend(max_workers=workers)
+
     # Fresh ensembles per repetition keep both backends on cold RNG streams.
-    def kernel(backend):
+    def kernel(backend, rng_contract=None):
         def body() -> None:
-            _ensemble(batch, seed, backend).periods(n_periods)
+            _ensemble(batch, seed, backend, rng_contract).periods(n_periods)
 
         return body
 
@@ -147,9 +174,20 @@ def run(batch: int, n_periods: int, workers: int, repeats: int, seed: int):
 
     kernel_numpy = _best_of(kernel(numpy_backend), repeats)
     kernel_threaded = _best_of(kernel(threaded_backend), repeats)
+    # The philox pair times the counter-based streams on both executors, so
+    # the speedup isolates execution from stream derivation.
+    kernel_numpy_philox = _best_of(kernel(numpy_backend, "philox"), repeats)
+    kernel_philox = _best_of(kernel(philox_backend, "philox"), repeats)
     campaign_numpy = _best_of(campaign(numpy_backend), repeats)
     campaign_threaded = _best_of(campaign(threaded_backend), repeats)
-    return kernel_numpy, kernel_threaded, campaign_numpy, campaign_threaded
+    return (
+        kernel_numpy,
+        kernel_threaded,
+        kernel_numpy_philox,
+        kernel_philox,
+        campaign_numpy,
+        campaign_threaded,
+    )
 
 
 def main(argv=None) -> int:
@@ -197,15 +235,21 @@ def main(argv=None) -> int:
 
     verify_equivalence(args.workers, args.seed)
     print(
-        f"equivalence: threaded == numpy (bitwise) for workers "
-        f"{{1, {args.workers}}}, spectral + ar flicker, zero-coefficient "
-        f"rows and the bit pipeline"
+        f"equivalence: threaded == numpy and philox == numpy (bitwise) for "
+        f"workers {{1, {args.workers}}}, spectral + ar flicker, "
+        f"zero-coefficient rows, both stream contracts and the bit pipeline"
     )
 
-    kernel_numpy, kernel_threaded, campaign_numpy, campaign_threaded = run(
-        args.batch, args.n_periods, args.workers, args.repeats, args.seed
-    )
+    (
+        kernel_numpy,
+        kernel_threaded,
+        kernel_numpy_philox,
+        kernel_philox,
+        campaign_numpy,
+        campaign_threaded,
+    ) = run(args.batch, args.n_periods, args.workers, args.repeats, args.seed)
     speedup = kernel_numpy / kernel_threaded
+    philox_speedup = kernel_numpy_philox / kernel_philox
     campaign_speedup = campaign_numpy / campaign_threaded
     cores = os.cpu_count() or 1
     print(
@@ -218,6 +262,12 @@ def main(argv=None) -> int:
         f"kernel   speedup : {speedup:.2f}x "
         f"(target >= {TARGET_SPEEDUP}x at {TARGET_WORKERS} workers, "
         f"B >= {TARGET_BATCH})"
+    )
+    print(f"kernel   numpy/philox streams: {kernel_numpy_philox * 1e3:8.1f} ms")
+    print(f"kernel   philox  : {kernel_philox * 1e3:8.1f} ms")
+    print(
+        f"kernel   philox speedup : {philox_speedup:.2f}x "
+        f"(counter-based streams, target >= {TARGET_SPEEDUP}x)"
     )
     print(f"campaign numpy   : {campaign_numpy * 1e3:8.1f} ms")
     print(f"campaign threaded: {campaign_threaded * 1e3:8.1f} ms")
@@ -247,7 +297,10 @@ def main(argv=None) -> int:
             "cpu_cores": cores,
             "kernel_numpy_seconds": kernel_numpy,
             "kernel_threaded_seconds": kernel_threaded,
+            "kernel_numpy_philox_seconds": kernel_numpy_philox,
+            "kernel_philox_seconds": kernel_philox,
             "speedup": speedup,
+            "philox_speedup": philox_speedup,
             "campaign_numpy_seconds": campaign_numpy,
             "campaign_threaded_seconds": campaign_threaded,
             "campaign_speedup": campaign_speedup,
@@ -272,6 +325,12 @@ def main(argv=None) -> int:
             )
         elif speedup < TARGET_SPEEDUP:
             print(f"FAIL: speedup below {TARGET_SPEEDUP}x", file=sys.stderr)
+            return 1
+        elif philox_speedup < TARGET_SPEEDUP:
+            print(
+                f"FAIL: philox speedup below {TARGET_SPEEDUP}x",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

@@ -78,7 +78,14 @@ class _CoupledClock:
 
 
 class EMInjectionAttack:
-    """Couples two oscillators through a common injected EM field."""
+    """Couples two oscillators through a common injected EM field.
+
+    Both rings couple to the *same* field, so they share one random initial
+    modulation phase, drawn from ``rng`` at construction (the probe position
+    and field phase at attack onset are not under the attacker's control).
+    Passing a seeded generator makes the attack reproducible; the shared
+    phase keeps the two attacked clocks' modulations mutually coherent.
+    """
 
     def __init__(
         self,
@@ -90,6 +97,7 @@ class EMInjectionAttack:
         self.victims: Tuple[Clock, Clock] = (victim_1, victim_2)
         self.parameters = parameters
         self.rng = np.random.default_rng() if rng is None else rng
+        self._field_phase_rad = float(self.rng.uniform(0.0, 2.0 * np.pi))
         self._phase_index = [0, 0]
 
     def attacked_pair(self) -> Tuple[Clock, Clock]:
@@ -122,6 +130,7 @@ class EMInjectionAttack:
                 * self.parameters.modulation_frequency_hz
                 * indices
                 / victim.f0_hz
+                + self._field_phase_rad
             )
             periods = periods + modulation * nominal * np.sin(phase)
             self._phase_index[index] += n_periods

@@ -58,7 +58,15 @@ class InjectionParameters:
 
 
 class FrequencyInjectionAttack:
-    """A clock wrapper modelling an oscillator under frequency injection."""
+    """A clock wrapper modelling an oscillator under frequency injection.
+
+    The attacker does not control the phase of the injected signal relative
+    to the victim's oscillation at attack onset, so the beat modulation
+    starts at a random initial phase drawn from ``rng`` at construction.
+    Passing a seeded generator makes the whole attack reproducible; two
+    attacks built from identically seeded generators produce bit-identical
+    period sequences.
+    """
 
     def __init__(
         self,
@@ -69,6 +77,7 @@ class FrequencyInjectionAttack:
         self.victim = victim
         self.parameters = parameters
         self.rng = np.random.default_rng() if rng is None else rng
+        self._injection_phase_rad = float(self.rng.uniform(0.0, 2.0 * np.pi))
         self._phase_index = 0
 
     @property
@@ -103,7 +112,10 @@ class FrequencyInjectionAttack:
                 self.parameters.injection_frequency_hz - self.victim.f0_hz
             )
             indices = self._phase_index + np.arange(n_periods)
-            phase = 2.0 * np.pi * beat_frequency * indices / self.victim.f0_hz
+            phase = (
+                2.0 * np.pi * beat_frequency * indices / self.victim.f0_hz
+                + self._injection_phase_rad
+            )
             periods = periods + modulation * pulled_nominal * np.sin(phase)
             self._phase_index += n_periods
         return periods

@@ -102,10 +102,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         type=str,
         default=None,
-        metavar="numpy|threaded[:N]|auto[:N]",
+        metavar="numpy|threaded[:N]|auto[:N]|philox[:N]",
         help="synthesis backend (default: $REPRO_BACKEND or numpy); auto "
         "picks per call from a measured cost model; all backends are "
-        "bit-for-bit equivalent, the choice selects execution speed only",
+        "bit-for-bit equivalent on the same streams, so execution speed is "
+        "the only backend choice — but selecting philox also implies the "
+        "philox RNG stream contract unless --rng-contract overrides it",
+    )
+    parser.add_argument(
+        "--rng-contract",
+        type=str,
+        default=None,
+        choices=("spawn", "philox"),
+        help="RNG stream contract pinned into the spec (default: implied by "
+        "the backend, else $REPRO_RNG_CONTRACT/$REPRO_BACKEND, else spawn); "
+        "philox keys every draw by (root_key, row, block, offset) so shards "
+        "derive only their own rows — NOTE: the contract changes the drawn "
+        "numbers, so results are comparable only within one contract",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -242,6 +255,7 @@ def _build_spec(args: argparse.Namespace):
             chunk_periods=args.chunk_periods,
             fit=not args.no_fit,
             backend=args.backend,
+            rng_contract=args.rng_contract,
             **noise,
         )
     dividers = tuple(int(d) for d in args.dividers.split(",") if d.strip())
@@ -254,6 +268,7 @@ def _build_spec(args: argparse.Namespace):
         run_procedure_a=args.procedure_a,
         run_procedure_b=args.procedure_b,
         backend=args.backend,
+        rng_contract=args.rng_contract,
         **noise,
     )
 
@@ -283,6 +298,7 @@ def _reference_result(spec):
         run_procedure_b=spec.run_procedure_b,
         min_entropy_block_size=spec.min_entropy_block_size,
         backend=spec.backend,
+        rng_contract=spec.rng_contract,
     )
 
 
@@ -322,10 +338,15 @@ def _adopt_checkpoint_seed(args: argparse.Namespace) -> None:
 
     A spec built with ``seed=None`` pins *fresh* entropy, which could never
     match a previous run's manifest — so an unseeded ``--resume`` adopts the
-    recorded seed instead of refusing to resume.  Any other spec mismatch
-    (changed batch, record length, ...) still fails in the checkpoint layer.
+    recorded seed instead of refusing to resume.  The RNG stream contract is
+    adopted the same way (an unpinned spec resolves the *local* environment
+    default, which need not match the recorded campaign's contract).  Any
+    other spec mismatch (changed batch, record length, ...) still fails in
+    the checkpoint layer.
     """
-    if not (args.resume and args.seed is None and args.checkpoint_dir):
+    if not (args.resume and args.checkpoint_dir):
+        return
+    if args.seed is not None and args.rng_contract is not None:
         return
     from pathlib import Path
 
@@ -333,8 +354,12 @@ def _adopt_checkpoint_seed(args: argparse.Namespace) -> None:
     if not manifest_path.exists():
         return
     recorded = json.loads(manifest_path.read_text()).get("spec", {})
-    if recorded.get("kind") == args.command and "seed" in recorded:
+    if recorded.get("kind") != args.command:
+        return
+    if args.seed is None and "seed" in recorded:
         args.seed = int(recorded["seed"])
+    if args.rng_contract is None and recorded.get("rng_contract"):
+        args.rng_contract = str(recorded["rng_contract"])
 
 
 def _fabric_endpoints(args: argparse.Namespace) -> list:

@@ -15,6 +15,10 @@ underneath every workload at once:
 * :class:`AutoBackend` — a measured cost model (``B x n_periods``
   row-sample threshold, core count) picks one of the above per call; see
   :mod:`repro.engine.backends.auto`.
+* :class:`PhiloxBackend` — the counter-based tier: same shared kernel and
+  thread pool, but its native stream contract is ``"philox"`` (index-keyed
+  :class:`~repro.engine.rng.PhiloxRowStream` rows); see
+  :mod:`repro.engine.backends.philox` and :mod:`repro.engine.rng`.
 
 All backends share the RNG-independent per-group setup (FFT scaling table,
 AR corner/pole tables) through the :mod:`repro.engine.backends.plan` cache;
@@ -23,7 +27,8 @@ construction.
 
 Selection is by *backend spec*, a short string that serializes through
 campaign-spec JSON and CLI flags alike: ``"numpy"``, ``"threaded"`` (host
-CPU count), ``"threaded:N"``, ``"auto"`` or ``"auto:N"``.
+CPU count), ``"threaded:N"``, ``"auto"``/``"auto:N"`` or
+``"philox"``/``"philox:N"``.
 :func:`resolve_backend` turns a spec (or ``None``, honouring the
 ``REPRO_BACKEND`` environment default) into a backend instance; passing an
 instance returns it unchanged.
@@ -41,6 +46,7 @@ from typing import Optional, Union
 from .auto import AUTO_THRESHOLD_ENV_VAR, AutoBackend, measure_auto_threshold
 from .base import SynthesisBackend
 from .numpy_backend import NumpyBackend
+from .philox import PhiloxBackend
 from .plan import (
     SynthesisPlan,
     configure_plan_cache,
@@ -55,16 +61,16 @@ from .threaded import ThreadedBackend
 #: whole process tree — how CI runs the tier-1 suite on the threaded backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-#: Spec names accepted by :func:`resolve_backend` (``threaded`` and ``auto``
-#: also take a ``:N`` worker-count suffix).
-BACKEND_NAMES = ("numpy", "threaded", "auto")
+#: Spec names accepted by :func:`resolve_backend` (``threaded``, ``auto``
+#: and ``philox`` also take a ``:N`` worker-count suffix).
+BACKEND_NAMES = ("numpy", "threaded", "auto", "philox")
 
 BackendLike = Union[SynthesisBackend, str, None]
 
 
 def parse_backend_spec(spec: str) -> SynthesisBackend:
     """Build a backend from a spec string (``numpy`` | ``threaded[:N]`` |
-    ``auto[:N]``)."""
+    ``auto[:N]`` | ``philox[:N]``)."""
     name, _, argument = str(spec).strip().partition(":")
     if name == "numpy":
         if argument:
@@ -72,7 +78,7 @@ def parse_backend_spec(spec: str) -> SynthesisBackend:
                 f"backend spec {spec!r} invalid: 'numpy' takes no argument"
             )
         return NumpyBackend()
-    if name in ("threaded", "auto"):
+    if name in ("threaded", "auto", "philox"):
         workers: Optional[int] = None
         if argument:
             try:
@@ -84,11 +90,13 @@ def parse_backend_spec(spec: str) -> SynthesisBackend:
                 ) from None
         if name == "threaded":
             return ThreadedBackend(max_workers=workers)
+        if name == "philox":
+            return PhiloxBackend(max_workers=workers)
         return AutoBackend(max_workers=workers)
     raise ValueError(
         f"unknown synthesis backend {spec!r}: choose one of "
-        f"{', '.join(BACKEND_NAMES)} (threaded and auto accept a ':N' "
-        f"worker suffix)"
+        f"{', '.join(BACKEND_NAMES)} (threaded, auto and philox accept a "
+        f"':N' worker suffix)"
     )
 
 
@@ -135,6 +143,7 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendLike",
     "NumpyBackend",
+    "PhiloxBackend",
     "SynthesisBackend",
     "SynthesisPlan",
     "ThreadedBackend",

@@ -50,6 +50,13 @@ class SynthesisBackend(ABC):
     #: string is :attr:`spec`.
     name: str = "abstract"
 
+    #: The RNG contract this backend is *natively keyed for* (see
+    #: :mod:`repro.engine.rng`).  Execution is stream-agnostic — any backend
+    #: runs correctly on any contract's streams — but contract resolution
+    #: uses this to let a ``"philox[:N]"`` backend selection imply the
+    #: index-keyed stream contract in campaign specs and environments.
+    rng_contract: str = "spawn"
+
     @property
     def spec(self) -> str:
         """The backend-spec string that recreates this backend."""

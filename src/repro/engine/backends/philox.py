@@ -1,0 +1,52 @@
+"""Philox-tier synthesis backend: the counter-based RNG contract's executor.
+
+:class:`PhiloxBackend` runs the exact shared row loop of
+:mod:`repro.engine.backends.kernel` (inheriting the contiguous-row-block
+thread pool of :class:`~repro.engine.backends.threaded.ThreadedBackend`),
+so with spawn-contract streams it is bit-for-bit identical to every other
+backend — selecting it via ``--backend philox[:N]`` / ``REPRO_BACKEND``
+is always safe.
+
+What the tier *adds* is its native stream contract: ``rng_contract =
+"philox"`` tells contract resolution (see :func:`repro.engine.rng.
+resolve_rng_contract`) that a campaign spec or environment selecting this
+backend wants index-keyed :class:`~repro.engine.rng.PhiloxRowStream` rows,
+whose every draw is a pure function of ``(root_key, row, block, offset)``.
+Under that contract nothing about this backend is stateful between rows
+or calls — the execution plan of a future vectorized-Philox or CuPy/JAX
+backend is "evaluate the same keys on device", with host/device outputs
+reproducible by construction.
+
+Execution backends are deliberately *stream-agnostic*: the kernel draws
+from whatever per-row streams the synthesizer owns, so a philox backend
+given spawn streams (or vice versa) computes correctly under that
+contract.  The contract, not the backend, decides the draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .threaded import ThreadedBackend
+
+
+class PhiloxBackend(ThreadedBackend):
+    """Counter-based-tier backend: shared kernel, index-keyed native streams.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count for contiguous row blocks (defaults to the host CPU
+        count), exactly as in :class:`~repro.engine.backends.threaded.
+        ThreadedBackend`; ``philox:1`` is the sequential reference loop.
+    """
+
+    name = "philox"
+    rng_contract = "philox"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers=max_workers)
+
+    @property
+    def spec(self) -> str:
+        return f"philox:{self.max_workers}"

@@ -37,29 +37,31 @@ import numpy as np
 from ..noise.flicker import FLICKER_METHODS
 from ..phase.psd import PhaseNoisePSD
 from .backends import BackendLike, resolve_backend
+from .rng import derive_row_streams
 
 SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 
 
-def spawn_generators(seed: SeedLike, batch_size: int) -> List[np.random.Generator]:
-    """``batch_size`` independent child generators from one seed (or generator).
+def spawn_generators(
+    seed: SeedLike, batch_size: int, rng_contract: Optional[str] = None
+) -> List[np.random.Generator]:
+    """``batch_size`` independent per-row streams from one seed (or generator).
 
     This is the engine's seeding protocol: scalar instance ``i`` built from
     ``spawn_generators(seed, B)[i]`` reproduces batched row ``i`` bit-for-bit.
-    Seeds (ints / ``SeedSequence`` / ``None``) spawn children of an ``SFC64``
-    bit generator — the fastest generator numpy ships, chosen because variate
-    generation is the irreducible per-sample cost of large ensembles.  Pass a
-    ``Generator`` instead to spawn children of its own bit generator (e.g. the
-    ``PCG64`` default of ``numpy.random.default_rng``).
+    What the streams *are* is decided by the RNG contract
+    (:mod:`repro.engine.rng`): under the default ``"spawn"`` contract, seeds
+    (ints / ``SeedSequence`` / ``None``) spawn children of an ``SFC64`` bit
+    generator — the fastest generator numpy ships — and a ``Generator`` seed
+    spawns children of its own bit generator.  Under the ``"philox"``
+    contract the rows are index-keyed
+    :class:`~repro.engine.rng.PhiloxRowStream` objects whose draws are pure
+    functions of ``(root_key, row, block, offset)``.  ``rng_contract=None``
+    resolves the process default (``REPRO_RNG_CONTRACT``, or a
+    ``REPRO_BACKEND=philox[:N]`` default), so one environment switch moves
+    every derivation in the stack onto the same contract coherently.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
-    if isinstance(seed, np.random.Generator):
-        return list(seed.spawn(batch_size))
-    if not isinstance(seed, np.random.SeedSequence):
-        seed = np.random.SeedSequence(seed)
-    parent = np.random.Generator(np.random.SFC64(seed))
-    return list(parent.spawn(batch_size))
+    return derive_row_streams(seed, batch_size, rng_contract=rng_contract)
 
 
 def _as_batched_array(value, batch_size: int, name: str) -> np.ndarray:
@@ -146,6 +148,12 @@ class BatchedJitterSynthesizer:
     seed:
         Seed (or parent generator) from which per-instance streams are spawned
         via :func:`spawn_generators`.
+    rng_contract:
+        Stream contract the seed path derives under (``"spawn"`` |
+        ``"philox"`` | ``None`` for the ``REPRO_RNG_CONTRACT``/
+        ``REPRO_BACKEND`` process default; see :mod:`repro.engine.rng`).
+        Ignored when ``rngs`` is given — explicit streams already embody
+        their contract.
     flicker_method:
         1/f generator passed to :func:`repro.noise.flicker.generate_pink_noise`;
         ``"spectral"`` uses the batched FFT fast path.
@@ -167,6 +175,7 @@ class BatchedJitterSynthesizer:
         seed: SeedLike = None,
         flicker_method: str = "spectral",
         backend: BackendLike = None,
+        rng_contract: Optional[str] = None,
     ) -> None:
         if flicker_method not in FLICKER_METHODS:
             raise ValueError(
@@ -199,7 +208,9 @@ class BatchedJitterSynthesizer:
                     f"need {self._batch_size} generators, got {len(self.rngs)}"
                 )
         else:
-            self.rngs = spawn_generators(seed, self._batch_size)
+            self.rngs = spawn_generators(
+                seed, self._batch_size, rng_contract=rng_contract
+            )
         self.flicker_method = flicker_method
         self._backend = resolve_backend(backend)
         # Per-instance synthesis coefficients (ground truth, not fitted).
@@ -348,6 +359,7 @@ class BatchedOscillatorEnsemble:
         seed: SeedLike = None,
         flicker_method: str = "spectral",
         backend: BackendLike = None,
+        rng_contract: Optional[str] = None,
         name: str = "ensemble",
     ) -> None:
         if n_stages < 3:
@@ -362,6 +374,7 @@ class BatchedOscillatorEnsemble:
             seed=seed,
             flicker_method=flicker_method,
             backend=backend,
+            rng_contract=rng_contract,
         )
 
     @classmethod
@@ -376,6 +389,7 @@ class BatchedOscillatorEnsemble:
         seed: SeedLike = None,
         flicker_method: str = "spectral",
         backend: BackendLike = None,
+        rng_contract: Optional[str] = None,
         name: str = "ensemble",
     ) -> "BatchedOscillatorEnsemble":
         """Ensemble from Eq. 10 coefficients (scalars or per-instance arrays)."""
@@ -406,6 +420,7 @@ class BatchedOscillatorEnsemble:
             seed=seed,
             flicker_method=flicker_method,
             backend=backend,
+            rng_contract=rng_contract,
             name=name,
         )
 

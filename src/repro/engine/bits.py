@@ -389,6 +389,10 @@ class BatchedEROTRNG:
         Synthesis backend for both ring-oscillator ensembles (instance, spec
         string or ``None`` for the ``REPRO_BACKEND``/NumPy default).  Backend
         choice never changes the generated bits.
+    rng_contract:
+        Stream contract the ``seed`` path derives under (``"spawn"`` |
+        ``"philox"`` | ``None`` for the process default; see
+        :mod:`repro.engine.rng`).  Ignored when ``rngs`` is given.
     """
 
     def __init__(
@@ -401,6 +405,7 @@ class BatchedEROTRNG:
         flicker_method: str = "spectral",
         synthesis_block_periods: Optional[int] = None,
         backend: BackendLike = None,
+        rng_contract: Optional[str] = None,
     ) -> None:
         self.configuration = configuration
         if batch_size is None:
@@ -414,7 +419,7 @@ class BatchedEROTRNG:
                     f"need {batch_size} generators, got {len(parents)}"
                 )
         else:
-            parents = spawn_generators(seed, batch_size)
+            parents = spawn_generators(seed, batch_size, rng_contract=rng_contract)
         # Resolve the backend once (honouring the REPRO_BACKEND default) so
         # both ring ensembles share one instance — one thread pool, not two.
         backend = resolve_backend(backend)

@@ -650,6 +650,7 @@ def batched_bit_campaign(
     min_entropy_block_size: int = 8,
     instance_range: Optional[tuple] = None,
     backend: Optional[BackendLike] = None,
+    rng_contract: Optional[str] = None,
 ) -> BitCampaignResult:
     """Entropy-vs-divider sweep over a whole eRO-TRNG ensemble at once.
 
@@ -694,6 +695,11 @@ def batched_bit_campaign(
         Synthesis backend for the per-divider TRNG ensembles (instance, spec
         string or ``None`` for the ``REPRO_BACKEND``/NumPy default).
         Backend choice never changes the campaign output.
+    rng_contract:
+        Stream contract the per-instance streams derive under (``"spawn"``
+        | ``"philox"`` | ``None`` for the process default; see
+        :mod:`repro.engine.rng`).  Shard calls must pass the campaign's
+        pinned contract so every shard derives the same streams.
     """
     from ..ais31.procedure_a import procedure_a, rows_passed
     from ..ais31.procedure_b import procedure_b
@@ -743,7 +749,9 @@ def batched_bit_campaign(
         # Every divider re-derives the same per-instance parent streams from
         # the root seed (a paired design); a row range takes its slice of the
         # full spawn tree, so shard rows match the unsharded run bit-for-bit.
-        parents = spawn_generators(seed, int(batch_size))[start:stop]
+        parents = spawn_generators(seed, int(batch_size), rng_contract=rng_contract)[
+            start:stop
+        ]
         trng = BatchedEROTRNG(
             replace(configuration, divider=int(divider)),
             batch_size=rows,

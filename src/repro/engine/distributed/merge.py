@@ -33,6 +33,37 @@ def _kind(partial: Partial) -> str:
     return str(np.asarray(partial["kind"]))
 
 
+def _partial_contract(partial: Partial) -> str:
+    """The stream contract a partial was computed under.
+
+    Partials written before the contract field existed carry no key; they
+    were all spawn-tree shards, so missing means ``"spawn"``.
+    """
+    value = partial.get("rng_contract")
+    return "spawn" if value is None else str(np.asarray(value))
+
+
+def _check_rng_contracts(spec, partials: Sequence[Partial]) -> None:
+    """Refuse to merge shards computed under different stream contracts.
+
+    A contract mismatch means the rows are draws from *different* random
+    sequences — concatenating them would silently fabricate a campaign
+    nobody ran.  This is the checkpoint-resume hazard: partials from an old
+    spawn-tree run must not merge into a philox-contract campaign (or vice
+    versa).  Re-run the stale shards instead.
+    """
+    contracts = {_partial_contract(partial) for partial in partials}
+    expected = getattr(spec, "rng_contract", "spawn") or "spawn"
+    if contracts - {expected}:
+        raise ValueError(
+            f"cannot merge shard partials with mixed RNG stream contracts: "
+            f"spec pins {expected!r} but partials carry "
+            f"{sorted(contracts)} — shards computed under a different "
+            f"contract belong to a different random sequence; re-run them "
+            f"under the spec's contract instead of merging"
+        )
+
+
 def merge_sigma2n_partials(
     spec: Sigma2NCampaignSpec, partials: Sequence[Partial]
 ) -> BatchedCampaignResult:
@@ -43,6 +74,7 @@ def merge_sigma2n_partials(
     kinds = {_kind(partial) for partial in partials}
     if len(kinds) != 1:
         raise ValueError(f"mixed shard partial kinds: {sorted(kinds)}")
+    _check_rng_contracts(spec, partials)
     kind = kinds.pop()
     if kind == "sigma2n_stream":
         return _merge_stream_partials(spec, partials)
@@ -85,6 +117,7 @@ def merge_bit_partials(
     partials = list(partials)
     if not partials:
         raise ValueError("no shard partials to merge")
+    _check_rng_contracts(spec, partials)
     first = partials[0]
     for partial in partials:
         if _kind(partial) != "bits":

@@ -22,6 +22,7 @@ import numpy as np
 from ...paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ
 from ..backends import validate_backend_spec
 from ..batch import BatchedOscillatorEnsemble, spawn_generators
+from ..rng import resolve_rng_contract
 
 ParamLike = Union[float, Tuple[float, ...]]
 
@@ -86,6 +87,14 @@ class Sigma2NCampaignSpec:
     host-side.  Backends are bit-for-bit equivalent, so the field selects
     execution speed only — results, shard invariance and ``--verify`` are
     unaffected.
+
+    ``rng_contract`` pins the *stream* contract (``"spawn"`` | ``"philox"``;
+    see :mod:`repro.engine.rng`), resolved once at construction from the
+    explicit value, the backend spec (``philox[:N]`` implies ``"philox"``)
+    or the process environment.  Unlike the backend, the contract **does**
+    change the drawn numbers, so shards re-derive streams under the pinned
+    value regardless of their own environment, and merges refuse partials
+    whose contracts disagree.
     """
 
     batch_size: int
@@ -103,6 +112,7 @@ class Sigma2NCampaignSpec:
     exact: bool = False
     flicker_method: str = "spectral"
     backend: Optional[str] = None
+    rng_contract: Optional[str] = None
     kind: str = field(default="sigma2n", init=False)
 
     def __post_init__(self) -> None:
@@ -132,13 +142,20 @@ class Sigma2NCampaignSpec:
                 raise ValueError("n_sweep must contain integers >= 1")
             object.__setattr__(self, "n_sweep", sweep)
         object.__setattr__(self, "backend", validate_backend_spec(self.backend))
+        object.__setattr__(
+            self,
+            "rng_contract",
+            resolve_rng_contract(self.rng_contract, backend_spec=self.backend),
+        )
 
     def row_generators(
         self, start: Optional[int] = None, stop: Optional[int] = None
     ) -> List[np.random.Generator]:
         """Per-row RNG streams ``start..stop-1``, sliced from the root tree."""
         start, stop = _normalized_rows(self, start, stop)
-        return spawn_generators(self.seed, self.batch_size)[start:stop]
+        return spawn_generators(
+            self.seed, self.batch_size, rng_contract=self.rng_contract
+        )[start:stop]
 
     def ensemble(
         self, start: Optional[int] = None, stop: Optional[int] = None
@@ -168,6 +185,8 @@ class BitCampaignSpec:
     ``backend`` is a synthesis-backend spec string (see
     :class:`Sigma2NCampaignSpec`): a pure execution-speed selection that
     shards re-create host-side; the generated bits are backend-independent.
+    ``rng_contract`` pins the stream contract exactly as there — that one
+    *does* change the bits, so it is part of the campaign's identity.
     """
 
     batch_size: int
@@ -184,6 +203,7 @@ class BitCampaignSpec:
     run_procedure_b: bool = False
     min_entropy_block_size: int = 8
     backend: Optional[str] = None
+    rng_contract: Optional[str] = None
     kind: str = field(default="bits", init=False)
 
     def __post_init__(self) -> None:
@@ -200,6 +220,11 @@ class BitCampaignSpec:
         else:
             object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "backend", validate_backend_spec(self.backend))
+        object.__setattr__(
+            self,
+            "rng_contract",
+            resolve_rng_contract(self.rng_contract, backend_spec=self.backend),
+        )
         self.configuration()  # validate f0/mismatch eagerly
 
     def configuration(self, divider: Optional[int] = None):
@@ -230,11 +255,18 @@ def spec_to_json(spec: CampaignSpec) -> Dict:
 
 
 def spec_from_json(payload: Dict) -> CampaignSpec:
-    """Rebuild a spec from :func:`spec_to_json` output."""
+    """Rebuild a spec from :func:`spec_to_json` output.
+
+    Manifests written before the stream-contract field existed carry no
+    ``rng_contract`` key; they were all spawn-tree campaigns, so the field
+    defaults to ``"spawn"`` here (NOT to the process environment — an old
+    checkpoint must keep meaning what it meant when written).
+    """
     data = dict(payload)
     kind = data.pop("kind", None)
     if kind not in _SPEC_KINDS:
         raise ValueError(f"unknown campaign spec kind: {kind!r}")
+    data.setdefault("rng_contract", "spawn")
     for name in ("f0_hz", "b_thermal_hz", "b_flicker_hz2"):
         if isinstance(data.get(name), list):
             data[name] = tuple(data[name])

@@ -52,6 +52,7 @@ def _run_sigma2n_shard(spec: Sigma2NCampaignSpec, shard: Shard) -> Partial:
         payload: Partial = {"kind": np.array("sigma2n_stream")}
         payload.update(estimator.export_state())
         payload["f0"] = ensemble.f0_hz
+        payload["rng_contract"] = np.array(spec.rng_contract)
         return payload
     records = ensemble.jitter(spec.n_periods)
     n_list, sigma2, counts, f0 = batched_sigma2_n_sweep(
@@ -68,6 +69,7 @@ def _run_sigma2n_shard(spec: Sigma2NCampaignSpec, shard: Shard) -> Partial:
         "sigma2": sigma2,
         "counts": np.asarray(counts),
         "f0": f0,
+        "rng_contract": np.array(spec.rng_contract),
     }
 
 
@@ -86,9 +88,11 @@ def _run_bit_shard(spec: BitCampaignSpec, shard: Shard) -> Partial:
         min_entropy_block_size=spec.min_entropy_block_size,
         instance_range=(shard.start, shard.stop),
         backend=spec.backend,
+        rng_contract=spec.rng_contract,
     )
     payload: Partial = {
         "kind": np.array("bits"),
+        "rng_contract": np.array(spec.rng_contract),
         "dividers": result.dividers,
         "bias": result.bias,
         "shannon_entropy": result.shannon_entropy,

@@ -1,0 +1,323 @@
+"""Counter-based RNG contract: draws as pure functions of indices.
+
+The engine's original reproducibility contract ("spawn") ties every stream
+to a per-row ``SeedSequence``-spawned ``numpy.random.Generator``: correct,
+but stateful — shards must re-derive and slice the full spawn tree, and a
+GPU-class backend cannot reproduce a draw without holding the exact
+``Generator`` object at the exact stream position.
+
+This module adds the **"philox" contract**: a row's stream is a
+:class:`PhiloxRowStream`, and every draw is keyed by
+
+    ``(root_key, *path, block)``  →  ``numpy.random.Philox`` key,
+
+where ``path`` starts at ``(row,)`` (sub-streams extend it: the two rings
+of a TRNG instance are ``(row, 0)`` and ``(row, 1)``) and ``block`` is the
+per-stream draw-call counter.  The ``offset`` within a block is the Philox
+counter itself, starting at zero every call.  A draw is therefore a pure
+function of ``(root_key, row, block, offset)``: recomputing any sub-range
+of rows — or any single block — in isolation reproduces the full run
+bit-for-bit, with nothing to spawn, pickle, or slice.  Shard messages
+shrink to ``(root_key, row_range)`` and a future vectorized-Philox /
+CuPy/JAX backend can evaluate the same keys on device.
+
+Key-derivation collision freedom: a stream at tree depth ``d`` (``len(path)
+== d``) derives its draws with spawn keys of length ``d + 1``; sibling
+streams differ in their last ``path`` element and parent/child keys differ
+in length, so no two distinct ``(stream, block)`` pairs share a key.
+
+Contract selection
+------------------
+``resolve_rng_contract`` decides which contract an entry point uses:
+
+1. an explicit ``rng_contract=`` argument wins;
+2. a ``"philox[:N]"`` backend *spec string* implies ``"philox"`` (campaign
+   specs pin the contract their backend selection means);
+3. the ``REPRO_RNG_CONTRACT`` environment variable;
+4. a ``REPRO_BACKEND=philox[:N]`` environment default implies ``"philox"``;
+5. otherwise the legacy ``"spawn"`` contract.
+
+Every derivation funnels through :func:`derive_row_streams` (which
+:func:`repro.engine.batch.spawn_generators` wraps), so one environment
+switch moves the whole stack — engines, campaigns, shards, serving — onto
+the same contract coherently, and every bitwise-invariance property
+(scalar view == batched row, sharded == unsharded, coalesced == solo)
+holds *within* each contract.  Mixing contracts is refused where it would
+silently corrupt results (see :mod:`repro.engine.distributed.merge`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Environment variable selecting the process-default RNG contract.
+RNG_CONTRACT_ENV_VAR = "REPRO_RNG_CONTRACT"
+
+#: The stream contracts this engine speaks.  ``"spawn"`` is the legacy
+#: spawn-tree contract (per-row ``SeedSequence``-spawned SFC64 streams);
+#: ``"philox"`` is the counter-based index-keyed contract.
+RNG_CONTRACTS = ("spawn", "philox")
+
+#: Contract assumed when nothing selects one (the seed repo's behavior).
+DEFAULT_RNG_CONTRACT = "spawn"
+
+KeyPath = Tuple[int, ...]
+
+
+def validate_rng_contract(contract: str) -> str:
+    """Validate a contract name, returning its canonical string form."""
+    name = str(contract).strip()
+    if name not in RNG_CONTRACTS:
+        raise ValueError(
+            f"unknown rng_contract {contract!r}: choose one of "
+            f"{', '.join(RNG_CONTRACTS)}"
+        )
+    return name
+
+
+def _philox_backend_spec(spec: Optional[str]) -> bool:
+    """Whether a backend spec string selects the philox tier."""
+    if not spec:
+        return False
+    return str(spec).strip().partition(":")[0] == "philox"
+
+
+def default_rng_contract() -> str:
+    """The process-default contract (environment-driven).
+
+    ``REPRO_RNG_CONTRACT`` wins; a ``REPRO_BACKEND=philox[:N]`` default
+    implies ``"philox"`` (so the CI philox tier flips streams and executor
+    together); otherwise :data:`DEFAULT_RNG_CONTRACT`.
+    """
+    contract = os.environ.get(RNG_CONTRACT_ENV_VAR)
+    if contract:
+        return validate_rng_contract(contract)
+    if _philox_backend_spec(os.environ.get("REPRO_BACKEND")):
+        return "philox"
+    return DEFAULT_RNG_CONTRACT
+
+
+def resolve_rng_contract(
+    contract: Optional[str] = None, backend_spec: Optional[str] = None
+) -> str:
+    """Resolve the contract an entry point should derive streams under.
+
+    ``contract`` (when given) is explicit and wins; else a philox backend
+    spec string implies ``"philox"``; else the environment default.  The
+    result is always a pinned, serializable contract name — specs and
+    serving requests store it so a computation replays identically on
+    hosts with different environments.
+    """
+    if contract is not None:
+        return validate_rng_contract(contract)
+    if _philox_backend_spec(backend_spec):
+        return "philox"
+    return default_rng_contract()
+
+
+def root_key_of(seed) -> Tuple[object, KeyPath]:
+    """Split a stateless seed into ``(root_key, path_prefix)``.
+
+    ``None`` pins fresh entropy (the seed-closure rule of specs and
+    requests); an int is its own key; a ``SeedSequence`` contributes its
+    entropy as the key and its ``spawn_key`` as the path prefix, so a
+    spawned ``SeedSequence`` derives a *different* (but deterministic)
+    key family than its parent.  ``Generator`` seeds are stateful and
+    have no index key — callers must fall back to the spawn contract.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy), ()
+    if isinstance(seed, (int, np.integer)):
+        return int(seed), ()
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:  # not reachable with numpy >= 1.17, but explicit
+            entropy = 0
+        prefix = tuple(int(word) for word in seed.spawn_key)
+        return entropy, prefix
+    raise TypeError(
+        f"the philox rng contract needs a stateless seed (int, SeedSequence "
+        f"or None), got {type(seed).__name__}"
+    )
+
+
+class PhiloxRowStream:
+    """One row's counter-based stream: state is ``(root_key, path, block)``.
+
+    Duck-types the slice of the ``numpy.random.Generator`` API the engine
+    consumes (``standard_normal``, ``normal``, ``random``, ``integers``,
+    ``uniform``, ``choice``, ``spawn``).  Each draw call derives a fresh
+    ``Philox`` generator from ``SeedSequence(entropy=root_key,
+    spawn_key=(*path, block))``, draws, and increments ``block`` — so any
+    draw can be recomputed in isolation from its indices alone, and the
+    whole stream pickles as three plain values (what shrinks fabric shard
+    messages to ``(root_key, row_range)``).
+
+    Construction is lazy (no hashing until the first draw), so deriving a
+    ``batch_size``-wide row range costs O(rows) object allocations only.
+    """
+
+    def __init__(
+        self,
+        root_key,
+        path: Sequence[int] = (),
+        block: int = 0,
+        spawned: int = 0,
+    ) -> None:
+        self.root_key = root_key
+        self.path: KeyPath = tuple(int(word) for word in path)
+        self.block = int(block)
+        self.spawned = int(spawned)
+
+    # -- key derivation ------------------------------------------------------
+
+    def block_generator(self, block: Optional[int] = None) -> np.random.Generator:
+        """The ``Philox`` generator of one block (``None``: the next one).
+
+        Exposed so property tests (and future device backends) can
+        recompute any ``(row, block)`` draw without replaying the stream.
+        """
+        block = self.block if block is None else int(block)
+        key = np.random.SeedSequence(
+            entropy=self.root_key, spawn_key=self.path + (block,)
+        )
+        return np.random.Generator(np.random.Philox(key))
+
+    def _draw(self, method: str, *args, **kwargs):
+        generator = self.block_generator()
+        self.block += 1
+        return getattr(generator, method)(*args, **kwargs)
+
+    # -- the Generator API slice the engine consumes -------------------------
+
+    def standard_normal(self, size=None):
+        """One block of standard-normal draws (offset = position in block)."""
+        return self._draw("standard_normal", size)
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        return self._draw("normal", loc, scale, size)
+
+    def random(self, size=None):
+        return self._draw("random", size)
+
+    def integers(self, low, high=None, size=None, **kwargs):
+        return self._draw("integers", low, high, size, **kwargs)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        return self._draw("uniform", low, high, size)
+
+    def choice(self, a, size=None, **kwargs):
+        return self._draw("choice", a, size, **kwargs)
+
+    def spawn(self, n_children: int) -> List["PhiloxRowStream"]:
+        """``n_children`` independent sub-streams (path extended by index).
+
+        Mirrors ``Generator.spawn`` (repeated spawns keep counting), but
+        the children are index-keyed: child ``c`` of row ``r`` draws under
+        ``(root_key, r, c, block)`` whatever the parent did before.
+        """
+        if n_children < 0:
+            raise ValueError(f"n_children must be >= 0, got {n_children!r}")
+        first = self.spawned
+        self.spawned += int(n_children)
+        return [
+            PhiloxRowStream(self.root_key, self.path + (first + child,))
+            for child in range(int(n_children))
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"PhiloxRowStream(root_key={self.root_key!r}, path={self.path!r}, "
+            f"block={self.block})"
+        )
+
+
+def philox_row_streams(
+    seed, start: int, stop: int, path_prefix: KeyPath = ()
+) -> List[PhiloxRowStream]:
+    """Index-keyed streams of rows ``start..stop-1`` — no tree, no slicing.
+
+    This is the philox contract's whole derivation: row ``r``'s stream is
+    a function of ``(root_key, r)`` alone, so a shard derives exactly its
+    own rows in O(rows) — the spawn contract must spawn the full
+    ``batch_size``-wide tree first and slice it.
+    """
+    root_key, prefix = root_key_of(seed)
+    prefix = prefix + tuple(path_prefix)
+    return [
+        PhiloxRowStream(root_key, prefix + (row,)) for row in range(start, stop)
+    ]
+
+
+StreamLike = Union[np.random.Generator, PhiloxRowStream]
+
+
+def derive_row_streams(
+    seed,
+    batch_size: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+    rng_contract: Optional[str] = None,
+) -> List[StreamLike]:
+    """Per-row engine streams ``start..stop-1`` under a contract.
+
+    The single derivation point both contracts share: ``"spawn"`` spawns
+    the full ``batch_size``-wide tree and slices it (the legacy contract);
+    ``"philox"`` derives only the requested range from indices.  In both
+    cases row ``i`` of the result is *the* stream of global row
+    ``start + i``, so sharded and unsharded runs agree bit-for-bit within
+    a contract.
+
+    ``rng_contract=None`` resolves the environment default.  A stateful
+    ``Generator`` seed cannot be index-keyed: under an environment-implied
+    philox default it falls back to the spawn contract (the seed's owner
+    controls the stream), while an *explicit* ``rng_contract="philox"``
+    raises — an explicit ask that cannot be honoured must not silently
+    degrade.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    stop = int(batch_size) if stop is None else int(stop)
+    start = int(start)
+    if not 0 <= start < stop <= int(batch_size):
+        raise ValueError(
+            f"rows must satisfy 0 <= start < stop <= {batch_size}, "
+            f"got [{start}, {stop})"
+        )
+    explicit = rng_contract is not None
+    contract = resolve_rng_contract(rng_contract)
+    if contract == "philox":
+        if isinstance(seed, np.random.Generator):
+            if explicit:
+                raise ValueError(
+                    "rng_contract='philox' requires a stateless seed (int, "
+                    "SeedSequence or None): a Generator has no index key"
+                )
+            contract = "spawn"  # environment default degrades gracefully
+        else:
+            return philox_row_streams(seed, start, stop)
+    # -- spawn contract: the legacy SeedSequence tree ------------------------
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(batch_size))[start:stop]
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    parent = np.random.Generator(np.random.SFC64(seed))
+    return list(parent.spawn(batch_size))[start:stop]
+
+
+__all__ = [
+    "DEFAULT_RNG_CONTRACT",
+    "PhiloxRowStream",
+    "RNG_CONTRACTS",
+    "RNG_CONTRACT_ENV_VAR",
+    "StreamLike",
+    "default_rng_contract",
+    "derive_row_streams",
+    "philox_row_streams",
+    "resolve_rng_contract",
+    "root_key_of",
+    "validate_rng_contract",
+]

@@ -98,11 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default=None,
-        metavar="numpy|threaded[:N]|auto[:N]",
+        metavar="numpy|threaded[:N]|auto[:N]|philox[:N]",
         help="synthesis backend for engine calls (default: $REPRO_BACKEND or "
         "numpy); auto picks per call from a measured cost model; all "
-        "backends are bit-for-bit equivalent, the choice selects execution "
-        "speed only",
+        "backends are bit-for-bit equivalent on the same streams, so the "
+        "choice selects execution speed only (requests pin their own RNG "
+        "stream contract via the rng_contract wire field)",
     )
     parser.add_argument(
         "--no-fast-tier",

@@ -71,6 +71,7 @@ _REQUEST_FIELDS = {
         "b_thermal_hz",
         "b_flicker_hz2",
         "frequency_mismatch",
+        "rng_contract",
         "priority",
         "deadline_ms",
     ),
@@ -84,6 +85,7 @@ _REQUEST_FIELDS = {
         "overlapping",
         "min_realizations",
         "tier",
+        "rng_contract",
         "priority",
         "deadline_ms",
     ),
@@ -273,6 +275,7 @@ def request_to_payload(request: Request) -> Dict:
             "b_thermal_hz": request.b_thermal_hz,
             "b_flicker_hz2": request.b_flicker_hz2,
             "frequency_mismatch": request.frequency_mismatch,
+            "rng_contract": request.rng_contract,
         }
     if isinstance(request, Sigma2NRequest):
         return {
@@ -286,6 +289,7 @@ def request_to_payload(request: Request) -> Dict:
             "overlapping": request.overlapping,
             "min_realizations": request.min_realizations,
             "tier": request.tier,
+            "rng_contract": request.rng_contract,
         }
     raise TypeError(f"cannot serialize request of type {type(request)!r}")
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..engine.batch import spawn_generators
 from ..engine.distributed.spec import DEFAULT_B_FLICKER_HZ2, fresh_entropy
+from ..engine.rng import resolve_rng_contract
 from ..paper import PAPER_B_THERMAL_HZ, PAPER_F0_HZ
 
 GroupKey = Tuple
@@ -71,6 +72,12 @@ def _pin_seed(request) -> None:
         object.__setattr__(request, "seed", fresh_entropy())
     else:
         object.__setattr__(request, "seed", int(request.seed))
+    # Pin the stream contract alongside the seed: a request answered later
+    # (or on a remote worker with a different environment) must derive the
+    # same draws it would have at submission time.
+    object.__setattr__(
+        request, "rng_contract", resolve_rng_contract(request.rng_contract)
+    )
 
 
 def _as_count(request, name: str) -> None:
@@ -101,6 +108,10 @@ class BitsRequest:
     b_thermal_hz: float = PAPER_B_THERMAL_HZ / 2.0
     b_flicker_hz2: float = DEFAULT_B_FLICKER_HZ2 / 2.0
     frequency_mismatch: float = 1e-3
+    #: RNG stream contract (``"spawn"`` | ``"philox"``; ``None`` resolves
+    #: and pins the process default at construction).  Changes the served
+    #: bits, so it is part of the group key.
+    rng_contract: Optional[str] = None
     #: Scheduling class (see :data:`PRIORITIES`); never part of the group key.
     priority: str = "normal"
     #: Latency budget [ms] from submission; expired requests fail fast with
@@ -128,11 +139,12 @@ class BitsRequest:
             float(self.b_thermal_hz),
             float(self.b_flicker_hz2),
             float(self.frequency_mismatch),
+            self.rng_contract,
         )
 
     def generator(self) -> np.random.Generator:
         """This request's engine RNG stream, derived from its seed alone."""
-        return spawn_generators(self.seed, 1)[0]
+        return spawn_generators(self.seed, 1, rng_contract=self.rng_contract)[0]
 
     def configuration(self, divider: Optional[int] = None):
         """The :class:`~repro.trng.ero_trng.EROTRNGConfiguration` to serve."""
@@ -175,6 +187,10 @@ class Sigma2NRequest:
     overlapping: bool = True
     min_realizations: int = 8
     tier: str = "exact"
+    #: RNG stream contract (``"spawn"`` | ``"philox"``; ``None`` resolves
+    #: and pins the process default at construction).  Changes the served
+    #: curve, so it is part of the group key.
+    rng_contract: Optional[str] = None
     #: Scheduling class (see :data:`PRIORITIES`); never part of the group key.
     priority: str = "normal"
     #: Latency budget [ms] from submission; expired requests fail fast with
@@ -210,11 +226,12 @@ class Sigma2NRequest:
             self.n_sweep,
             self.overlapping,
             self.min_realizations,
+            self.rng_contract,
         )
 
     def generator(self) -> np.random.Generator:
         """This request's engine RNG stream, derived from its seed alone."""
-        return spawn_generators(self.seed, 1)[0]
+        return spawn_generators(self.seed, 1, rng_contract=self.rng_contract)[0]
 
 
 Request = BitsRequest | Sigma2NRequest

@@ -45,7 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default=None,
-        metavar="numpy|threaded[:N]|auto[:N]",
+        metavar="numpy|threaded[:N]|auto[:N]|philox[:N]",
         help="synthesis backend for forwarded serving batches (campaign "
         "shards carry their own); default: $REPRO_BACKEND or numpy",
     )

@@ -97,3 +97,93 @@ class TestModulation:
         a1, _a2 = attack.attacked_pair()
         with pytest.raises(ValueError):
             a1.periods(-1)
+
+    def test_chunked_periods_equal_concatenated(self):
+        """Chunked periods() == one concatenated call, bitwise, per clock.
+
+        Full coupling suppresses the rings' independent jitter, so the
+        output is the deterministic field modulation alone — the equality
+        pins the per-clock ``_phase_index`` chunking contract exactly.
+        """
+        parameters = EMInjectionParameters(
+            coupling=1.0, modulation_fraction=1e-2, modulation_frequency_hz=1e6
+        )
+
+        def build():
+            osc1, osc2 = oscillator_pair(seed=6)
+            return EMInjectionAttack(
+                osc1, osc2, parameters, rng=np.random.default_rng(31)
+            ).attacked_pair()
+
+        chunked_pair, monolithic_pair = build(), build()
+        for chunked, monolithic in zip(chunked_pair, monolithic_pair):
+            parts = np.concatenate([chunked.periods(137), chunked.periods(263)])
+            whole = monolithic.periods(400)
+            np.testing.assert_array_equal(parts, whole)
+
+    def test_chunked_periods_equal_concatenated_with_jitter(self):
+        """The chunking contract holds through the victims' jitter too."""
+        parameters = EMInjectionParameters(
+            coupling=0.5, modulation_fraction=1e-2, modulation_frequency_hz=1e6
+        )
+
+        def build():
+            osc1, osc2 = oscillator_pair(seed=6)
+            return EMInjectionAttack(
+                osc1, osc2, parameters, rng=np.random.default_rng(31)
+            ).attacked_pair()
+
+        chunked_pair, monolithic_pair = build(), build()
+        # Interleave the two clocks' chunked calls the way a sampler would.
+        parts = [
+            np.concatenate([clock.periods(100), clock.periods(300)])
+            for clock in chunked_pair
+        ]
+        wholes = [clock.periods(400) for clock in monolithic_pair]
+        for part, whole in zip(parts, wholes):
+            np.testing.assert_array_equal(part, whole)
+
+
+class TestSeededReproducibility:
+    """The ``rng`` argument must actually drive the attack's randomness.
+
+    Regression tests for the bug where the constructor accepted and stored
+    ``rng`` but never consumed it, so seeding the attack had no effect and
+    the injected field always started at phase zero.
+    """
+
+    PARAMETERS = EMInjectionParameters(
+        coupling=1.0, modulation_fraction=1e-2, modulation_frequency_hz=1e6
+    )
+
+    def _periods(self, attack_rng):
+        osc1, osc2 = oscillator_pair(seed=8)
+        a1, a2 = EMInjectionAttack(
+            osc1, osc2, self.PARAMETERS, rng=attack_rng
+        ).attacked_pair()
+        return a1.periods(2_000), a2.periods(2_000)
+
+    def test_same_seed_reproduces_bitwise(self):
+        first = self._periods(np.random.default_rng(42))
+        second = self._periods(np.random.default_rng(42))
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_different_seeds_differ(self):
+        first = self._periods(np.random.default_rng(42))
+        second = self._periods(np.random.default_rng(43))
+        assert not np.array_equal(first[0], second[0])
+
+    def test_construction_consumes_the_generator(self):
+        shared = np.random.default_rng(42)
+        first = self._periods(shared)
+        second = self._periods(shared)
+        assert not np.array_equal(first[0], second[0])
+
+    def test_both_clocks_share_one_field_phase(self):
+        # Same f0 on both rings: a shared field phase makes the two clocks'
+        # modulation waveforms identical under full coupling.
+        first, second = self._periods(np.random.default_rng(42))
+        np.testing.assert_allclose(
+            first - np.mean(first), second - np.mean(second), atol=1e-18
+        )

@@ -102,6 +102,48 @@ class TestDeterministicModulation:
         second = attack.periods(100)
         assert not np.array_equal(first, second)
 
+    def test_chunked_periods_equal_concatenated(self, victim):
+        """Two chunked periods() calls == one concatenated call, bitwise.
+
+        Full lock suppresses the victim's random jitter entirely, so the
+        output is the deterministic beat modulation alone — the equality
+        pins the ``_phase_index`` chunking contract exactly.
+        """
+        parameters = InjectionParameters(
+            victim.f0_hz * 1.001,
+            locking_strength=1.0,
+            deterministic_modulation_fraction=1e-3,
+        )
+        chunked = FrequencyInjectionAttack(
+            victim, parameters, rng=np.random.default_rng(21)
+        )
+        monolithic = FrequencyInjectionAttack(
+            victim, parameters, rng=np.random.default_rng(21)
+        )
+        parts = np.concatenate([chunked.periods(137), chunked.periods(263)])
+        whole = monolithic.periods(400)
+        np.testing.assert_array_equal(parts, whole)
+
+    def test_chunked_periods_equal_concatenated_with_jitter(self):
+        """The chunking contract holds through the victim's jitter too."""
+        psd = PhaseNoisePSD(b_thermal_hz=1e4, b_flicker_hz2=0.0)
+        parameters = InjectionParameters(
+            103e6 * 1.001,
+            locking_strength=0.5,
+            deterministic_modulation_fraction=1e-3,
+        )
+
+        def build():
+            victim = JitteryClock(103e6, psd, rng=np.random.default_rng(5))
+            return FrequencyInjectionAttack(
+                victim, parameters, rng=np.random.default_rng(21)
+            )
+
+        chunked, monolithic = build(), build()
+        parts = np.concatenate([chunked.periods(100), chunked.periods(300)])
+        whole = monolithic.periods(400)
+        np.testing.assert_array_equal(parts, whole)
+
     def test_edge_times_monotonic(self, victim):
         attack = FrequencyInjectionAttack(
             victim, InjectionParameters(victim.f0_hz, 0.5)
@@ -112,3 +154,45 @@ class TestDeterministicModulation:
         attack = FrequencyInjectionAttack(victim, InjectionParameters(1e8, 0.5))
         with pytest.raises(ValueError):
             attack.periods(-1)
+
+
+class TestSeededReproducibility:
+    """The ``rng`` argument must actually drive the attack's randomness.
+
+    Regression tests for the bug where the constructor accepted and stored
+    ``rng`` but never consumed it, so seeding an attack had no effect and
+    every attack started its beat modulation at phase zero.
+    """
+
+    PARAMETERS = InjectionParameters(
+        103e6 * 1.001,
+        locking_strength=1.0,
+        deterministic_modulation_fraction=1e-3,
+    )
+
+    def _attack(self, attack_rng):
+        victim = JitteryClock(
+            103e6,
+            PhaseNoisePSD(b_thermal_hz=1e4, b_flicker_hz2=0.0),
+            rng=np.random.default_rng(7),
+        )
+        return FrequencyInjectionAttack(victim, self.PARAMETERS, rng=attack_rng)
+
+    def test_same_seed_reproduces_bitwise(self):
+        first = self._attack(np.random.default_rng(42)).periods(2_000)
+        second = self._attack(np.random.default_rng(42)).periods(2_000)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = self._attack(np.random.default_rng(42)).periods(2_000)
+        second = self._attack(np.random.default_rng(43)).periods(2_000)
+        assert not np.array_equal(first, second)
+
+    def test_construction_consumes_the_generator(self):
+        # The random injection phase must be drawn from the provided rng —
+        # two attacks fed the *same* generator object see different stream
+        # positions and therefore different onset phases.
+        shared = np.random.default_rng(42)
+        first = self._attack(shared).periods(2_000)
+        second = self._attack(shared).periods(2_000)
+        assert not np.array_equal(first, second)

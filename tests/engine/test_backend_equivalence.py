@@ -33,8 +33,12 @@ F0 = PAPER_F0_HZ
 
 #: Candidate backends, every one required to match the reference bitwise.
 #: ``auto:4`` exercises the cost-model dispatcher (whichever side it picks
-#: must still be bit-for-bit the reference).
-BACKENDS = ("numpy", "threaded:1", "threaded:4", "auto:4")
+#: must still be bit-for-bit the reference).  ``philox:*`` prove execution
+#: is stream-agnostic: the philox-tier executor on the same streams as the
+#: reference (an engine ``backend=`` argument selects execution only; the
+#: stream contract is pinned separately — see tests/engine/
+#: test_rng_contract.py and tests/property/test_philox_contract.py).
+BACKENDS = ("numpy", "threaded:1", "threaded:4", "auto:4", "philox:1", "philox:4")
 
 #: The spectral FFT fast path and the non-spectral per-row fallback.
 FLICKER_METHODS_UNDER_TEST = ("spectral", "ar")

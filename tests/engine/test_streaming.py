@@ -189,14 +189,31 @@ class TestStreamingCampaign:
             n_sweep=sweep,
         )
         np.testing.assert_array_equal(result.n_values, reference.n_values)
-        # Same seed and thermal-only noise: chunked generation consumes the
-        # streams identically, so the estimates agree to fp accuracy.
-        np.testing.assert_allclose(
-            result.sigma2_s2, reference.sigma2_s2, rtol=1e-9
-        )
-        assert result.table()["b_thermal_hz"] == pytest.approx(
-            reference.table()["b_thermal_hz"], rel=1e-6
-        )
+        from repro.engine.rng import default_rng_contract
+
+        if default_rng_contract() == "spawn":
+            # Same seed and thermal-only noise: chunked generation consumes
+            # the stateful streams identically, so the estimates agree to fp
+            # accuracy.
+            np.testing.assert_allclose(
+                result.sigma2_s2, reference.sigma2_s2, rtol=1e-9
+            )
+            assert result.table()["b_thermal_hz"] == pytest.approx(
+                reference.table()["b_thermal_hz"], rel=1e-6
+            )
+        else:
+            # Under the index-keyed philox contract every draw call is its
+            # own block, so chunked and monolithic runs see different (but
+            # individually reproducible) variates: the estimates agree only
+            # statistically.  Chunk invariance under philox is pinned where
+            # the chunking itself is part of the pinned computation (fixed
+            # synthesis blocks; see tests/property/test_philox_contract.py).
+            np.testing.assert_allclose(
+                result.sigma2_s2, reference.sigma2_s2, rtol=0.1
+            )
+            assert result.table()["b_thermal_hz"] == pytest.approx(
+                reference.table()["b_thermal_hz"], rel=0.05
+            )
 
 
 class TestBitStreamChunkInvariance:

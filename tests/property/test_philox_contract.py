@@ -1,0 +1,227 @@
+"""The Philox index contract: draws are pure functions of their indices.
+
+Under ``rng_contract="philox"`` every draw is keyed by
+``(root_key, row, block, offset)`` — no spawn tree to walk, no generator
+state to carry between shards.  These tests lock the consequences end to
+end: any sub-range of rows recomputes the full run's draws bitwise (across
+shard plans {1, 3, 7}), worker count never matters, chunked bit generation
+stays chunk-invariant on the fixed synthesis-block grid, and coalesced
+serving equals solo serving for philox-contract requests — including mixed
+batches where spawn and philox requests share one scatter call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.bits import BatchedEROTRNG
+from repro.engine.campaign import batched_bit_campaign, batched_sigma2_n_campaign
+from repro.engine.distributed import (
+    BitCampaignSpec,
+    SerialExecutor,
+    Sigma2NCampaignSpec,
+    run_campaign,
+)
+from repro.engine.rng import PhiloxRowStream, derive_row_streams
+from repro.phase.psd import PhaseNoisePSD
+from repro.serving import BitsRequest
+from repro.serving.scatter import run_bits_batch
+from repro.trng.ero_trng import EROTRNGConfiguration
+
+#: Deterministically derived root seeds so failures replay exactly.
+SEEDS = [int(word) for word in np.random.SeedSequence(20140407).generate_state(8)]
+
+#: Shard plans from the acceptance criteria: 7 > batch forces clamping too.
+SHARD_COUNTS = (1, 3, 7)
+
+
+class TestSubRangeRecomputation:
+    """Row draws come from indices alone: shards never need the full tree."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_campaigns_match_batched_reference(self, seed):
+        batch, n_periods = 4, 512
+        spec = Sigma2NCampaignSpec(
+            batch_size=batch,
+            n_periods=n_periods,
+            seed=seed,
+            rng_contract="philox",
+        )
+        reference = batched_sigma2_n_campaign(spec.ensemble(), n_periods)
+        for n_shards in SHARD_COUNTS:
+            result = run_campaign(spec, executor=SerialExecutor(), n_shards=n_shards)
+            np.testing.assert_array_equal(
+                result.sigma2_s2,
+                reference.sigma2_s2,
+                err_msg=f"seed={seed} shards={n_shards}",
+            )
+            np.testing.assert_array_equal(result.n_values, reference.n_values)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_bit_campaigns_match_batched_reference(self, seed):
+        spec = BitCampaignSpec(
+            batch_size=4,
+            n_bits=256,
+            dividers=(8, 32),
+            seed=seed,
+            rng_contract="philox",
+        )
+        reference = batched_bit_campaign(
+            spec.configuration(),
+            spec.dividers,
+            spec.batch_size,
+            spec.n_bits,
+            seed=spec.seed,
+            rng_contract="philox",
+        )
+        for n_shards in SHARD_COUNTS:
+            result = run_campaign(spec, executor=SerialExecutor(), n_shards=n_shards)
+            for attribute in ("bias", "shannon_entropy", "min_entropy"):
+                np.testing.assert_array_equal(
+                    getattr(result, attribute),
+                    getattr(reference, attribute),
+                    err_msg=f"seed={seed} shards={n_shards} {attribute}",
+                )
+
+    def test_single_row_recompute_from_indices_alone(self):
+        """Row r of a B-row campaign == a campaign over rows [r, r+1)."""
+        configuration = EROTRNGConfiguration(
+            f0_hz=103e6,
+            oscillator_psd=PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=0.0),
+            divider=16,
+            frequency_mismatch=1e-3,
+        )
+        full = batched_bit_campaign(
+            configuration, (16,), 5, 256, seed=11, rng_contract="philox"
+        )
+        for row in range(5):
+            solo = batched_bit_campaign(
+                configuration,
+                (16,),
+                5,
+                256,
+                seed=11,
+                instance_range=(row, row + 1),
+                rng_contract="philox",
+            )
+            np.testing.assert_array_equal(full.bias[:, row], solo.bias[:, 0])
+
+
+class TestWorkerCountIndependence:
+    """The philox backend agrees with itself at every worker count."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_backend_worker_counts_bitwise_equal(self, seed):
+        results = []
+        for backend in ("philox:1", "philox:2", "philox:4"):
+            spec = Sigma2NCampaignSpec(
+                batch_size=4, n_periods=512, seed=seed, backend=backend
+            )
+            assert spec.rng_contract == "philox"
+            results.append(batched_sigma2_n_campaign(spec.ensemble(), 512))
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0].sigma2_s2, other.sigma2_s2)
+
+
+class TestChunkedBitGeneration:
+    """Chunking never moves the draw grid: blocks are indexed, not counted.
+
+    ``BatchedEROTRNG`` synthesizes on a fixed grid of
+    ``synthesis_block_periods`` periods, so a philox stream issues the same
+    indexed draw sequence no matter how ``generate_raw`` calls are sliced.
+    """
+
+    CONFIGURATION = EROTRNGConfiguration(
+        f0_hz=103e6,
+        oscillator_psd=PhaseNoisePSD(b_thermal_hz=276.04, b_flicker_hz2=5.42),
+        divider=33,
+        frequency_mismatch=1e-3,
+    )
+
+    def _trng(self):
+        return BatchedEROTRNG(
+            self.CONFIGURATION, batch_size=4, seed=9, rng_contract="philox"
+        )
+
+    def test_chunked_equals_monolithic_bitwise(self):
+        whole = self._trng().generate_raw(300)
+        chunked = self._trng()
+        parts = [chunked.generate_raw(k) for k in (1, 7, 100, 192)]
+        np.testing.assert_array_equal(
+            whole.bits, np.concatenate([part.bits for part in parts], axis=1)
+        )
+        np.testing.assert_array_equal(
+            whole.sample_times_s,
+            np.concatenate([part.sample_times_s for part in parts], axis=1),
+        )
+
+    def test_philox_streams_differ_from_spawn_streams(self):
+        """The two contracts are distinct sequences, not a relabelling."""
+        philox = self._trng().generate_raw(256)
+        spawn = BatchedEROTRNG(
+            self.CONFIGURATION, batch_size=4, seed=9, rng_contract="spawn"
+        ).generate_raw(256)
+        assert not np.array_equal(philox.bits, spawn.bits)
+
+
+class TestBlockPurity:
+    """A single block recomputes from ``(root_key, row, block)`` alone."""
+
+    def test_arbitrary_block_recompute(self):
+        stream = derive_row_streams(77, 8, rng_contract="philox")[5]
+        draws = [stream.standard_normal(32) for _ in range(4)]
+        for block, expected in enumerate(draws):
+            recomputed = PhiloxRowStream(77, (5,)).block_generator(block)
+            np.testing.assert_array_equal(expected, recomputed.standard_normal(32))
+
+    def test_offset_is_positional_within_a_block(self):
+        stream = derive_row_streams(77, 2, rng_contract="philox")[1]
+        wide = stream.standard_normal(64)
+        narrow = PhiloxRowStream(77, (1,)).block_generator(0).standard_normal(16)
+        np.testing.assert_array_equal(wide[:16], narrow)
+
+
+class TestCoalescedServing:
+    """Coalesced philox-contract requests == solo serves, row by row."""
+
+    def _requests(self, seed):
+        children = np.random.SeedSequence(seed).generate_state(4)
+        return [
+            BitsRequest(
+                n_bits=48, divider=8, seed=int(child), rng_contract="philox"
+            )
+            for child in children
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_coalesced_equals_solo(self, seed):
+        requests = self._requests(seed)
+        solo = [run_bits_batch([request])[0].bits for request in requests]
+        coalesced = run_bits_batch(requests)
+        for row in range(len(requests)):
+            np.testing.assert_array_equal(
+                coalesced[row].bits, solo[row], err_msg=f"seed={seed} row={row}"
+            )
+
+    def test_mixed_contract_batch_keeps_rows_independent(self):
+        """spawn and philox requests coalesced together each keep their draws."""
+        seeds = [int(w) for w in np.random.SeedSequence(5).generate_state(2)]
+        mixed = [
+            BitsRequest(n_bits=48, divider=8, seed=seeds[0], rng_contract="philox"),
+            BitsRequest(n_bits=48, divider=8, seed=seeds[1], rng_contract="spawn"),
+        ]
+        solo = [run_bits_batch([request])[0].bits for request in mixed]
+        coalesced = run_bits_batch(mixed)
+        for row in range(len(mixed)):
+            np.testing.assert_array_equal(coalesced[row].bits, solo[row])
+
+    def test_contract_separates_group_keys(self):
+        """Same seed, different contract: different streams, different bits."""
+        philox = BitsRequest(n_bits=64, divider=8, seed=3, rng_contract="philox")
+        spawn = BitsRequest(n_bits=64, divider=8, seed=3, rng_contract="spawn")
+        assert philox.group_key() != spawn.group_key()
+        assert not np.array_equal(
+            philox.generator().standard_normal(64),
+            spawn.generator().standard_normal(64),
+        )
